@@ -1,0 +1,24 @@
+//! Structural FPGA area model for Table 5 of *Secure TLBs* (ISCA 2019).
+//!
+//! The paper reports Slice-LUT and Slice-Register counts from Xilinx
+//! synthesis of the full Rocket-Core processor on a ZC706 for nineteen
+//! TLB configurations. We cannot synthesize HDL (see DESIGN.md,
+//! substitution 4), so this crate estimates area *structurally*: a fixed
+//! core cost (calibrated once against the paper's `1E` SA baseline) plus
+//! per-component costs derived from the designs' actual storage and
+//! logic — entry bits, tag comparators, LRU state, the SP partition
+//! steering, and the RF TLB's Sec bits, Random Fill Engine, probe port,
+//! and no-fill buffer.
+//!
+//! The model reproduces the *ordering and rough magnitude* of the paper's
+//! numbers (mean relative error a few percent — asserted in the tests),
+//! not exact LUT counts, which depend on synthesis heuristics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod paper;
+
+pub use model::{estimate, AreaEstimate};
+pub use paper::{paper_table5, PaperRow};

@@ -1,0 +1,93 @@
+//! The paper's Table 5, transcribed for comparison.
+
+use sectlb_sim::machine::TlbDesign;
+use sectlb_tlb::config::TlbConfig;
+
+/// One row of the paper's Table 5.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// TLB design.
+    pub design: TlbDesign,
+    /// TLB geometry.
+    pub config: TlbConfig,
+    /// Reported Slice LUTs.
+    pub luts: u64,
+    /// Reported Slice registers.
+    pub registers: u64,
+}
+
+/// All nineteen synthesized configurations of Table 5 (Xilinx ZC706;
+/// block-RAM and DSP counts are constant across rows and omitted).
+pub fn paper_table5() -> Vec<PaperRow> {
+    let fa32 = TlbConfig::fa(32).expect("valid");
+    let w2_32 = TlbConfig::sa(32, 2).expect("valid");
+    let w4_32 = TlbConfig::sa(32, 4).expect("valid");
+    let fa128 = TlbConfig::fa(128).expect("valid");
+    let w2_128 = TlbConfig::sa(128, 2).expect("valid");
+    let w4_128 = TlbConfig::sa(128, 4).expect("valid");
+    let row = |design, config, luts, registers| PaperRow {
+        design,
+        config,
+        luts,
+        registers,
+    };
+    use TlbDesign::*;
+    vec![
+        row(Sa, TlbConfig::single_entry(), 35_266, 18_359),
+        row(Sa, fa32, 36_395, 22_199),
+        row(Sa, w2_32, 36_298, 23_513),
+        row(Sa, w4_32, 36_043, 22_765),
+        row(Sa, fa128, 40_177, 33_815),
+        row(Sa, w2_128, 39_684, 38_630),
+        row(Sa, w4_128, 38_107, 35_694),
+        row(Sp, fa32, 36_499, 22_251),
+        row(Sp, w2_32, 36_387, 23_523),
+        row(Sp, w4_32, 36_183, 22_798),
+        row(Sp, fa128, 40_568, 33_824),
+        row(Sp, w2_128, 38_609, 38_521),
+        row(Sp, w4_128, 38_049, 35_659),
+        row(Rf, fa32, 38_281, 22_697),
+        row(Rf, w2_32, 38_510, 25_643),
+        row(Rf, w4_32, 38_266, 24_018),
+        row(Rf, fa128, 42_740, 34_252),
+        row(Rf, w2_128, 42_509, 45_823),
+        row(Rf, w4_128, 41_259, 39_538),
+    ]
+}
+
+/// The paper's baseline row (32-entry 4-way SA TLB).
+pub fn paper_baseline() -> PaperRow {
+    paper_table5()[3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_rows_as_in_the_paper() {
+        assert_eq!(paper_table5().len(), 19);
+    }
+
+    #[test]
+    fn baseline_is_the_4w32_sa_row() {
+        let b = paper_baseline();
+        assert_eq!(b.design, TlbDesign::Sa);
+        assert_eq!(b.config.entries(), 32);
+        assert_eq!(b.config.ways(), 4);
+        assert_eq!(b.luts, 36_043);
+    }
+
+    #[test]
+    fn paper_deltas_reproduce_from_the_transcription() {
+        // Spot-check the Δ columns: RF 4W 32 is +2,223 LUTs over baseline.
+        let rows = paper_table5();
+        let base = paper_baseline();
+        let rf_4w32 = rows
+            .iter()
+            .find(|r| r.design == TlbDesign::Rf && r.config == base.config)
+            .expect("present");
+        assert_eq!(rf_4w32.luts as i64 - base.luts as i64, 2_223);
+        assert_eq!(rf_4w32.registers as i64 - base.registers as i64, 1_253);
+    }
+}

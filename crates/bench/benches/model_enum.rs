@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the three-step model: the full 1000-pattern
+//! Table 2 derivation, the 4913-pattern extended enumeration, and the
+//! Appendix A reduction of long patterns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sectlb_model::state::{Actor, State};
+
+fn bench_enumerations(c: &mut Criterion) {
+    c.bench_function("enumerate_table2", |b| {
+        b.iter(|| black_box(sectlb_model::enumerate_vulnerabilities()))
+    });
+    c.bench_function("enumerate_table7", |b| {
+        b.iter(|| black_box(sectlb_model::extended::enumerate_extended_only()))
+    });
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let long: Vec<State> = (0..64)
+        .map(|i| match i % 5 {
+            0 => State::KnownD(Actor::Attacker),
+            1 => State::Vu,
+            2 => State::KnownA(Actor::Victim),
+            3 => State::Vu,
+            _ => State::Star,
+        })
+        .collect();
+    c.bench_function("reduce_64_step_pattern", |b| {
+        b.iter(|| black_box(sectlb_model::reduce::reduce_pattern(black_box(&long))))
+    });
+}
+
+criterion_group!(benches, bench_enumerations, bench_reduce);
+criterion_main!(benches);

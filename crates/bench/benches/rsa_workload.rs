@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the RSA victim workload: raw multi-precision
+//! decryption, trace generation, and full simulated execution on each
+//! TLB design.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sectlb_bench::perf::{run_cell, Workload};
+use sectlb_sim::machine::TlbDesign;
+use sectlb_tlb::config::TlbConfig;
+use sectlb_workloads::rsa::{decrypt, decrypt_traced, encrypt, RsaKey, RsaLayout};
+
+fn bench_mpi(c: &mut Criterion) {
+    let key = RsaKey::demo_128();
+    let ciphertext = encrypt(&key, &[0x1234u64]);
+    c.bench_function("rsa_decrypt_128_untraced", |b| {
+        b.iter(|| black_box(decrypt(&key, black_box(&ciphertext))))
+    });
+    c.bench_function("rsa_decrypt_128_traced", |b| {
+        b.iter(|| {
+            black_box(decrypt_traced(
+                &key,
+                black_box(&ciphertext),
+                RsaLayout::new(),
+            ))
+        })
+    });
+    let key512 = RsaKey::demo_512();
+    let c512 = encrypt(&key512, &[0x1234u64, 0, 0, 1]);
+    c.bench_function("rsa_decrypt_512_untraced", |b| {
+        b.iter(|| black_box(decrypt(&key512, black_box(&c512))))
+    });
+}
+
+fn bench_simulated_run(c: &mut Criterion) {
+    let workload = Workload {
+        secure: true,
+        co_runner: None,
+    };
+    let mut group = c.benchmark_group("secrsa_one_decryption_simulated");
+    group.sample_size(20);
+    for design in TlbDesign::ALL {
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                black_box(run_cell(
+                    design,
+                    TlbConfig::sa(32, 4).expect("valid"),
+                    workload,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpi, bench_simulated_run);
+criterion_main!(benches);

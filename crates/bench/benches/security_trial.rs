@@ -1,0 +1,29 @@
+//! Criterion benchmark of one Table 4 measurement cell (a single
+//! vulnerability on a single design, a reduced trial count) — the unit of
+//! work the `table4` binary repeats 72 times at 500 trials.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sectlb_secbench::run::{run_vulnerability, TrialSettings};
+use sectlb_sim::machine::TlbDesign;
+
+fn bench_trials(c: &mut Criterion) {
+    let vulns = sectlb_model::enumerate_vulnerabilities();
+    let prime_probe = vulns
+        .iter()
+        .find(|v| v.strategy == sectlb_model::Strategy::PrimeProbe)
+        .expect("row exists");
+    let settings = TrialSettings {
+        trials: 10,
+        ..TrialSettings::default()
+    };
+    let mut group = c.benchmark_group("prime_probe_10_trials");
+    for design in TlbDesign::ALL {
+        group.bench_function(design.name(), |b| {
+            b.iter(|| black_box(run_vulnerability(prime_probe, design, &settings)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the three TLB designs' critical
+//! operations: hit lookups, miss-and-fill paths, and the RF TLB's
+//! random-fill miss path. These quantify the *simulator's* cost per
+//! operation (the hardware costs are modeled in cycles; see `fig7`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sectlb_sim::cpu::Instr;
+use sectlb_sim::machine::{MachineBuilder, TlbDesign};
+use sectlb_tlb::config::TlbConfig;
+use sectlb_tlb::types::{SecureRegion, Vpn};
+
+fn machine(design: TlbDesign) -> sectlb_sim::machine::Machine {
+    let mut m = MachineBuilder::new()
+        .design(design)
+        .tlb_config(TlbConfig::sa(32, 8).expect("valid"))
+        .build();
+    let p = m.os_mut().create_process();
+    m.os_mut().map_region(p, Vpn(0x100), 64).expect("fresh");
+    m.protect_victim(p, SecureRegion::new(Vpn(0x100), 3))
+        .expect("fresh");
+    m.exec(Instr::SetAsid(p));
+    m
+}
+
+fn bench_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_hit");
+    for design in TlbDesign::ALL {
+        let mut m = machine(design);
+        m.exec(Instr::Load(0x110_000)); // warm one non-secure page
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                m.exec(Instr::Load(black_box(0x110_000)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_miss_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_miss_fill");
+    for design in TlbDesign::ALL {
+        let mut m = machine(design);
+        // Alternate between many non-secure pages so most accesses miss.
+        let mut i = 0u64;
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                i = (i + 1) % 64;
+                m.exec(Instr::Load(black_box((0x110 + i) << 12)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_secure_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure_region_miss");
+    for design in TlbDesign::ALL {
+        let mut m = machine(design);
+        let mut i = 0u64;
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                // Cycle through the secure pages; on RF each miss takes
+                // the probe + random fill + no-fill buffer path.
+                i = (i + 1) % 3;
+                m.exec(Instr::Load(black_box((0x100 + i) << 12)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush_all");
+    for design in TlbDesign::ALL {
+        let mut m = machine(design);
+        group.bench_function(design.name(), |b| b.iter(|| m.exec(Instr::FlushAll)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hits,
+    bench_miss_fill,
+    bench_secure_miss,
+    bench_flush
+);
+criterion_main!(benches);

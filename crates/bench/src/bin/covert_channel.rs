@@ -1,0 +1,40 @@
+//! The TLB covert channel (Section 3.1's covert scenario): sender and
+//! receiver cooperate over Prime + Probe. Reports bit-error rate, Shannon
+//! capacity per use, and throughput for both encodings on each design.
+
+use sectlb_sim::machine::TlbDesign;
+use sectlb_workloads::covert::{transmit, CovertSettings, Encoding};
+
+fn main() {
+    println!("TLB covert channel, 256 random bits per cell:\n");
+    println!(
+        "{:<20} {:>10} {:>14} {:>16}",
+        "configuration", "BER", "C (bit/use)", "rate (b/kcycle)"
+    );
+    for (label, encoding) in [
+        ("address-modulated", Encoding::AddressModulated),
+        ("activity-modulated", Encoding::ActivityModulated),
+    ] {
+        for design in TlbDesign::ALL {
+            let settings = CovertSettings {
+                encoding,
+                ..CovertSettings::default()
+            };
+            let out = transmit(design, &settings);
+            println!(
+                "{:<20} {:>9.1}% {:>14.3} {:>16.2}   [{} TLB]",
+                label,
+                out.bit_error_rate() * 100.0,
+                out.capacity_per_bit(),
+                out.bits_per_kilocycle(),
+                design.name(),
+            );
+        }
+        println!();
+    }
+    println!("Address modulation (the paper's channel model) dies on SP and RF.");
+    println!("Activity modulation — signaling by doing or skipping the secure");
+    println!("access — survives the RF TLB at ~0.2 bit/use: random fills hide");
+    println!("which page was touched, not whether one was. Only SP's physical");
+    println!("partitioning severs both encodings.");
+}

@@ -1,0 +1,105 @@
+//! Regenerates Figure 7(a)–(f): IPC and MPKI of the SA, SP, and RF TLBs
+//! across the seven TLB configurations, for RSA / SecRSA alone and
+//! co-running with the four SPEC-like benchmarks, at 50 / 100 / 150
+//! decryptions.
+//!
+//! Usage: `fig7 [--design sa|sp|rf] [--quick]`
+//!
+//! `--quick` runs 10 decryptions and the alone/omnetpp workloads only.
+//! Run with `--release`; the full sweep executes billions of simulated
+//! instructions.
+
+use sectlb_bench::perf::{headline, run_cell, Workload};
+use sectlb_sim::machine::TlbDesign;
+use sectlb_tlb::config::TlbConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let designs: Vec<TlbDesign> = match args
+        .iter()
+        .position(|a| a == "--design")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("sa") => vec![TlbDesign::Sa],
+        Some("sp") => vec![TlbDesign::Sp],
+        Some("rf") => vec![TlbDesign::Rf],
+        Some(other) => {
+            eprintln!("unknown design {other}; use sa, sp, or rf");
+            std::process::exit(2);
+        }
+        None => TlbDesign::ALL.to_vec(),
+    };
+    let all_configs = TlbConfig::paper_performance_configs();
+    let workloads: Vec<Workload> = if quick {
+        Workload::all()
+            .into_iter()
+            .filter(|w| {
+                w.co_runner.is_none()
+                    || w.co_runner == Some(sectlb_workloads::spec_like::SpecBenchmark::Omnetpp)
+            })
+            .collect()
+    } else {
+        Workload::all()
+    };
+    let runs: Vec<usize> = if quick { vec![10] } else { vec![50, 100, 150] };
+
+    for design in &designs {
+        // The paper's Figure 7 shows the 1E bar only for the SA TLB (the
+        // SP TLB cannot partition a single entry).
+        let configs: Vec<TlbConfig> = all_configs
+            .iter()
+            .copied()
+            .filter(|c| c.entries() > 1 || *design == TlbDesign::Sa)
+            .collect();
+        for metric in ["IPC", "MPKI"] {
+            let panel = match (design, metric) {
+                (TlbDesign::Sa, "IPC") => "7a",
+                (TlbDesign::Sp, "IPC") => "7b",
+                (TlbDesign::Rf, "IPC") => "7c",
+                (TlbDesign::Sa, "MPKI") => "7d",
+                (TlbDesign::Sp, "MPKI") => "7e",
+                _ => "7f",
+            };
+            println!("\nFigure {panel}: {metric} of the {design} TLB");
+            print!("{:<22} {:>5}", "workload", "runs");
+            for c in &configs {
+                print!(" {:>8}", c.label());
+            }
+            println!();
+            for w in &workloads {
+                for &r in &runs {
+                    print!("{:<22} {:>5}", w.label(), r);
+                    for &c in &configs {
+                        let cell = run_cell(*design, c, *w, r);
+                        let v = if metric == "IPC" { cell.ipc } else { cell.mpki };
+                        print!(" {:>8.3}", v);
+                    }
+                    println!();
+                }
+            }
+        }
+    }
+
+    if designs.len() == 3 {
+        let h = headline(if quick { 10 } else { 50 });
+        println!("\nHeadline comparisons (Sections 6.3-6.5, SecRSA workloads, 4W 32):");
+        println!(
+            "  SP MPKI / SA MPKI        = {:.2}x   (paper: ~3.07x)",
+            h.sp_over_sa_mpki
+        );
+        println!(
+            "  RF MPKI / SA MPKI        = {:.2}x   (paper: ~1.09x)",
+            h.rf_over_sa_mpki
+        );
+        println!(
+            "  RF MPKI / SP MPKI        = {:.2}x   (paper: ~0.36x, i.e. 64.5% better)",
+            h.rf_over_sp_mpki
+        );
+        println!(
+            "  1E IPC / 4W32 IPC        = {:.2}x   (paper: ~0.62x, i.e. ~38% worse)",
+            h.one_entry_ipc_ratio
+        );
+    }
+}

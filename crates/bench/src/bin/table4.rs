@@ -1,0 +1,33 @@
+//! Regenerates Table 4: the security evaluation of the SA, SP, and RF
+//! TLBs — measured p1*, p2*, C* (500 trials per placement by default)
+//! against the theoretical p1, p2, C.
+//!
+//! Usage: `table4 [--trials N]`
+
+use sectlb_secbench::report::build_table4;
+use sectlb_secbench::run::TrialSettings;
+
+fn main() {
+    let mut settings = TrialSettings::default();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--trials") {
+        settings.trials = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--trials needs a number");
+                std::process::exit(2);
+            });
+    }
+    eprintln!(
+        "running {} trials x 2 placements x 24 vulnerabilities x 3 designs ...",
+        settings.trials
+    );
+    let table = build_table4(&settings);
+    println!("{}", table.render());
+    if table.all_verdicts_match() {
+        println!("all measured defense verdicts match the theoretical ones");
+    } else {
+        println!("WARNING: some measured verdicts disagree with theory");
+    }
+}

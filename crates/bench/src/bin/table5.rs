@@ -1,0 +1,35 @@
+//! Regenerates Table 5: FPGA area of the 19 TLB configurations — the
+//! structural model's estimates next to the paper's synthesis numbers.
+
+use sectlb_area::{estimate, paper_table5};
+use sectlb_sim::machine::TlbDesign;
+use sectlb_tlb::config::TlbConfig;
+
+fn main() {
+    let baseline_cfg = TlbConfig::sa(32, 4).expect("valid");
+    let base = estimate(TlbDesign::Sa, baseline_cfg);
+    println!("Table 5: area overhead (structural model vs. paper synthesis)");
+    println!("baseline: 32-entry 4-way SA TLB");
+    println!(
+        "{:<4} {:>8} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+        "TLB", "config", "LUTs", "ΔLUTs", "paperΔ", "regs", "Δregs", "paperΔ"
+    );
+    let paper_base = sectlb_area::paper::paper_baseline();
+    for row in paper_table5() {
+        let e = estimate(row.design, row.config);
+        let (dl, dr) = e.delta(base);
+        let pdl = row.luts as i64 - paper_base.luts as i64;
+        let pdr = row.registers as i64 - paper_base.registers as i64;
+        println!(
+            "{:<4} {:>8} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+            row.design.name(),
+            row.config.label(),
+            e.luts,
+            dl,
+            pdl,
+            e.registers,
+            dr,
+            pdr
+        );
+    }
+}

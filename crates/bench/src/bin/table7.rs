@@ -1,0 +1,13 @@
+//! Regenerates Table 7: the additional vulnerability types available when
+//! targeted TLB invalidation exists (Appendix B).
+
+fn main() {
+    println!("{}", sectlb_model::render::render_table6());
+    println!("{}", sectlb_model::render::render_table7());
+    let base = sectlb_model::enumerate_vulnerabilities().len();
+    let all = sectlb_model::extended::enumerate_extended().len();
+    println!(
+        "extended model: {base} base rows + {} invalidation rows",
+        all - base
+    );
+}

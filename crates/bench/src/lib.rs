@@ -1,0 +1,21 @@
+//! Benchmark harness regenerating every table and figure of *Secure TLBs*
+//! (ISCA 2019).
+//!
+//! Binaries (run with `--release`):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table2` | Table 2 — the 24 derived vulnerability types |
+//! | `table4` | Table 4 — security evaluation of SA/SP/RF (use `--trials N`) |
+//! | `table5` | Table 5 — FPGA area model vs. the paper |
+//! | `table7` | Table 7 — extended invalidation vulnerabilities |
+//! | `fig7`   | Figure 7(a)–(f) — IPC and MPKI across 19 TLB configurations |
+//! | `attack_success` | Section 2.2/5.1 — TLBleed-style attack accuracy per design |
+//!
+//! The [`perf`] module holds the Figure 7 machinery shared between the
+//! `fig7` binary and the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perf;

@@ -1,0 +1,475 @@
+//! Appendix B: additional vulnerabilities under targeted TLB invalidation.
+//!
+//! The base model only permits whole-TLB flushes (rule 6 of Section 3.3).
+//! If an ISA lets the attacker or victim invalidate a *specific* address —
+//! e.g. through `mprotect()`-induced shootdowns — seven more block states
+//! become possible (Table 6 of the paper), and invalidation itself may have
+//! observable timing (fast when the entry is already absent, slow when a
+//! valid entry must be cleared). This module enumerates the resulting
+//! extended vulnerability list (Table 7).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::enumerate::{classify_outcomes, lower, MacroType};
+use crate::pattern::Timing;
+use crate::semantics::{evaluate, Op, Target};
+use crate::state::{Actor, State};
+
+/// A state of the tested block in the extended model: one of the ten base
+/// states of Table 1 or one of the seven targeted-invalidation states of
+/// Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExtState {
+    /// A base state from Table 1.
+    Base(State),
+    /// `V_u^inv`: the victim invalidated its secret translation `u`.
+    UInv,
+    /// `A_a^inv` / `V_a^inv`: targeted invalidation of the known address `a`.
+    KnownAInv(Actor),
+    /// `A_aalias^inv` / `V_aalias^inv`: targeted invalidation of the alias.
+    KnownAliasInv(Actor),
+    /// `A_d^inv` / `V_d^inv`: targeted invalidation of the known
+    /// out-of-range address `d`.
+    KnownDInv(Actor),
+}
+
+impl ExtState {
+    /// All seventeen extended-model states.
+    pub fn all() -> Vec<ExtState> {
+        let mut v: Vec<ExtState> = State::ALL.iter().map(|&s| ExtState::Base(s)).collect();
+        v.push(ExtState::UInv);
+        for actor in [Actor::Attacker, Actor::Victim] {
+            v.push(ExtState::KnownAInv(actor));
+            v.push(ExtState::KnownAliasInv(actor));
+            v.push(ExtState::KnownDInv(actor));
+        }
+        v
+    }
+
+    /// Whether the state involves the secret address `u`.
+    pub fn involves_u(self) -> bool {
+        match self {
+            ExtState::Base(s) => s.involves_u(),
+            ExtState::UInv => true,
+            _ => false,
+        }
+    }
+
+    /// Whether the resulting block state is known to the attacker.
+    pub fn known_to_attacker(self) -> bool {
+        match self {
+            ExtState::Base(s) => s.known_to_attacker(),
+            ExtState::UInv => false,
+            _ => true,
+        }
+    }
+
+    /// Whether this is a targeted-invalidation state (Table 6).
+    pub fn is_targeted_inv(self) -> bool {
+        !matches!(self, ExtState::Base(_))
+    }
+
+    /// The actor performing the operation, if any.
+    pub fn actor(self) -> Option<Actor> {
+        match self {
+            ExtState::Base(s) => s.actor(),
+            ExtState::UInv => Some(Actor::Victim),
+            ExtState::KnownAInv(x) | ExtState::KnownAliasInv(x) | ExtState::KnownDInv(x) => Some(x),
+        }
+    }
+
+    /// Exchanges `a` and `a_alias` (rule 5 deduplication).
+    pub fn swap_alias(self) -> ExtState {
+        match self {
+            ExtState::Base(s) => ExtState::Base(s.swap_alias()),
+            ExtState::KnownAInv(x) => ExtState::KnownAliasInv(x),
+            ExtState::KnownAliasInv(x) => ExtState::KnownAInv(x),
+            other => other,
+        }
+    }
+
+    fn is_alias(self) -> bool {
+        match self {
+            ExtState::Base(s) => s.is_alias(),
+            ExtState::KnownAliasInv(_) => true,
+            _ => false,
+        }
+    }
+
+    /// Lowers the state to its symbolic operation.
+    pub fn lower(self) -> Op {
+        match self {
+            ExtState::Base(s) => lower(s),
+            ExtState::UInv => Op::InvTarget(Actor::Victim, Target::U),
+            ExtState::KnownAInv(x) => Op::InvTarget(x, Target::A),
+            ExtState::KnownAliasInv(x) => Op::InvTarget(x, Target::AAlias),
+            ExtState::KnownDInv(x) => Op::InvTarget(x, Target::D),
+        }
+    }
+}
+
+impl fmt::Display for ExtState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtState::Base(s) => write!(f, "{s}"),
+            ExtState::UInv => f.write_str("V_u^inv"),
+            ExtState::KnownAInv(x) => write!(f, "{}_a^inv", x.letter()),
+            ExtState::KnownAliasInv(x) => write!(f, "{}_aalias^inv", x.letter()),
+            ExtState::KnownDInv(x) => write!(f, "{}_d^inv", x.letter()),
+        }
+    }
+}
+
+/// A three-step pattern over extended states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExtPattern {
+    /// Step 1.
+    pub s1: ExtState,
+    /// Step 2.
+    pub s2: ExtState,
+    /// Step 3 (the timed operation).
+    pub s3: ExtState,
+}
+
+impl ExtPattern {
+    /// Creates an extended pattern.
+    pub fn new(s1: ExtState, s2: ExtState, s3: ExtState) -> ExtPattern {
+        ExtPattern { s1, s2, s3 }
+    }
+
+    /// The steps in order.
+    pub fn steps(self) -> [ExtState; 3] {
+        [self.s1, self.s2, self.s3]
+    }
+
+    fn swap_alias(self) -> ExtPattern {
+        ExtPattern::new(
+            self.s1.swap_alias(),
+            self.s2.swap_alias(),
+            self.s3.swap_alias(),
+        )
+    }
+
+    /// Canonical alias representative, mirroring
+    /// [`Pattern::canonicalize_alias`](crate::Pattern::canonicalize_alias).
+    pub fn canonicalize_alias(self) -> ExtPattern {
+        let swapped = self.swap_alias();
+        let key = |p: ExtPattern| {
+            let alias = |s: ExtState| usize::from(s.is_alias());
+            (
+                alias(p.s3),
+                alias(p.s2),
+                alias(p.s1),
+                alias(p.s1) + alias(p.s2) + alias(p.s3),
+            )
+        };
+        if key(swapped) < key(self) {
+            swapped
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for ExtPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ~> {} ~> {}", self.s1, self.s2, self.s3)
+    }
+}
+
+/// A vulnerability of the extended model — a row of Table 7 (or, when the
+/// pattern uses only base states, of Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtVulnerability {
+    /// The three-step pattern.
+    pub pattern: ExtPattern,
+    /// The certifying timing.
+    pub timing: Timing,
+    /// The macro type.
+    pub macro_type: MacroType,
+    /// The paper-style strategy name (e.g. "TLB Flush + Probe").
+    pub strategy_name: String,
+}
+
+impl fmt::Display for ExtVulnerability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}) [{}] {}",
+            self.pattern,
+            self.timing,
+            self.macro_type.label(),
+            self.strategy_name
+        )
+    }
+}
+
+fn survives_structural_rules(p: ExtPattern) -> bool {
+    let star = ExtState::Base(State::Star);
+    // Rule 1: no ★ in steps 2 or 3.
+    if p.s2 == star || p.s3 == star {
+        return false;
+    }
+    // Rule 2: some step involves u.
+    if !p.steps().iter().any(|s| s.involves_u()) {
+        return false;
+    }
+    // Rule 3: ★ immediately followed by a u-operation.
+    if p.s1 == star && p.s2.involves_u() {
+        return false;
+    }
+    // Rule 4: adjacent repeats or adjacent attacker-known steps.
+    let adjacent = [(p.s1, p.s2), (p.s2, p.s3)];
+    if adjacent
+        .iter()
+        .any(|&(x, y)| x == y || (x.known_to_attacker() && y.known_to_attacker()))
+    {
+        return false;
+    }
+    // Rule 6 (modified): whole-TLB flushes still cannot appear in steps 2
+    // or 3; targeted invalidations can (they are the point of Appendix B).
+    let whole_flush = |s: ExtState| matches!(s, ExtState::Base(State::Inv(_)));
+    if whole_flush(p.s2) || whole_flush(p.s3) {
+        return false;
+    }
+    true
+}
+
+fn strategy_name(p: ExtPattern, hit_based: bool) -> String {
+    let inv3 = p.s3.is_targeted_inv();
+    let base = base_strategy_name(p, hit_based);
+    if inv3 {
+        if base == "TLB Flush + Reload" {
+            // The paper names the invalidation-probed Flush + Reload family
+            // "TLB Flush + Flush", after the cache attack of the same shape.
+            return "TLB Flush + Flush".to_owned();
+        }
+        return format!("{base} Invalidation");
+    }
+    base.to_owned()
+}
+
+fn base_strategy_name(p: ExtPattern, hit_based: bool) -> &'static str {
+    let actor = |s: ExtState| s.actor().expect("no * in surviving patterns");
+    // Step-2 invalidations define the Flush + Probe / Flush + Time families.
+    if p.s2 == ExtState::UInv {
+        return "TLB Flush + Probe";
+    }
+    if p.s2.is_targeted_inv() {
+        return "TLB Flush + Time";
+    }
+    // A step-1 invalidation of u means the victim must *reload* u.
+    if p.s1 == ExtState::UInv {
+        return "TLB Reload + Time";
+    }
+    if hit_based {
+        return match actor(p.s3) {
+            Actor::Victim => "TLB Internal Collision",
+            Actor::Attacker => "TLB Flush + Reload",
+        };
+    }
+    let (a1, a2, a3) = (actor(p.s1), actor(p.s2), actor(p.s3));
+    let u1 = p.s1.involves_u();
+    let u3 = p.s3.involves_u();
+    if u1 && u3 && a2 == Actor::Attacker {
+        "TLB Evict + Time"
+    } else if a1 == Actor::Victim && a2 == Actor::Victim && a3 == Actor::Victim {
+        "TLB version of Bernstein's Attack"
+    } else if a1 == Actor::Attacker && a3 == Actor::Attacker {
+        "TLB Prime + Probe"
+    } else if a1 == Actor::Victim && a3 == Actor::Attacker {
+        "TLB Evict + Probe"
+    } else {
+        "TLB Prime + Time"
+    }
+}
+
+fn macro_type_of(p: ExtPattern, hit_based: bool) -> MacroType {
+    let internal = [p.s2, p.s3]
+        .iter()
+        .all(|s| s.actor() == Some(Actor::Victim));
+    match (internal, hit_based) {
+        (true, true) => MacroType::InternalHit,
+        (true, false) => MacroType::InternalMiss,
+        (false, true) => MacroType::ExternalHit,
+        (false, false) => MacroType::ExternalMiss,
+    }
+}
+
+/// Analyzes a single extended pattern.
+pub fn analyze_extended(pattern: ExtPattern) -> Option<ExtVulnerability> {
+    let p = pattern.canonicalize_alias();
+    if !survives_structural_rules(p) {
+        return None;
+    }
+    let ops: Vec<Op> = p.steps().iter().map(|s| s.lower()).collect();
+    let finding = classify_outcomes(evaluate(&ops))?;
+    Some(ExtVulnerability {
+        pattern: p,
+        timing: finding.timing,
+        macro_type: macro_type_of(p, finding.hit_based),
+        strategy_name: strategy_name(p, finding.hit_based),
+    })
+}
+
+/// Enumerates all effective vulnerabilities of the extended model
+/// (`17^3 = 4913` patterns).
+///
+/// The result contains both the base Table 2 rows and the additional
+/// Table 7 rows; use [`enumerate_extended_only`] for just the additions.
+pub fn enumerate_extended() -> Vec<ExtVulnerability> {
+    let states = ExtState::all();
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for &s1 in &states {
+        for &s2 in &states {
+            for &s3 in &states {
+                if let Some(v) = analyze_extended(ExtPattern::new(s1, s2, s3)) {
+                    if seen.insert(v.pattern) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.strategy_name.clone(), v.pattern));
+    out
+}
+
+/// Enumerates only the vulnerabilities that require targeted invalidation —
+/// the additional rows of Table 7.
+pub fn enumerate_extended_only() -> Vec<ExtVulnerability> {
+    enumerate_extended()
+        .into_iter()
+        .filter(|v| v.pattern.steps().iter().any(|s| s.is_targeted_inv()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Actor::{Attacker as A, Victim as V};
+
+    fn base(s: State) -> ExtState {
+        ExtState::Base(s)
+    }
+
+    #[test]
+    fn there_are_seventeen_extended_states() {
+        assert_eq!(ExtState::all().len(), 17);
+    }
+
+    #[test]
+    fn base_rows_survive_in_extended_enumeration() {
+        // The extended model strictly extends the base one: all 24 base
+        // vulnerabilities reappear.
+        let all = enumerate_extended();
+        let base_only: Vec<_> = all
+            .iter()
+            .filter(|v| !v.pattern.steps().iter().any(|s| s.is_targeted_inv()))
+            .collect();
+        assert_eq!(base_only.len(), 24);
+    }
+
+    #[test]
+    fn flush_probe_row_from_table_7() {
+        // A_a ~> V_u^inv ~> A_a (slow), labeled EH in the paper.
+        let v = analyze_extended(ExtPattern::new(
+            base(State::KnownA(A)),
+            ExtState::UInv,
+            base(State::KnownA(A)),
+        ))
+        .expect("Flush + Probe must be effective");
+        assert_eq!(v.timing, Timing::Slow);
+        assert_eq!(v.strategy_name, "TLB Flush + Probe");
+        assert_eq!(v.macro_type, MacroType::ExternalHit);
+    }
+
+    #[test]
+    fn flush_time_row_from_table_7() {
+        // V_u ~> A_a^inv ~> V_u (slow), labeled EH in the paper.
+        let v = analyze_extended(ExtPattern::new(
+            base(State::Vu),
+            ExtState::KnownAInv(A),
+            base(State::Vu),
+        ))
+        .expect("Flush + Time must be effective");
+        assert_eq!(v.strategy_name, "TLB Flush + Time");
+        assert_eq!(v.timing, Timing::Slow);
+    }
+
+    #[test]
+    fn reload_time_row_from_table_7() {
+        // V_u^inv ~> A_a ~> V_u (fast), labeled EH in the paper.
+        let v = analyze_extended(ExtPattern::new(
+            ExtState::UInv,
+            base(State::KnownA(A)),
+            base(State::Vu),
+        ))
+        .expect("Reload + Time must be effective");
+        assert_eq!(v.strategy_name, "TLB Reload + Time");
+    }
+
+    #[test]
+    fn targeted_inv_step_one_internal_collision() {
+        // A_a^inv ~> V_u ~> V_a (fast): invalidating a, then a victim hit
+        // on a certifies u == a (Table 7's first row).
+        let v = analyze_extended(ExtPattern::new(
+            ExtState::KnownAInv(A),
+            base(State::Vu),
+            base(State::KnownA(V)),
+        ))
+        .expect("invalidation-primed collision must be effective");
+        assert_eq!(v.timing, Timing::Fast);
+        assert_eq!(v.macro_type, MacroType::InternalHit);
+        assert_eq!(v.strategy_name, "TLB Internal Collision");
+    }
+
+    #[test]
+    fn flush_flush_family_exists() {
+        // Final-step invalidation with observable timing (the paper's
+        // TLB Flush + Flush discussion).
+        let additions = enumerate_extended_only();
+        assert!(
+            additions
+                .iter()
+                .any(|v| v.strategy_name == "TLB Flush + Flush"),
+            "expected a Flush + Flush row among {} additions",
+            additions.len()
+        );
+    }
+
+    #[test]
+    fn extended_additions_are_substantial() {
+        // Table 7 lists on the order of 50 additional vulnerability types.
+        let n = enumerate_extended_only().len();
+        assert!(n >= 30, "only {n} additional extended vulnerabilities");
+        assert!(
+            n <= 90,
+            "{n} additional extended vulnerabilities is too many"
+        );
+    }
+
+    #[test]
+    fn whole_flush_still_banned_late() {
+        assert!(analyze_extended(ExtPattern::new(
+            base(State::Vu),
+            base(State::Inv(A)),
+            base(State::Vu),
+        ))
+        .is_none());
+    }
+
+    #[test]
+    fn extended_enumeration_is_deterministic() {
+        assert_eq!(enumerate_extended(), enumerate_extended());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ExtState::UInv.to_string(), "V_u^inv");
+        assert_eq!(ExtState::KnownAInv(A).to_string(), "A_a^inv");
+        assert_eq!(ExtState::KnownDInv(V).to_string(), "V_d^inv");
+    }
+}

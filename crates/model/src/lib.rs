@@ -1,0 +1,58 @@
+//! Three-step model of TLB timing-based vulnerabilities.
+//!
+//! This crate reproduces Section 3 and Appendices A and B of *Secure TLBs*
+//! (Deng, Xiong, Szefer — ISCA 2019). The paper models every timing-based
+//! TLB attack as a sequence of exactly three steps, each step being one of
+//! ten possible states of a single TLB block (Table 1 of the paper). All
+//! `10 × 10 × 10 = 1000` combinations are enumerated and reduced — first by
+//! the structural rules of Section 3.3, then by a symbolic information
+//! analysis implementing the paper's rule (7) — down to the 24 effective
+//! vulnerability types of Table 2.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sectlb_model::{enumerate_vulnerabilities, MacroType};
+//!
+//! let vulns = enumerate_vulnerabilities();
+//! assert_eq!(vulns.len(), 24);
+//!
+//! // 6 internal hit-based and 6 external hit-based rows,
+//! // exactly as in the paper's Table 2.
+//! let ih = vulns.iter().filter(|v| v.macro_type == MacroType::InternalHit).count();
+//! assert_eq!(ih, 6);
+//! ```
+//!
+//! # Modules
+//!
+//! - [`state`] — the ten block states of Table 1 (and the extended
+//!   invalidation states of Table 6).
+//! - [`pattern`] — three-step patterns and observed timings.
+//! - [`rules`] — the structural reduction rules (1)–(6) of Section 3.3.
+//! - [`semantics`] — the symbolic single-block evaluator behind rule (7).
+//! - [`enumerate`] — the full derivation of Table 2.
+//! - [`strategy`] — attack-strategy naming (Prime+Probe, Flush+Reload, …).
+//! - [`reduce`] — Appendix A: reduction of β-step patterns (Algorithm 1).
+//! - [`soundness`] — empirical check of the Appendix A claim: every
+//!   semantically informative β-step pattern reduces to a Table 2 row.
+//! - [`extended`] — Appendix B: targeted-invalidation states and Table 7.
+//! - [`render`] — plain-text rendering of the derived tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod extended;
+pub mod pattern;
+pub mod reduce;
+pub mod render;
+pub mod rules;
+pub mod semantics;
+pub mod soundness;
+pub mod state;
+pub mod strategy;
+
+pub use enumerate::{enumerate_vulnerabilities, MacroType, Vulnerability};
+pub use pattern::{Pattern, Timing};
+pub use state::{Actor, State};
+pub use strategy::Strategy;

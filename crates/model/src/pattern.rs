@@ -1,0 +1,177 @@
+//! Three-step patterns and observable timings.
+
+use std::fmt;
+
+use crate::state::State;
+
+/// The timing an attacker observes for the final memory operation.
+///
+/// A TLB hit is *fast*; a TLB miss (requiring a page-table walk) is *slow*.
+/// For the extended invalidation states of Appendix B, a targeted
+/// invalidation of a *present* entry is slow (an extra cycle is needed to
+/// clear it) and of an *absent* entry is fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Timing {
+    /// TLB hit (or invalidation of an absent entry).
+    Fast,
+    /// TLB miss (or invalidation of a present entry).
+    Slow,
+}
+
+impl Timing {
+    /// The opposite timing.
+    pub fn flip(self) -> Timing {
+        match self {
+            Timing::Fast => Timing::Slow,
+            Timing::Slow => Timing::Fast,
+        }
+    }
+}
+
+impl fmt::Display for Timing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Timing::Fast => "fast",
+            Timing::Slow => "slow",
+        })
+    }
+}
+
+/// A three-step pattern: `Step 1 ⇝ Step 2 ⇝ Step 3`.
+///
+/// Each step names the state a memory operation leaves the tested TLB block
+/// in. A pattern becomes a [vulnerability](crate::Vulnerability) when the
+/// timing of the step-3 operation reveals information about the victim's
+/// secret address `u` (Section 3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pattern {
+    /// Step 1: places the block in a known initial state.
+    pub s1: State,
+    /// Step 2: alters the block state.
+    pub s2: State,
+    /// Step 3: the timed operation.
+    pub s3: State,
+}
+
+impl Pattern {
+    /// Creates a pattern from its three steps.
+    pub fn new(s1: State, s2: State, s3: State) -> Pattern {
+        Pattern { s1, s2, s3 }
+    }
+
+    /// The three steps in order.
+    pub fn steps(self) -> [State; 3] {
+        [self.s1, self.s2, self.s3]
+    }
+
+    /// Exchanges `a` and `a_alias` in every step (rule 5 of Section 3.3:
+    /// patterns differing only in the use of `a` vs. `a_alias` carry the
+    /// same information).
+    pub fn swap_alias(self) -> Pattern {
+        Pattern::new(
+            self.s1.swap_alias(),
+            self.s2.swap_alias(),
+            self.s3.swap_alias(),
+        )
+    }
+
+    /// The canonical representative of this pattern's alias-equivalence
+    /// class.
+    ///
+    /// The paper's Table 2 writes each vulnerability so that alias states
+    /// appear as early as possible (aliases only ever show up in step 1);
+    /// a pure renaming `a ↔ a_alias` is not a distinct attack. We therefore
+    /// pick, between the pattern and its alias-swapped form, the one whose
+    /// alias usage is earliest (and fewest on a tie).
+    pub fn canonicalize_alias(self) -> Pattern {
+        let swapped = self.swap_alias();
+        let key = |p: Pattern| {
+            let alias = |s: State| usize::from(s.is_alias());
+            // Later-step aliases weigh heavier; tie-break on total count.
+            (
+                alias(p.s3),
+                alias(p.s2),
+                alias(p.s1),
+                alias(p.s1) + alias(p.s2) + alias(p.s3),
+            )
+        };
+        if key(swapped) < key(self) {
+            swapped
+        } else {
+            self
+        }
+    }
+
+    /// Whether any step involves the victim's secret address `u`.
+    pub fn involves_u(self) -> bool {
+        self.steps().iter().any(|s| s.involves_u())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ~> {} ~> {}", self.s1, self.s2, self.s3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Actor::{Attacker as A, Victim as V};
+    use crate::state::State::*;
+
+    #[test]
+    fn timing_flip_is_an_involution() {
+        assert_eq!(Timing::Fast.flip(), Timing::Slow);
+        assert_eq!(Timing::Slow.flip().flip(), Timing::Slow);
+    }
+
+    #[test]
+    fn display_uses_paper_arrow_notation() {
+        let p = Pattern::new(KnownD(A), Vu, KnownA(V));
+        assert_eq!(p.to_string(), "A_d ~> V_u ~> V_a");
+    }
+
+    #[test]
+    fn canonicalization_moves_aliases_to_step_one() {
+        // A_a ~> V_u ~> V_aalias is the same attack as A_aalias ~> V_u ~> V_a;
+        // Table 2 lists the latter.
+        let p = Pattern::new(KnownA(A), Vu, KnownAlias(V));
+        assert_eq!(
+            p.canonicalize_alias(),
+            Pattern::new(KnownAlias(A), Vu, KnownA(V))
+        );
+    }
+
+    #[test]
+    fn canonicalization_prefers_plain_a_for_pure_renames() {
+        // V_u ~> A_aalias ~> V_u is a pure rename of V_u ~> A_a ~> V_u.
+        let p = Pattern::new(Vu, KnownAlias(A), Vu);
+        assert_eq!(p.canonicalize_alias(), Pattern::new(Vu, KnownA(A), Vu));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        for s1 in State::ALL {
+            for s2 in State::ALL {
+                for s3 in State::ALL {
+                    let p = Pattern::new(s1, s2, s3).canonicalize_alias();
+                    assert_eq!(p, p.canonicalize_alias());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_never_loses_information() {
+        // The canonical representative is always alias-equivalent to the
+        // original: either identical or the full swap.
+        for s1 in State::ALL {
+            for s2 in State::ALL {
+                let p = Pattern::new(s1, s2, Vu);
+                let c = p.canonicalize_alias();
+                assert!(c == p || c == p.swap_alias());
+            }
+        }
+    }
+}

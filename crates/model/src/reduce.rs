@@ -1,0 +1,227 @@
+//! Appendix A: reduction of β-step patterns (β > 3) to three-step
+//! vulnerabilities.
+//!
+//! The paper's Algorithm 1 shows that the three-step model is sound: any
+//! longer pattern of memory-page-related operations either reduces to one
+//! or more effective three-step vulnerabilities, or is ineffective. The
+//! four rules are:
+//!
+//! 1. a `★` anywhere but the first step splits the pattern (the attacker
+//!    loses track of the block), with the `★` becoming step 1 of the
+//!    second half; a trailing `★` is deleted;
+//! 2. likewise for whole-TLB invalidations `A_inv`/`V_inv`;
+//! 3. two adjacent steps that are both `u`-operations, or both
+//!    non-`u`-operations, collapse into the later one;
+//! 4. the remaining alternating pattern is scanned for effective
+//!    three-step sub-patterns using the Table 2 derivation.
+
+use crate::enumerate::{analyze, Vulnerability};
+use crate::pattern::Pattern;
+use crate::state::State;
+
+/// Splits `steps` before every state matched by `is_boundary` (except at
+/// index 0); the boundary state becomes the first step of the next
+/// segment. Trailing boundary states are deleted (rules 1 and 2).
+fn split_at_boundaries(steps: &[State], is_boundary: impl Fn(State) -> bool) -> Vec<Vec<State>> {
+    let mut segments: Vec<Vec<State>> = Vec::new();
+    let mut current: Vec<State> = Vec::new();
+    for &s in steps {
+        if is_boundary(s) && !current.is_empty() {
+            segments.push(std::mem::take(&mut current));
+        }
+        current.push(s);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    // A boundary can only be the first step of its segment; a segment that
+    // is *just* a boundary is a deleted trailing ★/inv ("★ in the last
+    // step will be deleted").
+    segments.retain(|seg| !(seg.len() == 1 && is_boundary(seg[0])));
+    segments
+}
+
+/// Rule 3: collapses runs of adjacent same-class steps, keeping the later
+/// one (the later operation determines the final block state).
+fn collapse_adjacent(steps: &[State]) -> Vec<State> {
+    let mut out: Vec<State> = Vec::new();
+    for &s in steps {
+        if let Some(&last) = out.last() {
+            let same_class = last.involves_u() == s.involves_u();
+            if same_class {
+                out.pop();
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Reduces a β-step pattern to the effective three-step vulnerabilities it
+/// contains (Algorithm 1 of Appendix A).
+///
+/// Returns an empty vector when the pattern is not effective. Patterns of
+/// fewer than three steps are padded with a leading `★` (the paper
+/// represents two-step attacks as `★ ⇝ …`).
+///
+/// ```
+/// use sectlb_model::reduce::reduce_pattern;
+/// use sectlb_model::state::{Actor, State};
+///
+/// // A five-step pattern containing a Prime + Probe window.
+/// let a = Actor::Attacker;
+/// let steps = [
+///     State::KnownD(a),
+///     State::KnownD(a), // redundant re-prime: collapsed by rule 3
+///     State::Vu,
+///     State::KnownD(a),
+///     State::Vu,
+/// ];
+/// let found = reduce_pattern(&steps);
+/// assert!(!found.is_empty());
+/// ```
+pub fn reduce_pattern(steps: &[State]) -> Vec<Vulnerability> {
+    let mut found: Vec<Vulnerability> = Vec::new();
+    // Rules 1 and 2: split at ★ and at whole-TLB invalidations.
+    for seg in split_at_boundaries(steps, |s| s == State::Star) {
+        for seg in split_at_boundaries(&seg, State::is_inv) {
+            scan_segment(&seg, &mut found);
+        }
+    }
+    found.sort_by_key(|v| v.pattern);
+    found.dedup();
+    found
+}
+
+fn scan_segment(seg: &[State], found: &mut Vec<Vulnerability>) {
+    let collapsed = collapse_adjacent(seg);
+    match collapsed.len() {
+        0 | 1 => {}
+        2 => {
+            // Two-step attacks are modeled as ★ ⇝ s1 ⇝ s2.
+            if let Some(v) = analyze(Pattern::new(State::Star, collapsed[0], collapsed[1])) {
+                found.push(v);
+            }
+        }
+        _ => {
+            // Rule 4: scan every three-step window of the alternating
+            // pattern for an effective vulnerability.
+            for w in collapsed.windows(3) {
+                if let Some(v) = analyze(Pattern::new(w[0], w[1], w[2])) {
+                    found.push(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Actor::{Attacker as A, Victim as V};
+    use crate::state::State::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn three_step_vulnerability_reduces_to_itself() {
+        let steps = [KnownD(A), Vu, KnownD(A)];
+        let found = reduce_pattern(&steps);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].pattern, Pattern::new(KnownD(A), Vu, KnownD(A)));
+        assert_eq!(found[0].strategy, Strategy::PrimeProbe);
+    }
+
+    #[test]
+    fn adjacent_known_steps_collapse_to_the_later_one() {
+        // The paper's rule-3 example: { … A_d ~> V_a … } reduces to { … V_a … }.
+        let steps = [KnownD(A), KnownA(V), Vu, KnownA(V)];
+        let found = reduce_pattern(&steps);
+        assert_eq!(found.len(), 1);
+        // After collapsing, the window is V_a ~> V_u ~> V_a (Bernstein).
+        assert_eq!(found[0].strategy, Strategy::Bernstein);
+    }
+
+    #[test]
+    fn adjacent_u_steps_collapse() {
+        let steps = [KnownD(A), Vu, Vu, KnownD(A)];
+        let found = reduce_pattern(&steps);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].strategy, Strategy::PrimeProbe);
+    }
+
+    #[test]
+    fn star_in_the_middle_splits_the_pattern() {
+        // Prime + Probe, then noise, then Internal Collision: both found.
+        let steps = [KnownD(A), Vu, KnownD(A), Star, KnownD(V), Vu, KnownA(V)];
+        let found = reduce_pattern(&steps);
+        let strategies: Vec<_> = found.iter().map(|v| v.strategy).collect();
+        assert!(strategies.contains(&Strategy::PrimeProbe));
+        assert!(strategies.contains(&Strategy::InternalCollision));
+    }
+
+    #[test]
+    fn invalidation_in_the_middle_becomes_step_one_of_second_pattern() {
+        // The flush serves as step 1 of an Internal Collision.
+        let steps = [KnownD(A), Vu, KnownD(A), Inv(A), Vu, KnownA(V)];
+        let found = reduce_pattern(&steps);
+        let patterns: Vec<_> = found.iter().map(|v| v.pattern).collect();
+        assert!(patterns.contains(&Pattern::new(Inv(A), Vu, KnownA(V))));
+    }
+
+    #[test]
+    fn ineffective_long_pattern_reduces_to_nothing() {
+        // Known-only operations leak nothing (rule 2 of Section 3.3).
+        let steps = [KnownD(A), KnownA(A), KnownD(V), KnownA(V), KnownD(A)];
+        assert!(reduce_pattern(&steps).is_empty());
+    }
+
+    #[test]
+    fn one_step_patterns_are_never_effective() {
+        // β = 1 cannot create interference (Appendix A).
+        for s in State::ALL {
+            assert!(reduce_pattern(&[s]).is_empty(), "{s}");
+        }
+    }
+
+    #[test]
+    fn two_step_patterns_are_never_effective() {
+        // β = 2 corresponds to ★-prefixed three-step patterns, none of
+        // which are in Table 2 (Appendix A).
+        for s1 in State::ALL {
+            for s2 in State::ALL {
+                if s1.involves_u() == s2.involves_u() {
+                    continue; // collapsed by rule 3 anyway
+                }
+                assert!(reduce_pattern(&[s1, s2]).is_empty(), "{s1} ~> {s2}");
+            }
+        }
+    }
+
+    #[test]
+    fn found_vulnerabilities_are_always_table2_rows() {
+        use crate::enumerate::enumerate_vulnerabilities;
+        let table: Vec<_> = enumerate_vulnerabilities();
+        // A pseudo-random-ish long pattern; every reported vulnerability
+        // must be one of the 24 canonical rows.
+        let steps = [
+            KnownD(A),
+            Vu,
+            KnownD(A),
+            Vu,
+            KnownA(A),
+            Vu,
+            Star,
+            KnownD(V),
+            Vu,
+            KnownA(V),
+            Inv(V),
+            Vu,
+            KnownA(A),
+        ];
+        let found = reduce_pattern(&steps);
+        assert!(!found.is_empty());
+        for v in found {
+            assert!(table.contains(&v), "{v} is not a Table 2 row");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Plain-text rendering of the derived vulnerability tables.
+//!
+//! These renderers back the `table2` and `table7` binaries of the
+//! `sectlb-bench` crate, which regenerate the corresponding tables of the
+//! paper.
+
+use std::fmt::Write as _;
+
+use crate::enumerate::{enumerate_vulnerabilities, Vulnerability};
+use crate::extended::{enumerate_extended_only, ExtState, ExtVulnerability};
+use crate::state::State;
+
+/// A one-line description of a base block state, as in Table 1.
+pub fn describe_state(state: State) -> String {
+    let actor = |s: State| match s.actor() {
+        Some(a) => a.to_string(),
+        None => "nobody".to_owned(),
+    };
+    match state {
+        State::Vu => "holds the victim's secret translation u (within the known range x; the attacker wants to learn its page or index)"
+            .to_owned(),
+        State::KnownA(_) => format!(
+            "holds the known in-range address a, placed by the {}",
+            actor(state)
+        ),
+        State::KnownAlias(_) => format!(
+            "holds a_alias — in range, same page index as a — placed by the {}",
+            actor(state)
+        ),
+        State::Inv(_) => format!("invalidated by a whole-TLB flush from the {}", actor(state)),
+        State::KnownD(_) => format!(
+            "holds the known out-of-range address d, placed by the {}",
+            actor(state)
+        ),
+        State::Star => "unknown contents; the attacker has no knowledge of the block".to_owned(),
+    }
+}
+
+/// Renders Table 1: the ten possible states of a single TLB block.
+///
+/// ```
+/// let t = sectlb_model::render::render_table1();
+/// assert!(t.contains("V_u"));
+/// ```
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: the 10 possible states of a single TLB block");
+    for s in State::ALL {
+        let _ = writeln!(out, "  {:<10} {}", s.to_string(), describe_state(s));
+    }
+    out
+}
+
+/// Renders Table 6: the seven additional targeted-invalidation states of
+/// the extended model.
+pub fn render_table6() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 6: the 7 targeted-invalidation states of the extended model"
+    );
+    for s in ExtState::all() {
+        if !s.is_targeted_inv() {
+            continue;
+        }
+        let who = s
+            .actor()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "nobody".to_owned());
+        let what = match s {
+            ExtState::UInv => "the victim's secret translation u",
+            ExtState::KnownAInv(_) => "the known in-range address a",
+            ExtState::KnownAliasInv(_) => "the alias a_alias",
+            ExtState::KnownDInv(_) => "the known out-of-range address d",
+            ExtState::Base(_) => unreachable!("filtered above"),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<14} {what} was invalidated (targeted) by the {who}",
+            s.to_string()
+        );
+    }
+    out
+}
+
+/// Renders the derived Table 2 (all 24 base vulnerability types) as an
+/// aligned plain-text table.
+///
+/// ```
+/// let table = sectlb_model::render::render_table2();
+/// assert!(table.contains("TLB Prime + Probe"));
+/// ```
+pub fn render_table2() -> String {
+    render_rows(
+        "Table 2: all timing-based TLB vulnerabilities (derived)",
+        &enumerate_vulnerabilities()
+            .iter()
+            .map(row_of_vulnerability)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Renders the derived extended vulnerability list (Table 7 additions).
+pub fn render_table7() -> String {
+    render_rows(
+        "Table 7: additional vulnerabilities under targeted TLB invalidation (derived)",
+        &enumerate_extended_only()
+            .iter()
+            .map(row_of_ext)
+            .collect::<Vec<_>>(),
+    )
+}
+
+struct Row {
+    strategy: String,
+    s1: String,
+    s2: String,
+    s3: String,
+    macro_type: &'static str,
+    attack: String,
+}
+
+fn row_of_vulnerability(v: &Vulnerability) -> Row {
+    Row {
+        strategy: v.strategy.paper_name().to_owned(),
+        s1: v.pattern.s1.to_string(),
+        s2: v.pattern.s2.to_string(),
+        s3: format!("{} ({})", v.pattern.s3, v.timing),
+        macro_type: v.macro_type.label(),
+        attack: v
+            .known_attack
+            .map(|a| a.name().to_owned())
+            .unwrap_or_else(|| "new".to_owned()),
+    }
+}
+
+fn row_of_ext(v: &ExtVulnerability) -> Row {
+    Row {
+        strategy: v.strategy_name.clone(),
+        s1: v.pattern.s1.to_string(),
+        s2: v.pattern.s2.to_string(),
+        s3: format!("{} ({})", v.pattern.s3, v.timing),
+        macro_type: v.macro_type.label(),
+        attack: "new".to_owned(),
+    }
+}
+
+fn render_rows(title: &str, rows: &[Row]) -> String {
+    let headers = [
+        "Attack Strategy",
+        "Step 1",
+        "Step 2",
+        "Step 3",
+        "Macro",
+        "Attack",
+    ];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        let cells = [
+            r.strategy.as_str(),
+            r.s1.as_str(),
+            r.s2.as_str(),
+            r.s3.as_str(),
+            r.macro_type,
+            r.attack.as_str(),
+        ];
+        for (w, c) in widths.iter_mut().zip(cells) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let line = |out: &mut String| {
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+    };
+    line(&mut out);
+    let write_row = |out: &mut String, cells: [&str; 6]| {
+        let _ = write!(out, "|");
+        for (w, c) in widths.iter().zip(cells) {
+            let _ = write!(out, " {c:<w$} |");
+        }
+        let _ = writeln!(out);
+    };
+    write_row(&mut out, headers);
+    line(&mut out);
+    let mut last_strategy = String::new();
+    for r in rows {
+        let strategy_cell = if r.strategy == last_strategy {
+            ""
+        } else {
+            last_strategy = r.strategy.clone();
+            r.strategy.as_str()
+        };
+        write_row(
+            &mut out,
+            [strategy_cell, &r.s1, &r.s2, &r.s3, r.macro_type, &r.attack],
+        );
+    }
+    line(&mut out);
+    let _ = writeln!(out, "{} vulnerability types", rows.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_24_rows_and_strategies() {
+        let t = render_table2();
+        assert!(t.contains("24 vulnerability types"));
+        for s in crate::strategy::Strategy::ALL {
+            assert!(t.contains(s.paper_name()), "missing {s}");
+        }
+        assert!(t.contains("TLBleed attack"));
+        assert!(t.contains("Double Page Fault attack"));
+    }
+
+    #[test]
+    fn table7_renders_extended_rows() {
+        let t = render_table7();
+        assert!(t.contains("TLB Flush + Probe"));
+        assert!(t.contains("V_u^inv"));
+    }
+
+    #[test]
+    fn table1_lists_all_ten_states() {
+        let t = render_table1();
+        for s in crate::state::State::ALL {
+            assert!(t.contains(&s.to_string()), "missing {s}");
+        }
+        assert!(t.contains("secret translation"));
+    }
+
+    #[test]
+    fn table6_lists_the_seven_invalidation_states() {
+        let t = render_table6();
+        assert_eq!(t.matches("invalidated (targeted)").count(), 7);
+        assert!(t.contains("V_u^inv"));
+    }
+
+    #[test]
+    fn strategy_column_deduplicates_repeats() {
+        let t = render_table2();
+        let occurrences = t.matches("TLB Prime + Probe").count();
+        // Prime + Probe appears once as a group label (and possibly once in
+        // the Prime + Time label check — exact substring differs).
+        assert_eq!(occurrences, 1);
+    }
+}

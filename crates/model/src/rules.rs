@@ -1,0 +1,125 @@
+//! Structural reduction rules (1)–(6) of Section 3.3.
+//!
+//! These rules discard three-step combinations that can never lead to an
+//! attack, before the semantic analysis of rule (7) runs. Each rule is a
+//! named predicate returning `true` when the pattern must be *eliminated*.
+//! Rule (5) — alias deduplication — is handled separately by
+//! [`Pattern::canonicalize_alias`](crate::Pattern::canonicalize_alias), and
+//! rule (7) by [`crate::semantics`].
+
+use crate::pattern::Pattern;
+use crate::state::State;
+
+/// Rule (1): `★` is not possible in *Step 2* or *Step 3*.
+///
+/// An unknown state there destroys the information the attacker is
+/// gathering.
+pub fn star_in_late_step(p: Pattern) -> bool {
+    p.s2 == State::Star || p.s3 == State::Star
+}
+
+/// Rule (2): some step must be `V_u`.
+///
+/// Without the unknown secret address there is nothing to learn.
+pub fn no_secret_access(p: Pattern) -> bool {
+    !p.involves_u()
+}
+
+/// Rule (3): `★` immediately followed by `V_u` cannot lead to an attack —
+/// the block must be in a known state before `V_u` is placed into it.
+pub fn star_before_vu(p: Pattern) -> bool {
+    (p.s1 == State::Star && p.s2 == State::Vu) || (p.s2 == State::Star && p.s3 == State::Vu)
+}
+
+/// Rule (4): two adjacent steps repeating, or two adjacent steps both
+/// leaving the block in an attacker-known state, add no information; such
+/// patterns reduce to shorter ones already covered.
+pub fn adjacent_redundant(p: Pattern) -> bool {
+    let adjacent = [(p.s1, p.s2), (p.s2, p.s3)];
+    adjacent
+        .iter()
+        .any(|&(x, y)| x == y || (x.known_to_attacker() && y.known_to_attacker()))
+}
+
+/// Rule (6): an *inv* state cannot appear in *Step 2* or *Step 3*: the base
+/// model only has whole-TLB flushes, which are not available to user code
+/// mid-attack (see Appendix B for targeted invalidation extensions).
+pub fn inv_in_late_step(p: Pattern) -> bool {
+    p.s2.is_inv() || p.s3.is_inv()
+}
+
+/// Applies rules (1), (2), (3), (4) and (6); returns `true` when the
+/// pattern survives all of them.
+pub fn survives_structural_rules(p: Pattern) -> bool {
+    !star_in_late_step(p)
+        && !no_secret_access(p)
+        && !star_before_vu(p)
+        && !adjacent_redundant(p)
+        && !inv_in_late_step(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Actor::{Attacker as A, Victim as V};
+    use crate::state::State::*;
+
+    #[test]
+    fn rule_one_rejects_late_stars() {
+        assert!(star_in_late_step(Pattern::new(Vu, Star, KnownA(A))));
+        assert!(star_in_late_step(Pattern::new(Vu, KnownA(A), Star)));
+        assert!(!star_in_late_step(Pattern::new(Star, Vu, KnownA(A))));
+    }
+
+    #[test]
+    fn rule_two_rejects_patterns_without_vu() {
+        assert!(no_secret_access(Pattern::new(
+            KnownA(A),
+            KnownD(V),
+            KnownA(A)
+        )));
+        assert!(!no_secret_access(Pattern::new(KnownA(A), Vu, KnownA(A))));
+    }
+
+    #[test]
+    fn rule_three_rejects_star_then_vu() {
+        assert!(star_before_vu(Pattern::new(Star, Vu, KnownA(A))));
+        assert!(!star_before_vu(Pattern::new(Star, KnownA(A), Vu)));
+    }
+
+    #[test]
+    fn rule_four_rejects_repeats_and_known_known() {
+        // Repeating adjacent steps.
+        assert!(adjacent_redundant(Pattern::new(Vu, Vu, KnownA(A))));
+        // Both adjacent steps known to the attacker.
+        assert!(adjacent_redundant(Pattern::new(KnownD(A), KnownA(V), Vu)));
+        assert!(adjacent_redundant(Pattern::new(Vu, KnownA(A), KnownD(V))));
+        // Alternating known/unknown survives.
+        assert!(!adjacent_redundant(Pattern::new(KnownD(A), Vu, KnownD(A))));
+    }
+
+    #[test]
+    fn rule_six_rejects_late_invalidations() {
+        assert!(inv_in_late_step(Pattern::new(Vu, Inv(A), Vu)));
+        assert!(inv_in_late_step(Pattern::new(KnownA(A), Vu, Inv(V))));
+        assert!(!inv_in_late_step(Pattern::new(Inv(A), Vu, KnownA(V))));
+    }
+
+    #[test]
+    fn table_two_rows_survive_structural_rules() {
+        // Spot-check representatives of every strategy in Table 2.
+        let rows = [
+            Pattern::new(Inv(A), Vu, KnownA(V)),        // Internal Collision
+            Pattern::new(KnownD(A), Vu, KnownA(A)),     // Flush + Reload
+            Pattern::new(Vu, KnownD(A), Vu),            // Evict + Time
+            Pattern::new(KnownD(A), Vu, KnownD(A)),     // Prime + Probe
+            Pattern::new(Vu, KnownA(V), Vu),            // Bernstein
+            Pattern::new(KnownD(V), Vu, KnownD(A)),     // Evict + Probe
+            Pattern::new(KnownA(A), Vu, KnownA(V)),     // Prime + Time
+            Pattern::new(KnownAlias(V), Vu, KnownA(V)), // alias collision
+        ];
+        for p in rows {
+            assert!(survives_structural_rules(p), "{p} should survive");
+        }
+    }
+}

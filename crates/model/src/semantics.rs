@@ -1,0 +1,378 @@
+//! Symbolic single-block TLB semantics.
+//!
+//! This module implements the information analysis behind rule (7) of
+//! Section 3.3: *"if measured timing corresponds to more than one possible
+//! sensitive address translation of the victim, the corresponding
+//! vulnerability is removed."*
+//!
+//! The paper reasons about a single TLB block. We track its contents
+//! symbolically and evaluate a candidate pattern under the four atomic
+//! relationships the secret address `u` can have to the tested block:
+//!
+//! 1. `u == a` — `u` is exactly the known in-range address `a`;
+//! 2. `u == a_alias` — `u` is exactly the alias of `a`;
+//! 3. *same index* — `u` maps to the tested block but is a different page;
+//! 4. *elsewhere* — `u` maps to a different TLB block entirely.
+//!
+//! A pattern is an effective vulnerability precisely when the step-3 timing
+//! is deterministic in each case and the induced partition of the four
+//! cases lets the attacker certify either an address match (hit-based) or
+//! an index match (miss-based). See [`crate::enumerate`] for the
+//! classification.
+//!
+//! When `u` maps elsewhere, accesses to `u` still hit or miss in `u`'s own
+//! block; the evaluator tracks whether `u` is cached there so that
+//! final-step `V_u` observations (e.g. Evict + Time) are modeled correctly.
+
+use crate::pattern::Timing;
+use crate::state::Actor;
+
+/// The relationship of the victim's secret address `u` to the tested block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UCase {
+    /// `u` is the known address `a`.
+    EqualsA,
+    /// `u` is the known alias `a_alias`.
+    EqualsAlias,
+    /// `u` maps to the tested block but is neither `a` nor `a_alias`.
+    SameIndex,
+    /// `u` maps to a different block.
+    Elsewhere,
+}
+
+impl UCase {
+    /// All four cases.
+    pub const ALL: [UCase; 4] = [
+        UCase::EqualsA,
+        UCase::EqualsAlias,
+        UCase::SameIndex,
+        UCase::Elsewhere,
+    ];
+
+    /// Whether `u` maps to the tested block in this case.
+    pub fn maps(self) -> bool {
+        !matches!(self, UCase::Elsewhere)
+    }
+}
+
+/// An address class as seen by the block (all map to the tested block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// The known in-range address `a`.
+    A,
+    /// The known alias `a_alias`.
+    AAlias,
+    /// The known out-of-range address `d`.
+    D,
+    /// The victim's secret address `u`.
+    U,
+}
+
+/// A lowered memory operation, the common denominator of the base states of
+/// Table 1 and the extended states of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A memory access to a target address by some party.
+    Access(Actor, Target),
+    /// A whole-TLB flush (the only invalidation in the base model).
+    FlushAll(Actor),
+    /// A targeted invalidation of a single address (Appendix B only).
+    InvTarget(Actor, Target),
+    /// Unknown activity (`★`).
+    Unknown,
+}
+
+/// Symbolic contents of the tested block.
+///
+/// `Unknown(mask)` records partial knowledge: the contents are unknown but
+/// provably exclude the symbols set in `mask` (a targeted invalidation of
+/// `q` on an unknown block leaves it "unknown, but not `q`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    Unknown(ExcludeMask),
+    Invalid,
+    Holds(Sym),
+}
+
+/// Bit set of [`Sym`]s a block provably does not contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ExcludeMask(u8);
+
+impl ExcludeMask {
+    const NONE: ExcludeMask = ExcludeMask(0);
+
+    fn with(self, sym: Sym) -> ExcludeMask {
+        ExcludeMask(self.0 | 1 << sym as u8)
+    }
+
+    fn excludes(self, sym: Sym) -> bool {
+        self.0 & (1 << sym as u8) != 0
+    }
+}
+
+/// What translation the block holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Sym {
+    A,
+    AAlias,
+    D,
+    /// The secret translation `u` when it maps to the block but equals
+    /// neither `a` nor `a_alias`.
+    U,
+}
+
+/// Whether `u`'s translation is cached in its own (different) block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UElse {
+    Unknown,
+    Cached,
+    NotCached,
+}
+
+/// The symbol the secret address occupies in the tested block for a mapping
+/// case.
+fn u_sym(case: UCase) -> Sym {
+    match case {
+        UCase::EqualsA => Sym::A,
+        UCase::EqualsAlias => Sym::AAlias,
+        UCase::SameIndex => Sym::U,
+        UCase::Elsewhere => unreachable!("u does not occupy the tested block when elsewhere"),
+    }
+}
+
+fn target_sym(t: Target, case: UCase) -> Option<Sym> {
+    match t {
+        Target::A => Some(Sym::A),
+        Target::AAlias => Some(Sym::AAlias),
+        Target::D => Some(Sym::D),
+        Target::U => case.maps().then(|| u_sym(case)),
+    }
+}
+
+/// Machine state during symbolic evaluation.
+#[derive(Debug, Clone, Copy)]
+struct Machine {
+    block: Block,
+    u_else: UElse,
+}
+
+impl Machine {
+    fn start() -> Machine {
+        // Before step 1 the attacker knows nothing: the block contents and
+        // whether `u` is cached elsewhere are both unknown.
+        Machine {
+            block: Block::Unknown(ExcludeMask::NONE),
+            u_else: UElse::Unknown,
+        }
+    }
+
+    fn apply(&mut self, op: Op, case: UCase) {
+        match op {
+            Op::Access(_, t) => match target_sym(t, case) {
+                Some(sym) => self.block = Block::Holds(sym),
+                // Access to `u` while it maps elsewhere: caches `u` there.
+                None => self.u_else = UElse::Cached,
+            },
+            Op::FlushAll(_) => {
+                self.block = Block::Invalid;
+                self.u_else = UElse::NotCached;
+            }
+            Op::InvTarget(_, t) => match target_sym(t, case) {
+                Some(sym) => match self.block {
+                    Block::Holds(h) if h == sym => self.block = Block::Invalid,
+                    Block::Unknown(mask) => self.block = Block::Unknown(mask.with(sym)),
+                    _ => {}
+                },
+                None => self.u_else = UElse::NotCached,
+            },
+            Op::Unknown => {
+                self.block = Block::Unknown(ExcludeMask::NONE);
+                self.u_else = UElse::Unknown;
+            }
+        }
+    }
+
+    /// The timing of `op` given the current state, or `None` when the
+    /// timing depends on unknown state.
+    fn observe(&self, op: Op, case: UCase) -> Option<Timing> {
+        match op {
+            Op::Access(_, t) => match target_sym(t, case) {
+                Some(sym) => match self.block {
+                    Block::Unknown(mask) if mask.excludes(sym) => Some(Timing::Slow),
+                    Block::Unknown(_) => None,
+                    Block::Holds(h) if h == sym => Some(Timing::Fast),
+                    _ => Some(Timing::Slow),
+                },
+                None => match self.u_else {
+                    UElse::Unknown => None,
+                    UElse::Cached => Some(Timing::Fast),
+                    UElse::NotCached => Some(Timing::Slow),
+                },
+            },
+            // A whole-TLB flush takes constant time regardless of contents.
+            Op::FlushAll(_) => Some(Timing::Fast),
+            // Targeted invalidation of a present entry needs an extra cycle
+            // to clear it (Appendix B): present = slow, absent = fast.
+            Op::InvTarget(_, t) => match target_sym(t, case) {
+                Some(sym) => match self.block {
+                    Block::Unknown(mask) if mask.excludes(sym) => Some(Timing::Fast),
+                    Block::Unknown(_) => None,
+                    Block::Holds(h) if h == sym => Some(Timing::Slow),
+                    _ => Some(Timing::Fast),
+                },
+                None => match self.u_else {
+                    UElse::Unknown => None,
+                    UElse::Cached => Some(Timing::Slow),
+                    UElse::NotCached => Some(Timing::Fast),
+                },
+            },
+            Op::Unknown => None,
+        }
+    }
+}
+
+/// Step-3 timings of a pattern under each of the four `u` cases.
+///
+/// `None` means the timing is not deterministic (it depends on state the
+/// attacker cannot know), which disqualifies the pattern per rule (7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcomes {
+    /// Timing when `u == a`.
+    pub equals_a: Option<Timing>,
+    /// Timing when `u == a_alias`.
+    pub equals_alias: Option<Timing>,
+    /// Timing when `u` maps to the block but is a distinct page.
+    pub same_index: Option<Timing>,
+    /// Timing when `u` maps to a different block.
+    pub elsewhere: Option<Timing>,
+}
+
+impl Outcomes {
+    /// The outcome for a specific case.
+    pub fn get(&self, case: UCase) -> Option<Timing> {
+        match case {
+            UCase::EqualsA => self.equals_a,
+            UCase::EqualsAlias => self.equals_alias,
+            UCase::SameIndex => self.same_index,
+            UCase::Elsewhere => self.elsewhere,
+        }
+    }
+
+    /// Whether every case has a deterministic timing.
+    pub fn deterministic(&self) -> bool {
+        UCase::ALL.iter().all(|&c| self.get(c).is_some())
+    }
+}
+
+/// Evaluates a lowered operation sequence; the final operation is the
+/// observed one.
+///
+/// # Panics
+///
+/// Panics if `ops` is empty.
+pub fn evaluate(ops: &[Op]) -> Outcomes {
+    assert!(!ops.is_empty(), "a pattern needs at least one step");
+    let timing_for = |case: UCase| {
+        let mut m = Machine::start();
+        let (last, prefix) = ops.split_last().expect("non-empty");
+        for &op in prefix {
+            m.apply(op, case);
+        }
+        m.observe(*last, case)
+    };
+    Outcomes {
+        equals_a: timing_for(UCase::EqualsA),
+        equals_alias: timing_for(UCase::EqualsAlias),
+        same_index: timing_for(UCase::SameIndex),
+        elsewhere: timing_for(UCase::Elsewhere),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Actor::{Attacker as AT, Victim as VI};
+    use Op::*;
+    use Target::*;
+    use Timing::*;
+
+    #[test]
+    fn prime_probe_outcomes() {
+        // A_d ~> V_u ~> A_d: slow final access certifies that u maps to the
+        // tested set; fast means it does not.
+        let o = evaluate(&[Access(AT, D), Access(VI, U), Access(AT, D)]);
+        assert_eq!(o.equals_a, Some(Slow));
+        assert_eq!(o.equals_alias, Some(Slow));
+        assert_eq!(o.same_index, Some(Slow));
+        assert_eq!(o.elsewhere, Some(Fast));
+    }
+
+    #[test]
+    fn internal_collision_outcomes() {
+        // A_d ~> V_u ~> V_a: fast final access certifies u == a.
+        let o = evaluate(&[Access(AT, D), Access(VI, U), Access(VI, A)]);
+        assert_eq!(o.equals_a, Some(Fast));
+        assert_eq!(o.equals_alias, Some(Slow));
+        assert_eq!(o.same_index, Some(Slow));
+        assert_eq!(o.elsewhere, Some(Slow));
+    }
+
+    #[test]
+    fn evict_time_tracks_u_cached_elsewhere() {
+        // V_u ~> A_a ~> V_u: when u maps elsewhere, the final V_u hits in
+        // u's own block (cached by step 1).
+        let o = evaluate(&[Access(VI, U), Access(AT, A), Access(VI, U)]);
+        assert_eq!(o.same_index, Some(Slow));
+        assert_eq!(o.elsewhere, Some(Fast));
+        // Degenerate u == a: the attacker's own access keeps a/u resident.
+        assert_eq!(o.equals_a, Some(Fast));
+    }
+
+    #[test]
+    fn star_start_makes_final_vu_nondeterministic() {
+        // * ~> A_a ~> V_u is rule (7)'s canonical elimination example:
+        // whether u is cached elsewhere is unknown.
+        let o = evaluate(&[Unknown, Access(AT, A), Access(VI, U)]);
+        assert_eq!(o.elsewhere, None);
+        assert!(!o.deterministic());
+    }
+
+    #[test]
+    fn flush_clears_both_the_block_and_u_elsewhere() {
+        let o = evaluate(&[Access(VI, U), FlushAll(AT), Access(VI, U)]);
+        // After a whole flush the final V_u misses in every case.
+        assert_eq!(o.equals_a, Some(Slow));
+        assert_eq!(o.same_index, Some(Slow));
+        assert_eq!(o.elsewhere, Some(Slow));
+    }
+
+    #[test]
+    fn targeted_invalidation_observation_is_inverted() {
+        // A_a ~> V_u^inv ~> A_a (Flush + Probe from Table 7): invalidating u
+        // removed a's entry exactly when u == a, so the probe is slow.
+        let o = evaluate(&[Access(AT, A), InvTarget(VI, U), Access(AT, A)]);
+        assert_eq!(o.equals_a, Some(Slow));
+        assert_eq!(o.equals_alias, Some(Fast));
+        assert_eq!(o.same_index, Some(Fast));
+        assert_eq!(o.elsewhere, Some(Fast));
+    }
+
+    #[test]
+    fn invalidation_timing_observed_directly() {
+        // V_u ~> A_a ~> V_u^inv (Flush + Time variant): invalidating a
+        // present entry is slow.
+        let o = evaluate(&[Access(VI, U), Access(AT, A), InvTarget(VI, U)]);
+        // u mapped and was evicted by A_a -> absent -> fast.
+        assert_eq!(o.same_index, Some(Fast));
+        // u elsewhere, still cached -> present -> slow.
+        assert_eq!(o.elsewhere, Some(Slow));
+    }
+
+    #[test]
+    fn whole_flush_observation_is_constant_time() {
+        let o = evaluate(&[Access(VI, U), Access(AT, A), FlushAll(AT)]);
+        assert_eq!(o.equals_a, o.elsewhere);
+        assert_eq!(o.equals_a, Some(Fast));
+    }
+}

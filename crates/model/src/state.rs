@@ -1,0 +1,199 @@
+//! The possible states of a single TLB block (Table 1 of the paper).
+//!
+//! Each step of a three-step pattern places the modeled TLB block in one of
+//! ten states. A state records *which address class* occupies (or vacated)
+//! the block and *which party* caused it. All addresses other than the
+//! victim's secret address `u` are known to the attacker.
+
+use std::fmt;
+
+/// The party performing a memory operation.
+///
+/// In a side-channel scenario the victim is an unwitting process; in a
+/// covert-channel scenario the "victim" is the sender. The model treats both
+/// identically (Section 3.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Actor {
+    /// The attacker (or covert-channel receiver), denoted `A`.
+    Attacker,
+    /// The victim (or covert-channel sender), denoted `V`.
+    Victim,
+}
+
+impl Actor {
+    /// The single-letter prefix used in the paper's notation (`A` or `V`).
+    pub fn letter(self) -> char {
+        match self {
+            Actor::Attacker => 'A',
+            Actor::Victim => 'V',
+        }
+    }
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Actor::Attacker => "attacker",
+            Actor::Victim => "victim",
+        })
+    }
+}
+
+/// One of the ten states of a TLB block from Table 1 of the paper.
+///
+/// The address classes are defined relative to the victim's security
+/// critical memory range `x` and the block under test:
+///
+/// - `u` — the victim's secret address; within `x`, unknown to the attacker.
+/// - `a` — a known address within `x`; may or may not equal `u`.
+/// - `a_alias` — a known address within `x`, different page from `a` but
+///   with the same page index (maps to the same TLB block).
+/// - `d` — a known address outside `x` (but mapping to the tested block, as
+///   block states by definition concern the tested block).
+/// - *inv* — the block was invalidated (the base model permits only
+///   whole-TLB flushes; see [`crate::extended`] for targeted invalidation).
+/// - `★` — unknown contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum State {
+    /// `V_u`: the block holds the victim's secret translation `u`.
+    Vu,
+    /// `A_a` / `V_a`: the block holds the known in-range address `a`.
+    KnownA(Actor),
+    /// `A_a_alias` / `V_a_alias`: the block holds the alias of `a`.
+    KnownAlias(Actor),
+    /// `A_inv` / `V_inv`: the block was invalidated by a whole-TLB flush.
+    Inv(Actor),
+    /// `A_d` / `V_d`: the block holds the known out-of-range address `d`.
+    KnownD(Actor),
+    /// `★`: unknown contents; the attacker has no knowledge of the block.
+    Star,
+}
+
+impl State {
+    /// All ten states, in the order used for exhaustive enumeration.
+    pub const ALL: [State; 10] = [
+        State::Vu,
+        State::KnownA(Actor::Attacker),
+        State::KnownA(Actor::Victim),
+        State::KnownAlias(Actor::Attacker),
+        State::KnownAlias(Actor::Victim),
+        State::Inv(Actor::Attacker),
+        State::Inv(Actor::Victim),
+        State::KnownD(Actor::Attacker),
+        State::KnownD(Actor::Victim),
+        State::Star,
+    ];
+
+    /// The actor that performed the operation, if the state names one.
+    ///
+    /// `V_u` is always a victim operation; `★` names no actor.
+    pub fn actor(self) -> Option<Actor> {
+        match self {
+            State::Vu => Some(Actor::Victim),
+            State::KnownA(x) | State::KnownAlias(x) | State::Inv(x) | State::KnownD(x) => Some(x),
+            State::Star => None,
+        }
+    }
+
+    /// Whether the resulting block contents are known to the attacker.
+    ///
+    /// Everything except `V_u` (secret address) and `★` (no knowledge) is
+    /// known: the attacker knows `a`, `a_alias`, `d`, and knows that a flush
+    /// leaves the block invalid.
+    pub fn known_to_attacker(self) -> bool {
+        !matches!(self, State::Vu | State::Star)
+    }
+
+    /// Whether this state involves the victim's secret address `u`.
+    pub fn involves_u(self) -> bool {
+        matches!(self, State::Vu)
+    }
+
+    /// Whether this is a whole-TLB invalidation state.
+    pub fn is_inv(self) -> bool {
+        matches!(self, State::Inv(_))
+    }
+
+    /// Whether this state references the alias address `a_alias`.
+    pub fn is_alias(self) -> bool {
+        matches!(self, State::KnownAlias(_))
+    }
+
+    /// Exchanges the roles of `a` and `a_alias` (used by the rule-5 alias
+    /// deduplication of Section 3.3).
+    pub fn swap_alias(self) -> State {
+        match self {
+            State::KnownA(x) => State::KnownAlias(x),
+            State::KnownAlias(x) => State::KnownA(x),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            State::Vu => f.write_str("V_u"),
+            State::KnownA(x) => write!(f, "{}_a", x.letter()),
+            State::KnownAlias(x) => write!(f, "{}_aalias", x.letter()),
+            State::Inv(x) => write!(f, "{}_inv", x.letter()),
+            State::KnownD(x) => write!(f, "{}_d", x.letter()),
+            State::Star => f.write_str("*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_ten_states() {
+        // Table 1 of the paper lists ten possible states.
+        assert_eq!(State::ALL.len(), 10);
+        let mut unique: Vec<State> = State::ALL.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn vu_is_a_victim_operation() {
+        assert_eq!(State::Vu.actor(), Some(Actor::Victim));
+        assert!(State::Vu.involves_u());
+        assert!(!State::Vu.known_to_attacker());
+    }
+
+    #[test]
+    fn star_names_no_actor_and_is_unknown() {
+        assert_eq!(State::Star.actor(), None);
+        assert!(!State::Star.known_to_attacker());
+    }
+
+    #[test]
+    fn known_states_are_known_regardless_of_actor() {
+        for actor in [Actor::Attacker, Actor::Victim] {
+            assert!(State::KnownA(actor).known_to_attacker());
+            assert!(State::KnownAlias(actor).known_to_attacker());
+            assert!(State::Inv(actor).known_to_attacker());
+            assert!(State::KnownD(actor).known_to_attacker());
+        }
+    }
+
+    #[test]
+    fn swap_alias_is_an_involution() {
+        for s in State::ALL {
+            assert_eq!(s.swap_alias().swap_alias(), s);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(State::Vu.to_string(), "V_u");
+        assert_eq!(State::KnownA(Actor::Attacker).to_string(), "A_a");
+        assert_eq!(State::KnownAlias(Actor::Victim).to_string(), "V_aalias");
+        assert_eq!(State::Inv(Actor::Attacker).to_string(), "A_inv");
+        assert_eq!(State::KnownD(Actor::Victim).to_string(), "V_d");
+        assert_eq!(State::Star.to_string(), "*");
+    }
+}

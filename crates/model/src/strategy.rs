@@ -1,0 +1,158 @@
+//! Attack-strategy naming for derived vulnerabilities (Table 2).
+//!
+//! The paper groups the 24 vulnerability types into seven *attack
+//! strategies* — common names for sets of vulnerabilities exploited in a
+//! similar manner, many borrowed from the cache side-channel literature.
+
+use std::fmt;
+
+use crate::pattern::Pattern;
+use crate::state::{Actor, State};
+
+/// One of the seven attack strategies of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strategy {
+    /// `TLB Internal Collision` — hit-based, final step by the victim.
+    /// The Double Page Fault attack is of this kind.
+    InternalCollision,
+    /// `TLB Flush + Reload` — hit-based, final step by the attacker.
+    FlushReload,
+    /// `TLB Evict + Time` — the attacker evicts between two victim accesses
+    /// of the secret address and the victim's re-access is timed.
+    EvictTime,
+    /// `TLB Prime + Probe` — the attacker primes a set, the victim runs,
+    /// and the attacker probes its own entries. TLBleed is of this kind.
+    PrimeProbe,
+    /// `TLB version of Bernstein's Attack` — purely internal contention:
+    /// all three steps are victim operations.
+    Bernstein,
+    /// `TLB Evict + Probe` — the victim evicts, the attacker probes.
+    EvictProbe,
+    /// `TLB Prime + Time` — the attacker primes, the victim's own re-access
+    /// is timed.
+    PrimeTime,
+}
+
+impl Strategy {
+    /// All strategies in the row order of Table 2.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::InternalCollision,
+        Strategy::FlushReload,
+        Strategy::EvictTime,
+        Strategy::PrimeProbe,
+        Strategy::Bernstein,
+        Strategy::EvictProbe,
+        Strategy::PrimeTime,
+    ];
+
+    /// The strategy name used in the paper's Table 2.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Strategy::InternalCollision => "TLB Internal Collision",
+            Strategy::FlushReload => "TLB Flush + Reload",
+            Strategy::EvictTime => "TLB Evict + Time",
+            Strategy::PrimeProbe => "TLB Prime + Probe",
+            Strategy::Bernstein => "TLB version of Bernstein's Attack",
+            Strategy::EvictProbe => "TLB Evict + Probe",
+            Strategy::PrimeTime => "TLB Prime + Time",
+        }
+    }
+
+    /// Classifies a vulnerability pattern into its strategy.
+    ///
+    /// `hit_based` is the result of the semantic analysis: `true` when the
+    /// certifying observation is a TLB hit on an exact address match.
+    pub fn classify(pattern: Pattern, hit_based: bool) -> Strategy {
+        let actor = |s: State| s.actor().expect("no * in surviving patterns");
+        if hit_based {
+            return match actor(pattern.s3) {
+                Actor::Victim => Strategy::InternalCollision,
+                Actor::Attacker => Strategy::FlushReload,
+            };
+        }
+        let (a1, a2, a3) = (actor(pattern.s1), actor(pattern.s2), actor(pattern.s3));
+        if pattern.s1 == State::Vu && pattern.s3 == State::Vu && a2 == Actor::Attacker {
+            Strategy::EvictTime
+        } else if a1 == Actor::Victim && a2 == Actor::Victim && a3 == Actor::Victim {
+            Strategy::Bernstein
+        } else if a1 == Actor::Attacker && a3 == Actor::Attacker {
+            Strategy::PrimeProbe
+        } else if a1 == Actor::Victim && a3 == Actor::Attacker {
+            Strategy::EvictProbe
+        } else {
+            Strategy::PrimeTime
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A previously published attack corresponding to a vulnerability type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnownAttack {
+    /// Hund, Willems, Holz — *Practical Timing Side Channel Attacks Against
+    /// Kernel Space ASLR* (IEEE S&P 2013); the Double Page Fault attack.
+    DoublePageFault,
+    /// Gras, Razavi, Bos, Giuffrida — *Translation Leak-aside Buffer*
+    /// (USENIX Security 2018); the TLBleed attack.
+    TlbLeed,
+}
+
+impl KnownAttack {
+    /// The attack's common name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KnownAttack::DoublePageFault => "Double Page Fault attack",
+            KnownAttack::TlbLeed => "TLBleed attack",
+        }
+    }
+}
+
+impl fmt::Display for KnownAttack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Actor::{Attacker as A, Victim as V};
+    use crate::state::State::*;
+
+    #[test]
+    fn hit_based_split_by_final_actor() {
+        let ic = Pattern::new(KnownD(A), Vu, KnownA(V));
+        assert_eq!(Strategy::classify(ic, true), Strategy::InternalCollision);
+        let fr = Pattern::new(KnownD(A), Vu, KnownA(A));
+        assert_eq!(Strategy::classify(fr, true), Strategy::FlushReload);
+    }
+
+    #[test]
+    fn miss_based_strategies() {
+        assert_eq!(
+            Strategy::classify(Pattern::new(Vu, KnownA(A), Vu), false),
+            Strategy::EvictTime
+        );
+        assert_eq!(
+            Strategy::classify(Pattern::new(KnownD(A), Vu, KnownD(A)), false),
+            Strategy::PrimeProbe
+        );
+        assert_eq!(
+            Strategy::classify(Pattern::new(Vu, KnownD(V), Vu), false),
+            Strategy::Bernstein
+        );
+        assert_eq!(
+            Strategy::classify(Pattern::new(KnownD(V), Vu, KnownD(A)), false),
+            Strategy::EvictProbe
+        );
+        assert_eq!(
+            Strategy::classify(Pattern::new(KnownA(A), Vu, KnownA(V)), false),
+            Strategy::PrimeTime
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Channel capacity of the TLB timing channel (Equation 1 of the paper).
+//!
+//! The victim's behavior `B` is binary — its secret-dependent access maps
+//! to the tested TLB block or not — and, following the paper, both
+//! behaviors are taken as equally likely (the attacker's optimal
+//! scenario). The attacker's observation `O` is also binary (miss/hit).
+//! With `p1 = P(miss | maps)` and `p2 = P(miss | does not map)`, the
+//! mutual information `I(B; O)` in bits is:
+//!
+//! ```text
+//! C = p1/2·log₂(2p1/(p1+p2)) + p2/2·log₂(2p2/(p1+p2))
+//!   + (1−p1)/2·log₂(2(1−p1)/(2−p1−p2)) + (1−p2)/2·log₂(2(1−p2)/(2−p1−p2))
+//! ```
+//!
+//! A TLB defends a vulnerability exactly when `C = 0`, i.e. `p1 = p2`.
+
+/// One `p·log₂(p/q)` term with the convention `0·log(0/q) = 0`.
+fn plogpq(p: f64, q: f64) -> f64 {
+    if p <= 0.0 {
+        0.0
+    } else {
+        p * (p / q).log2()
+    }
+}
+
+/// The mutual information (in bits) between the victim's binary behavior
+/// and the attacker's binary observation — Equation (1) of the paper.
+///
+/// `p1` is the probability of observing a TLB miss when the victim's
+/// access maps to the tested block; `p2` when it does not.
+///
+/// # Panics
+///
+/// Panics if either probability is outside `[0, 1]`.
+///
+/// ```
+/// use sectlb_secbench::binary_channel_capacity as c;
+/// assert_eq!(c(1.0, 0.0), 1.0); // perfect channel
+/// assert_eq!(c(0.5, 0.5), 0.0); // no information
+/// ```
+pub fn binary_channel_capacity(p1: f64, p2: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p1), "p1={p1} out of [0,1]");
+    assert!((0.0..=1.0).contains(&p2), "p2={p2} out of [0,1]");
+    let miss_avg = (p1 + p2) / 2.0;
+    let hit_avg = 1.0 - miss_avg;
+    let c = 0.5 * plogpq(p1, miss_avg)
+        + 0.5 * plogpq(p2, miss_avg)
+        + 0.5 * plogpq(1.0 - p1, hit_avg)
+        + 0.5 * plogpq(1.0 - p2, hit_avg);
+    // Numerical noise can produce tiny negatives; mutual information is
+    // nonnegative by definition.
+    c.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn perfect_channels_carry_one_bit() {
+        assert!(close(binary_channel_capacity(1.0, 0.0), 1.0));
+        assert!(close(binary_channel_capacity(0.0, 1.0), 1.0));
+    }
+
+    #[test]
+    fn equal_probabilities_carry_nothing() {
+        for p in [0.0, 0.25, 0.5, 0.67, 1.0] {
+            assert!(close(binary_channel_capacity(p, p), 0.0), "p={p}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_symmetric_in_arguments() {
+        for (p1, p2) in [(0.9, 0.1), (0.3, 0.7), (1.0, 0.5)] {
+            assert!(close(
+                binary_channel_capacity(p1, p2),
+                binary_channel_capacity(p2, p1)
+            ));
+        }
+    }
+
+    #[test]
+    fn capacity_is_symmetric_under_complement() {
+        // Relabeling miss<->hit cannot change the information.
+        for (p1, p2) in [(0.9, 0.1), (0.3, 0.7), (0.02, 0.98)] {
+            assert!(close(
+                binary_channel_capacity(p1, p2),
+                binary_channel_capacity(1.0 - p1, 1.0 - p2)
+            ));
+        }
+    }
+
+    #[test]
+    fn small_differences_carry_little_information() {
+        let c = binary_channel_capacity(0.33, 0.35);
+        assert!(c > 0.0 && c < 0.01, "C = {c}");
+    }
+
+    #[test]
+    fn table4_sa_values_reproduce() {
+        // SA TLB, TLB Internal Collision: p1 = 0, p2 = 1 -> C = 1.
+        assert!(close(binary_channel_capacity(0.0, 1.0), 1.0));
+        // SA TLB, TLB Flush + Reload: p1 = p2 = 1 -> C = 0.
+        assert!(close(binary_channel_capacity(1.0, 1.0), 0.0));
+    }
+
+    #[test]
+    fn paper_measured_examples_are_near_their_reported_capacity() {
+        // Paper Table 4, SA TLB, alias Internal Collision row:
+        // p1* = 0.02, p2* = 1 -> C* = 0.93 (paper reports 0.93).
+        let c = binary_channel_capacity(0.02, 1.0);
+        assert!((c - 0.93).abs() < 0.015, "C = {c}");
+        // SP TLB, V_u ~> V_d ~> V_u row: p1* = 1, p2* = 0.06 -> 0.83.
+        let c = binary_channel_capacity(1.0, 0.06);
+        assert!((c - 0.83).abs() < 0.015, "C = {c}");
+    }
+
+    #[test]
+    fn monotone_in_probability_gap() {
+        let mut last = 0.0;
+        for gap in 1..=10 {
+            let p1 = 0.5 + gap as f64 * 0.05;
+            let p2 = 0.5 - gap as f64 * 0.05;
+            let c = binary_channel_capacity(p1, p2);
+            assert!(c > last, "capacity must grow with the gap");
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_invalid_probability() {
+        binary_channel_capacity(1.2, 0.0);
+    }
+}

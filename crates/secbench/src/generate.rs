@@ -1,0 +1,176 @@
+//! Lowering a benchmark specification to machine instructions.
+//!
+//! Mirrors the structure of the paper's Figure 6 assembly template: set up
+//! the secure-region CSRs, execute the three steps with `csrw process_id`
+//! switches between actors, and read the TLB-miss counter around the final
+//! (timed) step.
+
+use sectlb_model::state::Actor;
+use sectlb_sim::cpu::Instr;
+use sectlb_tlb::types::{Asid, Vpn};
+
+use crate::spec::{BenchmarkSpec, Placement, StepOp};
+
+/// The ASID assignment of the Figure 6 benchmarks: the victim program is
+/// process 1, the attacker everything else (we use 2).
+pub const VICTIM_ASID: Asid = Asid(1);
+/// The attacker's ASID.
+pub const ATTACKER_ASID: Asid = Asid(2);
+
+fn asid_of(actor: Actor) -> Asid {
+    match actor {
+        Actor::Victim => VICTIM_ASID,
+        Actor::Attacker => ATTACKER_ASID,
+    }
+}
+
+fn load(vpn: Vpn) -> Instr {
+    Instr::Load(vpn.base_addr())
+}
+
+fn lower_step(out: &mut Vec<Instr>, step: &StepOp, u: Vpn) {
+    match step {
+        StepOp::FlushAll(actor) => {
+            out.push(Instr::SetAsid(asid_of(*actor)));
+            out.push(Instr::FlushAll);
+        }
+        StepOp::AccessOnce(actor, page) => {
+            out.push(Instr::SetAsid(asid_of(*actor)));
+            out.push(load(*page));
+        }
+        StepOp::AccessSecret(reps) => {
+            out.push(Instr::SetAsid(VICTIM_ASID));
+            for _ in 0..*reps {
+                out.push(load(u));
+            }
+        }
+        StepOp::Evict(actor, pages) => {
+            out.push(Instr::SetAsid(asid_of(*actor)));
+            for p in pages {
+                out.push(load(*p));
+            }
+        }
+        StepOp::Prime(actor, filler, pages) => {
+            out.push(Instr::SetAsid(asid_of(*actor)));
+            // Filler first (the actor's resident page), then the prime
+            // pages, then the filler again so the oldest prime page is the
+            // set's LRU choice.
+            out.push(load(*filler));
+            for p in pages {
+                out.push(load(*p));
+            }
+            out.push(load(*filler));
+        }
+        StepOp::Probe(actor, pages) => {
+            out.push(Instr::SetAsid(asid_of(*actor)));
+            for p in pages {
+                out.push(load(*p));
+            }
+        }
+    }
+}
+
+/// Generates the full instruction stream of one trial.
+///
+/// The layout matches Figure 6: steps 1 and 2 execute, the miss counter is
+/// read, the timed step 3 executes, and the counter is read again. The
+/// runner decides *slow* vs. *fast* from the two
+/// [`counter reads`](sectlb_sim::ExecStats::counter_reads).
+pub fn generate_program(spec: &BenchmarkSpec, placement: Placement) -> Vec<Instr> {
+    let u = spec.u_for(placement);
+    let mut out = Vec::new();
+    lower_step(&mut out, &spec.steps[0], u);
+    lower_step(&mut out, &spec.steps[1], u);
+    out.push(Instr::ReadMissCounter);
+    lower_step(&mut out, &spec.steps[2], u);
+    out.push(Instr::ReadMissCounter);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectlb_model::enumerate_vulnerabilities;
+    use sectlb_sim::machine::TlbDesign;
+
+    fn spec_for(s1: &str, s3: &str, design: TlbDesign) -> BenchmarkSpec {
+        let v = *enumerate_vulnerabilities()
+            .iter()
+            .find(|v| v.pattern.s1.to_string() == s1 && v.pattern.s3.to_string() == s3)
+            .expect("row exists");
+        BenchmarkSpec::build(&v, design)
+    }
+
+    #[test]
+    fn program_ends_with_timed_step_between_counter_reads() {
+        let spec = spec_for("A_d", "A_d", TlbDesign::Sa);
+        let prog = generate_program(&spec, Placement::Mapped);
+        let reads: Vec<usize> = prog
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, Instr::ReadMissCounter))
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(*reads.last().unwrap(), prog.len() - 1);
+        // The timed window contains the probe loads.
+        let window = &prog[reads[0] + 1..reads[1]];
+        assert!(window.iter().any(|i| matches!(i, Instr::Load(_))));
+    }
+
+    #[test]
+    fn mapped_and_unmapped_programs_differ_only_in_u() {
+        let spec = spec_for("A_d", "A_d", TlbDesign::Sa);
+        let pm = generate_program(&spec, Placement::Mapped);
+        let pn = generate_program(&spec, Placement::NotMapped);
+        assert_eq!(pm.len(), pn.len());
+        let diffs: Vec<_> = pm.iter().zip(&pn).filter(|(a, b)| a != b).collect();
+        assert_eq!(diffs.len(), 1, "exactly the V_u access differs");
+    }
+
+    #[test]
+    fn actors_switch_with_set_asid() {
+        let spec = spec_for("A_d", "A_d", TlbDesign::Sa);
+        let prog = generate_program(&spec, Placement::Mapped);
+        let asids: Vec<Asid> = prog
+            .iter()
+            .filter_map(|i| match i {
+                Instr::SetAsid(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(asids, vec![ATTACKER_ASID, VICTIM_ASID, ATTACKER_ASID]);
+    }
+
+    #[test]
+    fn flush_rows_emit_flush_all() {
+        let spec = spec_for("A_inv", "V_a", TlbDesign::Sa);
+        let prog = generate_program(&spec, Placement::Mapped);
+        assert!(prog.contains(&Instr::FlushAll));
+    }
+
+    #[test]
+    fn vu_repetitions_expand() {
+        let spec = spec_for("V_u", "V_u", TlbDesign::Sa); // Evict + Time
+        let prog = generate_program(&spec, Placement::Mapped);
+        let u_addr = spec.u_mapped.base_addr();
+        let u_loads = prog
+            .iter()
+            .filter(|i| matches!(i, Instr::Load(a) if *a == u_addr))
+            .count();
+        assert!(u_loads > 100, "leading V_u phase repeats, got {u_loads}");
+    }
+
+    #[test]
+    fn every_row_generates_for_every_design_and_placement() {
+        for v in enumerate_vulnerabilities() {
+            for d in TlbDesign::ALL {
+                let spec = BenchmarkSpec::build(&v, d);
+                for pl in [Placement::Mapped, Placement::NotMapped] {
+                    let prog = generate_program(&spec, pl);
+                    assert!(prog.len() >= 5, "{v} on {d}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Micro security benchmarks and channel-capacity analysis.
+//!
+//! This crate reproduces Section 5 of *Secure TLBs* (ISCA 2019):
+//!
+//! - [`capacity`] — the binary channel capacity of Equation (1);
+//! - [`spec`] — per-vulnerability benchmark specifications (addresses,
+//!   phase plans, mapped/not-mapped placements), mirroring the paper's
+//!   semi-automatic generation of Figure 6-style assembly tests;
+//! - [`generate`] — lowering a specification to an instruction stream for
+//!   the simulated machine;
+//! - [`run`] — the trial harness: 500 "mapped" + 500 "not mapped" runs per
+//!   vulnerability per TLB design, miss-counter observations, and the
+//!   empirical `p1*`, `p2*`, `C*`;
+//! - [`theory`] — the theoretical `p1`, `p2`, `C` of Table 4, including
+//!   the six combined Random-Fill TLB patterns of Section 5.3.1;
+//! - [`extended`] — the Appendix B evaluation: targeted-invalidation
+//!   attacks against every design, plus the region-flush countermeasure
+//!   this reproduction adds;
+//! - [`report`] — assembling and rendering the Table 4 comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use sectlb_secbench::run::{run_vulnerability, TrialSettings};
+//! use sectlb_sim::machine::TlbDesign;
+//!
+//! let vuln = sectlb_model::enumerate_vulnerabilities()[0];
+//! let mut settings = TrialSettings::default();
+//! settings.trials = 50; // keep the doctest fast
+//! let m = run_vulnerability(&vuln, TlbDesign::Sa, &settings);
+//! // The first Table 2 row is an Internal Collision, which the SA TLB
+//! // does not defend: the channel capacity is maximal.
+//! assert!(m.capacity() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod channel;
+pub mod extended;
+pub mod generate;
+pub mod mitigations;
+pub mod report;
+pub mod run;
+pub mod spec;
+pub mod theory;
+
+pub use capacity::binary_channel_capacity;
+pub use run::{run_vulnerability, Measurement, TrialSettings};
+pub use spec::BenchmarkSpec;

@@ -1,0 +1,189 @@
+//! Evaluation of the pre-existing mitigation approaches of Section 2.3.
+//!
+//! Before introducing its hardware designs, the paper surveys five
+//! existing approaches and counts how many of the 24 vulnerability types
+//! each defends:
+//!
+//! 1. ASID-tagged SA TLBs (today's Linux) — 10 of 24;
+//! 2. Sanctum's security monitor flushing the TLB on every context
+//!    switch — 14 of 24 (same for Intel SGX's hardware flush);
+//! 3. fully-associative TLBs (one set: miss-based attacks carry no index
+//!    information) — 18 of 24;
+//! 4. the paper's SP TLB — 14 of 24;
+//! 5. the paper's RF TLB — 24 of 24.
+//!
+//! This module measures those counts with the same micro security
+//! benchmarks used for Table 4.
+
+use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
+use sectlb_sim::machine::TlbDesign;
+use sectlb_sim::os::FlushPolicy;
+use sectlb_tlb::config::TlbConfig;
+
+use crate::run::{run_vulnerability_with_builder, Measurement, TrialSettings};
+
+/// A mitigation approach from Section 2.3 (or one of the paper's designs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mitigation {
+    /// ASID-tagged set-associative TLB, no flushing (today's Linux).
+    AsidTags,
+    /// Whole-TLB flush on every context switch (Sanctum's security
+    /// monitor in software; Intel SGX in hardware).
+    FlushOnSwitch,
+    /// A fully-associative TLB (no sets, therefore no set-index channel).
+    FullyAssociative,
+    /// The paper's Static-Partition TLB.
+    StaticPartition,
+    /// The paper's Random-Fill TLB.
+    RandomFill,
+}
+
+impl Mitigation {
+    /// All five approaches, in the paper's presentation order.
+    pub const ALL: [Mitigation; 5] = [
+        Mitigation::AsidTags,
+        Mitigation::FlushOnSwitch,
+        Mitigation::FullyAssociative,
+        Mitigation::StaticPartition,
+        Mitigation::RandomFill,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mitigation::AsidTags => "SA TLB + ASIDs (Linux)",
+            Mitigation::FlushOnSwitch => "SA TLB + flush on switch (Sanctum/SGX)",
+            Mitigation::FullyAssociative => "FA TLB",
+            Mitigation::StaticPartition => "SP TLB",
+            Mitigation::RandomFill => "RF TLB",
+        }
+    }
+
+    /// The number of the 24 vulnerability types the paper says this
+    /// approach defends (Section 2.3 / Section 5.3.2).
+    pub fn paper_defended_count(self) -> usize {
+        match self {
+            Mitigation::AsidTags => 10,
+            Mitigation::FlushOnSwitch => 14,
+            Mitigation::FullyAssociative => 18,
+            Mitigation::StaticPartition => 14,
+            Mitigation::RandomFill => 24,
+        }
+    }
+
+    fn design(self) -> TlbDesign {
+        match self {
+            Mitigation::StaticPartition => TlbDesign::Sp,
+            Mitigation::RandomFill => TlbDesign::Rf,
+            _ => TlbDesign::Sa,
+        }
+    }
+
+    fn config(self) -> TlbConfig {
+        match self {
+            // One set, same capacity as the security-evaluation setup.
+            Mitigation::FullyAssociative => TlbConfig::fa(32).expect("valid"),
+            _ => TlbConfig::security_eval(),
+        }
+    }
+
+    fn flush_policy(self) -> FlushPolicy {
+        match self {
+            Mitigation::FlushOnSwitch => FlushPolicy::FlushOnSwitch,
+            _ => FlushPolicy::None,
+        }
+    }
+}
+
+/// Measures one vulnerability under one mitigation.
+pub fn run_mitigation(
+    vulnerability: &Vulnerability,
+    mitigation: Mitigation,
+    settings: &TrialSettings,
+) -> Measurement {
+    let mut s = *settings;
+    s.config = mitigation.config();
+    run_vulnerability_with_builder(vulnerability, mitigation.design(), &s, |b| {
+        b.flush_policy(mitigation.flush_policy())
+    })
+}
+
+/// Counts how many of the 24 vulnerability types a mitigation defends.
+pub fn defended_count(mitigation: Mitigation, settings: &TrialSettings, threshold: f64) -> usize {
+    enumerate_vulnerabilities()
+        .iter()
+        .filter(|v| run_mitigation(v, mitigation, settings).defends(threshold))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectlb_model::Strategy;
+
+    fn settings() -> TrialSettings {
+        TrialSettings {
+            trials: 60,
+            ..TrialSettings::default()
+        }
+    }
+
+    #[test]
+    fn section_23_defense_counts_reproduce() {
+        // The headline of Section 2.3: 10 / 14 / 18 / 14 / 24.
+        for m in Mitigation::ALL {
+            let measured = defended_count(m, &settings(), 0.06);
+            assert_eq!(
+                measured,
+                m.paper_defended_count(),
+                "{} defended {measured}, paper says {}",
+                m.label(),
+                m.paper_defended_count()
+            );
+        }
+    }
+
+    #[test]
+    fn flush_on_switch_kills_external_eviction_but_not_collisions() {
+        let vulns = enumerate_vulnerabilities();
+        let et = vulns
+            .iter()
+            .find(|v| v.strategy == Strategy::EvictTime)
+            .expect("row exists");
+        let ic = vulns
+            .iter()
+            .find(|v| {
+                v.strategy == Strategy::InternalCollision && v.pattern.s1.to_string() == "V_d"
+            })
+            .expect("row exists");
+        let et_m = run_mitigation(et, Mitigation::FlushOnSwitch, &settings());
+        assert!(et_m.defends(0.05), "Evict+Time survives flushing?");
+        let ic_m = run_mitigation(ic, Mitigation::FlushOnSwitch, &settings());
+        assert!(
+            ic_m.capacity() > 0.9,
+            "all-victim Internal Collision never crosses a context switch"
+        );
+    }
+
+    #[test]
+    fn fa_tlb_removes_the_set_index_channel() {
+        // Prime + Probe on an FA TLB: the victim's access evicts exactly
+        // one entry regardless of its address — no index information.
+        let vulns = enumerate_vulnerabilities();
+        let pp = vulns
+            .iter()
+            .find(|v| v.strategy == Strategy::PrimeProbe)
+            .expect("row exists");
+        let m = run_mitigation(pp, Mitigation::FullyAssociative, &settings());
+        assert!(m.defends(0.05), "C* = {}", m.capacity());
+        // But hit-based internal collisions remain.
+        let ic = vulns
+            .iter()
+            .find(|v| {
+                v.strategy == Strategy::InternalCollision && v.pattern.s1.to_string() == "A_d"
+            })
+            .expect("row exists");
+        let m = run_mitigation(ic, Mitigation::FullyAssociative, &settings());
+        assert!(m.capacity() > 0.9, "C* = {}", m.capacity());
+    }
+}

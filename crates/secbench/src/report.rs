@@ -1,0 +1,193 @@
+//! Assembling and rendering the Table 4 comparison.
+//!
+//! For every vulnerability type and every TLB design, the report holds the
+//! measured `n_{M,M}`, `p1*`, `n_{N,M}`, `p2*`, `C*` alongside the paper's
+//! theoretical `p1`, `p2`, `C` — the full structure of Table 4.
+
+use std::fmt::Write as _;
+
+use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
+use sectlb_sim::machine::TlbDesign;
+
+use crate::run::{run_vulnerability, Measurement, TrialSettings};
+use crate::theory::{paper_theory, TheoryParams, TheoryRow};
+
+/// One design's columns for one vulnerability row.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Measured probabilities.
+    pub measured: Measurement,
+    /// Theoretical probabilities.
+    pub theory: TheoryRow,
+}
+
+impl Cell {
+    /// Whether measurement agrees with theory on the defended/vulnerable
+    /// verdict, using a small capacity threshold for "about 0".
+    pub fn verdict_matches(&self, threshold: f64) -> bool {
+        self.measured.defends(threshold) == self.theory.defends()
+    }
+}
+
+/// A full row of Table 4.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The vulnerability.
+    pub vulnerability: Vulnerability,
+    /// SA, SP, RF cells.
+    pub cells: [Cell; 3],
+}
+
+/// The assembled table.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// All 24 rows, in Table 2 order.
+    pub rows: Vec<Row>,
+    /// Trials per placement used for the measurements.
+    pub trials: u32,
+}
+
+/// Capacity threshold for calling a measured channel "about 0"
+/// (Table 4 bolds capacities of 0.03 and below as secure).
+pub const DEFENDED_THRESHOLD: f64 = 0.05;
+
+/// Runs the full security evaluation (24 rows × 3 designs ×
+/// 2×`settings.trials` trials) and assembles Table 4.
+pub fn build_table4(settings: &TrialSettings) -> Table4 {
+    let params = TheoryParams::default();
+    let rows = enumerate_vulnerabilities()
+        .into_iter()
+        .map(|v| {
+            let cell = |design| Cell {
+                measured: run_vulnerability(&v, design, settings),
+                theory: paper_theory(&v, design, &params),
+            };
+            Row {
+                vulnerability: v,
+                cells: [
+                    cell(TlbDesign::Sa),
+                    cell(TlbDesign::Sp),
+                    cell(TlbDesign::Rf),
+                ],
+            }
+        })
+        .collect();
+    Table4 {
+        rows,
+        trials: settings.trials,
+    }
+}
+
+impl Table4 {
+    /// Number of rows each design defends, per the measured capacity.
+    pub fn defended_counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for row in &self.rows {
+            for (i, cell) in row.cells.iter().enumerate() {
+                if cell.measured.defends(DEFENDED_THRESHOLD) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Whether every cell's measured verdict matches its theory.
+    pub fn all_verdicts_match(&self) -> bool {
+        self.rows.iter().all(|r| {
+            r.cells
+                .iter()
+                .all(|c| c.verdict_matches(DEFENDED_THRESHOLD))
+        })
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table 4: SA / SP / RF TLB — simulated (p1*, p2*, C*) vs. theoretical (p1, p2, C)"
+        );
+        let _ = writeln!(out, "({} trials per placement per cell)", self.trials);
+        let header = format!(
+            "{:<34} {:<30} | {:^24} | {:^24} | {:^24}",
+            "Attack Strategy", "Vulnerability", "SA TLB", "SP TLB", "RF TLB"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(
+            out,
+            "{:<34} {:<30} | {:>7} {:>7} {:>4} {:>3} | {:>7} {:>7} {:>4} {:>3} | {:>7} {:>7} {:>4} {:>3}",
+            "", "", "p1*", "p2*", "C*", "C", "p1*", "p2*", "C*", "C", "p1*", "p2*", "C*", "C"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        let mut last_strategy = String::new();
+        for row in &self.rows {
+            let v = &row.vulnerability;
+            let strategy = v.strategy.paper_name();
+            let shown = if strategy == last_strategy {
+                ""
+            } else {
+                strategy
+            };
+            last_strategy = strategy.to_owned();
+            let pat = format!("{} ({})", v.pattern, v.timing);
+            let mut line = format!("{shown:<34} {pat:<30}");
+            for cell in &row.cells {
+                let _ = write!(
+                    line,
+                    " | {:>7.2} {:>7.2} {:>4.2} {:>3.2}",
+                    cell.measured.p1(),
+                    cell.measured.p2(),
+                    cell.measured.capacity(),
+                    cell.theory.capacity(),
+                );
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        let [sa, sp, rf] = self.defended_counts();
+        let _ = writeln!(
+            out,
+            "defended (measured C* <= {DEFENDED_THRESHOLD}): SA {sa}/24, SP {sp}/24, RF {rf}/24 \
+             (paper: 10, 14, 24)"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end check of the paper's headline security result with a
+    /// reduced trial count (the full 500-trial table is regenerated by the
+    /// `table4` bench binary).
+    #[test]
+    fn defense_matrix_matches_paper() {
+        let settings = TrialSettings {
+            trials: 40,
+            ..TrialSettings::default()
+        };
+        let table = build_table4(&settings);
+        assert_eq!(table.rows.len(), 24);
+        let [sa, sp, rf] = table.defended_counts();
+        assert_eq!(sa, 10, "SA TLB defends 10 of 24");
+        assert_eq!(sp, 14, "SP TLB defends 14 of 24");
+        assert_eq!(rf, 24, "RF TLB defends all 24");
+        assert!(table.all_verdicts_match(), "measured verdicts match theory");
+    }
+
+    #[test]
+    fn render_contains_all_strategies_and_counts() {
+        let settings = TrialSettings {
+            trials: 10,
+            ..TrialSettings::default()
+        };
+        let table = build_table4(&settings);
+        let text = table.render();
+        assert!(text.contains("TLB Prime + Probe"));
+        assert!(text.contains("SA TLB"));
+        assert!(text.contains("defended"));
+    }
+}

@@ -1,0 +1,285 @@
+//! The trial harness of the security evaluation.
+//!
+//! Each vulnerability benchmark is run 500 times with the victim's secret
+//! address mapped to the tested block and 500 times not mapped
+//! (Section 5.3: "24 vulnerability types × 1,000 simulations = 24,000
+//! runs"). Every trial uses a fresh machine — fresh TLB contents and a
+//! fresh Random Fill Engine seed — and observes the final step through the
+//! TLB-miss counter. The counts of slow trials give the empirical
+//! probabilities `p1*` and `p2*` and the channel capacity `C*`.
+
+use sectlb_model::Vulnerability;
+use sectlb_sim::machine::{Machine, MachineBuilder, TlbDesign};
+use sectlb_tlb::config::TlbConfig;
+use sectlb_tlb::RandomFillEviction;
+
+use crate::capacity::binary_channel_capacity;
+use crate::generate::{generate_program, ATTACKER_ASID, VICTIM_ASID};
+use crate::spec::{BenchmarkSpec, Placement};
+
+/// Parameters of a measurement campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSettings {
+    /// Trials per placement (the paper uses 500).
+    pub trials: u32,
+    /// TLB geometry (the paper's 8-way 32-entry security setup).
+    pub config: TlbConfig,
+    /// Base seed; each trial derives its own RFE seed from it.
+    pub base_seed: u64,
+    /// RF random-fill eviction policy (the insecure `LruWay` variant is
+    /// only used by the `ablation_rf` study).
+    pub rf_eviction: RandomFillEviction,
+}
+
+impl Default for TrialSettings {
+    fn default() -> TrialSettings {
+        TrialSettings {
+            trials: 500,
+            config: TlbConfig::security_eval(),
+            base_seed: 0x7ab1e4,
+            rf_eviction: RandomFillEviction::RandomWay,
+        }
+    }
+}
+
+/// The measured outcome for one vulnerability on one TLB design — one cell
+/// group of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Trials per placement.
+    pub trials: u32,
+    /// Slow (miss-observed) trials with the secret mapped (`n_{M,M}`).
+    pub n_mapped_miss: u32,
+    /// Slow trials with the secret not mapped (`n_{N,M}`).
+    pub n_not_mapped_miss: u32,
+}
+
+impl Measurement {
+    /// Empirical `p1*` — probability of a miss observation when mapped.
+    pub fn p1(&self) -> f64 {
+        f64::from(self.n_mapped_miss) / f64::from(self.trials)
+    }
+
+    /// Empirical `p2*` — probability of a miss observation when not
+    /// mapped.
+    pub fn p2(&self) -> f64 {
+        f64::from(self.n_not_mapped_miss) / f64::from(self.trials)
+    }
+
+    /// Empirical channel capacity `C*`.
+    pub fn capacity(&self) -> f64 {
+        binary_channel_capacity(self.p1(), self.p2())
+    }
+
+    /// Whether the design defends this vulnerability, using the paper's
+    /// reading of Table 4: a capacity of zero or "about 0".
+    pub fn defends(&self, threshold: f64) -> bool {
+        self.capacity() <= threshold
+    }
+}
+
+/// Builds the per-trial machine: TLB design + geometry, victim and
+/// attacker processes, their mapped regions, and the programmed secure
+/// region (victim-ASID and `sbase`/`ssize` registers).
+fn build_machine(
+    spec: &BenchmarkSpec,
+    design: TlbDesign,
+    seed: u64,
+    rf_eviction: RandomFillEviction,
+    customize: &dyn Fn(MachineBuilder) -> MachineBuilder,
+) -> Machine {
+    let builder = MachineBuilder::new()
+        .design(design)
+        .tlb_config(spec.config)
+        .seed(seed)
+        .rf_eviction(rf_eviction);
+    let mut m = customize(builder).build();
+    let victim = m.os_mut().create_process();
+    let attacker = m.os_mut().create_process();
+    debug_assert_eq!(victim, VICTIM_ASID);
+    debug_assert_eq!(attacker, ATTACKER_ASID);
+    // The victim's secure region (also pre-generates PTEs for the RFE).
+    m.protect_victim(victim, spec.region)
+        .expect("fresh machine cannot fail to map");
+    // Both actors can reach the conflict pages, the in-range page numbers
+    // (numerically, in their own address spaces) and their filler page.
+    for asid in [victim, attacker] {
+        m.os_mut()
+            .map_region(asid, spec.dbase, 64)
+            .expect("fresh machine cannot fail to map");
+        m.os_mut()
+            .map_region(asid, spec.region.base, spec.region.pages)
+            .ok(); // victim's region is already mapped; attacker's is fresh
+        m.os_mut()
+            .map_page(asid, spec.filler)
+            .expect("fresh machine cannot fail to map");
+    }
+    m
+}
+
+/// Runs one trial; returns `true` when the timed step was slow (the miss
+/// counter advanced).
+fn run_trial(
+    spec: &BenchmarkSpec,
+    design: TlbDesign,
+    placement: Placement,
+    seed: u64,
+    rf_eviction: RandomFillEviction,
+    customize: &dyn Fn(MachineBuilder) -> MachineBuilder,
+) -> bool {
+    let mut m = build_machine(spec, design, seed, rf_eviction, customize);
+    let program = generate_program(spec, placement);
+    m.run(&program);
+    let reads = &m.stats().counter_reads;
+    assert_eq!(reads.len(), 2, "benchmark reads the counter exactly twice");
+    reads[1] > reads[0]
+}
+
+/// Measures one vulnerability on one design.
+pub fn run_vulnerability(
+    vulnerability: &Vulnerability,
+    design: TlbDesign,
+    settings: &TrialSettings,
+) -> Measurement {
+    run_vulnerability_with_builder(vulnerability, design, settings, |b| b)
+}
+
+/// [`run_vulnerability`] with a hook customizing the per-trial machine
+/// (used by the ablation studies, e.g. to sweep the SP partition split).
+pub fn run_vulnerability_with_builder(
+    vulnerability: &Vulnerability,
+    design: TlbDesign,
+    settings: &TrialSettings,
+    customize: impl Fn(MachineBuilder) -> MachineBuilder,
+) -> Measurement {
+    let spec = BenchmarkSpec::build_with_config(vulnerability, design, settings.config);
+    let mut n_mapped_miss = 0;
+    let mut n_not_mapped_miss = 0;
+    for t in 0..settings.trials {
+        // Distinct, deterministic seeds per (row, design, trial, placement).
+        let tag = (u64::from(t) << 8) ^ settings.base_seed ^ row_tag(vulnerability, design);
+        if run_trial(
+            &spec,
+            design,
+            Placement::Mapped,
+            tag,
+            settings.rf_eviction,
+            &customize,
+        ) {
+            n_mapped_miss += 1;
+        }
+        if run_trial(
+            &spec,
+            design,
+            Placement::NotMapped,
+            tag.wrapping_add(1),
+            settings.rf_eviction,
+            &customize,
+        ) {
+            n_not_mapped_miss += 1;
+        }
+    }
+    Measurement {
+        trials: settings.trials,
+        n_mapped_miss,
+        n_not_mapped_miss,
+    }
+}
+
+fn row_tag(v: &Vulnerability, design: TlbDesign) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    v.pattern.hash(&mut h);
+    design.name().hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectlb_model::{enumerate_vulnerabilities, Strategy};
+
+    fn settings() -> TrialSettings {
+        TrialSettings {
+            trials: 60,
+            ..TrialSettings::default()
+        }
+    }
+
+    fn row(strategy: Strategy, s1: &str) -> Vulnerability {
+        *enumerate_vulnerabilities()
+            .iter()
+            .find(|v| v.strategy == strategy && v.pattern.s1.to_string() == s1)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn sa_is_vulnerable_to_prime_probe() {
+        let v = row(Strategy::PrimeProbe, "A_d");
+        let m = run_vulnerability(&v, TlbDesign::Sa, &settings());
+        assert!(m.p1() > 0.95, "p1* = {}", m.p1());
+        assert!(m.p2() < 0.05, "p2* = {}", m.p2());
+        assert!(m.capacity() > 0.9);
+    }
+
+    #[test]
+    fn sp_defends_prime_probe() {
+        let v = row(Strategy::PrimeProbe, "A_d");
+        let m = run_vulnerability(&v, TlbDesign::Sp, &settings());
+        assert!(m.defends(0.05), "C* = {}", m.capacity());
+    }
+
+    #[test]
+    fn rf_defends_prime_probe() {
+        let v = row(Strategy::PrimeProbe, "A_d");
+        let m = run_vulnerability(&v, TlbDesign::Rf, &settings());
+        assert!(m.defends(0.05), "C* = {}", m.capacity());
+    }
+
+    #[test]
+    fn sa_is_vulnerable_to_internal_collision() {
+        let v = row(Strategy::InternalCollision, "A_d");
+        let m = run_vulnerability(&v, TlbDesign::Sa, &settings());
+        // Hit-based: mapped trials are fast (p1* ~ 0), unmapped slow.
+        assert!(m.p1() < 0.05, "p1* = {}", m.p1());
+        assert!(m.p2() > 0.95, "p2* = {}", m.p2());
+    }
+
+    #[test]
+    fn rf_defends_internal_collision_with_two_thirds_miss_rate() {
+        let v = row(Strategy::InternalCollision, "A_d");
+        let m = run_vulnerability(&v, TlbDesign::Rf, &settings());
+        // Table 4: p1* ≈ p2* ≈ 0.67 (1 - 1/sec_range with 3 secure pages).
+        assert!((m.p1() - 0.67).abs() < 0.15, "p1* = {}", m.p1());
+        assert!((m.p2() - 0.67).abs() < 0.15, "p2* = {}", m.p2());
+        assert!(m.defends(0.05), "C* = {}", m.capacity());
+    }
+
+    #[test]
+    fn all_designs_defend_flush_reload() {
+        // The ASID check alone defeats cross-process reloads.
+        let v = row(Strategy::FlushReload, "A_d");
+        for d in TlbDesign::ALL {
+            let m = run_vulnerability(&v, d, &settings());
+            assert!(m.p1() > 0.95 && m.p2() > 0.95, "{d}: {m:?}");
+            assert!(m.defends(0.05), "{d}");
+        }
+    }
+
+    #[test]
+    fn sp_remains_vulnerable_to_bernstein() {
+        let v = row(Strategy::Bernstein, "V_a");
+        let m = run_vulnerability(&v, TlbDesign::Sp, &settings());
+        assert!(m.capacity() > 0.9, "C* = {}", m.capacity());
+    }
+
+    #[test]
+    fn measurements_are_deterministic_for_a_seed() {
+        let v = row(Strategy::PrimeProbe, "A_a");
+        let s = settings();
+        let a = run_vulnerability(&v, TlbDesign::Rf, &s);
+        let b = run_vulnerability(&v, TlbDesign::Rf, &s);
+        assert_eq!(a, b);
+    }
+}

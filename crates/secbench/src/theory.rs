@@ -1,0 +1,257 @@
+//! Theoretical `p1`, `p2`, and channel capacity per TLB design
+//! (Section 5.3.1 of the paper).
+//!
+//! For the SA and SP TLBs the probabilities are 0/1-deterministic. For the
+//! RF TLB the paper collapses the 14 non-trivially-defended patterns into
+//! six combined forms and gives closed-form probabilities in terms of the
+//! secure-region size (`sec_range`), the set count (`nset`), the way count
+//! (`nway`) and the TLB-priming page count (`prime_num`). This module
+//! transcribes those formulas and maps each Table 2 row to its value.
+
+use sectlb_model::state::State;
+use sectlb_model::{Strategy, Vulnerability};
+use sectlb_sim::machine::TlbDesign;
+
+use crate::capacity::binary_channel_capacity;
+
+/// The geometry constants of the paper's security evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct TheoryParams {
+    /// Number of TLB sets (4 in the paper's setup).
+    pub nset: u64,
+    /// Number of TLB ways (8).
+    pub nway: u64,
+    /// Pages sufficient to prime the whole TLB (28: the system keeps 4 of
+    /// the 32 entries).
+    pub prime_num: u64,
+    /// Secure region size for the non-contention benchmarks (3 pages).
+    pub sec_small: u64,
+    /// Secure region size for the contention benchmarks (31 pages).
+    pub sec_large: u64,
+}
+
+impl Default for TheoryParams {
+    fn default() -> TheoryParams {
+        TheoryParams {
+            nset: 4,
+            nway: 8,
+            prime_num: 28,
+            sec_small: 3,
+            sec_large: 31,
+        }
+    }
+}
+
+/// Theoretical probabilities for one Table 4 cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoryRow {
+    /// `P(miss | maps)`.
+    pub p1: f64,
+    /// `P(miss | does not map)`.
+    pub p2: f64,
+}
+
+impl TheoryRow {
+    fn flat(p: f64) -> TheoryRow {
+        TheoryRow { p1: p, p2: p }
+    }
+
+    fn channel(p1: f64, p2: f64) -> TheoryRow {
+        TheoryRow { p1, p2 }
+    }
+
+    /// Channel capacity of this cell.
+    pub fn capacity(&self) -> f64 {
+        binary_channel_capacity(self.p1, self.p2)
+    }
+
+    /// Whether the design defends this row (`C = 0`).
+    pub fn defends(&self) -> bool {
+        self.capacity() < 1e-9
+    }
+}
+
+/// Whether this row uses the 31-page contention layout (Section 5.3.1).
+pub fn uses_contention_layout(v: &Vulnerability) -> bool {
+    [v.pattern.s1, v.pattern.s2]
+        .iter()
+        .any(|s| matches!(s, State::KnownA(_) | State::KnownAlias(_)))
+}
+
+/// The paper's theoretical `p1`/`p2` for a vulnerability on a design
+/// (the `p1`, `p2` columns of Table 4).
+pub fn paper_theory(v: &Vulnerability, design: TlbDesign, params: &TheoryParams) -> TheoryRow {
+    use Strategy::*;
+    match design {
+        TlbDesign::Sa => match v.strategy {
+            InternalCollision => TheoryRow::channel(0.0, 1.0),
+            FlushReload | EvictProbe | PrimeTime => TheoryRow::flat(1.0),
+            EvictTime | PrimeProbe | Bernstein => TheoryRow::channel(1.0, 0.0),
+        },
+        TlbDesign::Sp => match v.strategy {
+            InternalCollision => TheoryRow::channel(0.0, 1.0),
+            FlushReload | EvictProbe | PrimeTime => TheoryRow::flat(1.0),
+            // Partitioning removes external eviction entirely.
+            EvictTime | PrimeProbe => TheoryRow::flat(0.0),
+            Bernstein => TheoryRow::channel(1.0, 0.0),
+        },
+        TlbDesign::Rf => rf_theory(v, params),
+    }
+}
+
+/// The six combined Random-Fill patterns of Section 5.3.1.
+fn rf_theory(v: &Vulnerability, params: &TheoryParams) -> TheoryRow {
+    use Strategy::*;
+    let &TheoryParams {
+        nset,
+        nway,
+        prime_num,
+        sec_small,
+        sec_large,
+    } = params;
+    let alias_row = matches!(v.pattern.s1, State::KnownAlias(_));
+    match v.strategy {
+        // Cross-process reload/probe stays dead (ASID check): always miss.
+        FlushReload | EvictProbe | PrimeTime => TheoryRow::flat(1.0),
+        // d/inv ~> V_u ~> a (fast): hit only if the random fill fetched a:
+        // p = 1 - 1/sec_range.
+        InternalCollision => {
+            let sec = if alias_row { sec_large } else { sec_small };
+            TheoryRow::flat(1.0 - 1.0 / sec as f64)
+        }
+        // V_u ~> d ~> V_u (slow): p = 1/sec · 1/(min(nset,sec)·nway);
+        // V_u ~> a ~> V_u (slow): p = (nway/sec)^nway.
+        EvictTime => {
+            if uses_contention_layout(v) {
+                TheoryRow::flat((nway as f64 / sec_large as f64).powi(nway as i32))
+            } else {
+                let window = nset.min(sec_small);
+                TheoryRow::flat(1.0 / sec_small as f64 / (window as f64 * nway as f64))
+            }
+        }
+        // d ~> V_u ~> d (slow): p = 1/sec; a ~> V_u ~> a (slow) by the
+        // attacker: p = nway/sec.
+        PrimeProbe => {
+            if uses_contention_layout(v) {
+                TheoryRow::flat(nway as f64 / sec_large as f64)
+            } else {
+                TheoryRow::flat(1.0 / sec_small as f64)
+            }
+        }
+        Bernstein => {
+            let vu_first = v.pattern.s1 == State::Vu;
+            match (vu_first, uses_contention_layout(v)) {
+                // V_u ~> V_a ~> V_u: as Evict + Time's contention case.
+                (true, true) => TheoryRow::flat((nway as f64 / sec_large as f64).powi(nway as i32)),
+                // V_u ~> V_d ~> V_u: as Evict + Time's small case.
+                (true, false) => {
+                    let window = nset.min(sec_small);
+                    TheoryRow::flat(1.0 / sec_small as f64 / (window as f64 * nway as f64))
+                }
+                // V_a ~> V_u ~> V_a: p = (sec - prime_num)/sec.
+                (false, true) => TheoryRow::flat(
+                    (sec_large - prime_num.min(sec_large)) as f64 / sec_large as f64,
+                ),
+                // V_d ~> V_u ~> V_d: p = 1/sec.
+                (false, false) => TheoryRow::flat(1.0 / sec_small as f64),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectlb_model::enumerate_vulnerabilities;
+
+    fn rows() -> Vec<Vulnerability> {
+        enumerate_vulnerabilities()
+    }
+
+    fn row(strategy: Strategy, s1: &str) -> Vulnerability {
+        *rows()
+            .iter()
+            .find(|v| v.strategy == strategy && v.pattern.s1.to_string() == s1)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn section_531_values_reproduce() {
+        let p = TheoryParams::default();
+        // V_u ~> d ~> V_u: 1/3 · 1/(3·8) ≈ 0.01.
+        let t = paper_theory(&row(Strategy::EvictTime, "V_u"), TlbDesign::Rf, &p);
+        assert!((t.p1 - 1.0 / 72.0).abs() < 1e-12);
+        // d/inv ~> V_u ~> a: 1 - 1/3 = 0.67.
+        let t = paper_theory(&row(Strategy::InternalCollision, "A_d"), TlbDesign::Rf, &p);
+        assert!((t.p1 - 2.0 / 3.0).abs() < 1e-12);
+        // alias rows: 1 - 1/31 = 0.97.
+        let t = paper_theory(
+            &row(Strategy::InternalCollision, "A_aalias"),
+            TlbDesign::Rf,
+            &p,
+        );
+        assert!((t.p1 - (1.0 - 1.0 / 31.0)).abs() < 1e-12);
+        // d ~> V_u ~> d: 1/3 = 0.33.
+        let t = paper_theory(&row(Strategy::PrimeProbe, "A_d"), TlbDesign::Rf, &p);
+        assert!((t.p1 - 1.0 / 3.0).abs() < 1e-12);
+        // A_a ~> V_u ~> A_a: 8/31 = 0.26.
+        let t = paper_theory(&row(Strategy::PrimeProbe, "A_a"), TlbDesign::Rf, &p);
+        assert!((t.p1 - 8.0 / 31.0).abs() < 1e-12);
+        // V_a ~> V_u ~> V_a: (31-28)/31 = 0.09.
+        let t = paper_theory(&row(Strategy::Bernstein, "V_a"), TlbDesign::Rf, &p);
+        assert!((t.p1 - 3.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rf_defends_every_row() {
+        let p = TheoryParams::default();
+        for v in rows() {
+            let t = paper_theory(&v, TlbDesign::Rf, &p);
+            assert!(t.defends(), "{v}: C = {}", t.capacity());
+        }
+    }
+
+    #[test]
+    fn sa_defends_exactly_ten_rows() {
+        let p = TheoryParams::default();
+        let defended = rows()
+            .iter()
+            .filter(|v| paper_theory(v, TlbDesign::Sa, &p).defends())
+            .count();
+        assert_eq!(defended, 10, "Section 2.3: ASIDs defend 10 of 24");
+    }
+
+    #[test]
+    fn sp_defends_exactly_fourteen_rows() {
+        let p = TheoryParams::default();
+        let defended = rows()
+            .iter()
+            .filter(|v| paper_theory(v, TlbDesign::Sp, &p).defends())
+            .count();
+        assert_eq!(defended, 14, "Section 2.3: SP defends 14 of 24");
+    }
+
+    #[test]
+    fn sp_strictly_dominates_sa() {
+        let p = TheoryParams::default();
+        for v in rows() {
+            let sa = paper_theory(&v, TlbDesign::Sa, &p);
+            let sp = paper_theory(&v, TlbDesign::Sp, &p);
+            if sa.defends() {
+                assert!(sp.defends(), "{v}: SP regressed vs SA");
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let p = TheoryParams::default();
+        for v in rows() {
+            for d in TlbDesign::ALL {
+                let t = paper_theory(&v, d, &p);
+                assert!((0.0..=1.0).contains(&t.p1), "{v} on {d}");
+                assert!((0.0..=1.0).contains(&t.p2), "{v} on {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! System substrate for the Secure TLBs reproduction.
+//!
+//! The paper evaluates its TLB designs inside a Rocket-Core RISC-V
+//! processor running Linux on an FPGA. This crate provides the equivalent
+//! substrate for simulation (see DESIGN.md for the substitution argument):
+//!
+//! - [`page_table`] — an Sv39-like three-level radix page table with
+//!   frame-backed nodes;
+//! - [`walker`] — the hardware page-table walker with a per-level cycle
+//!   cost, implementing [`sectlb_tlb::Translator`];
+//! - [`phys_mem`] — physical frame allocation;
+//! - [`os`] — a tiny OS model: processes with ASIDs, region mapping,
+//!   context-switch flush policies (none / Sanctum-style full flush), and
+//!   secure-region programming including the RFE PTE pre-population of the
+//!   paper's footnote 5;
+//! - [`cpu`] — a trace-driven core executing [`Instr`] streams with
+//!   cycle / instruction / TLB-miss counters, yielding the IPC and MPKI
+//!   metrics of Section 6.2;
+//! - [`machine`] — ties a CPU, a TLB design, the walker, and the OS into
+//!   one simulated machine;
+//! - [`sched`] — round-robin co-scheduling of two programs (the paper's
+//!   "RSA + SPEC benchmark" experiments).
+//!
+//! # Example
+//!
+//! ```
+//! use sectlb_sim::machine::MachineBuilder;
+//! use sectlb_sim::cpu::Instr;
+//! use sectlb_tlb::types::Vpn;
+//!
+//! let mut m = MachineBuilder::new().build();
+//! let p = m.os_mut().create_process();
+//! m.os_mut().map_region(p, Vpn(0x10), 4).unwrap();
+//! m.run(&[
+//!     Instr::SetAsid(p),
+//!     Instr::Load(0x10_000),
+//!     Instr::Load(0x10_000), // hit
+//! ]);
+//! assert_eq!(m.tlb().stats().hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod machine;
+pub mod os;
+pub mod page_table;
+pub mod phys_mem;
+pub mod sched;
+pub mod trace;
+pub mod walker;
+
+pub use cpu::{ExecStats, Instr};
+pub use machine::{Machine, MachineBuilder};
+pub use os::{FlushPolicy, Os};
+pub use page_table::{PageTable, Pte, PteFlags};
+pub use phys_mem::FrameAllocator;
+pub use walker::WalkerConfig;

@@ -1,0 +1,709 @@
+//! The simulated machine: CPU + TLB design + walker + OS.
+//!
+//! [`Machine`] is the top-level object the security benchmarks, workloads,
+//! and performance harness drive. It is assembled by [`MachineBuilder`],
+//! which selects one of the paper's three TLB designs and the system
+//! parameters.
+
+use sectlb_tlb::config::TlbConfig;
+use sectlb_tlb::stats::TlbStats;
+use sectlb_tlb::tlb_trait::TlbCore;
+use sectlb_tlb::types::{Asid, SecureRegion, Vpn};
+use sectlb_tlb::{InvalidationPolicy, RandomFillEviction, RfTlb, SaTlb, SpTlb, TlbHierarchy};
+
+use crate::cpu::{ExecStats, Instr};
+use crate::os::{FlushPolicy, Os, OsError};
+use crate::walker::{OsWalker, WalkerConfig};
+
+/// Which of the paper's TLB designs a machine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlbDesign {
+    /// Standard set-associative baseline.
+    Sa,
+    /// Static-Partition TLB (Section 4.1).
+    Sp,
+    /// Random-Fill TLB (Section 4.2).
+    Rf,
+}
+
+impl TlbDesign {
+    /// All three designs, in the paper's presentation order.
+    pub const ALL: [TlbDesign; 3] = [TlbDesign::Sa, TlbDesign::Sp, TlbDesign::Rf];
+
+    /// The design's short name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TlbDesign::Sa => "SA",
+            TlbDesign::Sp => "SP",
+            TlbDesign::Rf => "RF",
+        }
+    }
+}
+
+impl std::fmt::Display for TlbDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder for a [`Machine`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    design: TlbDesign,
+    config: TlbConfig,
+    seed: u64,
+    flush_policy: FlushPolicy,
+    walker: WalkerConfig,
+    switch_cost: u64,
+    rf_eviction: RandomFillEviction,
+    rf_invalidation: InvalidationPolicy,
+    sp_victim_ways: Option<usize>,
+    itlb: Option<(TlbDesign, TlbConfig)>,
+    l2: Option<(TlbDesign, TlbConfig, u64)>,
+}
+
+impl MachineBuilder {
+    /// A builder with the paper's common defaults: SA TLB, 32 entries,
+    /// 4 ways, no flush on context switch, 20-cycle page-table levels.
+    pub fn new() -> MachineBuilder {
+        MachineBuilder {
+            design: TlbDesign::Sa,
+            config: TlbConfig::sa(32, 4).expect("default geometry is valid"),
+            seed: 0xd15ea5e,
+            flush_policy: FlushPolicy::None,
+            walker: WalkerConfig::default(),
+            switch_cost: 20,
+            rf_eviction: RandomFillEviction::default(),
+            rf_invalidation: InvalidationPolicy::default(),
+            sp_victim_ways: None,
+            itlb: None,
+            l2: None,
+        }
+    }
+
+    /// Selects the TLB design.
+    pub fn design(mut self, design: TlbDesign) -> MachineBuilder {
+        self.design = design;
+        self
+    }
+
+    /// Selects the TLB geometry.
+    pub fn tlb_config(mut self, config: TlbConfig) -> MachineBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Seeds the RF TLB's Random Fill Engine (ignored by other designs).
+    pub fn seed(mut self, seed: u64) -> MachineBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the OS context-switch TLB policy.
+    pub fn flush_policy(mut self, policy: FlushPolicy) -> MachineBuilder {
+        self.flush_policy = policy;
+        self
+    }
+
+    /// Sets the page-table walker timing.
+    pub fn walker(mut self, walker: WalkerConfig) -> MachineBuilder {
+        self.walker = walker;
+        self
+    }
+
+    /// Sets the fixed context-switch cost in cycles.
+    pub fn switch_cost(mut self, cycles: u64) -> MachineBuilder {
+        self.switch_cost = cycles;
+        self
+    }
+
+    /// Selects the RF TLB's random-fill eviction policy (ablation knob;
+    /// ignored by other designs).
+    pub fn rf_eviction(mut self, eviction: RandomFillEviction) -> MachineBuilder {
+        self.rf_eviction = eviction;
+        self
+    }
+
+    /// Overrides the SP TLB's victim-partition way count (defaults to half
+    /// the ways; ignored by other designs).
+    pub fn sp_victim_ways(mut self, ways: usize) -> MachineBuilder {
+        self.sp_victim_ways = Some(ways);
+        self
+    }
+
+    /// Selects the RF TLB's secure-page invalidation policy (the
+    /// Appendix B extension; ignored by other designs).
+    pub fn rf_invalidation(mut self, policy: InvalidationPolicy) -> MachineBuilder {
+        self.rf_invalidation = policy;
+        self
+    }
+
+    /// Adds an L2 TLB behind the D-TLB (Section 4's "other levels of
+    /// TLB"): L1 misses are serviced by the L2 at `latency` cycles; only
+    /// L2 misses walk the page table.
+    pub fn l2(mut self, design: TlbDesign, config: TlbConfig, latency: u64) -> MachineBuilder {
+        self.l2 = Some((design, config, latency));
+        self
+    }
+
+    /// Adds an instruction TLB of the given design and geometry. The
+    /// paper focuses on the L1 D-TLB but notes the designs "can be
+    /// applied to instruction TLBs as well" (Section 4); with an I-TLB
+    /// configured, every executed instruction also translates its code
+    /// page (set by [`Instr::JumpTo`]).
+    pub fn itlb(mut self, design: TlbDesign, config: TlbConfig) -> MachineBuilder {
+        self.itlb = Some((design, config));
+        self
+    }
+
+    fn make_tlb(&self, design: TlbDesign, config: TlbConfig, seed: u64) -> Box<dyn TlbCore> {
+        match design {
+            TlbDesign::Sa => Box::new(SaTlb::new(config)),
+            TlbDesign::Sp => match self.sp_victim_ways {
+                Some(n) => Box::new(SpTlb::with_victim_ways(config, n)),
+                None => Box::new(SpTlb::new(config)),
+            },
+            TlbDesign::Rf => {
+                let mut tlb = RfTlb::with_seed(config, seed);
+                tlb.set_random_fill_eviction(self.rf_eviction);
+                tlb.set_invalidation_policy(self.rf_invalidation);
+                Box::new(tlb)
+            }
+        }
+    }
+
+    /// Builds the machine.
+    pub fn build(self) -> Machine {
+        let mut tlb = self.make_tlb(self.design, self.config, self.seed);
+        if let Some((design, config, latency)) = self.l2 {
+            let l2 = self.make_tlb(design, config, self.seed ^ 0x12);
+            tlb = Box::new(TlbHierarchy::new(tlb, l2, latency));
+        }
+        let itlb = self
+            .itlb
+            .map(|(design, config)| self.make_tlb(design, config, self.seed ^ 0x17b));
+        Machine {
+            tlb,
+            itlb,
+            design: self.design,
+            os: Os::new(self.flush_policy),
+            walker: self.walker,
+            switch_cost: self.switch_cost,
+            current_asid: Asid(0),
+            code_pages: std::collections::HashMap::new(),
+            fetch_latch: None,
+            stats: ExecStats::new(),
+        }
+    }
+}
+
+impl Default for MachineBuilder {
+    fn default() -> MachineBuilder {
+        MachineBuilder::new()
+    }
+}
+
+/// A simulated single-core machine.
+pub struct Machine {
+    tlb: Box<dyn TlbCore>,
+    itlb: Option<Box<dyn TlbCore>>,
+    design: TlbDesign,
+    os: Os,
+    walker: WalkerConfig,
+    switch_cost: u64,
+    current_asid: Asid,
+    /// Per-process current code page (the PC's page), set by `JumpTo`.
+    code_pages: std::collections::HashMap<Asid, Vpn>,
+    /// The fetch unit's translation latch: consecutive fetches from the
+    /// same page reuse the last translation instead of re-accessing the
+    /// I-TLB (as a real front end does). Cleared on context switches and
+    /// jumps.
+    fetch_latch: Option<(Asid, Vpn)>,
+    stats: ExecStats,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("design", &self.design)
+            .field("config", &self.tlb.config())
+            .field("current_asid", &self.current_asid)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// The TLB design in use.
+    pub fn design(&self) -> TlbDesign {
+        self.design
+    }
+
+    /// The TLB (for stats and probing).
+    pub fn tlb(&self) -> &dyn TlbCore {
+        self.tlb.as_ref()
+    }
+
+    /// The TLB, mutably (for direct register programming in tests).
+    pub fn tlb_mut(&mut self) -> &mut dyn TlbCore {
+        self.tlb.as_mut()
+    }
+
+    /// The OS model.
+    pub fn os(&self) -> &Os {
+        &self.os
+    }
+
+    /// The OS model, mutably (process creation, mapping).
+    pub fn os_mut(&mut self) -> &mut Os {
+        &mut self.os
+    }
+
+    /// The currently executing address space.
+    pub fn current_asid(&self) -> Asid {
+        self.current_asid
+    }
+
+    /// Accumulated CPU counters.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// The TLB's counters.
+    pub fn tlb_stats(&self) -> &TlbStats {
+        self.tlb.stats()
+    }
+
+    /// The instruction TLB, if configured.
+    pub fn itlb(&self) -> Option<&dyn TlbCore> {
+        self.itlb.as_deref()
+    }
+
+    /// The instruction TLB, mutably.
+    pub fn itlb_mut(&mut self) -> Option<&mut (dyn TlbCore + '_)> {
+        match &mut self.itlb {
+            Some(t) => Some(t.as_mut()),
+            None => None,
+        }
+    }
+
+    /// The I-TLB's miss counter (0 when no I-TLB is configured).
+    pub fn itlb_misses(&self) -> u64 {
+        self.itlb.as_ref().map_or(0, |t| t.stats().misses)
+    }
+
+    /// Current TLB-miss count (the benchmark-visible CSR).
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb.stats().misses
+    }
+
+    /// Resets CPU and TLB counters (not TLB contents).
+    pub fn reset_counters(&mut self) {
+        self.stats.reset();
+        self.tlb.reset_stats();
+    }
+
+    /// Instructions per cycle over everything executed so far.
+    pub fn ipc(&self) -> Option<f64> {
+        self.stats.ipc()
+    }
+
+    /// TLB misses per kilo instruction over everything executed so far.
+    pub fn mpki(&self) -> Option<f64> {
+        self.stats.mpki(self.tlb.stats().misses)
+    }
+
+    /// Registers `region` as the secure region of victim `asid`: prepares
+    /// page tables (footnote 5) and programs the TLB's victim-ASID and
+    /// secure-region registers. On designs without those registers the
+    /// respective writes are ignored, so this is safe to call uniformly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the process does not exist or PTE pre-generation fails.
+    pub fn protect_victim(&mut self, asid: Asid, region: SecureRegion) -> Result<(), OsError> {
+        self.os.prepare_secure_region(asid, region)?;
+        self.tlb.set_victim_asid(Some(asid));
+        self.tlb.set_secure_region(Some(region));
+        Ok(())
+    }
+
+    /// Performs the instruction fetch for this execution step: with an
+    /// I-TLB configured and a code page established by `JumpTo`, the code
+    /// page is translated (sequential fetches within the page hit).
+    fn fetch(&mut self) {
+        let Some(itlb) = &mut self.itlb else { return };
+        let Some(&page) = self.code_pages.get(&self.current_asid) else {
+            return;
+        };
+        // Sequential fetches within a page reuse the latched translation.
+        if self.fetch_latch == Some((self.current_asid, page)) {
+            return;
+        }
+        let mut walker = OsWalker::new(&mut self.os, self.walker);
+        let r = itlb.access(self.current_asid, page, &mut walker);
+        self.stats.cycles += r.walk_cycles;
+        if r.fault {
+            self.stats.faults += 1;
+        } else {
+            self.fetch_latch = Some((self.current_asid, page));
+        }
+    }
+
+    /// Executes one instruction.
+    pub fn exec(&mut self, instr: Instr) {
+        self.fetch();
+        match instr {
+            Instr::Load(vaddr) | Instr::Store(vaddr) => {
+                self.stats.instret += 1;
+                self.stats.cycles += 1;
+                if matches!(instr, Instr::Load(_)) {
+                    self.stats.loads += 1;
+                } else {
+                    self.stats.stores += 1;
+                }
+                let vpn = Vpn::of_addr(vaddr);
+                let asid = self.current_asid;
+                let mut walker = OsWalker::new(&mut self.os, self.walker);
+                let r = self.tlb.access(asid, vpn, &mut walker);
+                self.stats.cycles += r.walk_cycles;
+                if r.fault {
+                    self.stats.faults += 1;
+                }
+            }
+            Instr::Compute(n) => {
+                self.stats.instret += n;
+                self.stats.cycles += n;
+            }
+            Instr::SetAsid(asid) => {
+                self.stats.instret += 1;
+                self.stats.cycles += 1;
+                if asid != self.current_asid {
+                    self.stats.context_switches += 1;
+                    self.stats.cycles += self.switch_cost;
+                    self.fetch_latch = None;
+                    if self.os.flush_policy() == FlushPolicy::FlushOnSwitch {
+                        self.tlb.flush_all();
+                        if let Some(itlb) = &mut self.itlb {
+                            itlb.flush_all();
+                        }
+                    }
+                }
+                self.current_asid = asid;
+            }
+            Instr::FlushAll => {
+                self.stats.instret += 1;
+                self.stats.cycles += 1;
+                self.tlb.flush_all();
+                if let Some(itlb) = &mut self.itlb {
+                    itlb.flush_all();
+                }
+                self.fetch_latch = None;
+            }
+            Instr::FlushAsid(asid) => {
+                self.stats.instret += 1;
+                self.stats.cycles += 1;
+                self.tlb.flush_asid(asid);
+                if let Some(itlb) = &mut self.itlb {
+                    itlb.flush_asid(asid);
+                }
+                self.fetch_latch = None;
+            }
+            Instr::FlushPage(vaddr) => {
+                self.stats.instret += 1;
+                self.stats.cycles += 1;
+                let asid = self.current_asid;
+                // Invalidating a present entry takes an extra cycle — the
+                // Flush + Flush channel of Appendix B.
+                if self.tlb.flush_page(asid, Vpn::of_addr(vaddr)) {
+                    self.stats.cycles += 1;
+                }
+                // A shootdown reaches the instruction side too.
+                let vpn = Vpn::of_addr(vaddr);
+                if let Some(itlb) = &mut self.itlb {
+                    itlb.flush_page(asid, vpn);
+                }
+                if self.fetch_latch == Some((asid, vpn)) {
+                    self.fetch_latch = None;
+                }
+            }
+            Instr::ReadMissCounter => {
+                self.stats.instret += 1;
+                self.stats.cycles += 1;
+                let misses = self.tlb.stats().misses;
+                self.stats.counter_reads.push(misses);
+            }
+            Instr::JumpTo(vaddr) => {
+                self.stats.instret += 1;
+                self.stats.cycles += 1;
+                self.code_pages
+                    .insert(self.current_asid, Vpn::of_addr(vaddr));
+                // A control transfer redirects the fetch stream.
+                self.fetch_latch = None;
+            }
+        }
+    }
+
+    /// Registers a secure *code* region for the I-TLB (the instruction-
+    /// side analogue of [`Machine::protect_victim`]). No-op when no I-TLB
+    /// is configured.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the process does not exist or PTE pre-generation fails.
+    pub fn protect_victim_code(&mut self, asid: Asid, region: SecureRegion) -> Result<(), OsError> {
+        self.os.prepare_secure_region(asid, region)?;
+        if let Some(itlb) = &mut self.itlb {
+            itlb.set_victim_asid(Some(asid));
+            itlb.set_secure_region(Some(region));
+        }
+        Ok(())
+    }
+
+    /// Executes a straight-line program.
+    pub fn run(&mut self, program: &[Instr]) {
+        for &i in program {
+            self.exec(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with_process(design: TlbDesign) -> (Machine, Asid) {
+        let mut m = MachineBuilder::new().design(design).build();
+        let p = m.os_mut().create_process();
+        m.os_mut().map_region(p, Vpn(0x10), 8).unwrap();
+        m.exec(Instr::SetAsid(p));
+        (m, p)
+    }
+
+    #[test]
+    fn loads_translate_and_count() {
+        let (mut m, _) = machine_with_process(TlbDesign::Sa);
+        m.run(&[Instr::Load(0x10_000), Instr::Load(0x10_008)]);
+        assert_eq!(m.tlb_stats().accesses, 2);
+        assert_eq!(m.tlb_stats().misses, 1, "same page hits the second time");
+        assert_eq!(m.stats().loads, 2);
+    }
+
+    #[test]
+    fn misses_cost_walk_cycles() {
+        let (mut m, _) = machine_with_process(TlbDesign::Sa);
+        let c0 = m.stats().cycles;
+        m.exec(Instr::Load(0x10_000)); // miss: 1 + 60
+        let miss_cost = m.stats().cycles - c0;
+        m.exec(Instr::Load(0x10_000)); // hit: 1
+        let hit_cost = m.stats().cycles - c0 - miss_cost;
+        assert_eq!(miss_cost, 61);
+        assert_eq!(hit_cost, 1);
+    }
+
+    #[test]
+    fn miss_counter_reads_capture_progression() {
+        let (mut m, _) = machine_with_process(TlbDesign::Sa);
+        m.run(&[
+            Instr::ReadMissCounter,
+            Instr::Load(0x10_000),
+            Instr::ReadMissCounter,
+            Instr::Load(0x10_000),
+            Instr::ReadMissCounter,
+        ]);
+        assert_eq!(m.stats().counter_reads, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn flush_on_switch_policy_flushes() {
+        let mut m = MachineBuilder::new()
+            .flush_policy(FlushPolicy::FlushOnSwitch)
+            .build();
+        let a = m.os_mut().create_process();
+        let b = m.os_mut().create_process();
+        m.os_mut().map_region(a, Vpn(0x10), 1).unwrap();
+        m.run(&[Instr::SetAsid(a), Instr::Load(0x10_000)]);
+        assert!(m.tlb().probe(a, Vpn(0x10)));
+        m.exec(Instr::SetAsid(b));
+        assert!(!m.tlb().probe(a, Vpn(0x10)), "switch flushed the TLB");
+    }
+
+    #[test]
+    fn default_policy_keeps_entries_across_switches() {
+        let (mut m, p) = machine_with_process(TlbDesign::Sa);
+        m.exec(Instr::Load(0x10_000));
+        let q = m.os_mut().create_process();
+        m.exec(Instr::SetAsid(q));
+        assert!(m.tlb().probe(p, Vpn(0x10)), "ASID tags avoid flushing");
+    }
+
+    #[test]
+    fn flush_page_timing_reveals_presence() {
+        let (mut m, _) = machine_with_process(TlbDesign::Sa);
+        m.exec(Instr::Load(0x10_000));
+        let c0 = m.stats().cycles;
+        m.exec(Instr::FlushPage(0x10_000)); // present: 2 cycles
+        let present_cost = m.stats().cycles - c0;
+        let c1 = m.stats().cycles;
+        m.exec(Instr::FlushPage(0x10_000)); // absent: 1 cycle
+        let absent_cost = m.stats().cycles - c1;
+        assert_eq!(present_cost, 2);
+        assert_eq!(absent_cost, 1);
+    }
+
+    #[test]
+    fn protect_victim_programs_rf_registers() {
+        let mut m = MachineBuilder::new().design(TlbDesign::Rf).build();
+        let v = m.os_mut().create_process();
+        let region = SecureRegion::new(Vpn(0x100), 3);
+        m.protect_victim(v, region).unwrap();
+        m.exec(Instr::SetAsid(v));
+        m.exec(Instr::Load(0x100_000));
+        // The secure access was served through the no-fill buffer.
+        assert_eq!(m.tlb_stats().no_fill_responses, 1);
+        assert_eq!(m.tlb_stats().random_fills, 1);
+    }
+
+    #[test]
+    fn protect_victim_is_harmless_on_sa() {
+        let mut m = MachineBuilder::new().design(TlbDesign::Sa).build();
+        let v = m.os_mut().create_process();
+        m.protect_victim(v, SecureRegion::new(Vpn(0x100), 3))
+            .unwrap();
+        m.exec(Instr::SetAsid(v));
+        m.exec(Instr::Load(0x100_000));
+        assert_eq!(m.tlb_stats().no_fill_responses, 0);
+    }
+
+    #[test]
+    fn ipc_reflects_tlb_behavior() {
+        // A TLB-friendly program has higher IPC than a thrashing one.
+        let (mut m1, _) = machine_with_process(TlbDesign::Sa);
+        for _ in 0..100 {
+            m1.exec(Instr::Load(0x10_000));
+        }
+        let (mut m2, p2) = machine_with_process(TlbDesign::Sa);
+        m2.os_mut().map_region(p2, Vpn(0x1000), 256).unwrap();
+        for i in 0..100u64 {
+            m2.exec(Instr::Load((0x1000 + i * 4) << 12));
+        }
+        assert!(m1.ipc().unwrap() > m2.ipc().unwrap());
+        assert!(m2.mpki().unwrap() > m1.mpki().unwrap());
+    }
+
+    #[test]
+    fn reset_counters_clears_cpu_and_tlb() {
+        let (mut m, _) = machine_with_process(TlbDesign::Sa);
+        m.exec(Instr::Load(0x10_000));
+        m.reset_counters();
+        assert_eq!(m.stats().cycles, 0);
+        assert_eq!(m.tlb_stats().accesses, 0);
+    }
+
+    #[test]
+    fn itlb_translates_code_pages() {
+        let mut m = MachineBuilder::new()
+            .itlb(TlbDesign::Sa, TlbConfig::sa(8, 4).unwrap())
+            .build();
+        let p = m.os_mut().create_process();
+        m.os_mut().map_region(p, Vpn(0x10), 2).unwrap();
+        m.os_mut().map_region(p, Vpn(0x500), 2).unwrap(); // code
+        m.run(&[
+            Instr::SetAsid(p),
+            Instr::JumpTo(0x500_000),
+            Instr::Compute(3),
+            Instr::Compute(3),
+        ]);
+        let stats = m.itlb().expect("configured").stats();
+        // One miss on the first fetch from the code page; subsequent
+        // sequential fetches reuse the fetch latch and do not re-access
+        // the I-TLB at all.
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.accesses, 1);
+    }
+
+    #[test]
+    fn jumping_between_code_pages_costs_itlb_misses() {
+        let mut m = MachineBuilder::new()
+            .itlb(TlbDesign::Sa, TlbConfig::single_entry())
+            .build();
+        let p = m.os_mut().create_process();
+        m.os_mut().map_region(p, Vpn(0x500), 2).unwrap();
+        m.run(&[Instr::SetAsid(p)]);
+        for _ in 0..3 {
+            m.run(&[
+                Instr::JumpTo(0x500_000),
+                Instr::Compute(1),
+                Instr::JumpTo(0x501_000),
+                Instr::Compute(1),
+            ]);
+        }
+        // A 1-entry I-TLB thrashes between the two code pages.
+        assert!(m.itlb_misses() >= 5, "misses = {}", m.itlb_misses());
+    }
+
+    #[test]
+    fn without_itlb_jumps_are_noops() {
+        let (mut m, _) = machine_with_process(TlbDesign::Sa);
+        let before = m.stats().cycles;
+        m.exec(Instr::JumpTo(0x999_000));
+        assert_eq!(m.stats().cycles - before, 1, "just the jump itself");
+        assert_eq!(m.itlb_misses(), 0);
+    }
+
+    #[test]
+    fn flush_all_reaches_the_itlb_and_the_fetch_latch() {
+        let mut m = MachineBuilder::new()
+            .itlb(TlbDesign::Sa, TlbConfig::sa(8, 4).unwrap())
+            .build();
+        let p = m.os_mut().create_process();
+        m.os_mut().map_region(p, Vpn(0x500), 1).unwrap();
+        m.run(&[Instr::SetAsid(p), Instr::JumpTo(0x500_000), Instr::Compute(1)]);
+        assert!(m.itlb().expect("configured").probe(p, Vpn(0x500)));
+        let misses = m.itlb_misses();
+        m.run(&[Instr::FlushAll, Instr::Compute(1)]);
+        assert!(!m.itlb().expect("configured").probe(p, Vpn(0x501)));
+        // The post-flush fetch must re-miss: the latch cannot mask it.
+        assert_eq!(m.itlb_misses(), misses + 1);
+    }
+
+    #[test]
+    fn flush_page_reaches_the_itlb() {
+        let mut m = MachineBuilder::new()
+            .itlb(TlbDesign::Sa, TlbConfig::sa(8, 4).unwrap())
+            .build();
+        let p = m.os_mut().create_process();
+        m.os_mut().map_region(p, Vpn(0x500), 1).unwrap();
+        m.run(&[Instr::SetAsid(p), Instr::JumpTo(0x500_000), Instr::Compute(1)]);
+        m.exec(Instr::FlushPage(0x500_000));
+        assert!(
+            !m.itlb().expect("configured").probe(p, Vpn(0x500)),
+            "shootdowns must reach the instruction side"
+        );
+    }
+
+    #[test]
+    fn protect_victim_code_programs_the_itlb() {
+        let mut m = MachineBuilder::new()
+            .itlb(TlbDesign::Rf, TlbConfig::sa(32, 8).unwrap())
+            .build();
+        let p = m.os_mut().create_process();
+        m.protect_victim_code(p, SecureRegion::new(Vpn(0x500), 3))
+            .unwrap();
+        m.run(&[
+            Instr::SetAsid(p),
+            Instr::JumpTo(0x500_000),
+            Instr::Compute(1),
+        ]);
+        let stats = m.itlb().expect("configured").stats();
+        assert_eq!(stats.no_fill_responses, 1, "secure code fetch randomized");
+    }
+
+    #[test]
+    fn compute_bursts_retire_n_instructions() {
+        let (mut m, _) = machine_with_process(TlbDesign::Sa);
+        let before = m.stats().instret;
+        m.exec(Instr::Compute(50));
+        assert_eq!(m.stats().instret - before, 50);
+    }
+}

@@ -1,0 +1,461 @@
+//! An Sv39-like three-level radix page table.
+//!
+//! RISC-V Sv39 translates a 27-bit virtual page number through three
+//! levels of 512-entry tables. Each node occupies a physical frame (so
+//! the walker's per-level memory accesses are structurally real), but node
+//! contents live in host structures — the simulator never stores simulated
+//! data bytes.
+//!
+//! The paper's footnote 3 notes that RISC-V (at the time) had no page-walk
+//! cache, so every TLB miss pays the full walk; our walker model follows
+//! that.
+
+use std::collections::HashMap;
+
+use sectlb_tlb::types::{PageSize, Ppn, Vpn};
+
+use crate::phys_mem::{FrameAllocator, OutOfFrames};
+
+/// Bits of VPN consumed per level.
+pub const LEVEL_BITS: u32 = 9;
+/// Number of levels.
+pub const LEVELS: u32 = 3;
+/// Maximum VPN representable (27 bits).
+pub const MAX_VPN: u64 = (1 << (LEVEL_BITS * LEVELS)) - 1;
+
+/// Permission and status flags of a leaf PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+    /// User accessible.
+    pub user: bool,
+    /// Global mapping (survives ASID-targeted flushes on real hardware).
+    pub global: bool,
+}
+
+impl PteFlags {
+    /// Read/write user data pages — the common case for our workloads.
+    pub fn rw_user() -> PteFlags {
+        PteFlags {
+            r: true,
+            w: true,
+            x: false,
+            user: true,
+            global: false,
+        }
+    }
+}
+
+/// A leaf page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// The mapped physical page.
+    pub ppn: Ppn,
+    /// Permissions.
+    pub flags: PteFlags,
+    /// The mapping's granularity (Sv39 allows leaves at level 1:
+    /// 2 MiB megapages).
+    pub size: PageSize,
+}
+
+/// One radix node: a frame plus its (sparse) entries. `leaves` at the
+/// middle level hold megapage mappings.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    frame: Ppn,
+    children: HashMap<u16, Node>,
+    leaves: HashMap<u16, Pte>,
+}
+
+/// Result of walking the table for a VPN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Walk {
+    /// The found translation, or `None` on a fault.
+    pub pte: Option<Pte>,
+    /// Page-table memory accesses the walk performed (1..=3).
+    pub levels_accessed: u32,
+}
+
+/// Errors from page-table updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The VPN exceeds the 27-bit Sv39 range.
+    VpnOutOfRange(Vpn),
+    /// The VPN is already mapped.
+    AlreadyMapped(Vpn),
+    /// No physical frames left for a new table node.
+    OutOfFrames,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::VpnOutOfRange(v) => write!(f, "{v} exceeds the Sv39 range"),
+            MapError::AlreadyMapped(v) => write!(f, "{v} is already mapped"),
+            MapError::OutOfFrames => f.write_str("physical memory exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<OutOfFrames> for MapError {
+    fn from(_: OutOfFrames) -> MapError {
+        MapError::OutOfFrames
+    }
+}
+
+/// A per-process three-level page table.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    root: Node,
+    mapped_pages: u64,
+}
+
+fn index_at(vpn: Vpn, level: u32) -> u16 {
+    // level 0 is the root (highest bits).
+    let shift = LEVEL_BITS * (LEVELS - 1 - level);
+    ((vpn.0 >> shift) & ((1 << LEVEL_BITS) - 1)) as u16
+}
+
+impl PageTable {
+    /// Creates an empty table whose root node occupies a fresh frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no frame is available for the root.
+    pub fn new(frames: &mut FrameAllocator) -> Result<PageTable, OutOfFrames> {
+        Ok(PageTable {
+            root: Node {
+                frame: frames.alloc()?,
+                ..Node::default()
+            },
+            mapped_pages: 0,
+        })
+    }
+
+    /// Number of leaf mappings.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// The root node's frame (the value a `satp`-like register would hold).
+    pub fn root_frame(&self) -> Ppn {
+        self.root.frame
+    }
+
+    /// Maps `vpn` to `ppn`, allocating intermediate nodes as needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `vpn` is out of range, already mapped, or intermediate
+    /// node allocation runs out of frames.
+    pub fn map(
+        &mut self,
+        vpn: Vpn,
+        ppn: Ppn,
+        flags: PteFlags,
+        frames: &mut FrameAllocator,
+    ) -> Result<(), MapError> {
+        if vpn.0 > MAX_VPN {
+            return Err(MapError::VpnOutOfRange(vpn));
+        }
+        let mut node = &mut self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = index_at(vpn, level);
+            if !node.children.contains_key(&idx) {
+                let frame = frames.alloc()?;
+                node.children.insert(
+                    idx,
+                    Node {
+                        frame,
+                        ..Node::default()
+                    },
+                );
+            }
+            node = node.children.get_mut(&idx).expect("just inserted");
+        }
+        let leaf_idx = index_at(vpn, LEVELS - 1);
+        if node.leaves.contains_key(&leaf_idx) {
+            return Err(MapError::AlreadyMapped(vpn));
+        }
+        node.leaves.insert(
+            leaf_idx,
+            Pte {
+                ppn,
+                flags,
+                size: PageSize::Base,
+            },
+        );
+        self.mapped_pages += 1;
+        Ok(())
+    }
+
+    /// Maps a 2 MiB megapage (a level-1 leaf covering 512 base pages) at
+    /// `vpn`, which must be 512-page aligned.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `vpn` is out of range or unaligned, the slot is already
+    /// mapped, or node allocation runs out of frames.
+    pub fn map_mega(
+        &mut self,
+        vpn: Vpn,
+        ppn: Ppn,
+        flags: PteFlags,
+        frames: &mut FrameAllocator,
+    ) -> Result<(), MapError> {
+        if vpn.0 > MAX_VPN || vpn != PageSize::Mega.align(vpn) {
+            return Err(MapError::VpnOutOfRange(vpn));
+        }
+        let idx0 = index_at(vpn, 0);
+        if !self.root.children.contains_key(&idx0) {
+            let frame = frames.alloc()?;
+            self.root.children.insert(
+                idx0,
+                Node {
+                    frame,
+                    ..Node::default()
+                },
+            );
+        }
+        let mid = self.root.children.get_mut(&idx0).expect("just inserted");
+        let idx1 = index_at(vpn, 1);
+        if mid.leaves.contains_key(&idx1) || mid.children.contains_key(&idx1) {
+            return Err(MapError::AlreadyMapped(vpn));
+        }
+        mid.leaves.insert(
+            idx1,
+            Pte {
+                ppn,
+                flags,
+                size: PageSize::Mega,
+            },
+        );
+        self.mapped_pages += PageSize::Mega.span_pages();
+        Ok(())
+    }
+
+    /// Removes the mapping for `vpn`; returns the removed PTE if present.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        let mut node = &mut self.root;
+        for level in 0..LEVELS - 1 {
+            node = node.children.get_mut(&index_at(vpn, level))?;
+        }
+        let removed = node.leaves.remove(&index_at(vpn, LEVELS - 1));
+        if removed.is_some() {
+            self.mapped_pages -= 1;
+        }
+        removed
+    }
+
+    /// Changes the flags of an existing mapping (the `mprotect()` of the
+    /// Appendix B discussion); returns `false` if `vpn` is unmapped.
+    pub fn protect(&mut self, vpn: Vpn, flags: PteFlags) -> bool {
+        let Some(pte) = self.lookup_mut(vpn) else {
+            return false;
+        };
+        pte.flags = flags;
+        true
+    }
+
+    fn lookup_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        let mut node = &mut self.root;
+        for level in 0..LEVELS - 1 {
+            node = node.children.get_mut(&index_at(vpn, level))?;
+        }
+        node.leaves.get_mut(&index_at(vpn, LEVELS - 1))
+    }
+
+    /// Walks the table for `vpn`, counting the per-level memory accesses a
+    /// hardware walker would perform. Megapage leaves terminate the walk
+    /// one level early (superpages make walks cheaper, one of their
+    /// benefits).
+    pub fn walk(&self, vpn: Vpn) -> Walk {
+        if vpn.0 > MAX_VPN {
+            return Walk {
+                pte: None,
+                levels_accessed: 1,
+            };
+        }
+        let mut node = &self.root;
+        for level in 0..LEVELS - 1 {
+            // A leaf above the last level is a megapage mapping.
+            if level > 0 {
+                if let Some(pte) = node.leaves.get(&index_at(vpn, level)) {
+                    return Walk {
+                        pte: Some(*pte),
+                        levels_accessed: level + 1,
+                    };
+                }
+            }
+            match node.children.get(&index_at(vpn, level)) {
+                Some(child) => node = child,
+                None => {
+                    return Walk {
+                        pte: None,
+                        levels_accessed: level + 1,
+                    }
+                }
+            }
+        }
+        Walk {
+            pte: node.leaves.get(&index_at(vpn, LEVELS - 1)).copied(),
+            levels_accessed: LEVELS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PageTable, FrameAllocator) {
+        let mut frames = FrameAllocator::new(1 << 16);
+        let pt = PageTable::new(&mut frames).unwrap();
+        (pt, frames)
+    }
+
+    #[test]
+    fn map_then_walk_roundtrip() {
+        let (mut pt, mut frames) = setup();
+        let ppn = frames.alloc().unwrap();
+        pt.map(Vpn(0x12345), ppn, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        let w = pt.walk(Vpn(0x12345));
+        assert_eq!(w.pte.map(|p| p.ppn), Some(ppn));
+        assert_eq!(w.levels_accessed, 3, "full walk touches all 3 levels");
+    }
+
+    #[test]
+    fn unmapped_walk_faults_early() {
+        let (pt, _) = setup();
+        let w = pt.walk(Vpn(0x12345));
+        assert_eq!(w.pte, None);
+        assert_eq!(w.levels_accessed, 1, "fault detected at the root");
+    }
+
+    #[test]
+    fn neighboring_page_faults_at_leaf_level() {
+        let (mut pt, mut frames) = setup();
+        let ppn = frames.alloc().unwrap();
+        pt.map(Vpn(0x200), ppn, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        // Same leaf table, different slot: intermediate nodes exist.
+        let w = pt.walk(Vpn(0x201));
+        assert_eq!(w.pte, None);
+        assert_eq!(w.levels_accessed, 3);
+    }
+
+    #[test]
+    fn double_map_is_rejected() {
+        let (mut pt, mut frames) = setup();
+        let ppn = frames.alloc().unwrap();
+        pt.map(Vpn(5), ppn, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        assert_eq!(
+            pt.map(Vpn(5), ppn, PteFlags::rw_user(), &mut frames),
+            Err(MapError::AlreadyMapped(Vpn(5)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_vpn_is_rejected() {
+        let (mut pt, mut frames) = setup();
+        let bad = Vpn(MAX_VPN + 1);
+        assert_eq!(
+            pt.map(bad, Ppn(1), PteFlags::rw_user(), &mut frames),
+            Err(MapError::VpnOutOfRange(bad))
+        );
+        assert_eq!(pt.walk(bad).pte, None);
+    }
+
+    #[test]
+    fn unmap_removes_exactly_one_page() {
+        let (mut pt, mut frames) = setup();
+        for v in 0..4u64 {
+            let ppn = frames.alloc().unwrap();
+            pt.map(Vpn(v), ppn, PteFlags::rw_user(), &mut frames)
+                .unwrap();
+        }
+        assert_eq!(pt.mapped_pages(), 4);
+        assert!(pt.unmap(Vpn(2)).is_some());
+        assert!(pt.unmap(Vpn(2)).is_none());
+        assert_eq!(pt.mapped_pages(), 3);
+        assert_eq!(pt.walk(Vpn(2)).pte, None);
+        assert!(pt.walk(Vpn(3)).pte.is_some());
+    }
+
+    #[test]
+    fn protect_updates_flags_in_place() {
+        let (mut pt, mut frames) = setup();
+        let ppn = frames.alloc().unwrap();
+        pt.map(Vpn(9), ppn, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        let mut ro = PteFlags::rw_user();
+        ro.w = false;
+        assert!(pt.protect(Vpn(9), ro));
+        assert_eq!(pt.walk(Vpn(9)).pte.unwrap().flags, ro);
+        assert!(!pt.protect(Vpn(10), ro), "unmapped page");
+    }
+
+    #[test]
+    fn megapage_mapping_walks_in_two_levels() {
+        let (mut pt, mut frames) = setup();
+        let frame = frames.alloc().unwrap();
+        pt.map_mega(Vpn(0x200), frame, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        // Any base page within the 512-page span resolves via the mega PTE.
+        for off in [0u64, 1, 255, 511] {
+            let w = pt.walk(Vpn(0x200 + off));
+            assert_eq!(w.pte.map(|p| p.size), Some(PageSize::Mega), "off {off}");
+            assert_eq!(w.levels_accessed, 2, "mega walks stop a level early");
+        }
+        assert_eq!(pt.walk(Vpn(0x400)).pte, None, "outside the span");
+        assert_eq!(pt.mapped_pages(), 512);
+    }
+
+    #[test]
+    fn unaligned_megapage_is_rejected() {
+        let (mut pt, mut frames) = setup();
+        let frame = frames.alloc().unwrap();
+        assert!(matches!(
+            pt.map_mega(Vpn(0x201), frame, PteFlags::rw_user(), &mut frames),
+            Err(MapError::VpnOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn megapage_conflicts_with_existing_base_mappings() {
+        let (mut pt, mut frames) = setup();
+        let f1 = frames.alloc().unwrap();
+        pt.map(Vpn(0x205), f1, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        let f2 = frames.alloc().unwrap();
+        assert_eq!(
+            pt.map_mega(Vpn(0x200), f2, PteFlags::rw_user(), &mut frames),
+            Err(MapError::AlreadyMapped(Vpn(0x200)))
+        );
+    }
+
+    #[test]
+    fn distant_vpns_use_distinct_subtrees() {
+        let (mut pt, mut frames) = setup();
+        let before = frames.allocated();
+        let a = frames.alloc().unwrap();
+        pt.map(Vpn(0), a, PteFlags::rw_user(), &mut frames).unwrap();
+        let mid = frames.allocated();
+        let b = frames.alloc().unwrap();
+        pt.map(Vpn(MAX_VPN), b, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        let after = frames.allocated();
+        // Each distant mapping allocates its own two intermediate nodes.
+        assert_eq!(mid - before, 3); // data frame + 2 nodes
+        assert_eq!(after - mid, 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Physical frame allocation.
+//!
+//! The simulator does not store data contents — the workloads compute in
+//! host Rust and only their *address traces* flow through the memory
+//! system — so physical memory reduces to frame bookkeeping: allocation
+//! for page-table nodes and mapped pages, with usage accounting.
+
+use sectlb_tlb::types::Ppn;
+
+/// A bump allocator handing out physical page frames.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    next: u64,
+    limit: u64,
+}
+
+/// Physical memory exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfFrames;
+
+impl std::fmt::Display for OutOfFrames {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("physical memory exhausted")
+    }
+}
+
+impl std::error::Error for OutOfFrames {}
+
+impl FrameAllocator {
+    /// An allocator managing `frames` physical frames starting at frame 1
+    /// (frame 0 is reserved as a null sentinel).
+    pub fn new(frames: u64) -> FrameAllocator {
+        FrameAllocator {
+            next: 1,
+            limit: frames,
+        }
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when the configured capacity is exhausted.
+    pub fn alloc(&mut self) -> Result<Ppn, OutOfFrames> {
+        if self.next >= self.limit {
+            return Err(OutOfFrames);
+        }
+        let ppn = Ppn(self.next);
+        self.next += 1;
+        Ok(ppn)
+    }
+
+    /// Frames handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next - 1
+    }
+
+    /// Frames still available.
+    pub fn available(&self) -> u64 {
+        self.limit.saturating_sub(self.next)
+    }
+}
+
+impl Default for FrameAllocator {
+    /// 1 GiB of physical memory (2^18 frames), matching the ZedBoard-class
+    /// systems the paper deploys on.
+    fn default() -> FrameAllocator {
+        FrameAllocator::new(1 << 18)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_distinct_and_nonzero() {
+        let mut a = FrameAllocator::new(100);
+        let f1 = a.alloc().unwrap();
+        let f2 = a.alloc().unwrap();
+        assert_ne!(f1, f2);
+        assert_ne!(f1, Ppn(0), "frame 0 is reserved");
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_not_a_panic() {
+        let mut a = FrameAllocator::new(3);
+        assert!(a.alloc().is_ok());
+        assert!(a.alloc().is_ok());
+        assert_eq!(a.alloc(), Err(OutOfFrames));
+        assert_eq!(a.available(), 0);
+    }
+}

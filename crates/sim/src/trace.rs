@@ -1,0 +1,93 @@
+//! Generic memory-trace helpers.
+//!
+//! Small building blocks for instruction streams; the richer, benchmark-
+//! specific generators live in the `sectlb-workloads` crate.
+
+use sectlb_tlb::types::{Vpn, PAGE_SIZE};
+
+use crate::cpu::Instr;
+
+/// Loads sweeping `pages` consecutive pages starting at `base`, one access
+/// per page, repeated `rounds` times (a page-granular streaming pattern).
+pub fn page_sweep(base: Vpn, pages: u64, rounds: usize) -> Vec<Instr> {
+    let mut out = Vec::with_capacity(pages as usize * rounds);
+    for _ in 0..rounds {
+        for i in 0..pages {
+            out.push(Instr::Load(base.offset(i).base_addr()));
+        }
+    }
+    out
+}
+
+/// Loads with a fixed stride in bytes, starting at the base of `base`.
+pub fn strided_loads(base: Vpn, stride_bytes: u64, count: usize) -> Vec<Instr> {
+    (0..count as u64)
+        .map(|i| Instr::Load(base.base_addr() + i * stride_bytes))
+        .collect()
+}
+
+/// Interleaves loads with compute bursts: after every load, `compute` ALU
+/// instructions execute (controls memory intensity, hence MPKI).
+pub fn with_compute(loads: impl IntoIterator<Item = Instr>, compute: u64) -> Vec<Instr> {
+    let mut out = Vec::new();
+    for l in loads {
+        out.push(l);
+        if compute > 0 {
+            out.push(Instr::Compute(compute));
+        }
+    }
+    out
+}
+
+/// Repeated accesses to a single page (a hot loop touching one page).
+pub fn hot_page(page: Vpn, count: usize) -> Vec<Instr> {
+    vec![Instr::Load(page.base_addr()); count]
+}
+
+/// The number of distinct pages a strided access pattern touches.
+pub fn pages_touched(stride_bytes: u64, count: usize) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    (stride_bytes * (count as u64 - 1)) / PAGE_SIZE + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_sweep_touches_each_page_once_per_round() {
+        let t = page_sweep(Vpn(0x10), 4, 3);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t[0], Instr::Load(0x10_000));
+        assert_eq!(t[4], Instr::Load(0x10_000), "round 2 restarts");
+    }
+
+    #[test]
+    fn strided_loads_advance_by_stride() {
+        let t = strided_loads(Vpn(1), 512, 3);
+        assert_eq!(
+            t,
+            vec![
+                Instr::Load(0x1000),
+                Instr::Load(0x1200),
+                Instr::Load(0x1400)
+            ]
+        );
+    }
+
+    #[test]
+    fn with_compute_interleaves() {
+        let t = with_compute([Instr::Load(0), Instr::Load(4096)], 10);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[1], Instr::Compute(10));
+    }
+
+    #[test]
+    fn pages_touched_counts_page_crossings() {
+        assert_eq!(pages_touched(4096, 4), 4, "page stride: one page each");
+        assert_eq!(pages_touched(8, 4), 1, "small strides stay on one page");
+        assert_eq!(pages_touched(0, 0), 0);
+    }
+}

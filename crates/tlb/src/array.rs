@@ -1,0 +1,261 @@
+//! Shared entry-array mechanics used by every TLB design.
+//!
+//! All three designs keep a `sets × ways` array of [`TlbEntry`]s with
+//! per-set true-LRU state; they differ only in how fills choose a victim
+//! way (partitioning, random filling). This module centralizes the common
+//! lookup, fill, and invalidation machinery.
+
+use crate::config::TlbConfig;
+use crate::lru::LruSet;
+use crate::types::{Asid, PageSize, TlbEntry, Vpn};
+
+/// The `sets × ways` entry array plus replacement state.
+#[derive(Debug, Clone)]
+pub(crate) struct EntryArray {
+    config: TlbConfig,
+    /// `sets * ways` entries, row-major by set.
+    entries: Vec<TlbEntry>,
+    lru: Vec<LruSet>,
+    /// Resident megapage entries; lets [`EntryArray::lookup`] skip the
+    /// second (megapage) probe on the hot path when there are none.
+    mega_entries: usize,
+}
+
+impl EntryArray {
+    pub(crate) fn new(config: TlbConfig) -> EntryArray {
+        EntryArray {
+            config,
+            entries: vec![TlbEntry::invalid(); config.entries()],
+            lru: (0..config.sets())
+                .map(|_| LruSet::new(config.ways()))
+                .collect(),
+            mega_entries: 0,
+        }
+    }
+
+    pub(crate) fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    fn index(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways() + way
+    }
+
+    pub(crate) fn entry(&self, set: usize, way: usize) -> &TlbEntry {
+        &self.entries[self.index(set, way)]
+    }
+
+    /// The set an entry of the given page size indexes into. Megapage
+    /// entries index with the set bits *above* the megapage offset, as
+    /// multi-size hardware TLBs do.
+    pub(crate) fn set_of_sized(&self, vpn: Vpn, size: PageSize) -> usize {
+        match size {
+            PageSize::Base => self.config.set_of(vpn),
+            PageSize::Mega => self.config.set_of(Vpn(vpn.0 >> 9)),
+        }
+    }
+
+    /// Finds the way holding `(asid, vpn)`, if resident: a base-page probe
+    /// in the page's set, then — only when megapage entries exist at all —
+    /// a megapage probe in the superpage's set.
+    pub(crate) fn lookup(&self, asid: Asid, vpn: Vpn) -> Option<(usize, usize)> {
+        let sizes: &[PageSize] = if self.mega_entries > 0 {
+            &[PageSize::Base, PageSize::Mega]
+        } else {
+            &[PageSize::Base]
+        };
+        for &size in sizes {
+            let set = self.set_of_sized(vpn, size);
+            let hit = (0..self.config.ways()).find(|&w| {
+                let e = self.entry(set, w);
+                e.size == size && e.matches(asid, vpn)
+            });
+            if let Some(w) = hit {
+                return Some((set, w));
+            }
+        }
+        None
+    }
+
+    /// Marks `(set, way)` most recently used.
+    pub(crate) fn touch(&mut self, set: usize, way: usize) {
+        self.lru[set].touch(way);
+    }
+
+    /// The way a fill into `set` would replace, considering only `ways`:
+    /// an invalid way if one exists, otherwise the LRU way of the subset.
+    ///
+    /// Returns `None` for an empty subset.
+    pub(crate) fn choose_victim_among(
+        &self,
+        set: usize,
+        ways: impl Iterator<Item = usize> + Clone,
+    ) -> Option<usize> {
+        if let Some(w) = ways.clone().find(|&w| !self.entry(set, w).valid) {
+            return Some(w);
+        }
+        self.lru[set].lru_among(ways)
+    }
+
+    /// The way a fill into `set` would replace, over all ways.
+    pub(crate) fn choose_victim(&self, set: usize) -> usize {
+        self.choose_victim_among(set, 0..self.config.ways())
+            .expect("a set always has ways")
+    }
+
+    /// Writes `entry` into `(set, way)`, returning the evicted valid entry
+    /// if there was one, and marks the way most recently used.
+    pub(crate) fn fill_at(&mut self, set: usize, way: usize, entry: TlbEntry) -> Option<TlbEntry> {
+        let idx = self.index(set, way);
+        let old = self.entries[idx];
+        if old.valid && old.size == PageSize::Mega {
+            self.mega_entries -= 1;
+        }
+        if entry.valid && entry.size == PageSize::Mega {
+            self.mega_entries += 1;
+        }
+        self.entries[idx] = entry;
+        self.lru[set].touch(way);
+        old.valid.then_some(old)
+    }
+
+    /// Invalidates `(set, way)`; returns whether it held a valid entry.
+    pub(crate) fn invalidate_at(&mut self, set: usize, way: usize) -> bool {
+        let idx = self.index(set, way);
+        let was_valid = self.entries[idx].valid;
+        if was_valid && self.entries[idx].size == PageSize::Mega {
+            self.mega_entries -= 1;
+        }
+        self.entries[idx] = TlbEntry::invalid();
+        self.lru[set].reset(way);
+        was_valid
+    }
+
+    /// Invalidates every entry.
+    pub(crate) fn clear(&mut self) {
+        self.entries.fill(TlbEntry::invalid());
+        for l in &mut self.lru {
+            l.reset_all();
+        }
+        self.mega_entries = 0;
+    }
+
+    /// Invalidates all entries matching `pred`; returns how many were
+    /// removed.
+    pub(crate) fn invalidate_matching(&mut self, pred: impl Fn(&TlbEntry) -> bool) -> u64 {
+        let mut removed = 0;
+        for set in 0..self.config.sets() {
+            for way in 0..self.config.ways() {
+                if self.entry(set, way).valid && pred(self.entry(set, way)) {
+                    self.invalidate_at(set, way);
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Iterates over all valid entries (testing/diagnostics).
+    pub(crate) fn valid_entries(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.entries.iter().filter(|e| e.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ppn;
+
+    fn entry(asid: u16, vpn: u64) -> TlbEntry {
+        TlbEntry {
+            valid: true,
+            vpn: Vpn(vpn),
+            ppn: Ppn(vpn + 100),
+            asid: Asid(asid),
+            sec: false,
+            size: PageSize::Base,
+        }
+    }
+
+    #[test]
+    fn lookup_finds_filled_entries() {
+        let mut a = EntryArray::new(TlbConfig::sa(8, 2).unwrap());
+        let e = entry(1, 5);
+        let set = a.config().set_of(Vpn(5));
+        let way = a.choose_victim(set);
+        a.fill_at(set, way, e);
+        assert_eq!(a.lookup(Asid(1), Vpn(5)), Some((set, way)));
+        assert_eq!(a.lookup(Asid(2), Vpn(5)), None);
+    }
+
+    #[test]
+    fn fills_prefer_invalid_ways() {
+        let mut a = EntryArray::new(TlbConfig::sa(4, 4).unwrap());
+        a.fill_at(0, 0, entry(1, 0));
+        // Ways 1..3 still invalid; victim must be one of them, not way 0.
+        assert_ne!(a.choose_victim(0), 0);
+    }
+
+    #[test]
+    fn eviction_returns_the_old_entry() {
+        let mut a = EntryArray::new(TlbConfig::sa(1, 1).unwrap());
+        assert_eq!(a.fill_at(0, 0, entry(1, 0)), None);
+        let evicted = a.fill_at(0, 0, entry(1, 4)).expect("way was valid");
+        assert_eq!(evicted.vpn, Vpn(0));
+    }
+
+    #[test]
+    fn invalidate_matching_counts_removals() {
+        let mut a = EntryArray::new(TlbConfig::sa(8, 2).unwrap());
+        for v in 0..8u64 {
+            let set = a.config().set_of(Vpn(v));
+            let way = a.choose_victim(set);
+            a.fill_at(set, way, entry((v % 2) as u16, v));
+        }
+        let removed = a.invalidate_matching(|e| e.asid == Asid(0));
+        assert_eq!(removed, 4);
+        assert_eq!(a.valid_entries().count(), 4);
+    }
+
+    #[test]
+    fn mega_counter_tracks_fills_and_invalidations() {
+        let mut a = EntryArray::new(TlbConfig::sa(8, 2).unwrap());
+        let mega = TlbEntry {
+            valid: true,
+            vpn: Vpn(0x200),
+            ppn: Ppn(9),
+            asid: Asid(1),
+            sec: false,
+            size: PageSize::Mega,
+        };
+        let set = a.set_of_sized(Vpn(0x200), PageSize::Mega);
+        a.fill_at(set, 0, mega);
+        assert_eq!(a.lookup(Asid(1), Vpn(0x2ff)), Some((set, 0)));
+        // Overwriting the mega entry with a base entry must disable the
+        // second probe again.
+        a.fill_at(set, 0, entry(1, set as u64));
+        assert_eq!(a.lookup(Asid(1), Vpn(0x2ff)), None);
+        // And invalidation after a fresh mega fill.
+        a.fill_at(set, 1, mega);
+        assert!(a.lookup(Asid(1), Vpn(0x201)).is_some());
+        a.invalidate_at(set, 1);
+        assert_eq!(a.lookup(Asid(1), Vpn(0x201)), None);
+    }
+
+    #[test]
+    fn no_duplicate_entries_after_refill() {
+        let mut a = EntryArray::new(TlbConfig::sa(8, 4).unwrap());
+        for _ in 0..3 {
+            if a.lookup(Asid(1), Vpn(2)).is_none() {
+                let set = a.config().set_of(Vpn(2));
+                let way = a.choose_victim(set);
+                a.fill_at(set, way, entry(1, 2));
+            }
+        }
+        let dups = a
+            .valid_entries()
+            .filter(|e| e.matches(Asid(1), Vpn(2)))
+            .count();
+        assert_eq!(dups, 1);
+    }
+}

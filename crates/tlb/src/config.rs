@@ -1,0 +1,232 @@
+//! TLB geometry configuration.
+//!
+//! Section 6.2 of the paper evaluates seven L1 D-TLB configurations:
+//! a 1-entry TLB (`1E`, approximating a disabled TLB), and 32- and
+//! 128-entry TLBs that are fully associative (`FA`), 2-way (`2W`), or
+//! 4-way (`4W`) set-associative. The security evaluation of Section 5.3
+//! uses an 8-way, 4-set (32-entry) TLB.
+
+use std::fmt;
+
+use crate::types::Vpn;
+
+/// The associativity organization of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlbOrg {
+    /// Fully associative: a single set containing every entry.
+    FullyAssociative,
+    /// Set associative with the given number of ways per set.
+    SetAssociative {
+        /// Entries per set.
+        ways: usize,
+    },
+}
+
+/// Geometry of a TLB: total entries and organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlbConfig {
+    entries: usize,
+    ways: usize,
+}
+
+/// Error building an invalid TLB configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid TLB configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl TlbConfig {
+    /// A set-associative TLB with `entries` total entries and `ways` ways
+    /// per set.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `entries` is zero, `ways` is zero, `ways` does not divide
+    /// `entries`, or the resulting set count is not a power of two (the
+    /// hardware indexes sets with low VPN bits).
+    pub fn sa(entries: usize, ways: usize) -> Result<TlbConfig, ConfigError> {
+        if entries == 0 || ways == 0 {
+            return Err(ConfigError("entries and ways must be nonzero".into()));
+        }
+        if entries % ways != 0 {
+            return Err(ConfigError(format!(
+                "{ways} ways do not evenly divide {entries} entries"
+            )));
+        }
+        let sets = entries / ways;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError(format!("{sets} sets is not a power of two")));
+        }
+        Ok(TlbConfig { entries, ways })
+    }
+
+    /// A fully associative TLB with `entries` entries.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `entries` is zero.
+    pub fn fa(entries: usize) -> Result<TlbConfig, ConfigError> {
+        if entries == 0 {
+            return Err(ConfigError("entries must be nonzero".into()));
+        }
+        Ok(TlbConfig {
+            entries,
+            ways: entries,
+        })
+    }
+
+    /// The single-entry TLB (`1E`), the paper's closest approximation of
+    /// running with the TLB disabled.
+    pub fn single_entry() -> TlbConfig {
+        TlbConfig {
+            entries: 1,
+            ways: 1,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn entries(self) -> usize {
+        self.entries
+    }
+
+    /// Ways per set.
+    pub fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// The organization of this configuration.
+    pub fn org(self) -> TlbOrg {
+        if self.ways == self.entries {
+            TlbOrg::FullyAssociative
+        } else {
+            TlbOrg::SetAssociative { ways: self.ways }
+        }
+    }
+
+    /// The set a virtual page maps to (low VPN bits, as in the paper's
+    /// footnote 6, where the "TLB set index" bits of the address are
+    /// randomized).
+    pub fn set_of(self, vpn: Vpn) -> usize {
+        (vpn.0 as usize) & (self.sets() - 1)
+    }
+
+    /// The label used for this configuration in the paper's figures
+    /// (`1E`, `FA 32`, `2W 32`, `4W 32`, `FA 128`, `2W 128`, `4W 128`, or
+    /// the generic `<ways>W <entries>` / `<ways>W/<sets>S` forms).
+    pub fn label(self) -> String {
+        if self.entries == 1 {
+            "1E".to_owned()
+        } else if self.ways == self.entries {
+            format!("FA {}", self.entries)
+        } else {
+            format!("{}W {}", self.ways, self.entries)
+        }
+    }
+
+    /// The seven configurations evaluated in Section 6 of the paper, in
+    /// figure order: `1E, FA 32, 2W 32, 4W 32, FA 128, 2W 128, 4W 128`.
+    pub fn paper_performance_configs() -> Vec<TlbConfig> {
+        vec![
+            TlbConfig::single_entry(),
+            TlbConfig::fa(32).expect("valid"),
+            TlbConfig::sa(32, 2).expect("valid"),
+            TlbConfig::sa(32, 4).expect("valid"),
+            TlbConfig::fa(128).expect("valid"),
+            TlbConfig::sa(128, 2).expect("valid"),
+            TlbConfig::sa(128, 4).expect("valid"),
+        ]
+    }
+
+    /// The configuration used by the paper's security evaluation
+    /// (Section 5.3): 32 entries, 8 ways, 4 sets.
+    pub fn security_eval() -> TlbConfig {
+        TlbConfig::sa(32, 8).expect("valid")
+    }
+}
+
+impl fmt::Display for TlbConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} entries, {} ways, {} sets)",
+            self.label(),
+            self.entries,
+            self.ways,
+            self.sets()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_eval_geometry_matches_paper() {
+        let c = TlbConfig::security_eval();
+        assert_eq!(c.entries(), 32);
+        assert_eq!(c.ways(), 8);
+        assert_eq!(c.sets(), 4);
+    }
+
+    #[test]
+    fn set_index_uses_low_vpn_bits() {
+        let c = TlbConfig::sa(32, 8).unwrap();
+        assert_eq!(c.set_of(Vpn(0)), 0);
+        assert_eq!(c.set_of(Vpn(5)), 1);
+        assert_eq!(c.set_of(Vpn(7)), 3);
+        let fa = TlbConfig::fa(32).unwrap();
+        assert_eq!(fa.set_of(Vpn(12345)), 0, "FA has one set");
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        assert!(TlbConfig::sa(0, 4).is_err());
+        assert!(TlbConfig::sa(32, 0).is_err());
+        assert!(TlbConfig::sa(33, 4).is_err(), "ways must divide entries");
+        assert!(
+            TlbConfig::sa(24, 4).is_err(),
+            "6 sets is not a power of two"
+        );
+        assert!(TlbConfig::fa(0).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(TlbConfig::single_entry().label(), "1E");
+        assert_eq!(TlbConfig::fa(32).unwrap().label(), "FA 32");
+        assert_eq!(TlbConfig::sa(32, 2).unwrap().label(), "2W 32");
+        assert_eq!(TlbConfig::sa(128, 4).unwrap().label(), "4W 128");
+    }
+
+    #[test]
+    fn paper_config_list_has_seven_entries() {
+        let configs = TlbConfig::paper_performance_configs();
+        assert_eq!(configs.len(), 7);
+        let labels: Vec<_> = configs.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            ["1E", "FA 32", "2W 32", "4W 32", "FA 128", "2W 128", "4W 128"]
+        );
+    }
+
+    #[test]
+    fn org_classification() {
+        assert_eq!(TlbConfig::fa(32).unwrap().org(), TlbOrg::FullyAssociative);
+        assert_eq!(
+            TlbConfig::sa(32, 4).unwrap().org(),
+            TlbOrg::SetAssociative { ways: 4 }
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! True-LRU replacement state.
+//!
+//! Each TLB set tracks the recency of its ways with a monotonically
+//! increasing timestamp per way. The least recently used way is the one
+//! with the smallest timestamp; invalid ways are always preferred for
+//! fills. The Static-Partition TLB maintains its LRU decisions *within a
+//! subset of ways* (each partition has its own LRU policy, Section 4.1.1),
+//! which [`LruSet::lru_among`] supports directly.
+
+/// LRU state for one set of `ways` entries.
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl LruSet {
+    /// Creates LRU state for a set with `ways` ways, all initially
+    /// untouched (timestamp 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> LruSet {
+        assert!(ways > 0, "a set needs at least one way");
+        LruSet {
+            stamps: vec![0; ways],
+            clock: 0,
+        }
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Records a use of `way` (hit or fill), making it the most recently
+    /// used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: usize) {
+        assert!(way < self.stamps.len(), "way {way} out of range");
+        self.clock += 1;
+        self.stamps[way] = self.clock;
+    }
+
+    /// The least recently used way of the whole set.
+    pub fn lru(&self) -> usize {
+        self.lru_among(0..self.stamps.len())
+            .expect("a nonempty set always has an LRU way")
+    }
+
+    /// The least recently used way among a subset of ways (the SP TLB's
+    /// per-partition policy). Returns `None` for an empty subset.
+    pub fn lru_among(&self, ways: impl IntoIterator<Item = usize>) -> Option<usize> {
+        ways.into_iter().min_by_key(|&w| (self.stamps[w], w))
+    }
+
+    /// Clears the recency of `way` (used when an entry is invalidated, so
+    /// the slot is reused first).
+    pub fn reset(&mut self, way: usize) {
+        assert!(way < self.stamps.len(), "way {way} out of range");
+        self.stamps[way] = 0;
+    }
+
+    /// Clears all recency state.
+    pub fn reset_all(&mut self) {
+        self.stamps.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_ways_are_preferred() {
+        let mut l = LruSet::new(4);
+        l.touch(0);
+        l.touch(1);
+        // Ways 2 and 3 are untouched; the lowest index wins ties.
+        assert_eq!(l.lru(), 2);
+    }
+
+    #[test]
+    fn lru_follows_access_order() {
+        let mut l = LruSet::new(3);
+        l.touch(0);
+        l.touch(1);
+        l.touch(2);
+        assert_eq!(l.lru(), 0);
+        l.touch(0);
+        assert_eq!(l.lru(), 1);
+    }
+
+    #[test]
+    fn most_recently_used_is_never_evicted() {
+        let mut l = LruSet::new(8);
+        for w in 0..8 {
+            l.touch(w);
+        }
+        for step in 0..100 {
+            let mru = step % 8;
+            l.touch(mru);
+            assert_ne!(l.lru(), mru, "LRU must never pick the MRU way");
+        }
+    }
+
+    #[test]
+    fn subset_lru_ignores_other_ways() {
+        let mut l = LruSet::new(4);
+        l.touch(2); // way 2 recently used
+        l.touch(0);
+        l.touch(1);
+        // Among the "partition" {2, 3}, way 3 is untouched.
+        assert_eq!(l.lru_among([2, 3]), Some(3));
+        l.touch(3);
+        assert_eq!(l.lru_among([2, 3]), Some(2));
+        assert_eq!(l.lru_among([]), None);
+    }
+
+    #[test]
+    fn reset_makes_a_way_lru_again() {
+        let mut l = LruSet::new(2);
+        l.touch(0);
+        l.touch(1);
+        assert_eq!(l.lru(), 0);
+        l.reset(1);
+        assert_eq!(l.lru(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn touching_out_of_range_panics() {
+        LruSet::new(2).touch(2);
+    }
+}

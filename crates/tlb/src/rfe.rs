@@ -1,0 +1,158 @@
+//! The Random Fill Engine (RFE) of the RF TLB (Figure 4a of the paper).
+//!
+//! The RFE generates the addresses used for TLB updates when the
+//! Random-Fill TLB decides to perform a random fill:
+//!
+//! - for a request *inside* the secure region, a uniformly random virtual
+//!   page within `[sbase, sbase + ssize)`;
+//! - for a request *outside* the secure region that would evict a secure
+//!   entry, the requested address with its TLB set-index bits randomized
+//!   within the window covered by the secure region (footnote 6:
+//!   `S_n = log2(min(ssize, nsets))`, anchored at `sbase`'s low bits).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::config::TlbConfig;
+use crate::types::{SecureRegion, Vpn};
+
+/// Hardware random-address generator for the RF TLB.
+///
+/// Seeded deterministically so simulations are reproducible; real hardware
+/// would use an LFSR or TRNG.
+#[derive(Debug, Clone)]
+pub struct RandomFillEngine {
+    rng: SmallRng,
+}
+
+impl RandomFillEngine {
+    /// Creates an RFE from a seed.
+    pub fn from_seed(seed: u64) -> RandomFillEngine {
+        RandomFillEngine {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniformly random page within the secure region — the `D'` of the
+    /// paper's `Sec_D = 1` case. May equal the originally requested page.
+    pub fn random_secure_page(&mut self, region: SecureRegion) -> Vpn {
+        region.base.offset(self.rng.gen_range(0..region.pages))
+    }
+
+    /// The requested page with its set-index bits re-randomized within the
+    /// secure region's set window — the `D'` of the `Sec_R = 1, Sec_D = 0`
+    /// case (footnote 6 of the paper).
+    ///
+    /// The window spans `min(ssize, nsets)` sets starting at the set of
+    /// `sbase`; higher address bits of the request are preserved.
+    pub fn randomize_set_index(
+        &mut self,
+        requested: Vpn,
+        region: SecureRegion,
+        config: TlbConfig,
+    ) -> Vpn {
+        let sets = config.sets() as u64;
+        let window = region.pages.min(sets).max(1);
+        let base_set = region.base.0 & (sets - 1);
+        let target_set = (base_set + self.rng.gen_range(0..window)) & (sets - 1);
+        Vpn((requested.0 & !(sets - 1)) | target_set)
+    }
+
+    /// A uniformly random way index for a random fill's eviction.
+    ///
+    /// Random fills evict a *random* way rather than the LRU way: the
+    /// paper's probability `1/(min(ssize, nsets) · nway)` of a random fill
+    /// displacing a specific entry (Section 5.3.1) is uniform over the
+    /// window's entries, and evicting the LRU way would re-correlate the
+    /// eviction with the victim's access recency.
+    pub fn random_way(&mut self, ways: usize) -> usize {
+        self.rng.gen_range(0..ways)
+    }
+
+    /// Raw random bits (used by tests and by workloads that need the same
+    /// deterministic stream).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(base: u64, pages: u64) -> SecureRegion {
+        SecureRegion::new(Vpn(base), pages)
+    }
+
+    #[test]
+    fn secure_pages_stay_in_the_region_and_cover_it() {
+        let mut rfe = RandomFillEngine::from_seed(7);
+        let r = region(100, 3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let p = rfe.random_secure_page(r);
+            assert!(r.contains(p), "{p} outside secure region");
+            seen[(p.0 - 100) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 3 pages should be drawn");
+    }
+
+    #[test]
+    fn set_randomization_preserves_high_bits() {
+        let mut rfe = RandomFillEngine::from_seed(7);
+        let config = TlbConfig::sa(32, 8).unwrap(); // 4 sets
+        let r = region(0x100, 3);
+        let requested = Vpn(0xdead0);
+        for _ in 0..100 {
+            let p = rfe.randomize_set_index(requested, r, config);
+            assert_eq!(p.0 >> 2, requested.0 >> 2, "high bits must not change");
+        }
+    }
+
+    #[test]
+    fn set_window_is_anchored_at_sbase() {
+        let mut rfe = RandomFillEngine::from_seed(9);
+        let config = TlbConfig::sa(32, 8).unwrap(); // 4 sets
+                                                    // Region of 2 pages starting at a page in set 1: window = sets {1, 2}.
+        let r = region(0x101, 2);
+        let mut sets_seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let p = rfe.randomize_set_index(Vpn(0x55550), r, config);
+            sets_seen.insert(config.set_of(p));
+        }
+        assert_eq!(sets_seen.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn window_larger_than_sets_wraps() {
+        let mut rfe = RandomFillEngine::from_seed(11);
+        let config = TlbConfig::sa(32, 8).unwrap(); // 4 sets
+        let r = region(0x100, 31); // window = min(31, 4) = 4 sets
+        let mut sets_seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let p = rfe.randomize_set_index(Vpn(0x7770), r, config);
+            sets_seen.insert(config.set_of(p));
+        }
+        assert_eq!(sets_seen.len(), 4, "all sets reachable");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RandomFillEngine::from_seed(42);
+        let mut b = RandomFillEngine::from_seed(42);
+        let r = region(10, 5);
+        for _ in 0..50 {
+            assert_eq!(a.random_secure_page(r), b.random_secure_page(r));
+        }
+    }
+
+    #[test]
+    fn fully_associative_degenerates_to_one_set() {
+        let mut rfe = RandomFillEngine::from_seed(3);
+        let config = TlbConfig::fa(32).unwrap();
+        let r = region(0x10, 3);
+        let p = rfe.randomize_set_index(Vpn(0x123), r, config);
+        // One set: the set-index bits vanish; address unchanged.
+        assert_eq!(p, Vpn(0x123));
+    }
+}

@@ -1,0 +1,110 @@
+//! Hardware performance counters for the TLB designs.
+//!
+//! The paper adds a TLB-miss performance counter to the Rocket Core so
+//! that the micro security benchmarks can distinguish fast (hit) from slow
+//! (miss) accesses (Figure 6) and so that MPKI can be measured
+//! (Section 6.2). This module models those counters, plus a few extra
+//! design-insight counters (random fills, no-fill responses).
+
+use std::fmt;
+
+/// Counters accumulated by a TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Total translation requests.
+    pub accesses: u64,
+    /// Requests satisfied by a resident entry (fast).
+    pub hits: u64,
+    /// Requests whose translation was not resident (slow — this is the
+    /// counter the micro security benchmarks read).
+    pub misses: u64,
+    /// Normal demand fills performed.
+    pub fills: u64,
+    /// Random fills performed by the RF TLB's Random Fill Engine.
+    pub random_fills: u64,
+    /// Responses served through the RF TLB's no-fill buffer (the requested
+    /// translation was returned to the CPU without entering the TLB).
+    pub no_fill_responses: u64,
+    /// Valid entries evicted by fills.
+    pub evictions: u64,
+    /// Entries removed by targeted or ASID invalidations.
+    pub invalidations: u64,
+    /// Whole-TLB flushes.
+    pub flushes: u64,
+    /// Requests that faulted (no valid translation existed).
+    pub faults: u64,
+}
+
+impl TlbStats {
+    /// Fresh counters.
+    pub fn new() -> TlbStats {
+        TlbStats::default()
+    }
+
+    /// Hit rate in `[0, 1]`; `None` before any access.
+    pub fn hit_rate(&self) -> Option<f64> {
+        (self.accesses > 0).then(|| self.hits as f64 / self.accesses as f64)
+    }
+
+    /// Misses per kilo-accesses (the TLB-side ingredient of the paper's
+    /// MPKI metric; the CPU divides by retired instructions instead).
+    pub fn misses_per_kilo_accesses(&self) -> Option<f64> {
+        (self.accesses > 0).then(|| self.misses as f64 * 1000.0 / self.accesses as f64)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = TlbStats::default();
+    }
+}
+
+impl fmt::Display for TlbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} fills={} random_fills={} evictions={} flushes={}",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.fills,
+            self.random_fills,
+            self.evictions,
+            self.flushes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_none_before_any_access() {
+        let s = TlbStats::new();
+        assert_eq!(s.hit_rate(), None);
+        assert_eq!(s.misses_per_kilo_accesses(), None);
+    }
+
+    #[test]
+    fn rates_compute_from_counters() {
+        let s = TlbStats {
+            accesses: 200,
+            hits: 150,
+            misses: 50,
+            ..TlbStats::default()
+        };
+        assert_eq!(s.hit_rate(), Some(0.75));
+        assert_eq!(s.misses_per_kilo_accesses(), Some(250.0));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = TlbStats {
+            accesses: 10,
+            misses: 3,
+            ..TlbStats::default()
+        };
+        s.reset();
+        assert_eq!(s, TlbStats::default());
+    }
+}

@@ -1,0 +1,38 @@
+//! Workloads for the Secure TLBs reproduction.
+//!
+//! The paper's performance evaluation (Section 6) runs libgcrypt's RSA
+//! decryption — the TLBleed victim — alone and alongside TLB-intensive
+//! SPEC 2006 benchmarks. This crate provides the equivalents:
+//!
+//! - [`mpi`] — multi-precision integer arithmetic (add, sub, mul, Knuth-D
+//!   division, modular exponentiation) in which every limb access is
+//!   reported to a [`mpi::MemSink`], so real computations emit real
+//!   page-granular memory traces;
+//! - [`rsa`] — RSA encryption/decryption on embedded genuine keypairs,
+//!   with the Figure 5 structure of `_gcry_mpi_powm`: an unconditional
+//!   multiply each iteration, and a pointer-block page touched only when
+//!   the secret exponent bit is 1 (the TLBleed signal);
+//! - [`spec_like`] — synthetic stand-ins for the four SPEC benchmarks the
+//!   paper selects (povray, omnetpp, xalancbmk, cactusADM), modeled by
+//!   their TLB-relevant signatures (see DESIGN.md, substitution 3);
+//! - [`attack`] — an end-to-end TLBleed-style Prime + Probe attacker that
+//!   recovers secret exponent bits from the RSA victim and reports its
+//!   accuracy per TLB design;
+//! - [`itlb_attack`] — the instruction-TLB variant: the bit-dependent
+//!   pointer-swap *routine* leaks through instruction fetches even when
+//!   the D-TLB is fully protected (the paper's "can be applied to
+//!   instruction TLBs" remark, made concrete).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod covert;
+pub mod itlb_attack;
+pub mod l2_attack;
+pub mod mpi;
+pub mod rsa;
+pub mod spec_like;
+
+pub use attack::{prime_probe_attack, AttackOutcome};
+pub use rsa::{RsaKey, RsaLayout};

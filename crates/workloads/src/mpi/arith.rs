@@ -1,0 +1,196 @@
+//! Comparison, addition, subtraction, and schoolbook multiplication.
+
+use std::cmp::Ordering;
+
+use super::{BufId, Limb, MemSink, Mpi};
+
+/// Compares two values, reading limbs from most to least significant.
+pub fn cmp(a: &Mpi, b: &Mpi, sink: &mut impl MemSink) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        sink.read(a.buf(), i);
+        sink.read(b.buf(), i);
+        match a.limbs()[i].cmp(&b.limbs()[i]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a + b`, result in `out_buf`.
+pub fn add(a: &Mpi, b: &Mpi, out_buf: BufId, sink: &mut impl MemSink) -> Mpi {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n + 1);
+    let mut carry: Limb = 0;
+    for i in 0..n {
+        let av = limb_read(a, i, sink);
+        let bv = limb_read(b, i, sink);
+        let (s1, c1) = av.overflowing_add(bv);
+        let (s2, c2) = s1.overflowing_add(carry);
+        carry = Limb::from(c1) + Limb::from(c2);
+        sink.write(out_buf, i);
+        out.push(s2);
+    }
+    if carry != 0 {
+        sink.write(out_buf, n);
+        out.push(carry);
+    }
+    Mpi::raw(out_buf, out)
+}
+
+/// `a - b`, result in `out_buf`.
+///
+/// # Panics
+///
+/// Panics if `b > a` (big-integer subtraction here is unsigned).
+pub fn sub(a: &Mpi, b: &Mpi, out_buf: BufId, sink: &mut impl MemSink) -> Mpi {
+    assert!(
+        cmp(a, b, sink) != Ordering::Less,
+        "unsigned subtraction would underflow"
+    );
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: Limb = 0;
+    for i in 0..a.len() {
+        let av = limb_read(a, i, sink);
+        let bv = limb_read(b, i, sink);
+        let (d1, b1) = av.overflowing_sub(bv);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        borrow = Limb::from(b1) + Limb::from(b2);
+        sink.write(out_buf, i);
+        out.push(d2);
+    }
+    debug_assert_eq!(borrow, 0);
+    Mpi::raw(out_buf, out)
+}
+
+/// Schoolbook multiplication `a * b`, result in `out_buf`
+/// (the `_gcry_mpih_mul` of Figure 5; squaring is `mul(a, a, ..)`,
+/// standing in for `_gcry_mpih_sqr_n_basecase`).
+pub fn mul(a: &Mpi, b: &Mpi, out_buf: BufId, sink: &mut impl MemSink) -> Mpi {
+    if a.is_zero() || b.is_zero() {
+        return Mpi::zero(out_buf);
+    }
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    for i in 0..a.len() {
+        let av = limb_read(a, i, sink);
+        let mut carry: u128 = 0;
+        for j in 0..b.len() {
+            let bv = limb_read(b, j, sink);
+            sink.read(out_buf, i + j);
+            let t = out[i + j] as u128 + (av as u128) * (bv as u128) + carry;
+            out[i + j] = t as Limb;
+            carry = t >> 64;
+            sink.write(out_buf, i + j);
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            sink.read(out_buf, k);
+            let t = out[k] as u128 + carry;
+            out[k] = t as Limb;
+            carry = t >> 64;
+            sink.write(out_buf, k);
+            k += 1;
+        }
+    }
+    Mpi::raw(out_buf, out)
+}
+
+fn limb_read(m: &Mpi, i: usize, sink: &mut impl MemSink) -> Limb {
+    if i < m.len() {
+        sink.read(m.buf(), i);
+        m.limbs()[i]
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpi::{CountingSink, NullSink};
+    use proptest::prelude::*;
+
+    fn m(v: u128) -> Mpi {
+        Mpi::from_u128(BufId::Rp, v)
+    }
+
+    #[test]
+    fn small_arithmetic_matches_u128() {
+        let mut s = NullSink;
+        assert_eq!(add(&m(7), &m(9), BufId::Xp, &mut s).to_u128(), 16);
+        assert_eq!(sub(&m(9), &m(7), BufId::Xp, &mut s).to_u128(), 2);
+        assert_eq!(mul(&m(7), &m(9), BufId::Xp, &mut s).to_u128(), 63);
+    }
+
+    #[test]
+    fn addition_carries_across_limbs() {
+        let mut s = NullSink;
+        let r = add(&m(u64::MAX as u128), &m(1), BufId::Xp, &mut s);
+        assert_eq!(r.to_u128(), 1 << 64);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn multiplication_grows_beyond_u128() {
+        let mut s = NullSink;
+        let big = Mpi::from_limbs(BufId::Rp, &[u64::MAX; 3]);
+        let r = mul(&big, &big, BufId::Xp, &mut s);
+        // (2^192 - 1)^2 has 384 bits.
+        assert_eq!(r.bit_len(), 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        sub(&m(1), &m(2), BufId::Xp, &mut NullSink);
+    }
+
+    #[test]
+    fn multiplication_traces_both_operands() {
+        let mut s = CountingSink::default();
+        let a = Mpi::from_limbs(BufId::Rp, &[1, 2]);
+        let b = Mpi::from_limbs(BufId::Base, &[3, 4, 5]);
+        mul(&a, &b, BufId::Xp, &mut s);
+        assert_eq!(s.counts[&BufId::Rp].0, 2, "each a-limb read once");
+        assert_eq!(s.counts[&BufId::Base].0, 6, "b re-read per a-limb");
+        assert!(s.counts[&BufId::Xp].1 >= 6, "output written per partial");
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+            let r = add(&m(a), &m(b), BufId::Xp, &mut NullSink);
+            prop_assert_eq!(r.to_u128(), a + b);
+        }
+
+        #[test]
+        fn sub_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            let r = sub(&m(hi), &m(lo), BufId::Xp, &mut NullSink);
+            prop_assert_eq!(r.to_u128(), hi - lo);
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u128..u64::MAX as u128, b in 0u128..u64::MAX as u128) {
+            let r = mul(&m(a), &m(b), BufId::Xp, &mut NullSink);
+            prop_assert_eq!(r.to_u128(), a * b);
+        }
+
+        #[test]
+        fn add_is_commutative(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+            let mut s = NullSink;
+            prop_assert_eq!(
+                add(&m(a), &m(b), BufId::Xp, &mut s).limbs().to_vec(),
+                add(&m(b), &m(a), BufId::Xp, &mut s).limbs().to_vec()
+            );
+        }
+
+        #[test]
+        fn cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(cmp(&m(a), &m(b), &mut NullSink), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Long division (Knuth, TAOCP vol. 2, Algorithm D) with traced accesses.
+//!
+//! Division supplies the modular reduction of
+//! [`modexp`](crate::mpi::modexp). The normalized dividend and divisor
+//! live in scratch buffers (they are working copies a real implementation
+//! would also materialize).
+
+use super::arith::cmp;
+use super::{BufId, Limb, MemSink, Mpi};
+
+/// Scratch buffer holding the normalized dividend.
+const U_SCRATCH: BufId = BufId::Scratch(0);
+/// Scratch buffer holding the normalized divisor.
+const V_SCRATCH: BufId = BufId::Scratch(1);
+
+/// Divides `x` by `m`: returns `(quotient, remainder)` in the given
+/// buffers, with `x = q·m + r` and `r < m`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn div_rem(
+    x: &Mpi,
+    m: &Mpi,
+    q_buf: BufId,
+    r_buf: BufId,
+    sink: &mut impl MemSink,
+) -> (Mpi, Mpi) {
+    assert!(!m.is_zero(), "division by zero");
+    if cmp(x, m, sink) == std::cmp::Ordering::Less {
+        return (Mpi::zero(q_buf), x.copied_into(r_buf, sink));
+    }
+    if m.len() == 1 {
+        return short_div(x, m, q_buf, r_buf, sink);
+    }
+    knuth_d(x, m, q_buf, r_buf, sink)
+}
+
+/// Reduction only: `x mod m` in `r_buf`.
+pub fn rem(x: &Mpi, m: &Mpi, r_buf: BufId, sink: &mut impl MemSink) -> Mpi {
+    div_rem(x, m, BufId::Scratch(2), r_buf, sink).1
+}
+
+fn short_div(x: &Mpi, m: &Mpi, q_buf: BufId, r_buf: BufId, sink: &mut impl MemSink) -> (Mpi, Mpi) {
+    sink.read(m.buf(), 0);
+    let d = m.limbs()[0] as u128;
+    let mut q = vec![0 as Limb; x.len()];
+    let mut r: u128 = 0;
+    for i in (0..x.len()).rev() {
+        sink.read(x.buf(), i);
+        let cur = (r << 64) | x.limbs()[i] as u128;
+        q[i] = (cur / d) as Limb;
+        r = cur % d;
+        sink.write(q_buf, i);
+    }
+    sink.write(r_buf, 0);
+    (Mpi::raw(q_buf, q), Mpi::from_limbs(r_buf, &[r as Limb]))
+}
+
+fn knuth_d(x: &Mpi, m: &Mpi, q_buf: BufId, r_buf: BufId, sink: &mut impl MemSink) -> (Mpi, Mpi) {
+    let n = m.len();
+    let mm = x.len() - n;
+    // D1: normalize so the divisor's top bit is set.
+    let shift = m.limbs()[n - 1].leading_zeros();
+    let v = shifted_left(m, shift, V_SCRATCH, sink);
+    let mut u = shifted_left(x, shift, U_SCRATCH, sink);
+    u.limbs_mut().resize(x.len() + 1, 0);
+    let u = u.limbs_mut();
+    let v = v.limbs();
+    debug_assert_eq!(v.len(), n);
+    let mut q = vec![0 as Limb; mm + 1];
+    let b: u128 = 1 << 64;
+    // D2-D7: main loop over quotient digits.
+    for j in (0..=mm).rev() {
+        // D3: estimate the quotient digit.
+        sink.read(U_SCRATCH, j + n);
+        sink.read(U_SCRATCH, j + n - 1);
+        sink.read(V_SCRATCH, n - 1);
+        let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = top / v[n - 1] as u128;
+        let mut rhat = top % v[n - 1] as u128;
+        loop {
+            sink.read(V_SCRATCH, n - 2);
+            sink.read(U_SCRATCH, j + n - 2);
+            let over = qhat >= b || qhat * v[n - 2] as u128 > (rhat << 64) + u[j + n - 2] as u128;
+            if !over {
+                break;
+            }
+            qhat -= 1;
+            rhat += v[n - 1] as u128;
+            if rhat >= b {
+                break;
+            }
+        }
+        // D4: multiply and subtract.
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            sink.read(V_SCRATCH, i);
+            sink.read(U_SCRATCH, i + j);
+            let p = qhat * v[i] as u128 + carry;
+            carry = p >> 64;
+            let t = u[i + j] as i128 - (p as u64) as i128 + borrow;
+            u[i + j] = t as Limb;
+            borrow = t >> 64;
+            sink.write(U_SCRATCH, i + j);
+        }
+        sink.read(U_SCRATCH, j + n);
+        let t = u[j + n] as i128 - carry as i128 + borrow;
+        u[j + n] = t as Limb;
+        sink.write(U_SCRATCH, j + n);
+        // D5/D6: if the subtraction went negative, add the divisor back.
+        if t < 0 {
+            qhat -= 1;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                sink.read(V_SCRATCH, i);
+                sink.read(U_SCRATCH, i + j);
+                let s = u[i + j] as u128 + v[i] as u128 + carry;
+                u[i + j] = s as Limb;
+                carry = s >> 64;
+                sink.write(U_SCRATCH, i + j);
+            }
+            sink.read(U_SCRATCH, j + n);
+            u[j + n] = u[j + n].wrapping_add(carry as Limb);
+            sink.write(U_SCRATCH, j + n);
+        }
+        q[j] = qhat as Limb;
+        sink.write(q_buf, j);
+    }
+    // D8: denormalize the remainder.
+    let rem_limbs: Vec<Limb> = (0..n)
+        .map(|i| {
+            sink.read(U_SCRATCH, i);
+            let lo = u[i] >> shift;
+            let hi = if shift > 0 && i + 1 < n {
+                u[i + 1] << (64 - shift)
+            } else {
+                0
+            };
+            sink.write(r_buf, i);
+            lo | hi
+        })
+        .collect();
+    (Mpi::raw(q_buf, q), Mpi::raw(r_buf, rem_limbs))
+}
+
+fn shifted_left(m: &Mpi, shift: u32, buf: BufId, sink: &mut impl MemSink) -> Mpi {
+    let mut out = vec![0 as Limb; m.len() + 1];
+    for i in 0..m.len() {
+        sink.read(m.buf(), i);
+        let l = m.limbs()[i];
+        out[i] |= if shift == 0 { l } else { l << shift };
+        if shift > 0 {
+            out[i + 1] = l >> (64 - shift);
+        }
+        sink.write(buf, i);
+    }
+    let mut r = Mpi::raw(buf, out);
+    // Keep exact divisor length when the shift does not overflow.
+    if r.len() > m.len() {
+        debug_assert!(shift == 0 || r.limbs()[m.len()] == 0 || r.buf() == U_SCRATCH);
+    }
+    if r.len() < m.len() {
+        r.limbs_mut().resize(m.len(), 0);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpi::arith::{add, mul};
+    use crate::mpi::NullSink;
+    use proptest::prelude::*;
+
+    fn m(v: u128) -> Mpi {
+        Mpi::from_u128(BufId::Base, v)
+    }
+
+    #[test]
+    fn small_division() {
+        let (q, r) = div_rem(&m(100), &m(7), BufId::Rp, BufId::Xp, &mut NullSink);
+        assert_eq!(q.to_u128(), 14);
+        assert_eq!(r.to_u128(), 2);
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = div_rem(&m(5), &m(100), BufId::Rp, BufId::Xp, &mut NullSink);
+        assert!(q.is_zero());
+        assert_eq!(r.to_u128(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        div_rem(&m(5), &m(0), BufId::Rp, BufId::Xp, &mut NullSink);
+    }
+
+    #[test]
+    fn multi_limb_division_exercises_add_back() {
+        // A known Knuth-D corner: dividend crafted so qhat overestimates.
+        let x = Mpi::from_limbs(BufId::Base, &[0, 0, 0x8000_0000_0000_0000]);
+        let d = Mpi::from_limbs(BufId::Modulus, &[1, 0x8000_0000_0000_0000]);
+        let (q, r) = div_rem(&x, &d, BufId::Rp, BufId::Xp, &mut NullSink);
+        // Verify x = q*d + r and r < d.
+        let mut s = NullSink;
+        let back = add(&mul(&q, &d, BufId::Tp, &mut s), &r, BufId::Tp, &mut s);
+        assert_eq!(back.limbs(), x.limbs());
+        assert_eq!(cmp(&r, &d, &mut s), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn big_random_divisions_satisfy_the_division_identity() {
+        // Deterministic pseudo-random multi-limb cases (up to 8x4 limbs).
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut s = NullSink;
+        for _ in 0..200 {
+            let xl: Vec<u64> = (0..8).map(|_| next()).collect();
+            let dl: Vec<u64> = (0..4).map(|_| next()).collect();
+            let x = Mpi::from_limbs(BufId::Base, &xl);
+            let d = Mpi::from_limbs(BufId::Modulus, &dl);
+            if d.is_zero() {
+                continue;
+            }
+            let (q, r) = div_rem(&x, &d, BufId::Rp, BufId::Xp, &mut s);
+            let back = add(&mul(&q, &d, BufId::Tp, &mut s), &r, BufId::Tp, &mut s);
+            assert_eq!(back.limbs(), x.limbs(), "x = q*d + r violated");
+            assert_eq!(
+                cmp(&r, &d, &mut s),
+                std::cmp::Ordering::Less,
+                "r < d violated"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn division_matches_u128(x in any::<u128>(), d in 1u128..) {
+            let (q, r) = div_rem(&m(x), &m(d), BufId::Rp, BufId::Xp, &mut NullSink);
+            prop_assert_eq!(q.to_u128(), x / d);
+            prop_assert_eq!(r.to_u128(), x % d);
+        }
+
+        #[test]
+        fn rem_is_consistent_with_div_rem(x in any::<u128>(), d in 1u128..) {
+            let r = rem(&m(x), &m(d), BufId::Xp, &mut NullSink);
+            prop_assert_eq!(r.to_u128(), x % d);
+        }
+    }
+}

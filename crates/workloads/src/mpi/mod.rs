@@ -1,0 +1,292 @@
+//! Multi-precision integers with traced memory accesses.
+//!
+//! The arithmetic here is real — the RSA tests round-trip actual
+//! ciphertexts — but every limb read and write is also reported to a
+//! [`MemSink`], so running the math *produces the memory trace* that the
+//! simulated machine then replays. This mirrors how the paper's FPGA
+//! setup runs the genuine libgcrypt code and observes its TLB behavior.
+//!
+//! Numbers are little-endian vectors of 64-bit limbs. Each value is
+//! tagged with the [`BufId`] of the buffer it lives in; buffers map to
+//! simulated pages via [`crate::rsa::RsaLayout`].
+
+pub mod arith;
+pub mod div;
+pub mod modexp;
+
+use std::fmt;
+
+/// One machine word of a big integer.
+pub type Limb = u64;
+
+/// Identifies a memory buffer holding MPI data.
+///
+/// The names follow Figure 5 of the paper: `rp` and `xp` are the working
+/// buffers of `_gcry_mpi_powm`, `tp` holds the multiply result, and the
+/// pointer block is the `.data` page holding the `rp`/`xp`/`tp` pointers —
+/// the page whose access pattern leaks the exponent bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BufId {
+    /// The running result buffer (`rp`).
+    Rp,
+    /// The squaring output buffer (`xp`).
+    Xp,
+    /// The multiply output buffer (`tp`).
+    Tp,
+    /// The base (ciphertext) operand.
+    Base,
+    /// The modulus.
+    Modulus,
+    /// The secret exponent.
+    Exponent,
+    /// The pointer block: touched only when the exponent bit is 1.
+    PtrBlock,
+    /// Division scratch buffers.
+    Scratch(u8),
+}
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufId::Rp => f.write_str("rp"),
+            BufId::Xp => f.write_str("xp"),
+            BufId::Tp => f.write_str("tp"),
+            BufId::Base => f.write_str("base"),
+            BufId::Modulus => f.write_str("mod"),
+            BufId::Exponent => f.write_str("exp"),
+            BufId::PtrBlock => f.write_str("ptr"),
+            BufId::Scratch(i) => write!(f, "scratch{i}"),
+        }
+    }
+}
+
+/// A code routine of the modular-exponentiation implementation, for
+/// instruction-side tracing: entering a routine transfers control to its
+/// code page. The pointer-swap routine executes only when the exponent
+/// bit is 1 — the instruction-TLB side channel mirroring the data-side
+/// pointer-block signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Routine {
+    /// The exponentiation driver loop.
+    Main,
+    /// `_gcry_mpih_sqr_n_basecase`.
+    Square,
+    /// `_gcry_mpih_mul`.
+    Multiply,
+    /// Modular reduction (division).
+    Reduce,
+    /// The bit-dependent pointer swap (Figure 5, lines 15-19).
+    PointerSwap,
+}
+
+/// Receives every limb-granular memory access the arithmetic performs.
+pub trait MemSink {
+    /// A limb of `buf` was read.
+    fn read(&mut self, buf: BufId, limb: usize);
+    /// A limb of `buf` was written.
+    fn write(&mut self, buf: BufId, limb: usize);
+    /// Control transferred to `routine`'s code page (instruction-side
+    /// tracing; ignored by default).
+    fn enter(&mut self, _routine: Routine) {}
+}
+
+/// Discards all accesses (for untraced math, e.g. tests and encryption).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MemSink for NullSink {
+    fn read(&mut self, _: BufId, _: usize) {}
+    fn write(&mut self, _: BufId, _: usize) {}
+}
+
+/// Counts accesses per buffer (used in tests and diagnostics).
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    /// `(reads, writes)` per buffer, sorted by `BufId`.
+    pub counts: std::collections::BTreeMap<BufId, (u64, u64)>,
+}
+
+impl MemSink for CountingSink {
+    fn read(&mut self, buf: BufId, _: usize) {
+        self.counts.entry(buf).or_default().0 += 1;
+    }
+    fn write(&mut self, buf: BufId, _: usize) {
+        self.counts.entry(buf).or_default().1 += 1;
+    }
+}
+
+/// A big integer tagged with the buffer it occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mpi {
+    limbs: Vec<Limb>,
+    buf: BufId,
+}
+
+impl Mpi {
+    /// Zero, living in `buf`.
+    pub fn zero(buf: BufId) -> Mpi {
+        Mpi { limbs: vec![], buf }
+    }
+
+    /// A value from little-endian limbs (normalized).
+    pub fn from_limbs(buf: BufId, limbs: &[Limb]) -> Mpi {
+        let mut m = Mpi {
+            limbs: limbs.to_vec(),
+            buf,
+        };
+        m.normalize();
+        m
+    }
+
+    /// A value from a `u128` (convenient for tests).
+    pub fn from_u128(buf: BufId, v: u128) -> Mpi {
+        Mpi::from_limbs(buf, &[v as u64, (v >> 64) as u64])
+    }
+
+    /// The value as a `u128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    pub fn to_u128(&self) -> u128 {
+        assert!(self.limbs.len() <= 2, "value exceeds 128 bits");
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        (hi << 64) | lo
+    }
+
+    /// The buffer this value lives in.
+    pub fn buf(&self) -> BufId {
+        self.buf
+    }
+
+    /// Little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Number of significant limbs.
+    pub fn len(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// The `i`-th bit (LSB is bit 0), reporting the limb read to `sink`.
+    pub fn bit(&self, i: usize, sink: &mut impl MemSink) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        sink.read(self.buf, limb);
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Moves the value into another buffer, tracing the copy.
+    pub fn copied_into(&self, buf: BufId, sink: &mut impl MemSink) -> Mpi {
+        for i in 0..self.limbs.len() {
+            sink.read(self.buf, i);
+            sink.write(buf, i);
+        }
+        Mpi {
+            limbs: self.limbs.clone(),
+            buf,
+        }
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    pub(crate) fn limbs_mut(&mut self) -> &mut Vec<Limb> {
+        &mut self.limbs
+    }
+
+    pub(crate) fn raw(buf: BufId, limbs: Vec<Limb>) -> Mpi {
+        let mut m = Mpi { limbs, buf };
+        m.normalize();
+        m
+    }
+}
+
+impl fmt::Display for Mpi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0x0");
+        }
+        write!(f, "0x{:x}", self.limbs.last().expect("nonzero"))?;
+        for l in self.limbs.iter().rev().skip(1) {
+            write!(f, "{l:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_trims_leading_zero_limbs() {
+        let m = Mpi::from_limbs(BufId::Rp, &[5, 0, 0]);
+        assert_eq!(m.limbs(), &[5]);
+        assert_eq!(Mpi::from_limbs(BufId::Rp, &[0, 0]).len(), 0);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        for v in [0u128, 1, u64::MAX as u128, u128::MAX / 3] {
+            assert_eq!(Mpi::from_u128(BufId::Rp, v).to_u128(), v);
+        }
+    }
+
+    #[test]
+    fn bit_len_counts_significant_bits() {
+        assert_eq!(Mpi::zero(BufId::Rp).bit_len(), 0);
+        assert_eq!(Mpi::from_u128(BufId::Rp, 1).bit_len(), 1);
+        assert_eq!(Mpi::from_u128(BufId::Rp, 0x100).bit_len(), 9);
+        assert_eq!(Mpi::from_u128(BufId::Rp, 1 << 64).bit_len(), 65);
+    }
+
+    #[test]
+    fn bit_extraction_reads_the_right_limb() {
+        let mut sink = CountingSink::default();
+        let m = Mpi::from_limbs(BufId::Exponent, &[0b101, 1]);
+        assert!(m.bit(0, &mut sink));
+        assert!(!m.bit(1, &mut sink));
+        assert!(m.bit(2, &mut sink));
+        assert!(m.bit(64, &mut sink));
+        assert!(!m.bit(200, &mut sink), "out of range bits are zero");
+        assert_eq!(sink.counts[&BufId::Exponent].0, 4);
+    }
+
+    #[test]
+    fn copy_traces_both_buffers() {
+        let mut sink = CountingSink::default();
+        let m = Mpi::from_limbs(BufId::Xp, &[1, 2, 3]);
+        let c = m.copied_into(BufId::Rp, &mut sink);
+        assert_eq!(c.limbs(), m.limbs());
+        assert_eq!(c.buf(), BufId::Rp);
+        assert_eq!(sink.counts[&BufId::Xp].0, 3);
+        assert_eq!(sink.counts[&BufId::Rp].1, 3);
+    }
+
+    #[test]
+    fn display_renders_hex() {
+        let m = Mpi::from_limbs(BufId::Rp, &[0xdead, 0x1]);
+        assert_eq!(m.to_string(), "0x1000000000000dead");
+    }
+}

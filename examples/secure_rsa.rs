@@ -1,0 +1,107 @@
+//! SecRSA: the performance cost of protecting the RSA victim on each TLB
+//! design (a slice of the paper's Figure 7).
+//!
+//! Runs the RSA decryption workload alone and co-scheduled with the
+//! povray-like benchmark, with and without the secure-region protections,
+//! and prints IPC and MPKI.
+//!
+//! ```sh
+//! cargo run --release --example secure_rsa [runs]
+//! ```
+
+use sectlb_bench_shim::perf;
+use secure_tlbs::sim::machine::TlbDesign;
+use secure_tlbs::tlb::TlbConfig;
+
+// The perf machinery lives in the bench crate; the facade re-exports the
+// workloads it builds on. For this example we reconstruct the cells
+// directly from the public API.
+mod sectlb_bench_shim {
+    pub mod perf {
+        use secure_tlbs::sim::cpu::Instr;
+        use secure_tlbs::sim::machine::{MachineBuilder, TlbDesign};
+        use secure_tlbs::sim::sched::{run_round_robin, Program};
+        use secure_tlbs::tlb::types::Vpn;
+        use secure_tlbs::tlb::TlbConfig;
+        use secure_tlbs::workloads::rsa::{decryption_program, encrypt, RsaKey, RsaLayout};
+        use secure_tlbs::workloads::spec_like::SpecBenchmark;
+
+        /// Runs RSA (optionally protected, optionally co-run) and returns
+        /// `(ipc, mpki)`.
+        pub fn measure(
+            design: TlbDesign,
+            config: TlbConfig,
+            secure: bool,
+            co_run: Option<SpecBenchmark>,
+            runs: usize,
+        ) -> (f64, f64) {
+            let key = RsaKey::demo_128();
+            let layout = RsaLayout::new();
+            let mut m = MachineBuilder::new()
+                .design(design)
+                .tlb_config(config)
+                .build();
+            let rsa = m.os_mut().create_process();
+            for page in layout.all_pages() {
+                m.os_mut().map_page(rsa, page).expect("fresh machine");
+            }
+            if secure {
+                m.protect_victim(rsa, layout.secure_region())
+                    .expect("fresh machine");
+            }
+            let ciphertext = encrypt(&key, &[0xfeedu64]);
+            let rsa_prog = decryption_program(&key, &ciphertext, layout, runs);
+            match co_run {
+                None => {
+                    m.exec(Instr::SetAsid(rsa));
+                    m.run(&rsa_prog);
+                }
+                Some(bench) => {
+                    let spec = m.os_mut().create_process();
+                    let base = Vpn(0x10_000);
+                    m.os_mut()
+                        .map_region(spec, base, bench.footprint_pages())
+                        .expect("fresh machine");
+                    let spec_prog = bench.trace(base, rsa_prog.len() / 3, 7);
+                    run_round_robin(
+                        &mut m,
+                        &[Program::new(rsa, rsa_prog), Program::new(spec, spec_prog)],
+                        200,
+                    );
+                }
+            }
+            (m.ipc().expect("ran"), m.mpki().expect("ran"))
+        }
+    }
+}
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let config = TlbConfig::sa(32, 4).expect("valid");
+    let povray = Some(secure_tlbs::workloads::spec_like::SpecBenchmark::Povray);
+
+    println!("SecRSA cost on the 32-entry 4-way TLB ({runs} decryptions):\n");
+    println!(
+        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "SA IPC", "SA MPKI", "SP IPC", "SP MPKI", "RF IPC", "RF MPKI"
+    );
+    for (label, secure, co) in [
+        ("RSA", false, None),
+        ("SecRSA", true, None),
+        ("RSA+povray", false, povray),
+        ("SecRSA+povray", true, povray),
+    ] {
+        print!("{label:<24}");
+        for design in TlbDesign::ALL {
+            let (ipc, mpki) = perf::measure(design, config, secure, co, runs);
+            print!(" {ipc:>8.3} {mpki:>8.2}");
+        }
+        println!();
+    }
+    println!("\nExpected shape (paper Sections 6.3-6.5): SP pays ~3x the SA MPKI");
+    println!("under co-run pressure; RF stays within ~10% of SA while defending");
+    println!("all 24 vulnerability types.");
+}

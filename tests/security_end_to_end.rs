@@ -1,0 +1,87 @@
+//! End-to-end security evaluation across crates: the Table 4 defense
+//! matrix and the TLBleed attack outcome must match the paper.
+
+use secure_tlbs::model::enumerate_vulnerabilities;
+use secure_tlbs::secbench::report::{build_table4, DEFENDED_THRESHOLD};
+use secure_tlbs::secbench::run::{run_vulnerability, TrialSettings};
+use secure_tlbs::sim::machine::TlbDesign;
+use secure_tlbs::workloads::attack::{prime_probe_attack, AttackSettings};
+use secure_tlbs::workloads::rsa::RsaKey;
+
+fn settings(trials: u32) -> TrialSettings {
+    TrialSettings {
+        trials,
+        ..TrialSettings::default()
+    }
+}
+
+#[test]
+fn defense_counts_match_the_paper() {
+    // Paper Section 5.3.2: SA defends 10, SP defends 14, RF defends all 24.
+    // 30 trials is too noisy: C* of an equal-p cell scales like 1/n
+    // and can cross the 0.05 threshold by chance. 60 keeps it safely low.
+    let table = build_table4(&settings(60));
+    let [sa, sp, rf] = table.defended_counts();
+    assert_eq!((sa, sp, rf), (10, 14, 24));
+    assert!(table.all_verdicts_match());
+}
+
+#[test]
+fn rf_probabilities_track_paper_magnitudes() {
+    // Spot-check the distinctive RF probabilities of Table 4.
+    let vulns = enumerate_vulnerabilities();
+    let s = settings(200);
+    // Internal Collision d-row: p* ≈ 0.67.
+    let ic = vulns
+        .iter()
+        .find(|v| {
+            v.strategy == secure_tlbs::model::Strategy::InternalCollision
+                && v.pattern.s1.to_string() == "V_d"
+        })
+        .expect("row exists");
+    let m = run_vulnerability(ic, TlbDesign::Rf, &s);
+    assert!((m.p1() - 0.67).abs() < 0.1, "p1* = {}", m.p1());
+    assert!((m.p2() - 0.67).abs() < 0.1, "p2* = {}", m.p2());
+    // Alias row: p* ≈ 0.97.
+    let alias = vulns
+        .iter()
+        .find(|v| v.pattern.s1.to_string() == "A_aalias")
+        .expect("row exists");
+    let m = run_vulnerability(alias, TlbDesign::Rf, &s);
+    assert!(m.p1() > 0.9, "p1* = {}", m.p1());
+    assert!(m.capacity() < DEFENDED_THRESHOLD);
+}
+
+#[test]
+fn sp_dominates_sa_and_rf_dominates_sp_in_defenses() {
+    let table = build_table4(&settings(60));
+    for row in &table.rows {
+        let [sa, sp, rf] = &row.cells;
+        if sa.measured.defends(DEFENDED_THRESHOLD) {
+            assert!(
+                sp.measured.defends(DEFENDED_THRESHOLD),
+                "{}: SP regressed",
+                row.vulnerability
+            );
+        }
+        assert!(
+            rf.measured.defends(DEFENDED_THRESHOLD),
+            "{}: RF must defend everything",
+            row.vulnerability
+        );
+    }
+}
+
+#[test]
+fn tlbleed_outcome_matches_the_paper_story() {
+    // Reference [8] reports ~92% key recovery on a standard TLB; the
+    // secure designs must push the attacker to chance level.
+    let key = RsaKey::demo_128();
+    let s = AttackSettings::default();
+    let sa = prime_probe_attack(&key, TlbDesign::Sa, &s);
+    let sp = prime_probe_attack(&key, TlbDesign::Sp, &s);
+    let rf = prime_probe_attack(&key, TlbDesign::Rf, &s);
+    assert!(sa.accuracy() > 0.92, "SA: {sa}");
+    assert!(sp.accuracy() < 0.7, "SP: {sp}");
+    assert!(rf.accuracy() < 0.7, "RF: {rf}");
+}
