@@ -7,8 +7,9 @@
 //! This binary measures the channel capacity of every Table 2 row on the
 //! RF TLB under both policies.
 //!
-//! Usage: `ablation_rf [--trials N]`
+//! Usage: `ablation_rf [--trials N] [--workers N|auto]`
 
+use sectlb_bench::cli;
 use sectlb_model::enumerate_vulnerabilities;
 use sectlb_secbench::run::{run_vulnerability, TrialSettings};
 use sectlb_sim::machine::TlbDesign;
@@ -16,12 +17,8 @@ use sectlb_tlb::RandomFillEviction;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trials: u32 = args
-        .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
+    let trials = cli::trials_flag(&args, 300);
+    let workers = cli::workers_flag(&args);
     println!("RF TLB random-fill eviction ablation ({trials} trials per placement)\n");
     println!(
         "{:<48} {:>12} {:>12}",
@@ -32,6 +29,7 @@ fn main() {
         let measure = |eviction| {
             let settings = TrialSettings {
                 trials,
+                workers,
                 rf_eviction: eviction,
                 ..TrialSettings::default()
             };

@@ -6,8 +6,9 @@
 //! 8-way 32-entry SP TLB and reports (a) whether Prime + Probe stays
 //! defended and (b) the MPKI of the SecRSA and co-running workloads.
 //!
-//! Usage: `ablation_sp_ways [--trials N]`
+//! Usage: `ablation_sp_ways [--trials N] [--workers N|auto]`
 
+use sectlb_bench::cli;
 use sectlb_bench::perf::Workload;
 use sectlb_model::{enumerate_vulnerabilities, Strategy};
 use sectlb_secbench::run::{run_vulnerability_with_builder, TrialSettings};
@@ -17,12 +18,7 @@ use sectlb_workloads::spec_like::SpecBenchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trials: u32 = args
-        .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200);
+    let trials = cli::trials_flag(&args, 200);
     let config = TlbConfig::security_eval(); // 8 ways, 4 sets
     let pp = *enumerate_vulnerabilities()
         .iter()
@@ -30,6 +26,7 @@ fn main() {
         .expect("row exists");
     let settings = TrialSettings {
         trials,
+        workers: cli::workers_flag(&args),
         ..TrialSettings::default()
     };
     println!("SP TLB victim-way sweep (8-way 32-entry; {trials} trials per placement)\n");

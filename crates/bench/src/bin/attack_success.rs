@@ -2,9 +2,17 @@
 //! on each TLB design (Sections 2.2 and 5.1). Prints the fraction of
 //! secret exponent bits recovered.
 //!
-//! Usage: `attack_success [--seeds N]`
+//! Usage: `attack_success [--seeds N] [--workers N|auto]`
+//!
+//! Each (design, seed) run is an independent deterministic simulation,
+//! so the per-design accuracies are identical for every worker count.
 
-use sectlb_workloads::attack::{attack_all_designs, AttackSettings};
+use std::num::NonZeroUsize;
+
+use sectlb_bench::cli;
+use sectlb_secbench::parallel::run_sharded;
+use sectlb_sim::machine::TlbDesign;
+use sectlb_workloads::attack::{attack_all_designs, prime_probe_attack, AttackSettings};
 use sectlb_workloads::rsa::RsaKey;
 
 fn main() {
@@ -16,19 +24,24 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(5);
+    let workers = cli::workers_flag(&args).unwrap_or(NonZeroUsize::MIN);
     let key = RsaKey::demo_128();
     println!("TLBleed-style Prime + Probe key recovery ({seeds} runs per design)");
     println!("secret: {}-bit exponent", key.secret_bits().len());
-    for design in sectlb_sim::machine::TlbDesign::ALL {
-        let mut total_acc = 0.0;
-        for s in 0..seeds {
-            let settings = AttackSettings {
-                seed: 0xa77ac4 ^ s,
-                ..AttackSettings::default()
-            };
-            let out = sectlb_workloads::attack::prime_probe_attack(&key, design, &settings);
-            total_acc += out.accuracy();
-        }
+    let runs: Vec<(TlbDesign, u64)> = TlbDesign::ALL
+        .into_iter()
+        .flat_map(|d| (0..seeds).map(move |s| (d, s)))
+        .collect();
+    let (accuracies, _stats) = run_sharded(&runs, workers, |&(design, s)| {
+        let settings = AttackSettings {
+            seed: 0xa77ac4 ^ s,
+            ..AttackSettings::default()
+        };
+        prime_probe_attack(&key, design, &settings).accuracy()
+    });
+    for (i, design) in TlbDesign::ALL.into_iter().enumerate() {
+        let lo = i * seeds as usize;
+        let total_acc: f64 = accuracies[lo..lo + seeds as usize].iter().sum();
         println!(
             "  {} TLB: {:.1}% of key bits recovered",
             design,

@@ -3,19 +3,24 @@
 //! co-running with the four SPEC-like benchmarks, at 50 / 100 / 150
 //! decryptions.
 //!
-//! Usage: `fig7 [--design sa|sp|rf] [--quick]`
+//! Usage: `fig7 [--design sa|sp|rf] [--quick] [--workers N|auto]`
 //!
 //! `--quick` runs 10 decryptions and the alone/omnetpp workloads only.
 //! Run with `--release`; the full sweep executes billions of simulated
-//! instructions.
+//! instructions. Every cell is an independent deterministic simulation,
+//! so `--workers` shards the sweep without changing any number; each
+//! cell is simulated once and feeds both its IPC and MPKI panels.
 
-use sectlb_bench::perf::{headline, run_cell, Workload};
+use sectlb_bench::cli;
+use sectlb_bench::perf::{headline, run_cell, PerfCell, Workload};
+use sectlb_secbench::parallel::run_sharded;
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::config::TlbConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let workers = cli::workers_flag(&args);
     let designs: Vec<TlbDesign> = match args
         .iter()
         .position(|a| a == "--design")
@@ -45,6 +50,11 @@ fn main() {
     };
     let runs: Vec<usize> = if quick { vec![10] } else { vec![50, 100, 150] };
 
+    // Enumerate every (design, workload, runs, config) cell up front in
+    // print order, simulate each exactly once (sharded across the pool
+    // when --workers is given), then render the panels from the results.
+    let mut panels: Vec<(TlbDesign, Vec<TlbConfig>, usize)> = Vec::new();
+    let mut tasks: Vec<(TlbDesign, TlbConfig, Workload, usize)> = Vec::new();
     for design in &designs {
         // The paper's Figure 7 shows the 1E bar only for the SA TLB (the
         // SP TLB cannot partition a single entry).
@@ -53,6 +63,24 @@ fn main() {
             .copied()
             .filter(|c| c.entries() > 1 || *design == TlbDesign::Sa)
             .collect();
+        panels.push((*design, configs.clone(), tasks.len()));
+        for w in &workloads {
+            for &r in &runs {
+                for &c in &configs {
+                    tasks.push((*design, c, *w, r));
+                }
+            }
+        }
+    }
+    let cells: Vec<PerfCell> = match workers {
+        Some(workers) => run_sharded(&tasks, workers, |&(d, c, w, r)| run_cell(d, c, w, r)).0,
+        None => tasks
+            .iter()
+            .map(|&(d, c, w, r)| run_cell(d, c, w, r))
+            .collect(),
+    };
+
+    for (design, configs, offset) in &panels {
         for metric in ["IPC", "MPKI"] {
             let panel = match (design, metric) {
                 (TlbDesign::Sa, "IPC") => "7a",
@@ -64,15 +92,15 @@ fn main() {
             };
             println!("\nFigure {panel}: {metric} of the {design} TLB");
             print!("{:<22} {:>5}", "workload", "runs");
-            for c in &configs {
+            for c in configs {
                 print!(" {:>8}", c.label());
             }
             println!();
-            for w in &workloads {
-                for &r in &runs {
+            for (wi, w) in workloads.iter().enumerate() {
+                for (ri, &r) in runs.iter().enumerate() {
                     print!("{:<22} {:>5}", w.label(), r);
-                    for &c in &configs {
-                        let cell = run_cell(*design, c, *w, r);
+                    for ci in 0..configs.len() {
+                        let cell = cells[offset + (wi * runs.len() + ri) * configs.len() + ci];
                         let v = if metric == "IPC" { cell.ipc } else { cell.mpki };
                         print!(" {:>8.3}", v);
                     }

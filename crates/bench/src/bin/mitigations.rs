@@ -2,25 +2,21 @@
 //! types each pre-existing mitigation (and each of the paper's designs)
 //! defends.
 //!
-//! Usage: `mitigations [--trials N]`
+//! Usage: `mitigations [--trials N] [--workers N|auto]`
 
+use sectlb_bench::cli;
 use sectlb_secbench::mitigations::{defended_count, Mitigation};
 use sectlb_secbench::run::TrialSettings;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trials: u32 = args
-        .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
     let settings = TrialSettings {
-        trials,
+        trials: cli::trials_flag(&args, 300),
+        workers: cli::workers_flag(&args),
         ..TrialSettings::default()
     };
     println!("Section 2.3: existing mitigations vs. the 24 vulnerability types");
-    println!("({trials} trials per placement)\n");
+    println!("({} trials per placement)\n", settings.trials);
     println!("{:<42} {:>10} {:>8}", "approach", "measured", "paper");
     for m in Mitigation::ALL {
         let measured = defended_count(m, &settings, 0.06);

@@ -2,32 +2,39 @@
 //! TLBs — measured p1*, p2*, C* (500 trials per placement by default)
 //! against the theoretical p1, p2, C.
 //!
-//! Usage: `table4 [--trials N]`
+//! Usage: `table4 [--trials N] [--workers N|auto]`
+//!
+//! The table is bitwise identical for every worker count; `--workers`
+//! only shards the 24×3-cell campaign across threads and reports the
+//! pool's throughput counters.
 
-use sectlb_secbench::report::build_table4;
+use sectlb_bench::cli;
+use sectlb_secbench::report::build_table4_with_stats;
 use sectlb_secbench::run::TrialSettings;
 
 fn main() {
-    let mut settings = TrialSettings::default();
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--trials") {
-        settings.trials = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--trials needs a number");
-                std::process::exit(2);
-            });
-    }
+    let settings = TrialSettings {
+        trials: cli::trials_flag(&args, TrialSettings::default().trials),
+        workers: cli::workers_flag(&args),
+        ..TrialSettings::default()
+    };
     eprintln!(
-        "running {} trials x 2 placements x 24 vulnerabilities x 3 designs ...",
-        settings.trials
+        "running {} trials x 2 placements x 24 vulnerabilities x 3 designs ({}) ...",
+        settings.trials,
+        match settings.workers {
+            Some(w) => format!("{w} workers"),
+            None => "serial".to_owned(),
+        }
     );
-    let table = build_table4(&settings);
+    let (table, stats) = build_table4_with_stats(&settings);
     println!("{}", table.render());
     if table.all_verdicts_match() {
         println!("all measured defense verdicts match the theoretical ones");
     } else {
         println!("WARNING: some measured verdicts disagree with theory");
+    }
+    if let Some(stats) = stats {
+        println!("\n{}", stats.render());
     }
 }

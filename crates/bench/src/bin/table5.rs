@@ -1,11 +1,22 @@
 //! Regenerates Table 5: FPGA area of the 19 TLB configurations — the
 //! structural model's estimates next to the paper's synthesis numbers.
+//!
+//! Usage: `table5 [--workers N|auto]`
+//!
+//! The area model is pure arithmetic, so the flag exists mainly for a
+//! uniform campaign interface; rows are still printed in paper order.
+
+use std::num::NonZeroUsize;
 
 use sectlb_area::{estimate, paper_table5};
+use sectlb_bench::cli;
+use sectlb_secbench::parallel::run_sharded;
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::config::TlbConfig;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workers = cli::workers_flag(&args).unwrap_or(NonZeroUsize::MIN);
     let baseline_cfg = TlbConfig::sa(32, 4).expect("valid");
     let base = estimate(TlbDesign::Sa, baseline_cfg);
     println!("Table 5: area overhead (structural model vs. paper synthesis)");
@@ -15,8 +26,9 @@ fn main() {
         "TLB", "config", "LUTs", "ΔLUTs", "paperΔ", "regs", "Δregs", "paperΔ"
     );
     let paper_base = sectlb_area::paper::paper_baseline();
-    for row in paper_table5() {
-        let e = estimate(row.design, row.config);
+    let rows = paper_table5();
+    let (estimates, _stats) = run_sharded(&rows, workers, |row| estimate(row.design, row.config));
+    for (row, e) in rows.iter().zip(estimates) {
         let (dl, dr) = e.delta(base);
         let pdl = row.luts as i64 - paper_base.luts as i64;
         let pdr = row.registers as i64 - paper_base.registers as i64;

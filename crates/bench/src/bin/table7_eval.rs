@@ -7,18 +7,15 @@
 //! TLB, the RF TLB as published (precise invalidation), and the RF TLB
 //! with this reproduction's region-flush invalidation extension.
 //!
-//! Usage: `table7_eval [--trials N]`
+//! Usage: `table7_eval [--trials N] [--workers N|auto]`
 
-use sectlb_secbench::extended::{extended_benchmarks, run_extended, ExtDesign};
+use sectlb_bench::cli;
+use sectlb_secbench::extended::{extended_benchmarks, run_extended_with_workers, ExtDesign};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trials: u32 = args
-        .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(500);
+    let trials = cli::trials_flag(&args, 500);
+    let workers = cli::workers_flag(&args);
     println!("Appendix B attacks vs. the designs ({trials} trials per placement)");
     println!("channel capacity C*; 0 = defended\n");
     print!("{:<38} {:<30}", "family", "pattern");
@@ -29,7 +26,7 @@ fn main() {
     for bench in extended_benchmarks() {
         print!("{:<38} {:<30}", bench.name, bench.pattern);
         for d in ExtDesign::ALL {
-            let m = run_extended(&bench, d, trials);
+            let m = run_extended_with_workers(&bench, d, trials, workers);
             print!(" {:>18.3}", m.capacity());
         }
         println!();

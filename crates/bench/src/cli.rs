@@ -1,0 +1,81 @@
+//! Flag parsing shared by every campaign driver binary.
+//!
+//! All drivers accept `--workers N` (parallel deterministic trial engine;
+//! `auto` picks the machine's available parallelism) and most accept
+//! `--trials N`. Campaign outputs are bitwise identical for every worker
+//! count — the flag only changes wall-clock time.
+
+use std::num::NonZeroUsize;
+
+/// Parses `--workers N` / `--workers auto`.
+///
+/// Returns `None` when the flag is absent (the legacy serial path).
+/// Exits with a usage error on a malformed value, matching the drivers'
+/// existing `--trials` behavior.
+pub fn workers_flag(args: &[String]) -> Option<NonZeroUsize> {
+    let i = args.iter().position(|a| a == "--workers")?;
+    let value = args.get(i + 1).map(String::as_str);
+    match value {
+        Some("auto") => Some(available_workers()),
+        Some(n) => match n.parse::<usize>().ok().and_then(NonZeroUsize::new) {
+            Some(w) => Some(w),
+            None => {
+                eprintln!("--workers needs a positive number or 'auto'");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            eprintln!("--workers needs a positive number or 'auto'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_workers() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Parses `--trials N`, defaulting to `default` when absent.
+pub fn trials_flag(args: &[String], default: u32) -> u32 {
+    let Some(i) = args.iter().position(|a| a == "--trials") else {
+        return default;
+    };
+    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+        Some(t) => t,
+        None => {
+            eprintln!("--trials needs a number");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flags_fall_back() {
+        assert_eq!(workers_flag(&args(&["prog"])), None);
+        assert_eq!(trials_flag(&args(&["prog"]), 500), 500);
+    }
+
+    #[test]
+    fn explicit_values_parse() {
+        assert_eq!(
+            workers_flag(&args(&["prog", "--workers", "4"])),
+            NonZeroUsize::new(4)
+        );
+        assert_eq!(trials_flag(&args(&["prog", "--trials", "50"]), 500), 50);
+    }
+
+    #[test]
+    fn auto_resolves_to_a_positive_count() {
+        let w = workers_flag(&args(&["prog", "--workers", "auto"])).expect("some");
+        assert!(w.get() >= 1);
+    }
+}

@@ -12,10 +12,16 @@
 //! | `fig7`   | Figure 7(a)–(f) — IPC and MPKI across 19 TLB configurations |
 //! | `attack_success` | Section 2.2/5.1 — TLBleed-style attack accuracy per design |
 //!
+//! Every campaign driver accepts `--workers N` (or `--workers auto`) to
+//! shard its trial space across the deterministic parallel engine in
+//! `sectlb_secbench::parallel`; outputs are bitwise identical for every
+//! worker count. See the [`cli`] module for the shared flag parsing.
+//!
 //! The [`perf`] module holds the Figure 7 machinery shared between the
 //! `fig7` binary and the integration tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod perf;

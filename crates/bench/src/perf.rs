@@ -89,7 +89,7 @@ pub fn run_cell_with(
     let builder = MachineBuilder::new()
         .design(design)
         .tlb_config(config)
-        .seed(0xf16_7 ^ runs as u64);
+        .seed(0xf167 ^ runs as u64);
     let mut m = customize(builder).build();
     let rsa_asid = m.os_mut().create_process();
     for page in layout.all_pages() {

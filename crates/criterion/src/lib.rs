@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a
+//! small wall-clock benchmark harness with criterion's API shape:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark warms up briefly, then
+//! reports the mean and best per-iteration time over a fixed number of
+//! timed batches. There are no statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target number of timed batches per benchmark (criterion's
+/// `sample_size` analogue; smaller because there is no statistics stage).
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Minimum measured time per batch; iteration counts scale to reach it.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => println!(
+                "{name:<44} mean {:>12} best {:>12} ({} iters)",
+                format_ns(r.mean_ns),
+                format_ns(r.best_ns),
+                r.iters
+            ),
+            None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup { parent: self }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.parent.bench_function(&format!("  {name}"), f);
+        self
+    }
+
+    /// Ends the group (restores the default sample count).
+    pub fn finish(self) {
+        self.parent.samples = DEFAULT_SAMPLES;
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until it is long enough
+        // to time reliably.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= BATCH_TARGET || batch >= 1 << 20 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch * 8
+            } else {
+                let scale = BATCH_TARGET.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                ((batch as f64 * scale.clamp(1.1, 8.0)) as u64).max(batch + 1)
+            };
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        let iters = batch * self.samples as u64;
+        self.report = Some(Report {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            best_ns: best.as_nanos() as f64 / batch as f64,
+            iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runner (criterion's macro shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |a, x| a ^ x.wrapping_mul(0x9e37_79b9))
+    }
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| work(black_box(100))));
+    }
+
+    #[test]
+    fn groups_scale_sample_size_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| work(black_box(10))));
+        g.finish();
+    }
+
+    #[test]
+    fn format_covers_magnitudes() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

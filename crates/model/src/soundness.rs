@@ -64,9 +64,7 @@ pub fn is_flush_reload_time_family(steps: &[State]) -> bool {
     };
     let between = &prefix[flush_pos + 1..];
     !between.is_empty()
-        && between
-            .iter()
-            .all(|s| s.known_to_attacker() && !s.is_inv())
+        && between.iter().all(|s| s.known_to_attacker() && !s.is_inv())
         && between
             .iter()
             .any(|s| matches!(s, State::KnownA(_) | State::KnownAlias(_)))
@@ -190,12 +188,20 @@ mod tests {
             assert!(m.iter().any(|s| s.is_inv()));
         }
         // A canonical member, spelled out.
-        assert!(is_flush_reload_time_family(&[Inv(A), KnownA(A), KnownA(A), Vu]));
+        assert!(is_flush_reload_time_family(&[
+            Inv(A),
+            KnownA(A),
+            KnownA(A),
+            Vu
+        ]));
         // And the capability it leaks is an address match via a hit —
         // the same class as Flush + Reload — per the semantic analysis.
         use crate::enumerate::classify_outcomes;
         use crate::semantics::evaluate;
-        let ops: Vec<_> = [Inv(A), KnownA(A), Vu].iter().map(|&s| lower_state(s)).collect();
+        let ops: Vec<_> = [Inv(A), KnownA(A), Vu]
+            .iter()
+            .map(|&s| lower_state(s))
+            .collect();
         let finding = classify_outcomes(evaluate(&ops)).expect("informative");
         assert!(finding.hit_based);
     }

@@ -1,0 +1,80 @@
+//! Golden test pinning the vulnerability enumeration.
+//!
+//! The parallel trial engine derives every trial seed from the
+//! vulnerability's position in the Table 1 state space, so campaign
+//! reproducibility depends on this enumeration never drifting: neither
+//! the raw three-step pattern space nor the 24 derived rows (including
+//! their order) may change silently. The rows below are transcribed
+//! literals, not calls back into the library — editing `enumerate.rs` in
+//! a way that reorders or reclassifies any row must fail here.
+
+use std::collections::BTreeSet;
+
+use sectlb_model::enumerate::structural_candidate_count;
+use sectlb_model::enumerate_vulnerabilities;
+use sectlb_model::pattern::Pattern;
+use sectlb_model::state::State;
+
+/// Table 2 in print order, formatted as `pattern (timing) [macro] strategy`.
+const GOLDEN_TABLE2: [&str; 24] = [
+    "A_inv ~> V_u ~> V_a (fast) [IH] TLB Internal Collision",
+    "V_inv ~> V_u ~> V_a (fast) [IH] TLB Internal Collision",
+    "A_d ~> V_u ~> V_a (fast) [IH] TLB Internal Collision",
+    "V_d ~> V_u ~> V_a (fast) [IH] TLB Internal Collision",
+    "A_aalias ~> V_u ~> V_a (fast) [IH] TLB Internal Collision",
+    "V_aalias ~> V_u ~> V_a (fast) [IH] TLB Internal Collision",
+    "A_inv ~> V_u ~> A_a (fast) [EH] TLB Flush + Reload",
+    "V_inv ~> V_u ~> A_a (fast) [EH] TLB Flush + Reload",
+    "A_d ~> V_u ~> A_a (fast) [EH] TLB Flush + Reload",
+    "V_d ~> V_u ~> A_a (fast) [EH] TLB Flush + Reload",
+    "A_aalias ~> V_u ~> A_a (fast) [EH] TLB Flush + Reload",
+    "V_aalias ~> V_u ~> A_a (fast) [EH] TLB Flush + Reload",
+    "V_u ~> A_d ~> V_u (slow) [EM] TLB Evict + Time",
+    "V_u ~> A_a ~> V_u (slow) [EM] TLB Evict + Time",
+    "A_d ~> V_u ~> A_d (slow) [EM] TLB Prime + Probe",
+    "A_a ~> V_u ~> A_a (slow) [EM] TLB Prime + Probe",
+    "V_u ~> V_a ~> V_u (slow) [IM] TLB version of Bernstein's Attack",
+    "V_u ~> V_d ~> V_u (slow) [IM] TLB version of Bernstein's Attack",
+    "V_d ~> V_u ~> V_d (slow) [IM] TLB version of Bernstein's Attack",
+    "V_a ~> V_u ~> V_a (slow) [IM] TLB version of Bernstein's Attack",
+    "V_d ~> V_u ~> A_d (slow) [EM] TLB Evict + Probe",
+    "V_a ~> V_u ~> A_a (slow) [EM] TLB Evict + Probe",
+    "A_d ~> V_u ~> V_d (slow) [IM] TLB Prime + Time",
+    "A_a ~> V_u ~> V_a (slow) [IM] TLB Prime + Time",
+];
+
+#[test]
+fn derived_rows_match_the_golden_table_in_order() {
+    let derived: Vec<String> = enumerate_vulnerabilities()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    assert_eq!(derived.len(), 24, "Table 2 has exactly 24 rows");
+    for (i, (got, want)) in derived.iter().zip(GOLDEN_TABLE2).enumerate() {
+        assert_eq!(got, want, "row {i} drifted");
+    }
+}
+
+#[test]
+fn raw_three_step_space_has_exactly_1000_patterns() {
+    assert_eq!(State::ALL.len(), 10, "Table 1 defines 10 base states");
+    let mut raw = 0usize;
+    let mut distinct = BTreeSet::new();
+    for s1 in State::ALL {
+        for s2 in State::ALL {
+            for s3 in State::ALL {
+                raw += 1;
+                distinct.insert(Pattern::new(s1, s2, s3));
+            }
+        }
+    }
+    assert_eq!(raw, 1000, "10 x 10 x 10 three-step combinations");
+    assert_eq!(distinct.len(), 1000, "all raw patterns are distinct");
+}
+
+#[test]
+fn structural_pruning_keeps_36_of_1000_candidates() {
+    // The intermediate candidate set between the structural rules and the
+    // semantic rule-(7) analysis; pinned so rule edits are deliberate.
+    assert_eq!(structural_candidate_count(), 36);
+}

@@ -1,0 +1,242 @@
+//! Strategies: deterministic samplers for property inputs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleUniform, SeedableRng};
+
+/// The RNG handed to strategies. Concrete (not generic) so strategies can
+/// be boxed into trait objects.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for a named test: the same test name always
+    /// replays the same case sequence.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRng {
+            rng: SmallRng::seed_from_u64(h.finish()),
+        }
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform sample from an integer range.
+    pub fn sample<T: SampleUniform, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.rng.gen_range(range)
+    }
+}
+
+/// A sampler of values of one type (upstream proptest's core trait, minus
+/// shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type (used by `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: SampleUniform + Debug + Clone + 'static,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.sample(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: SampleUniform + Debug + Clone + 'static,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.sample(self.clone())
+    }
+}
+
+macro_rules! impl_range_from {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_range_from!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s),+> Strategy for ($($s,)+)
+        where
+            $($s: Strategy),+
+        {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+
+/// A weighted choice among strategies with a common value type (what
+/// `prop_oneof!` builds).
+pub struct WeightedUnion<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V: Debug> WeightedUnion<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> WeightedUnion<V> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof: all weights are zero");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<V: Debug> Strategy for WeightedUnion<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut ticket = rng.sample(0..self.total);
+        for (weight, strat) in &self.arms {
+            let weight = u64::from(*weight);
+            if ticket < weight {
+                return strat.generate(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket exceeds total weight")
+    }
+}
+
+/// Types with a canonical whole-domain strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized + Debug {
+    /// Draws a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.sample(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The whole-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

@@ -11,6 +11,10 @@
 //! - [`run`] — the trial harness: 500 "mapped" + 500 "not mapped" runs per
 //!   vulnerability per TLB design, miss-counter observations, and the
 //!   empirical `p1*`, `p2*`, `C*`;
+//! - [`parallel`] — the sharded campaign engine: the
+//!   `(vulnerability, design, placement, trial-chunk)` space spread over
+//!   scoped worker threads with bitwise-deterministic seeding, so any
+//!   worker count (including the serial path) yields identical tables;
 //! - [`theory`] — the theoretical `p1`, `p2`, `C` of Table 4, including
 //!   the six combined Random-Fill TLB patterns of Section 5.3.1;
 //! - [`extended`] — the Appendix B evaluation: targeted-invalidation
@@ -41,11 +45,13 @@ pub mod channel;
 pub mod extended;
 pub mod generate;
 pub mod mitigations;
+pub mod parallel;
 pub mod report;
 pub mod run;
 pub mod spec;
 pub mod theory;
 
 pub use capacity::binary_channel_capacity;
-pub use run::{run_vulnerability, Measurement, TrialSettings};
+pub use parallel::{measure_cells, run_sharded, PoolStats, WorkerStats};
+pub use run::{derive_trial_seed, run_vulnerability, Measurement, TrialSettings};
 pub use spec::BenchmarkSpec;

@@ -109,11 +109,30 @@ pub fn run_mitigation(
 }
 
 /// Counts how many of the 24 vulnerability types a mitigation defends.
+///
+/// With `settings.workers` set, the 24 rows are sharded across the
+/// worker pool (each row measured serially inside its shard — the outer
+/// grain is coarse enough); the count is identical to the serial path
+/// because every row's measurement is an independent pure function of
+/// its coordinates.
 pub fn defended_count(mitigation: Mitigation, settings: &TrialSettings, threshold: f64) -> usize {
-    enumerate_vulnerabilities()
-        .iter()
-        .filter(|v| run_mitigation(v, mitigation, settings).defends(threshold))
-        .count()
+    let vulns = enumerate_vulnerabilities();
+    match settings.workers {
+        Some(workers) => {
+            let inner = TrialSettings {
+                workers: None,
+                ..*settings
+            };
+            let (flags, _stats) = crate::parallel::run_sharded(&vulns, workers, |v| {
+                run_mitigation(v, mitigation, &inner).defends(threshold)
+            });
+            flags.into_iter().filter(|&defended| defended).count()
+        }
+        None => vulns
+            .iter()
+            .filter(|v| run_mitigation(v, mitigation, settings).defends(threshold))
+            .count(),
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +182,23 @@ mod tests {
             ic_m.capacity() > 0.9,
             "all-victim Internal Collision never crosses a context switch"
         );
+    }
+
+    #[test]
+    fn sharded_defended_counts_match_serial() {
+        let serial = settings();
+        let parallel = TrialSettings {
+            workers: std::num::NonZeroUsize::new(3),
+            ..serial
+        };
+        for m in [Mitigation::AsidTags, Mitigation::RandomFill] {
+            assert_eq!(
+                defended_count(m, &parallel, 0.06),
+                defended_count(m, &serial, 0.06),
+                "{}",
+                m.label()
+            );
+        }
     }
 
     #[test]

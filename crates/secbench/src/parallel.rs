@@ -1,0 +1,319 @@
+//! The parallel deterministic trial engine.
+//!
+//! The paper's security evaluation is embarrassingly parallel: Table 4
+//! alone is 24 vulnerability types × 3 designs × 2 placements × 500
+//! trials = 72,000 independent machine simulations. This module shards
+//! that `(vulnerability, design, placement, trial-chunk)` space across a
+//! scoped-thread worker pool ([`std::thread::scope`] — no dependencies)
+//! and aggregates the per-shard [`Measurement`]s with their commutative
+//! [`Measurement::merge`].
+//!
+//! # Determinism contract
+//!
+//! Every trial's RFE seed is derived by [`crate::run::derive_trial_seed`]
+//! from `(base_seed, vulnerability, design, placement, trial_index)` —
+//! the trial's *coordinates*, never its schedule. Shards are merged by
+//! component-wise sums. Together these make the campaign's output
+//! **bitwise identical for any worker count, including the serial
+//! path** — the property `tests/parallel_equivalence.rs` pins.
+//!
+//! # Shape
+//!
+//! - [`run_sharded`] — the generic primitive: a fixed task list, an
+//!   atomic work queue, one result slot per task, per-worker timing.
+//! - [`measure_cells`] — campaign cells `(vulnerability, design)` split
+//!   into trial chunks, measured, and merged back per cell.
+//! - [`PoolStats`] / [`WorkerStats`] — per-shard throughput counters so
+//!   the speedup is observable in reports.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use sectlb_model::Vulnerability;
+use sectlb_sim::machine::{MachineBuilder, TlbDesign};
+
+use crate::run::{run_trial_range, Measurement, TrialSettings};
+use crate::spec::BenchmarkSpec;
+
+/// Trials per shard. Small enough that 24×3 cells split into plenty of
+/// shards for any sane worker count, large enough that the atomic queue
+/// is noise. Results never depend on this value — only scheduling does.
+pub const TRIALS_PER_SHARD: u32 = 25;
+
+/// What one worker did during a sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Shards this worker completed.
+    pub shards: usize,
+    /// Trials (per placement) this worker executed.
+    pub trials: u64,
+    /// Time this worker spent executing shards (excludes queue idling).
+    pub busy: Duration,
+}
+
+/// Timing and throughput of one sharded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total shards executed.
+    pub fn shards(&self) -> usize {
+        self.workers.iter().map(|w| w.shards).sum()
+    }
+
+    /// Total trials (per placement) executed.
+    pub fn trials(&self) -> u64 {
+        self.workers.iter().map(|w| w.trials).sum()
+    }
+
+    /// Sum of busy time across workers — the serial-equivalent work.
+    pub fn busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// Trials per second of wall-clock time (both placements counted).
+    pub fn throughput(&self) -> f64 {
+        2.0 * self.trials() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Worker overlap: aggregate busy time divided by wall-clock time.
+    ///
+    /// Busy time is measured in wall time per shard, so this equals the
+    /// effective speedup over a serial run only when the machine has at
+    /// least as many free cores as workers; with oversubscribed workers
+    /// the timeshared shards inflate the busy sum.
+    pub fn speedup(&self) -> f64 {
+        self.busy().as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// One-line throughput summary for campaign footers.
+    pub fn render(&self) -> String {
+        format!(
+            "{} workers, {} shards, {} trials x 2 placements in {:.2?} \
+             ({:.0} trials/s, {:.2}x worker overlap / speedup)",
+            self.workers.len(),
+            self.shards(),
+            self.trials(),
+            self.wall,
+            self.throughput(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Runs `f` over every task in `tasks` on a pool of `workers` scoped
+/// threads, returning the results in task order plus per-worker timing.
+///
+/// Tasks are claimed from an atomic queue in index order; each result
+/// lands in its task's slot, so the output order (and content, provided
+/// `f` is a pure function of the task) is independent of scheduling.
+pub fn run_sharded<T, R, F>(tasks: &[T], workers: NonZeroUsize, f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let started = Instant::now();
+    let worker_count = workers.get().min(tasks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut harvest: Vec<(Vec<(usize, R)>, WorkerStats)> = Vec::with_capacity(worker_count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut stats = WorkerStats {
+                        shards: 0,
+                        trials: 0,
+                        busy: Duration::ZERO,
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let t0 = Instant::now();
+                        local.push((i, f(task)));
+                        stats.busy += t0.elapsed();
+                        stats.shards += 1;
+                    }
+                    (local, stats)
+                })
+            })
+            .collect();
+        for handle in handles {
+            harvest.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(tasks.len()).collect();
+    let mut worker_stats = Vec::with_capacity(worker_count);
+    for (local, stats) in harvest {
+        for (i, r) in local {
+            debug_assert!(slots[i].is_none(), "task {i} produced twice");
+            slots[i] = Some(r);
+        }
+        worker_stats.push(stats);
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every task claimed exactly once"))
+        .collect();
+    (
+        results,
+        PoolStats {
+            wall: started.elapsed(),
+            workers: worker_stats,
+        },
+    )
+}
+
+/// One chunk of trials for one campaign cell.
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    cell: usize,
+    lo: u32,
+    hi: u32,
+}
+
+/// Measures a list of campaign cells `(vulnerability, design)` by
+/// sharding their trial ranges across `workers` threads.
+///
+/// Returns one [`Measurement`] per cell, in input order, plus the pool's
+/// timing counters. Bitwise identical to measuring each cell serially
+/// with [`run_trial_range`] over `0..settings.trials`.
+pub fn measure_cells(
+    cells: &[(Vulnerability, TlbDesign)],
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
+) -> (Vec<Measurement>, PoolStats) {
+    let specs: Vec<BenchmarkSpec> = cells
+        .iter()
+        .map(|(v, d)| BenchmarkSpec::build_with_config(v, *d, settings.config))
+        .collect();
+    let mut shards = Vec::new();
+    for (cell, _) in cells.iter().enumerate() {
+        let mut lo = 0;
+        while lo < settings.trials {
+            let hi = (lo + TRIALS_PER_SHARD).min(settings.trials);
+            shards.push(Shard { cell, lo, hi });
+            lo = hi;
+        }
+    }
+    let (partials, mut stats) = run_sharded(&shards, workers, |shard| {
+        run_trial_range(
+            &specs[shard.cell],
+            cells[shard.cell].1,
+            settings,
+            shard.lo..shard.hi,
+            customize,
+        )
+    });
+    distribute_trial_counts(&mut stats, &shards);
+    let mut merged = vec![Measurement::ZERO; cells.len()];
+    for (shard, partial) in shards.iter().zip(partials) {
+        merged[shard.cell] = merged[shard.cell].merge(partial);
+    }
+    (merged, stats)
+}
+
+/// Spreads the campaign's total trial count over the workers
+/// proportionally to the shards each one completed (the queue hands out
+/// equal-sized shards, so this matches what each worker actually ran up
+/// to the final ragged shard).
+fn distribute_trial_counts(stats: &mut PoolStats, shards: &[Shard]) {
+    let total: u64 = shards.iter().map(|s| u64::from(s.hi - s.lo)).sum();
+    let done: usize = stats.workers.iter().map(|w| w.shards).sum();
+    if done == 0 {
+        return;
+    }
+    let mut assigned = 0;
+    let worker_count = stats.workers.len();
+    for (i, w) in stats.workers.iter_mut().enumerate() {
+        if i + 1 == worker_count {
+            w.trials = total - assigned;
+        } else {
+            w.trials = total * w.shards as u64 / done as u64;
+            assigned += w.trials;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectlb_model::enumerate_vulnerabilities;
+
+    fn two_workers() -> NonZeroUsize {
+        NonZeroUsize::new(2).expect("nonzero")
+    }
+
+    #[test]
+    fn run_sharded_preserves_task_order() {
+        let tasks: Vec<u64> = (0..137).collect();
+        let (results, stats) = run_sharded(&tasks, two_workers(), |&t| t * t);
+        assert_eq!(results, tasks.iter().map(|t| t * t).collect::<Vec<_>>());
+        assert_eq!(stats.shards(), tasks.len());
+    }
+
+    #[test]
+    fn run_sharded_handles_empty_and_single() {
+        let (results, _) = run_sharded::<u32, u32, _>(&[], two_workers(), |&t| t);
+        assert!(results.is_empty());
+        let (results, stats) = run_sharded(&[7u32], NonZeroUsize::new(8).expect("nz"), |&t| t + 1);
+        assert_eq!(results, vec![8]);
+        // Only as many workers as tasks are spawned.
+        assert_eq!(stats.workers.len(), 1);
+    }
+
+    #[test]
+    fn worker_counts_add_up() {
+        let tasks: Vec<u32> = (0..50).collect();
+        let (_, stats) = run_sharded(&tasks, two_workers(), |&t| t);
+        assert_eq!(stats.shards(), 50);
+        assert!(stats.workers.len() <= 2);
+        assert!(stats.wall >= Duration::ZERO);
+    }
+
+    #[test]
+    fn measure_cells_matches_serial_for_each_worker_count() {
+        let vulns = enumerate_vulnerabilities();
+        let settings = TrialSettings {
+            trials: 30,
+            ..TrialSettings::default()
+        };
+        let cells: Vec<_> = [vulns[0], vulns[15]]
+            .into_iter()
+            .flat_map(|v| [(v, TlbDesign::Sa), (v, TlbDesign::Rf)])
+            .collect();
+        let serial: Vec<Measurement> = cells
+            .iter()
+            .map(|(v, d)| {
+                let spec = BenchmarkSpec::build_with_config(v, *d, settings.config);
+                run_trial_range(&spec, *d, &settings, 0..settings.trials, &|b| b)
+            })
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let w = NonZeroUsize::new(workers).expect("nonzero");
+            let (parallel, stats) = measure_cells(&cells, &settings, w, &|b| b);
+            assert_eq!(parallel, serial, "workers={workers} diverged");
+            assert_eq!(
+                stats.trials(),
+                u64::from(settings.trials) * cells.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn pool_stats_render_mentions_throughput() {
+        let tasks: Vec<u32> = (0..8).collect();
+        let (_, stats) = run_sharded(&tasks, two_workers(), |&t| t);
+        let text = stats.render();
+        assert!(text.contains("workers"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+    }
+}

@@ -9,11 +9,12 @@ use std::fmt::Write as _;
 use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
 use sectlb_sim::machine::TlbDesign;
 
+use crate::parallel::{measure_cells, PoolStats};
 use crate::run::{run_vulnerability, Measurement, TrialSettings};
 use crate::theory::{paper_theory, TheoryParams, TheoryRow};
 
 /// One design's columns for one vulnerability row.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cell {
     /// Measured probabilities.
     pub measured: Measurement,
@@ -30,7 +31,7 @@ impl Cell {
 }
 
 /// A full row of Table 4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// The vulnerability.
     pub vulnerability: Vulnerability,
@@ -39,7 +40,7 @@ pub struct Row {
 }
 
 /// The assembled table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4 {
     /// All 24 rows, in Table 2 order.
     pub rows: Vec<Row>,
@@ -53,29 +54,63 @@ pub const DEFENDED_THRESHOLD: f64 = 0.05;
 
 /// Runs the full security evaluation (24 rows × 3 designs ×
 /// 2×`settings.trials` trials) and assembles Table 4.
+///
+/// Honors `settings.workers` — see [`build_table4_with_stats`] for the
+/// variant that also reports the campaign's throughput counters.
 pub fn build_table4(settings: &TrialSettings) -> Table4 {
+    build_table4_with_stats(settings).0
+}
+
+/// [`build_table4`] plus the parallel engine's per-shard timing and
+/// throughput counters ([`PoolStats`]).
+///
+/// With `settings.workers = None` the legacy serial path runs — one
+/// nested loop, no threads — and the stats are `None`. With
+/// `Some(n)` the whole 24×3-cell campaign is sharded across `n` workers;
+/// the assembled table is bitwise identical in all cases because every
+/// trial's seed depends only on its coordinates.
+pub fn build_table4_with_stats(settings: &TrialSettings) -> (Table4, Option<PoolStats>) {
     let params = TheoryParams::default();
-    let rows = enumerate_vulnerabilities()
-        .into_iter()
-        .map(|v| {
-            let cell = |design| Cell {
-                measured: run_vulnerability(&v, design, settings),
-                theory: paper_theory(&v, design, &params),
+    let vulns = enumerate_vulnerabilities();
+    let (measurements, stats): (Vec<Measurement>, Option<PoolStats>) = match settings.workers {
+        Some(workers) => {
+            let cells: Vec<(Vulnerability, TlbDesign)> = vulns
+                .iter()
+                .flat_map(|&v| TlbDesign::ALL.map(|d| (v, d)))
+                .collect();
+            let (measurements, stats) = measure_cells(&cells, settings, workers, &|b| b);
+            (measurements, Some(stats))
+        }
+        None => {
+            let serial = TrialSettings {
+                workers: None,
+                ..*settings
             };
-            Row {
-                vulnerability: v,
-                cells: [
-                    cell(TlbDesign::Sa),
-                    cell(TlbDesign::Sp),
-                    cell(TlbDesign::Rf),
-                ],
-            }
+            let measurements = vulns
+                .iter()
+                .flat_map(|v| TlbDesign::ALL.map(|d| run_vulnerability(v, d, &serial)))
+                .collect();
+            (measurements, None)
+        }
+    };
+    let rows = vulns
+        .into_iter()
+        .zip(measurements.chunks_exact(3))
+        .map(|(v, cells)| Row {
+            vulnerability: v,
+            cells: core::array::from_fn(|i| Cell {
+                measured: cells[i],
+                theory: paper_theory(&v, TlbDesign::ALL[i], &params),
+            }),
         })
         .collect();
-    Table4 {
-        rows,
-        trials: settings.trials,
-    }
+    (
+        Table4 {
+            rows,
+            trials: settings.trials,
+        },
+        stats,
+    )
 }
 
 impl Table4 {
@@ -165,8 +200,11 @@ mod tests {
     /// `table4` bench binary).
     #[test]
     fn defense_matrix_matches_paper() {
+        // 50 trials is the smallest count where the marginal RF cells
+        // (Evict + Time: a few random-fill misses against zero) stay
+        // clear of the 0.05 capacity threshold.
         let settings = TrialSettings {
-            trials: 40,
+            trials: 50,
             ..TrialSettings::default()
         };
         let table = build_table4(&settings);
@@ -176,6 +214,26 @@ mod tests {
         assert_eq!(sp, 14, "SP TLB defends 14 of 24");
         assert_eq!(rf, 24, "RF TLB defends all 24");
         assert!(table.all_verdicts_match(), "measured verdicts match theory");
+    }
+
+    #[test]
+    fn parallel_table_is_bitwise_identical_and_reports_stats() {
+        let serial = TrialSettings {
+            trials: 12,
+            ..TrialSettings::default()
+        };
+        let (reference, no_stats) = build_table4_with_stats(&serial);
+        assert!(no_stats.is_none(), "serial path reports no pool stats");
+        for n in [1usize, 3] {
+            let parallel = TrialSettings {
+                workers: std::num::NonZeroUsize::new(n),
+                ..serial
+            };
+            let (table, stats) = build_table4_with_stats(&parallel);
+            assert_eq!(table, reference, "workers={n} diverged");
+            let stats = stats.expect("parallel path reports stats");
+            assert_eq!(stats.trials(), 12 * 24 * 3);
+        }
     }
 
     #[test]

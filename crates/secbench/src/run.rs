@@ -8,6 +8,9 @@
 //! TLB-miss counter. The counts of slow trials give the empirical
 //! probabilities `p1*` and `p2*` and the channel capacity `C*`.
 
+use std::num::NonZeroUsize;
+
+use sectlb_model::state::State;
 use sectlb_model::Vulnerability;
 use sectlb_sim::machine::{Machine, MachineBuilder, TlbDesign};
 use sectlb_tlb::config::TlbConfig;
@@ -29,6 +32,12 @@ pub struct TrialSettings {
     /// RF random-fill eviction policy (the insecure `LruWay` variant is
     /// only used by the `ablation_rf` study).
     pub rf_eviction: RandomFillEviction,
+    /// Worker threads for the campaign. `None` runs the legacy serial
+    /// path; `Some(n)` shards trials across `n` scoped threads through
+    /// [`crate::parallel`]. Results are bitwise identical either way:
+    /// every trial's seed depends only on
+    /// `(base_seed, vulnerability, design, placement, trial index)`.
+    pub workers: Option<NonZeroUsize>,
 }
 
 impl Default for TrialSettings {
@@ -38,8 +47,67 @@ impl Default for TrialSettings {
             config: TlbConfig::security_eval(),
             base_seed: 0x7ab1e4,
             rf_eviction: RandomFillEviction::RandomWay,
+            workers: None,
         }
     }
+}
+
+/// One round of the splitmix64 output function (Steele–Lea–Flood); the
+/// workhorse of the per-trial seed derivation.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A stable numeric code for a vulnerability: the three pattern states'
+/// positions in [`State::ALL`] as three base-10 digits. Independent of
+/// hasher internals and of the row's position in any particular table.
+pub fn vulnerability_code(v: &Vulnerability) -> u64 {
+    let idx = |s: State| State::ALL.iter().position(|&t| t == s).expect("in ALL") as u64;
+    idx(v.pattern.s1) * 100 + idx(v.pattern.s2) * 10 + idx(v.pattern.s3)
+}
+
+fn design_code(design: TlbDesign) -> u64 {
+    TlbDesign::ALL
+        .iter()
+        .position(|&d| d == design)
+        .expect("in ALL") as u64
+}
+
+fn placement_code(placement: Placement) -> u64 {
+    match placement {
+        Placement::Mapped => 0,
+        Placement::NotMapped => 1,
+    }
+}
+
+/// Derives the RFE seed of one trial from the campaign's base seed and
+/// the trial's full coordinates, by chaining [`splitmix64`] over each
+/// coordinate.
+///
+/// This is the determinism contract of the whole campaign engine: the
+/// seed depends on *what* the trial is, never on *when* or *where* it
+/// runs, so any sharding of the trial space — including the serial
+/// degenerate case — produces bitwise-identical measurements.
+pub fn derive_trial_seed(
+    base_seed: u64,
+    vulnerability: &Vulnerability,
+    design: TlbDesign,
+    placement: Placement,
+    trial: u32,
+) -> u64 {
+    let mut s = splitmix64(base_seed);
+    for coordinate in [
+        vulnerability_code(vulnerability),
+        design_code(design),
+        placement_code(placement),
+        u64::from(trial),
+    ] {
+        s = splitmix64(s ^ coordinate);
+    }
+    s
 }
 
 /// The measured outcome for one vulnerability on one TLB design — one cell
@@ -76,6 +144,27 @@ impl Measurement {
     pub fn defends(&self, threshold: f64) -> bool {
         self.capacity() <= threshold
     }
+
+    /// The empty measurement — the identity of [`Measurement::merge`].
+    pub const ZERO: Measurement = Measurement {
+        trials: 0,
+        n_mapped_miss: 0,
+        n_not_mapped_miss: 0,
+    };
+
+    /// Combines two disjoint shards of the same campaign cell.
+    ///
+    /// The merge is commutative and associative (component-wise sums), so
+    /// shards may be aggregated in any order — the property the parallel
+    /// engine relies on for thread-count-independent results.
+    #[must_use]
+    pub fn merge(self, other: Measurement) -> Measurement {
+        Measurement {
+            trials: self.trials + other.trials,
+            n_mapped_miss: self.n_mapped_miss + other.n_mapped_miss,
+            n_not_mapped_miss: self.n_not_mapped_miss + other.n_not_mapped_miss,
+        }
+    }
 }
 
 /// Builds the per-trial machine: TLB design + geometry, victim and
@@ -86,7 +175,7 @@ fn build_machine(
     design: TlbDesign,
     seed: u64,
     rf_eviction: RandomFillEviction,
-    customize: &dyn Fn(MachineBuilder) -> MachineBuilder,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
 ) -> Machine {
     let builder = MachineBuilder::new()
         .design(design)
@@ -125,7 +214,7 @@ fn run_trial(
     placement: Placement,
     seed: u64,
     rf_eviction: RandomFillEviction,
-    customize: &dyn Fn(MachineBuilder) -> MachineBuilder,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
 ) -> bool {
     let mut m = build_machine(spec, design, seed, rf_eviction, customize);
     let program = generate_program(spec, placement);
@@ -136,6 +225,10 @@ fn run_trial(
 }
 
 /// Measures one vulnerability on one design.
+///
+/// Runs serially when `settings.workers` is `None`, and through the
+/// sharded [`crate::parallel`] engine otherwise; the two paths produce
+/// bitwise-identical measurements.
 pub fn run_vulnerability(
     vulnerability: &Vulnerability,
     design: TlbDesign,
@@ -150,49 +243,62 @@ pub fn run_vulnerability_with_builder(
     vulnerability: &Vulnerability,
     design: TlbDesign,
     settings: &TrialSettings,
-    customize: impl Fn(MachineBuilder) -> MachineBuilder,
+    customize: impl Fn(MachineBuilder) -> MachineBuilder + Sync,
 ) -> Measurement {
-    let spec = BenchmarkSpec::build_with_config(vulnerability, design, settings.config);
-    let mut n_mapped_miss = 0;
-    let mut n_not_mapped_miss = 0;
-    for t in 0..settings.trials {
-        // Distinct, deterministic seeds per (row, design, trial, placement).
-        let tag = (u64::from(t) << 8) ^ settings.base_seed ^ row_tag(vulnerability, design);
-        if run_trial(
-            &spec,
-            design,
-            Placement::Mapped,
-            tag,
-            settings.rf_eviction,
-            &customize,
-        ) {
-            n_mapped_miss += 1;
+    match settings.workers {
+        Some(workers) => {
+            let cells = [(*vulnerability, design)];
+            crate::parallel::measure_cells(&cells, settings, workers, &customize)
+                .0
+                .remove(0)
         }
-        if run_trial(
-            &spec,
-            design,
-            Placement::NotMapped,
-            tag.wrapping_add(1),
-            settings.rf_eviction,
-            &customize,
-        ) {
-            n_not_mapped_miss += 1;
+        None => {
+            let spec = BenchmarkSpec::build_with_config(vulnerability, design, settings.config);
+            run_trial_range(&spec, design, settings, 0..settings.trials, &customize)
         }
-    }
-    Measurement {
-        trials: settings.trials,
-        n_mapped_miss,
-        n_not_mapped_miss,
     }
 }
 
-fn row_tag(v: &Vulnerability, design: TlbDesign) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut h = DefaultHasher::new();
-    v.pattern.hash(&mut h);
-    design.name().hash(&mut h);
-    h.finish()
+/// Measures a contiguous range of trial indices for one cell — the shard
+/// unit of the parallel engine, also usable directly (the equivalence
+/// proptests split campaigns at arbitrary boundaries with it).
+///
+/// `spec` must be built from the same vulnerability/design/config the
+/// seeds are derived for; the result covers `range.len()` trials per
+/// placement.
+pub fn run_trial_range(
+    spec: &BenchmarkSpec,
+    design: TlbDesign,
+    settings: &TrialSettings,
+    range: std::ops::Range<u32>,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
+) -> Measurement {
+    let v = &spec.vulnerability;
+    let mut n_mapped_miss = 0;
+    let mut n_not_mapped_miss = 0;
+    for t in range.clone() {
+        for (placement, counter) in [
+            (Placement::Mapped, &mut n_mapped_miss),
+            (Placement::NotMapped, &mut n_not_mapped_miss),
+        ] {
+            let seed = derive_trial_seed(settings.base_seed, v, design, placement, t);
+            if run_trial(
+                spec,
+                design,
+                placement,
+                seed,
+                settings.rf_eviction,
+                customize,
+            ) {
+                *counter += 1;
+            }
+        }
+    }
+    Measurement {
+        trials: range.len() as u32,
+        n_mapped_miss,
+        n_not_mapped_miss,
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +387,64 @@ mod tests {
         let a = run_vulnerability(&v, TlbDesign::Rf, &s);
         let b = run_vulnerability(&v, TlbDesign::Rf, &s);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_dispatch_matches_serial_bitwise() {
+        let v = row(Strategy::PrimeProbe, "A_a");
+        let serial = run_vulnerability(&v, TlbDesign::Rf, &settings());
+        for n in [1, 4] {
+            let s = TrialSettings {
+                workers: NonZeroUsize::new(n),
+                ..settings()
+            };
+            assert_eq!(
+                run_vulnerability(&v, TlbDesign::Rf, &s),
+                serial,
+                "workers={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_unique_across_coordinates() {
+        use std::collections::HashSet;
+        let vulns = enumerate_vulnerabilities();
+        let mut seeds = HashSet::new();
+        for v in vulns.iter().take(4) {
+            for design in TlbDesign::ALL {
+                for placement in [Placement::Mapped, Placement::NotMapped] {
+                    for trial in 0..50 {
+                        seeds.insert(derive_trial_seed(0x7ab1e4, v, design, placement, trial));
+                    }
+                }
+            }
+        }
+        assert_eq!(seeds.len(), 4 * 3 * 2 * 50, "seed collision");
+    }
+
+    #[test]
+    fn trial_seeds_move_with_the_base_seed() {
+        let v = row(Strategy::PrimeProbe, "A_a");
+        let a = derive_trial_seed(1, &v, TlbDesign::Sa, Placement::Mapped, 0);
+        let b = derive_trial_seed(2, &v, TlbDesign::Sa, Placement::Mapped, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_has_identity() {
+        let a = Measurement {
+            trials: 10,
+            n_mapped_miss: 3,
+            n_not_mapped_miss: 7,
+        };
+        let b = Measurement {
+            trials: 5,
+            n_mapped_miss: 1,
+            n_not_mapped_miss: 0,
+        };
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(Measurement::ZERO), a);
+        assert_eq!(a.merge(b).trials, 15);
     }
 }

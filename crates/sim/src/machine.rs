@@ -658,7 +658,11 @@ mod tests {
             .build();
         let p = m.os_mut().create_process();
         m.os_mut().map_region(p, Vpn(0x500), 1).unwrap();
-        m.run(&[Instr::SetAsid(p), Instr::JumpTo(0x500_000), Instr::Compute(1)]);
+        m.run(&[
+            Instr::SetAsid(p),
+            Instr::JumpTo(0x500_000),
+            Instr::Compute(1),
+        ]);
         assert!(m.itlb().expect("configured").probe(p, Vpn(0x500)));
         let misses = m.itlb_misses();
         m.run(&[Instr::FlushAll, Instr::Compute(1)]);
@@ -674,7 +678,11 @@ mod tests {
             .build();
         let p = m.os_mut().create_process();
         m.os_mut().map_region(p, Vpn(0x500), 1).unwrap();
-        m.run(&[Instr::SetAsid(p), Instr::JumpTo(0x500_000), Instr::Compute(1)]);
+        m.run(&[
+            Instr::SetAsid(p),
+            Instr::JumpTo(0x500_000),
+            Instr::Compute(1),
+        ]);
         m.exec(Instr::FlushPage(0x500_000));
         assert!(
             !m.itlb().expect("configured").probe(p, Vpn(0x500)),

@@ -168,15 +168,12 @@ impl PageTable {
         let mut node = &mut self.root;
         for level in 0..LEVELS - 1 {
             let idx = index_at(vpn, level);
-            if !node.children.contains_key(&idx) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = node.children.entry(idx) {
                 let frame = frames.alloc()?;
-                node.children.insert(
-                    idx,
-                    Node {
-                        frame,
-                        ..Node::default()
-                    },
-                );
+                slot.insert(Node {
+                    frame,
+                    ..Node::default()
+                });
             }
             node = node.children.get_mut(&idx).expect("just inserted");
         }
@@ -214,15 +211,12 @@ impl PageTable {
             return Err(MapError::VpnOutOfRange(vpn));
         }
         let idx0 = index_at(vpn, 0);
-        if !self.root.children.contains_key(&idx0) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.root.children.entry(idx0) {
             let frame = frames.alloc()?;
-            self.root.children.insert(
-                idx0,
-                Node {
-                    frame,
-                    ..Node::default()
-                },
-            );
+            slot.insert(Node {
+                frame,
+                ..Node::default()
+            });
         }
         let mid = self.root.children.get_mut(&idx0).expect("just inserted");
         let idx1 = index_at(vpn, 1);

@@ -54,7 +54,7 @@ impl TlbConfig {
         if entries == 0 || ways == 0 {
             return Err(ConfigError("entries and ways must be nonzero".into()));
         }
-        if entries % ways != 0 {
+        if !entries.is_multiple_of(ways) {
             return Err(ConfigError(format!(
                 "{ways} ways do not evenly divide {entries} entries"
             )));

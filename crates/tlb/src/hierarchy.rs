@@ -227,13 +227,19 @@ mod tests {
         // The hierarchy-security hazard: the RF L1 never caches a secure
         // translation, but its no-fill lookups flow through the L2, which
         // caches them deterministically.
-        let mut l1 = RfTlb::with_seed(TlbConfig::sa(8, 4).expect("valid"), 3);
+        // Seed chosen so the RFE's random fill picks a page other than the
+        // requested one (the fill may coincidentally pick 0x100 itself
+        // under other seeds, which would make the L1 check vacuous).
+        let mut l1 = RfTlb::with_seed(TlbConfig::sa(8, 4).expect("valid"), 1);
         l1.set_victim_asid(Some(Asid(1)));
         l1.set_secure_region(Some(SecureRegion::new(Vpn(0x100), 3)));
         let l2 = SaTlb::new(TlbConfig::sa(64, 4).expect("valid"));
         let mut h = TlbHierarchy::new(Box::new(l1), Box::new(l2), 8);
         h.access(Asid(1), Vpn(0x100), &mut Ident);
-        assert!(!h.l1().probe(Asid(1), Vpn(0x100)), "RF L1 never fills it");
+        assert!(
+            !h.l1().probe(Asid(1), Vpn(0x100)),
+            "RF L1 does not fill the requested page under this seed"
+        );
         assert!(
             h.l2().probe(Asid(1), Vpn(0x100)),
             "...but the SA L2 now holds the secret translation"
@@ -253,7 +259,9 @@ mod tests {
         // levels; only *random* secure pages may become resident.
         let r = h.access(Asid(1), Vpn(0x100), &mut Ident);
         assert!(!r.hit && !r.fault);
-        assert!(!h.l1().probe(Asid(1), Vpn(0x102)) || true);
+        // Whether 0x102 became resident is up to the fill RNG; probing
+        // must simply not fault either way.
+        let _ = h.l1().probe(Asid(1), Vpn(0x102));
         // Deterministic statement: the L2's fill for the *requested* page
         // never happened directly — its no-fill counter advanced.
         assert!(h.level_stats(1).expect("L2").no_fill_responses >= 1);

@@ -547,7 +547,6 @@ mod tests {
     #[test]
     fn megapage_fills_choose_a_victim_in_their_own_set() {
         use crate::tlb_trait::WalkResult;
-        use crate::types::PageSize;
         // A walker that answers megapage translations for high addresses.
         struct MegaWalker;
         impl Translator for MegaWalker {

@@ -170,6 +170,11 @@ impl Mpi {
         self.limbs.len()
     }
 
+    /// Whether there are no significant limbs (same as [`Self::is_zero`]).
+    pub fn is_empty(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
     /// Whether the value is zero.
     pub fn is_zero(&self) -> bool {
         self.limbs.is_empty()

@@ -4,9 +4,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --workspace
+cargo build --release --workspace --offline
 
-run() { echo ">>> $1"; shift; "$@" > "results/$1.txt" 2>&1; }
+# $1 is the output name; the rest is the command. Capture the name before
+# shifting — the redirection expands after the shift.
+run() {
+  local name=$1
+  shift
+  echo ">>> $name"
+  "$@" > "results/$name.txt" 2>&1
+}
 
 mkdir -p results
 run table2           ./target/release/table2

@@ -1,0 +1,62 @@
+//! Serial-vs-parallel equivalence of the Table 4 security campaign.
+//!
+//! The acceptance contract of the parallel trial engine: running the full
+//! campaign with `workers = 1`, `workers = 4`, or the legacy serial path
+//! (`workers = None`) produces field-for-field identical tables, because
+//! every trial's RFE seed is a pure function of its coordinates and the
+//! shard merge is a plain sum.
+
+use std::num::NonZeroUsize;
+
+use secure_tlbs::secbench::report::{build_table4_with_stats, Table4};
+use secure_tlbs::secbench::run::TrialSettings;
+
+const TRIALS: u32 = 50;
+
+fn settings(workers: Option<usize>) -> TrialSettings {
+    TrialSettings {
+        trials: TRIALS,
+        workers: workers.and_then(NonZeroUsize::new),
+        ..TrialSettings::default()
+    }
+}
+
+fn assert_identical(parallel: &Table4, serial: &Table4, workers: usize) {
+    assert_eq!(parallel.trials, serial.trials, "workers={workers}");
+    assert_eq!(parallel.rows.len(), serial.rows.len(), "workers={workers}");
+    for (p, s) in parallel.rows.iter().zip(&serial.rows) {
+        let row = s.vulnerability;
+        assert_eq!(p.vulnerability, row, "workers={workers}");
+        for (i, (pc, sc)) in p.cells.iter().zip(&s.cells).enumerate() {
+            let at = format!("workers={workers}, row {row}, design column {i}");
+            assert_eq!(pc.measured.trials, sc.measured.trials, "{at}");
+            assert_eq!(pc.measured.n_mapped_miss, sc.measured.n_mapped_miss, "{at}");
+            assert_eq!(
+                pc.measured.n_not_mapped_miss, sc.measured.n_not_mapped_miss,
+                "{at}"
+            );
+            assert_eq!(pc.theory, sc.theory, "{at}");
+        }
+    }
+    // Belt and braces: whole-structure equality and identical rendering.
+    assert_eq!(parallel, serial, "workers={workers}");
+    assert_eq!(parallel.render(), serial.render(), "workers={workers}");
+}
+
+#[test]
+fn table4_is_bitwise_identical_across_worker_counts() {
+    let (reference, no_stats) = build_table4_with_stats(&settings(None));
+    assert!(no_stats.is_none(), "serial path reports no pool stats");
+    assert_eq!(reference.rows.len(), 24);
+    for workers in [1usize, 4] {
+        let (table, stats) = build_table4_with_stats(&settings(Some(workers)));
+        assert_identical(&table, &reference, workers);
+        let stats = stats.expect("parallel path reports pool stats");
+        assert_eq!(
+            stats.trials(),
+            u64::from(TRIALS) * 24 * 3,
+            "every trial accounted for exactly once"
+        );
+        assert!(stats.shards() >= 24 * 3, "each cell yields >= 1 shard");
+    }
+}
