@@ -7,9 +7,13 @@
 //! This binary measures the channel capacity of every Table 2 row on the
 //! RF TLB under both policies.
 //!
-//! Usage: `ablation_rf [--trials N] [--workers N|auto]`
+//! Usage: `ablation_rf [--trials N] [--workers N|auto] [--checkpoint
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//!
+//! With `--workers` or any fault-tolerance flag the 24×2 sweep runs on
+//! the resilient engine, one shard per (vulnerability, eviction) cell.
 
-use sectlb_bench::cli;
+use sectlb_bench::{campaign, cli};
 use sectlb_model::enumerate_vulnerabilities;
 use sectlb_secbench::run::{run_vulnerability, TrialSettings};
 use sectlb_sim::machine::TlbDesign;
@@ -19,36 +23,81 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials = cli::trials_flag(&args, 300);
     let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     println!("RF TLB random-fill eviction ablation ({trials} trials per placement)\n");
     println!(
         "{:<48} {:>12} {:>12}",
         "vulnerability", "C* random-way", "C* LRU-way"
     );
+    let vulns = enumerate_vulnerabilities();
+    let measure = |v, eviction| {
+        let settings = TrialSettings {
+            trials,
+            workers: None, // sharding happens at cell granularity
+            rf_eviction: eviction,
+            ..TrialSettings::default()
+        };
+        run_vulnerability(v, TlbDesign::Rf, &settings).capacity()
+    };
+    // One engine task per (vulnerability, eviction) cell, in print order.
+    let capacities: Vec<Option<(f64, f64)>> = match campaign::engine_workers(workers, &policy) {
+        Some(engine_workers) => {
+            let tasks: Vec<usize> = (0..vulns.len()).collect();
+            let outcome = campaign::run_campaign(
+                "ablation_rf",
+                [u64::from(trials)],
+                &tasks,
+                engine_workers,
+                &policy,
+                &|&i: &usize| format!("{} on RF TLB, both evictions", vulns[i]),
+                |&i: &usize| {
+                    (
+                        measure(&vulns[i], RandomFillEviction::RandomWay),
+                        measure(&vulns[i], RandomFillEviction::LruWay),
+                    )
+                },
+            );
+            let caps: Vec<Option<(f64, f64)>> = outcome
+                .results
+                .iter()
+                .map(|r| r.as_ref().ok().copied())
+                .collect();
+            outcome.eprint_summary();
+            if outcome.exit_code() != 0 {
+                render(&vulns, &caps);
+                std::process::exit(outcome.exit_code());
+            }
+            caps
+        }
+        None => vulns
+            .iter()
+            .map(|v| {
+                Some((
+                    measure(v, RandomFillEviction::RandomWay),
+                    measure(v, RandomFillEviction::LruWay),
+                ))
+            })
+            .collect(),
+    };
+    render(&vulns, &capacities);
+}
+
+fn render(vulns: &[sectlb_model::Vulnerability], capacities: &[Option<(f64, f64)>]) {
     let mut leaks = 0;
-    for v in enumerate_vulnerabilities() {
-        let measure = |eviction| {
-            let settings = TrialSettings {
-                trials,
-                workers,
-                rf_eviction: eviction,
-                ..TrialSettings::default()
-            };
-            run_vulnerability(&v, TlbDesign::Rf, &settings).capacity()
-        };
-        let random_way = measure(RandomFillEviction::RandomWay);
-        let lru_way = measure(RandomFillEviction::LruWay);
-        let marker = if lru_way > 0.05 && random_way <= 0.05 {
-            leaks += 1;
-            "  <-- LRU-way eviction leaks"
-        } else {
-            ""
-        };
-        println!(
-            "{:<48} {:>12.3} {:>12.3}{marker}",
-            format!("{} ({})", v.pattern, v.timing),
-            random_way,
-            lru_way
-        );
+    for (v, caps) in vulns.iter().zip(capacities) {
+        let name = format!("{} ({})", v.pattern, v.timing);
+        match caps {
+            Some((random_way, lru_way)) => {
+                let marker = if *lru_way > 0.05 && *random_way <= 0.05 {
+                    leaks += 1;
+                    "  <-- LRU-way eviction leaks"
+                } else {
+                    ""
+                };
+                println!("{name:<48} {random_way:>12.3} {lru_way:>12.3}{marker}");
+            }
+            None => println!("{name:<48} {:>12} {:>12}", "QUARANTINED", "QUARANTINED"),
+        }
     }
     println!(
         "\n{leaks} vulnerability type(s) become exploitable when random fills \

@@ -6,10 +6,14 @@
 //! 8-way 32-entry SP TLB and reports (a) whether Prime + Probe stays
 //! defended and (b) the MPKI of the SecRSA and co-running workloads.
 //!
-//! Usage: `ablation_sp_ways [--trials N] [--workers N|auto]`
+//! Usage: `ablation_sp_ways [--trials N] [--workers N|auto] [--checkpoint
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//!
+//! With `--workers` or any fault-tolerance flag the sweep runs on the
+//! resilient engine, one shard per victim-way split.
 
-use sectlb_bench::cli;
 use sectlb_bench::perf::Workload;
+use sectlb_bench::{campaign, cli};
 use sectlb_model::{enumerate_vulnerabilities, Strategy};
 use sectlb_secbench::run::{run_vulnerability_with_builder, TrialSettings};
 use sectlb_sim::machine::TlbDesign;
@@ -19,6 +23,8 @@ use sectlb_workloads::spec_like::SpecBenchmark;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials = cli::trials_flag(&args, 200);
+    let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     let config = TlbConfig::security_eval(); // 8 ways, 4 sets
     let pp = *enumerate_vulnerabilities()
         .iter()
@@ -26,7 +32,7 @@ fn main() {
         .expect("row exists");
     let settings = TrialSettings {
         trials,
-        workers: cli::workers_flag(&args),
+        workers: None, // sharding happens at sweep-point granularity
         ..TrialSettings::default()
     };
     println!("SP TLB victim-way sweep (8-way 32-entry; {trials} trials per placement)\n");
@@ -34,20 +40,54 @@ fn main() {
         "{:>11} {:>16} {:>14} {:>18}",
         "victim ways", "Prime+Probe C*", "SecRSA MPKI", "SecRSA+povray MPKI"
     );
-    for victim_ways in 1..config.ways() {
+    let sweep_point = |&victim_ways: &usize| {
         let m = run_vulnerability_with_builder(&pp, TlbDesign::Sp, &settings, |b| {
             b.sp_victim_ways(victim_ways)
         });
-        let alone = perf_mpki(victim_ways, None);
-        let co = perf_mpki(victim_ways, Some(SpecBenchmark::Povray));
-        println!(
-            "{:>11} {:>16.3} {:>14.3} {:>18.3}",
-            victim_ways,
+        (
             m.capacity(),
-            alone,
-            co
-        );
+            perf_mpki(victim_ways, None),
+            perf_mpki(victim_ways, Some(SpecBenchmark::Povray)),
+        )
+    };
+    let splits: Vec<usize> = (1..config.ways()).collect();
+    match campaign::engine_workers(workers, &policy) {
+        Some(engine_workers) => {
+            let outcome = campaign::run_campaign(
+                "ablation_sp_ways",
+                [u64::from(trials)],
+                &splits,
+                engine_workers,
+                &policy,
+                &|&w: &usize| format!("SP TLB with {w} victim way(s)"),
+                sweep_point,
+            );
+            for (victim_ways, result) in splits.iter().zip(&outcome.results) {
+                match result {
+                    Ok((capacity, alone, co)) => {
+                        println!("{victim_ways:>11} {capacity:>16.3} {alone:>14.3} {co:>18.3}")
+                    }
+                    Err(_) => println!(
+                        "{victim_ways:>11} {:>16} {:>14} {:>18}",
+                        "QUAR", "QUAR", "QUAR"
+                    ),
+                }
+            }
+            print_reading();
+            outcome.eprint_summary();
+            std::process::exit(outcome.exit_code());
+        }
+        None => {
+            for victim_ways in splits {
+                let (capacity, alone, co) = sweep_point(&victim_ways);
+                println!("{victim_ways:>11} {capacity:>16.3} {alone:>14.3} {co:>18.3}");
+            }
+            print_reading();
+        }
     }
+}
+
+fn print_reading() {
     println!("\nAny victim allocation defends Prime + Probe (the partitions are");
     println!("disjoint regardless of the split); the split only moves the");
     println!("performance balance between the victim and everything else.");

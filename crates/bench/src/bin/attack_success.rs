@@ -2,15 +2,17 @@
 //! on each TLB design (Sections 2.2 and 5.1). Prints the fraction of
 //! secret exponent bits recovered.
 //!
-//! Usage: `attack_success [--seeds N] [--workers N|auto]`
+//! Usage: `attack_success [--seeds N] [--workers N|auto] [--checkpoint
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
 //!
 //! Each (design, seed) run is an independent deterministic simulation,
-//! so the per-design accuracies are identical for every worker count.
+//! so the per-design accuracies are identical for every worker count —
+//! and identical across any kill/checkpoint/resume interleaving, which
+//! the CI fault-injection smoke job exercises on this driver.
 
 use std::num::NonZeroUsize;
 
-use sectlb_bench::cli;
-use sectlb_secbench::parallel::run_sharded;
+use sectlb_bench::{campaign, cli};
 use sectlb_sim::machine::TlbDesign;
 use sectlb_workloads::attack::{attack_all_designs, prime_probe_attack, AttackSettings};
 use sectlb_workloads::rsa::RsaKey;
@@ -24,7 +26,8 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(5);
-    let workers = cli::workers_flag(&args).unwrap_or(NonZeroUsize::MIN);
+    let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     let key = RsaKey::demo_128();
     println!("TLBleed-style Prime + Probe key recovery ({seeds} runs per design)");
     println!("secret: {}-bit exponent", key.secret_bits().len());
@@ -32,22 +35,48 @@ fn main() {
         .into_iter()
         .flat_map(|d| (0..seeds).map(move |s| (d, s)))
         .collect();
-    let (accuracies, _stats) = run_sharded(&runs, workers, |&(design, s)| {
+    let run_one = |&(design, s): &(TlbDesign, u64)| {
         let settings = AttackSettings {
             seed: 0xa77ac4 ^ s,
             ..AttackSettings::default()
         };
         prime_probe_attack(&key, design, &settings).accuracy()
-    });
+    };
+    let outcome = campaign::run_campaign(
+        "attack_success",
+        [seeds],
+        &runs,
+        workers.unwrap_or(NonZeroUsize::MIN),
+        &policy,
+        &|&(design, s)| format!("{design} TLB, seed {s}"),
+        run_one,
+    );
     for (i, design) in TlbDesign::ALL.into_iter().enumerate() {
         let lo = i * seeds as usize;
-        let total_acc: f64 = accuracies[lo..lo + seeds as usize].iter().sum();
-        println!(
-            "  {} TLB: {:.1}% of key bits recovered",
-            design,
-            total_acc / seeds as f64 * 100.0
-        );
+        let slice = &outcome.results[lo..lo + seeds as usize];
+        let completed: Vec<f64> = slice
+            .iter()
+            .filter_map(|r| r.as_ref().ok().copied())
+            .collect();
+        if completed.len() == slice.len() {
+            println!(
+                "  {} TLB: {:.1}% of key bits recovered",
+                design,
+                completed.iter().sum::<f64>() / seeds as f64 * 100.0
+            );
+        } else {
+            println!(
+                "  {} TLB: QUARANTINED ({} of {} runs completed)",
+                design,
+                completed.len(),
+                slice.len()
+            );
+        }
     }
     let _ = attack_all_designs(&key, &AttackSettings::default());
     println!("(50% is chance level: the attacker learns nothing)");
+    if policy.wants_engine() || workers.is_some() {
+        outcome.eprint_summary();
+    }
+    std::process::exit(outcome.exit_code());
 }

@@ -3,17 +3,21 @@
 //! co-running with the four SPEC-like benchmarks, at 50 / 100 / 150
 //! decryptions.
 //!
-//! Usage: `fig7 [--design sa|sp|rf] [--quick] [--workers N|auto]`
+//! Usage: `fig7 [--design sa|sp|rf] [--quick] [--workers N|auto]
+//! [--checkpoint PATH] [--resume PATH] [--retries N] [--kill-after N]
+//! [--inject-* ...]`
 //!
 //! `--quick` runs 10 decryptions and the alone/omnetpp workloads only.
 //! Run with `--release`; the full sweep executes billions of simulated
 //! instructions. Every cell is an independent deterministic simulation,
 //! so `--workers` shards the sweep without changing any number; each
-//! cell is simulated once and feeds both its IPC and MPKI panels.
+//! cell is simulated once and feeds both its IPC and MPKI panels. The
+//! fault-tolerance flags run the sweep on the resilient engine — this is
+//! the longest campaign in the harness, so `--checkpoint`/`--resume`
+//! matter most here.
 
-use sectlb_bench::cli;
-use sectlb_bench::perf::{headline, run_cell, PerfCell, Workload};
-use sectlb_secbench::parallel::run_sharded;
+use sectlb_bench::perf::{headline, run_cell, Workload};
+use sectlb_bench::{campaign, cli};
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::config::TlbConfig;
 
@@ -21,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     let designs: Vec<TlbDesign> = match args
         .iter()
         .position(|a| a == "--design")
@@ -72,13 +77,45 @@ fn main() {
             }
         }
     }
-    let cells: Vec<PerfCell> = match workers {
-        Some(workers) => run_sharded(&tasks, workers, |&(d, c, w, r)| run_cell(d, c, w, r)).0,
-        None => tasks
-            .iter()
-            .map(|&(d, c, w, r)| run_cell(d, c, w, r))
-            .collect(),
-    };
+    // Each engine result is the cell's (ipc, mpki) pair; a quarantined
+    // cell renders as "QUAR" in both panels instead of a number.
+    let (cells, outcome): (Vec<Option<(f64, f64)>>, _) =
+        match campaign::engine_workers(workers, &policy) {
+            Some(engine_workers) => {
+                let outcome = campaign::run_campaign(
+                    "fig7",
+                    [u64::from(quick)],
+                    &tasks,
+                    engine_workers,
+                    &policy,
+                    &|&(d, c, w, r): &(TlbDesign, TlbConfig, Workload, usize)| {
+                        format!("{d} TLB {} {} x{r}", c.label(), w.label())
+                    },
+                    |&(d, c, w, r)| {
+                        let cell = run_cell(d, c, w, r);
+                        (cell.ipc, cell.mpki)
+                    },
+                );
+                (
+                    outcome
+                        .results
+                        .iter()
+                        .map(|r| r.as_ref().ok().copied())
+                        .collect(),
+                    Some(outcome),
+                )
+            }
+            None => (
+                tasks
+                    .iter()
+                    .map(|&(d, c, w, r)| {
+                        let cell = run_cell(d, c, w, r);
+                        Some((cell.ipc, cell.mpki))
+                    })
+                    .collect(),
+                None,
+            ),
+        };
 
     for (design, configs, offset) in &panels {
         for metric in ["IPC", "MPKI"] {
@@ -100,9 +137,13 @@ fn main() {
                 for (ri, &r) in runs.iter().enumerate() {
                     print!("{:<22} {:>5}", w.label(), r);
                     for ci in 0..configs.len() {
-                        let cell = cells[offset + (wi * runs.len() + ri) * configs.len() + ci];
-                        let v = if metric == "IPC" { cell.ipc } else { cell.mpki };
-                        print!(" {:>8.3}", v);
+                        match cells[offset + (wi * runs.len() + ri) * configs.len() + ci] {
+                            Some((ipc, mpki)) => {
+                                let v = if metric == "IPC" { ipc } else { mpki };
+                                print!(" {:>8.3}", v);
+                            }
+                            None => print!(" {:>8}", "QUAR"),
+                        }
                     }
                     println!();
                 }
@@ -129,5 +170,10 @@ fn main() {
             "  1E IPC / 4W32 IPC        = {:.2}x   (paper: ~0.62x, i.e. ~38% worse)",
             h.one_entry_ipc_ratio
         );
+    }
+
+    if let Some(outcome) = outcome {
+        outcome.eprint_summary();
+        std::process::exit(outcome.exit_code());
     }
 }

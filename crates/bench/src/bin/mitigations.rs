@@ -2,31 +2,78 @@
 //! types each pre-existing mitigation (and each of the paper's designs)
 //! defends.
 //!
-//! Usage: `mitigations [--trials N] [--workers N|auto]`
+//! Usage: `mitigations [--trials N] [--workers N|auto] [--checkpoint
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//!
+//! With `--workers` or any fault-tolerance flag the survey runs on the
+//! resilient engine, one shard per mitigation: a panicking survey row is
+//! retried deterministically and, if it keeps failing, reported as
+//! quarantined instead of aborting the others.
 
-use sectlb_bench::cli;
+use sectlb_bench::{campaign, cli};
 use sectlb_secbench::mitigations::{defended_count, Mitigation};
 use sectlb_secbench::run::TrialSettings;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     let settings = TrialSettings {
         trials: cli::trials_flag(&args, 300),
-        workers: cli::workers_flag(&args),
+        workers: None, // sharding happens at mitigation granularity below
         ..TrialSettings::default()
     };
     println!("Section 2.3: existing mitigations vs. the 24 vulnerability types");
     println!("({} trials per placement)\n", settings.trials);
     println!("{:<42} {:>10} {:>8}", "approach", "measured", "paper");
-    for m in Mitigation::ALL {
-        let measured = defended_count(m, &settings, 0.06);
-        println!(
-            "{:<42} {:>7}/24 {:>5}/24",
-            m.label(),
-            measured,
-            m.paper_defended_count()
-        );
+    match campaign::engine_workers(workers, &policy) {
+        Some(engine_workers) => {
+            let tasks: Vec<Mitigation> = Mitigation::ALL.to_vec();
+            let outcome = campaign::run_campaign(
+                "mitigations",
+                [u64::from(settings.trials), settings.base_seed],
+                &tasks,
+                engine_workers,
+                &policy,
+                &|m: &Mitigation| m.label().to_owned(),
+                |m: &Mitigation| defended_count(*m, &settings, 0.06) as u64,
+            );
+            for (m, result) in tasks.iter().zip(&outcome.results) {
+                match result {
+                    Ok(measured) => println!(
+                        "{:<42} {:>7}/24 {:>5}/24",
+                        m.label(),
+                        measured,
+                        m.paper_defended_count()
+                    ),
+                    Err(_) => println!(
+                        "{:<42} {:>10} {:>5}/24",
+                        m.label(),
+                        "QUARANTINED",
+                        m.paper_defended_count()
+                    ),
+                }
+            }
+            print_reading();
+            outcome.eprint_summary();
+            std::process::exit(outcome.exit_code());
+        }
+        None => {
+            for m in Mitigation::ALL {
+                let measured = defended_count(m, &settings, 0.06);
+                println!(
+                    "{:<42} {:>7}/24 {:>5}/24",
+                    m.label(),
+                    measured,
+                    m.paper_defended_count()
+                );
+            }
+            print_reading();
+        }
     }
+}
+
+fn print_reading() {
     println!("\nFlushing on context switches (Sanctum/SGX) matches the SP TLB's");
     println!("coverage but pays the flush on every switch; the FA TLB removes");
     println!("the set-index channel entirely but leaks internal collisions;");

@@ -2,31 +2,60 @@
 //! TLBs — measured p1*, p2*, C* (500 trials per placement by default)
 //! against the theoretical p1, p2, C.
 //!
-//! Usage: `table4 [--trials N] [--workers N|auto]`
+//! Usage: `table4 [--trials N] [--workers N|auto] [--checkpoint PATH]
+//! [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
 //!
 //! The table is bitwise identical for every worker count; `--workers`
 //! only shards the 24×3-cell campaign across threads and reports the
-//! pool's throughput counters.
+//! pool's throughput counters. With `--workers` or any fault-tolerance
+//! flag the campaign runs on the resilient engine: worker panics are
+//! isolated and deterministically retried, progress is checkpointed
+//! crash-safely, and cells whose shards keep failing are quarantined in
+//! the rendered table (exit code 4) instead of aborting the run.
 
-use sectlb_bench::cli;
-use sectlb_secbench::report::build_table4_with_stats;
+use sectlb_bench::{campaign, cli};
+use sectlb_secbench::report::{build_table4_resilient, build_table4_with_stats};
 use sectlb_secbench::run::TrialSettings;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     let settings = TrialSettings {
         trials: cli::trials_flag(&args, TrialSettings::default().trials),
-        workers: cli::workers_flag(&args),
+        workers,
         ..TrialSettings::default()
     };
     eprintln!(
         "running {} trials x 2 placements x 24 vulnerabilities x 3 designs ({}) ...",
         settings.trials,
-        match settings.workers {
-            Some(w) => format!("{w} workers"),
+        match campaign::engine_workers(workers, &policy) {
+            Some(w) => format!("{w} workers, resilient engine"),
             None => "serial".to_owned(),
         }
     );
+    if let Some(engine_workers) = campaign::engine_workers(workers, &policy) {
+        let report = match build_table4_resilient(&settings, engine_workers, &policy) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(e.exit_code());
+            }
+        };
+        println!("{}", report.render());
+        report.eprint_summary();
+        if report.quarantined.is_empty() && report.table.all_verdicts_match() {
+            println!("all measured defense verdicts match the theoretical ones");
+        } else if !report.quarantined.is_empty() {
+            println!(
+                "WARNING: {} cell(s) quarantined; verdicts incomplete",
+                report.quarantined.len()
+            );
+        } else {
+            println!("WARNING: some measured verdicts disagree with theory");
+        }
+        std::process::exit(report.exit_code());
+    }
     let (table, stats) = build_table4_with_stats(&settings);
     println!("{}", table.render());
     if table.all_verdicts_match() {

@@ -1,22 +1,24 @@
 //! Regenerates Table 5: FPGA area of the 19 TLB configurations — the
 //! structural model's estimates next to the paper's synthesis numbers.
 //!
-//! Usage: `table5 [--workers N|auto]`
+//! Usage: `table5 [--workers N|auto] [--checkpoint PATH] [--resume PATH]
+//! [--retries N] [--kill-after N] [--inject-* ...]`
 //!
-//! The area model is pure arithmetic, so the flag exists mainly for a
-//! uniform campaign interface; rows are still printed in paper order.
+//! The area model is pure arithmetic, so the flags exist mainly for a
+//! uniform campaign interface (and make this the cheapest driver to
+//! exercise the fault-tolerance machinery on); rows print in paper order.
 
 use std::num::NonZeroUsize;
 
 use sectlb_area::{estimate, paper_table5};
-use sectlb_bench::cli;
-use sectlb_secbench::parallel::run_sharded;
+use sectlb_bench::{campaign, cli};
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::config::TlbConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let workers = cli::workers_flag(&args).unwrap_or(NonZeroUsize::MIN);
+    let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     let baseline_cfg = TlbConfig::sa(32, 4).expect("valid");
     let base = estimate(TlbDesign::Sa, baseline_cfg);
     println!("Table 5: area overhead (structural model vs. paper synthesis)");
@@ -27,21 +29,52 @@ fn main() {
     );
     let paper_base = sectlb_area::paper::paper_baseline();
     let rows = paper_table5();
-    let (estimates, _stats) = run_sharded(&rows, workers, |row| estimate(row.design, row.config));
-    for (row, e) in rows.iter().zip(estimates) {
-        let (dl, dr) = e.delta(base);
+    let outcome = campaign::run_campaign(
+        "table5",
+        [0u64; 0],
+        &rows,
+        workers.unwrap_or(NonZeroUsize::MIN),
+        &policy,
+        &|row: &sectlb_area::paper::PaperRow| {
+            format!("{} {}", row.design.name(), row.config.label())
+        },
+        |row: &sectlb_area::paper::PaperRow| {
+            let e = estimate(row.design, row.config);
+            (e.luts, e.registers)
+        },
+    );
+    for (row, result) in rows.iter().zip(&outcome.results) {
         let pdl = row.luts as i64 - paper_base.luts as i64;
         let pdr = row.registers as i64 - paper_base.registers as i64;
-        println!(
-            "{:<4} {:>8} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
-            row.design.name(),
-            row.config.label(),
-            e.luts,
-            dl,
-            pdl,
-            e.registers,
-            dr,
-            pdr
-        );
+        match result {
+            Ok((luts, registers)) => {
+                let dl = *luts as i64 - base.luts as i64;
+                let dr = *registers as i64 - base.registers as i64;
+                println!(
+                    "{:<4} {:>8} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+                    row.design.name(),
+                    row.config.label(),
+                    luts,
+                    dl,
+                    pdl,
+                    registers,
+                    dr,
+                    pdr
+                );
+            }
+            Err(_) => {
+                println!(
+                    "{:<4} {:>8} | {:^29} | {:^28}",
+                    row.design.name(),
+                    row.config.label(),
+                    "QUARANTINED",
+                    "QUARANTINED"
+                );
+            }
+        }
     }
+    if workers.is_some() || policy.wants_engine() {
+        outcome.eprint_summary();
+    }
+    std::process::exit(outcome.exit_code());
 }

@@ -7,15 +7,23 @@
 //! TLB, the RF TLB as published (precise invalidation), and the RF TLB
 //! with this reproduction's region-flush invalidation extension.
 //!
-//! Usage: `table7_eval [--trials N] [--workers N|auto]`
+//! Usage: `table7_eval [--trials N] [--workers N|auto] [--checkpoint
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//!
+//! With `--workers` or any fault-tolerance flag the family × design grid
+//! runs on the resilient engine, one shard per cell.
 
-use sectlb_bench::cli;
-use sectlb_secbench::extended::{extended_benchmarks, run_extended_with_workers, ExtDesign};
+use sectlb_bench::{campaign, cli};
+use sectlb_secbench::extended::{
+    extended_benchmarks, run_extended, run_extended_with_workers, ExtDesign,
+};
+use sectlb_secbench::run::Measurement;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials = cli::trials_flag(&args, 500);
     let workers = cli::workers_flag(&args);
+    let policy = cli::campaign_flags(&args);
     println!("Appendix B attacks vs. the designs ({trials} trials per placement)");
     println!("channel capacity C*; 0 = defended\n");
     print!("{:<38} {:<30}", "family", "pattern");
@@ -23,14 +31,51 @@ fn main() {
         print!(" {:>18}", d.label());
     }
     println!();
-    for bench in extended_benchmarks() {
-        print!("{:<38} {:<30}", bench.name, bench.pattern);
-        for d in ExtDesign::ALL {
-            let m = run_extended_with_workers(&bench, d, trials, workers);
-            print!(" {:>18.3}", m.capacity());
+    let benches = extended_benchmarks();
+    match campaign::engine_workers(workers, &policy) {
+        Some(engine_workers) => {
+            // One engine task per (family, design) cell, row-major.
+            let cells: Vec<(usize, ExtDesign)> = (0..benches.len())
+                .flat_map(|b| ExtDesign::ALL.map(|d| (b, d)))
+                .collect();
+            let outcome = campaign::run_campaign(
+                "table7_eval",
+                [u64::from(trials)],
+                &cells,
+                engine_workers,
+                &policy,
+                &|&(b, d): &(usize, ExtDesign)| format!("{} on {}", benches[b].name, d.label()),
+                |&(b, d): &(usize, ExtDesign)| run_extended(&benches[b], d, trials),
+            );
+            for (bi, bench) in benches.iter().enumerate() {
+                print!("{:<38} {:<30}", bench.name, bench.pattern);
+                for (di, _) in ExtDesign::ALL.into_iter().enumerate() {
+                    match &outcome.results[bi * ExtDesign::ALL.len() + di] {
+                        Ok(m) => print!(" {:>18.3}", m.capacity()),
+                        Err(_) => print!(" {:>18}", "QUARANTINED"),
+                    }
+                }
+                println!();
+            }
+            print_reading();
+            outcome.eprint_summary();
+            std::process::exit(outcome.exit_code());
         }
-        println!();
+        None => {
+            for bench in &benches {
+                print!("{:<38} {:<30}", bench.name, bench.pattern);
+                for d in ExtDesign::ALL {
+                    let m: Measurement = run_extended_with_workers(bench, d, trials, None);
+                    print!(" {:>18.3}", m.capacity());
+                }
+                println!();
+            }
+            print_reading();
+        }
     }
+}
+
+fn print_reading() {
     println!();
     println!("Reading: targeted invalidation breaks the SA and SP TLBs on the");
     println!("internal families; the published RF TLB still leaks partially");

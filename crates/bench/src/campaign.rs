@@ -1,0 +1,107 @@
+//! Driver-side glue for the fault-tolerant campaign engine.
+//!
+//! Every campaign binary shares the same resilience lifecycle: decide
+//! whether the resilient engine is wanted (either `--workers` or any
+//! fault-tolerance flag), run the task list through
+//! [`sectlb_secbench::resilience::run_sharded_resilient`] with a
+//! driver-specific fingerprint, surface quarantined shards on stderr, and
+//! translate the outcome into a process exit code
+//! (0 clean, 2 usage/checkpoint, 3 interrupted, 4 quarantined).
+
+use std::num::NonZeroUsize;
+
+use sectlb_secbench::checkpoint::{fingerprint, fingerprint_str, Record};
+use sectlb_secbench::parallel::PoolStats;
+use sectlb_secbench::resilience::{
+    run_sharded_resilient, RunPolicy, ShardFailure, EXIT_QUARANTINED,
+};
+
+/// Whether this invocation should route through the resilient engine, and
+/// with how many workers.
+///
+/// `--workers N` opts in with `N` workers; any fault-tolerance flag
+/// (checkpoint, resume, retry tuning via kill/fault/stall switches) opts
+/// in with a single worker so the flags work without `--workers`.
+/// `None` means the driver should keep its legacy (serial) path, whose
+/// output existing tests and scripts pin.
+pub fn engine_workers(workers: Option<NonZeroUsize>, policy: &RunPolicy) -> Option<NonZeroUsize> {
+    workers.or_else(|| policy.wants_engine().then_some(NonZeroUsize::MIN))
+}
+
+/// A completed driver campaign: per-task results (quarantined shards are
+/// explicit `Err` entries, never silent gaps) plus the pool counters.
+#[derive(Debug)]
+pub struct DriverCampaign<R> {
+    /// One result per task, in task order.
+    pub results: Vec<Result<R, ShardFailure>>,
+    /// Pool timing plus retry/quarantine/stall counters.
+    pub stats: PoolStats,
+    /// Tasks restored from the resume checkpoint.
+    pub resumed: usize,
+}
+
+impl<R> DriverCampaign<R> {
+    /// Number of quarantined tasks.
+    pub fn quarantined(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// Prints the resume/quarantine/pool summary to stderr (stdout is
+    /// reserved for the table itself, which scripts diff).
+    pub fn eprint_summary(&self) {
+        if self.resumed > 0 {
+            eprintln!(
+                "resumed: {} shard(s) restored from checkpoint",
+                self.resumed
+            );
+        }
+        for failure in self.results.iter().filter_map(|r| r.as_ref().err()) {
+            eprintln!("{failure}");
+        }
+        eprintln!("pool: {}", self.stats.render());
+    }
+
+    /// The process exit code: 0 clean, [`EXIT_QUARANTINED`] otherwise.
+    pub fn exit_code(&self) -> i32 {
+        if self.quarantined() == 0 {
+            0
+        } else {
+            EXIT_QUARANTINED
+        }
+    }
+}
+
+/// Runs a driver's task list through the resilient engine.
+///
+/// The campaign fingerprint — what a `--resume` checkpoint must match —
+/// combines the driver `name` with the driver-specific `coordinates`
+/// (trial counts, seeds, anything that changes results). On a
+/// [`sectlb_secbench::resilience::CampaignError`] (checkpoint problems,
+/// `--kill-after` interruption) the error is printed and the process
+/// exits with the error's code.
+pub fn run_campaign<T, R>(
+    name: &str,
+    coordinates: impl IntoIterator<Item = u64>,
+    tasks: &[T],
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    label: &(dyn Fn(&T) -> String + Sync),
+    f: impl Fn(&T) -> R + Sync,
+) -> DriverCampaign<R>
+where
+    T: Sync,
+    R: Send + Record,
+{
+    let fp = fingerprint(fingerprint_str(name), coordinates);
+    match run_sharded_resilient(tasks, workers, policy, fp, label, f) {
+        Ok(run) => DriverCampaign {
+            results: run.results,
+            stats: run.stats,
+            resumed: run.resumed,
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}

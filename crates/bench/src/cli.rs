@@ -4,50 +4,165 @@
 //! `auto` picks the machine's available parallelism) and most accept
 //! `--trials N`. Campaign outputs are bitwise identical for every worker
 //! count — the flag only changes wall-clock time.
+//!
+//! The fault-tolerance flags ([`parse_campaign`]) route a driver through
+//! the resilient engine (`sectlb_secbench::resilience`):
+//!
+//! - `--retries N` — deterministic re-runs per panicked shard (default 2)
+//! - `--checkpoint PATH` / `--checkpoint-every N` — crash-safe progress
+//! - `--resume PATH` — skip the shards a checkpoint already records
+//! - `--kill-after N` — halt after N shards (deterministic kill switch)
+//! - `--stall-deadline-ms N` — watchdog deadline per shard
+//! - `--inject-panics PM` / `--inject-panic-attempts K` /
+//!   `--inject-fatal PM` / `--inject-stall PM` / `--inject-stall-ms N` /
+//!   `--fault-seed S` — the deterministic fault-injection harness
+//!   (per-mille rates keyed by shard index)
+//!
+//! Parsing is split into fallible `parse_*` helpers (unit-testable) and
+//! thin `*_flag` wrappers that print the error and exit 2, matching the
+//! drivers' historical behavior for malformed flags.
 
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::time::Duration;
 
-/// Parses `--workers N` / `--workers auto`.
-///
-/// Returns `None` when the flag is absent (the legacy serial path).
-/// Exits with a usage error on a malformed value, matching the drivers'
-/// existing `--trials` behavior.
-pub fn workers_flag(args: &[String]) -> Option<NonZeroUsize> {
-    let i = args.iter().position(|a| a == "--workers")?;
-    let value = args.get(i + 1).map(String::as_str);
-    match value {
-        Some("auto") => Some(available_workers()),
-        Some(n) => match n.parse::<usize>().ok().and_then(NonZeroUsize::new) {
-            Some(w) => Some(w),
-            None => {
-                eprintln!("--workers needs a positive number or 'auto'");
-                std::process::exit(2);
-            }
+use sectlb_secbench::checkpoint::CheckpointPolicy;
+use sectlb_secbench::resilience::{FaultPlan, RunPolicy};
+
+/// Looks up the value following `flag`, if the flag is present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.as_str())),
+            None => Err(format!("{flag} needs a value")),
         },
-        None => {
-            eprintln!("--workers needs a positive number or 'auto'");
-            std::process::exit(2);
-        }
     }
+}
+
+/// Parses the numeric value following `flag`, if the flag is present.
+fn flag_num<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs a number, got {v:?}")),
+    }
+}
+
+/// Parses `--workers N` / `--workers auto`; `Ok(None)` when absent.
+///
+/// `--workers 0` is rejected with a specific message: zero workers cannot
+/// make progress, and silently running serially would misreport what the
+/// campaign did.
+pub fn parse_workers(args: &[String]) -> Result<Option<NonZeroUsize>, String> {
+    match flag_value(args, "--workers").map_err(|_| WORKERS_USAGE.to_owned())? {
+        None => Ok(None),
+        Some("auto") => Ok(Some(available_workers())),
+        Some("0") => Err(
+            "--workers must be at least 1: a pool of zero workers cannot run any trials \
+             (omit the flag for the serial path, or use 'auto' for all cores)"
+                .to_owned(),
+        ),
+        Some(n) => match n.parse::<usize>().ok().and_then(NonZeroUsize::new) {
+            Some(w) => Ok(Some(w)),
+            None => Err(WORKERS_USAGE.to_owned()),
+        },
+    }
+}
+
+const WORKERS_USAGE: &str = "--workers needs a positive number or 'auto'";
+
+/// Parses `--trials N`; `Ok(default)` when absent.
+pub fn parse_trials(args: &[String], default: u32) -> Result<u32, String> {
+    Ok(flag_num(args, "--trials")?.unwrap_or(default))
+}
+
+/// Parses the fault-tolerance flags into a [`RunPolicy`].
+///
+/// With none of the flags present this returns `RunPolicy::default()`
+/// (and [`RunPolicy::wants_engine`] is false, so drivers keep their
+/// legacy paths).
+pub fn parse_campaign(args: &[String]) -> Result<RunPolicy, String> {
+    let mut policy = RunPolicy::default();
+    if let Some(retries) = flag_num::<u32>(args, "--retries")? {
+        policy.max_retries = retries;
+    }
+    if let Some(ms) = flag_num::<u64>(args, "--stall-deadline-ms")? {
+        policy.stall_deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(path) = flag_value(args, "--checkpoint")? {
+        let mut cp = CheckpointPolicy::new(path);
+        if let Some(every) = flag_num::<usize>(args, "--checkpoint-every")? {
+            if every == 0 {
+                return Err("--checkpoint-every must be at least 1".to_owned());
+            }
+            cp.every = every;
+        }
+        policy.checkpoint = Some(cp);
+    } else if flag_num::<usize>(args, "--checkpoint-every")?.is_some() {
+        return Err("--checkpoint-every requires --checkpoint PATH".to_owned());
+    }
+    if let Some(path) = flag_value(args, "--resume")? {
+        policy.resume = Some(PathBuf::from(path));
+    }
+    if let Some(n) = flag_num::<usize>(args, "--kill-after")? {
+        policy.stop_after = Some(n);
+    }
+    let mut faults = FaultPlan::default();
+    let mut any_fault = false;
+    if let Some(pm) = flag_num::<u16>(args, "--inject-panics")? {
+        faults.panic_per_mille = pm;
+        any_fault = true;
+    }
+    if let Some(k) = flag_num::<u32>(args, "--inject-panic-attempts")? {
+        faults.panic_attempts = k;
+    }
+    if let Some(pm) = flag_num::<u16>(args, "--inject-fatal")? {
+        faults.fatal_per_mille = pm;
+        any_fault = true;
+    }
+    if let Some(pm) = flag_num::<u16>(args, "--inject-stall")? {
+        faults.stall_per_mille = pm;
+        any_fault = true;
+    }
+    if let Some(ms) = flag_num::<u64>(args, "--inject-stall-ms")? {
+        faults.stall = Duration::from_millis(ms);
+    }
+    if let Some(seed) = flag_num::<u64>(args, "--fault-seed")? {
+        faults.seed = seed;
+    }
+    if any_fault {
+        policy.faults = Some(faults);
+    }
+    Ok(policy)
+}
+
+fn exit_usage(message: String) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+/// [`parse_workers`], exiting 2 with the error on a malformed value.
+pub fn workers_flag(args: &[String]) -> Option<NonZeroUsize> {
+    parse_workers(args).unwrap_or_else(|e| exit_usage(e))
+}
+
+/// [`parse_trials`], exiting 2 with the error on a malformed value.
+pub fn trials_flag(args: &[String], default: u32) -> u32 {
+    parse_trials(args, default).unwrap_or_else(|e| exit_usage(e))
+}
+
+/// [`parse_campaign`], exiting 2 with the error on a malformed value.
+pub fn campaign_flags(args: &[String]) -> RunPolicy {
+    parse_campaign(args).unwrap_or_else(|e| exit_usage(e))
 }
 
 /// The machine's available parallelism (1 if it cannot be determined).
 pub fn available_workers() -> NonZeroUsize {
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
-}
-
-/// Parses `--trials N`, defaulting to `default` when absent.
-pub fn trials_flag(args: &[String], default: u32) -> u32 {
-    let Some(i) = args.iter().position(|a| a == "--trials") else {
-        return default;
-    };
-    match args.get(i + 1).and_then(|v| v.parse().ok()) {
-        Some(t) => t,
-        None => {
-            eprintln!("--trials needs a number");
-            std::process::exit(2);
-        }
-    }
 }
 
 #[cfg(test)]
@@ -60,22 +175,101 @@ mod tests {
 
     #[test]
     fn absent_flags_fall_back() {
-        assert_eq!(workers_flag(&args(&["prog"])), None);
-        assert_eq!(trials_flag(&args(&["prog"]), 500), 500);
+        assert_eq!(parse_workers(&args(&["prog"])), Ok(None));
+        assert_eq!(parse_trials(&args(&["prog"]), 500), Ok(500));
+        let policy = parse_campaign(&args(&["prog"])).expect("defaults");
+        assert_eq!(policy, RunPolicy::default());
+        assert!(!policy.wants_engine());
     }
 
     #[test]
     fn explicit_values_parse() {
         assert_eq!(
-            workers_flag(&args(&["prog", "--workers", "4"])),
-            NonZeroUsize::new(4)
+            parse_workers(&args(&["prog", "--workers", "4"])),
+            Ok(NonZeroUsize::new(4))
         );
-        assert_eq!(trials_flag(&args(&["prog", "--trials", "50"]), 500), 50);
+        assert_eq!(
+            parse_trials(&args(&["prog", "--trials", "50"]), 500),
+            Ok(50)
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_rejected_with_a_specific_message() {
+        let err = parse_workers(&args(&["prog", "--workers", "0"])).expect_err("rejected");
+        assert!(err.contains("--workers must be at least 1"), "{err}");
+        assert!(err.contains("zero workers"), "{err}");
+    }
+
+    #[test]
+    fn malformed_workers_values_are_rejected() {
+        assert!(parse_workers(&args(&["prog", "--workers", "many"])).is_err());
+        assert!(parse_workers(&args(&["prog", "--workers", "-3"])).is_err());
+        assert!(parse_workers(&args(&["prog", "--workers"])).is_err());
     }
 
     #[test]
     fn auto_resolves_to_a_positive_count() {
-        let w = workers_flag(&args(&["prog", "--workers", "auto"])).expect("some");
+        let w = parse_workers(&args(&["prog", "--workers", "auto"]))
+            .expect("parses")
+            .expect("some");
         assert!(w.get() >= 1);
+    }
+
+    #[test]
+    fn campaign_flags_build_a_policy() {
+        let policy = parse_campaign(&args(&[
+            "prog",
+            "--retries",
+            "5",
+            "--checkpoint",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "3",
+            "--resume",
+            "/tmp/ck",
+            "--kill-after",
+            "10",
+            "--stall-deadline-ms",
+            "250",
+            "--inject-panics",
+            "100",
+            "--inject-fatal",
+            "7",
+            "--fault-seed",
+            "99",
+        ]))
+        .expect("parses");
+        assert!(policy.wants_engine());
+        assert_eq!(policy.max_retries, 5);
+        assert_eq!(policy.stop_after, Some(10));
+        assert_eq!(policy.stall_deadline, Some(Duration::from_millis(250)));
+        let cp = policy.checkpoint.expect("checkpoint");
+        assert_eq!(cp.path, PathBuf::from("/tmp/ck"));
+        assert_eq!(cp.every, 3);
+        assert_eq!(policy.resume, Some(PathBuf::from("/tmp/ck")));
+        let faults = policy.faults.expect("faults");
+        assert_eq!(faults.panic_per_mille, 100);
+        assert_eq!(faults.fatal_per_mille, 7);
+        assert_eq!(faults.seed, 99);
+    }
+
+    #[test]
+    fn campaign_flag_errors_are_specific() {
+        assert!(parse_campaign(&args(&["prog", "--retries", "x"]))
+            .expect_err("rejected")
+            .contains("--retries"));
+        assert!(parse_campaign(&args(&["prog", "--checkpoint-every", "4"]))
+            .expect_err("rejected")
+            .contains("requires --checkpoint"));
+        assert!(parse_campaign(&args(&[
+            "prog",
+            "--checkpoint",
+            "p",
+            "--checkpoint-every",
+            "0"
+        ]))
+        .expect_err("rejected")
+        .contains("at least 1"));
     }
 }

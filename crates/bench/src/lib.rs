@@ -17,11 +17,18 @@
 //! `sectlb_secbench::parallel`; outputs are bitwise identical for every
 //! worker count. See the [`cli`] module for the shared flag parsing.
 //!
+//! Campaign drivers also accept the fault-tolerance flags
+//! (`--checkpoint`, `--resume`, `--retries`, `--kill-after`,
+//! `--stall-deadline-ms`, and the `--inject-*` fault-injection harness),
+//! which route the run through `sectlb_secbench::resilience` — see the
+//! [`campaign`] module for the shared driver glue and exit codes.
+//!
 //! The [`perf`] module holds the Figure 7 machinery shared between the
 //! `fig7` binary and the integration tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cli;
 pub mod perf;

@@ -1,0 +1,558 @@
+//! Crash-safe campaign checkpoints.
+//!
+//! A long campaign (tens of thousands of trials) should survive a killed
+//! process: the fault-tolerant engine in [`crate::resilience`]
+//! periodically serializes every completed shard's result — together with
+//! a fingerprint of the campaign's settings and the task count — and a
+//! `--resume` run skips the recorded shards. Because every trial's seed
+//! is a pure function of its coordinates (see
+//! [`crate::run::derive_trial_seed`]), a resumed campaign is bitwise
+//! identical to an uninterrupted one.
+//!
+//! # File format
+//!
+//! A checkpoint is a short line-oriented text file, written with a
+//! temp-file + atomic-rename so a kill mid-write can never corrupt an
+//! existing checkpoint:
+//!
+//! ```text
+//! secbench-checkpoint v1
+//! settings 00c0ffee00c0ffee
+//! tasks 72
+//! done 0 25 3 22
+//! done 5 25 24 1
+//! ```
+//!
+//! `settings` is the campaign fingerprint ([`settings_fingerprint`]
+//! chained with driver-specific coordinates); a mismatch on load is a
+//! hard error — resuming a different campaign from a stale file would
+//! silently corrupt results. Each `done` line is a completed task index
+//! followed by its [`Record`]-encoded result.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::run::{splitmix64, Measurement, TrialSettings};
+
+/// The version tag in the checkpoint header.
+const MAGIC: &str = "secbench-checkpoint v1";
+
+/// A task result that can round-trip through a checkpoint line.
+///
+/// Encodings must be a single line without newlines and must round-trip
+/// **bitwise** (floats are stored as their IEEE-754 bit patterns) — the
+/// resume contract promises output identical to an uninterrupted run.
+pub trait Record: Sized {
+    /// Serializes the result as a single line.
+    fn encode(&self) -> String;
+    /// Parses a line produced by [`Record::encode`].
+    fn decode(line: &str) -> Option<Self>;
+}
+
+impl Record for Measurement {
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.trials, self.n_mapped_miss, self.n_not_mapped_miss
+        )
+    }
+
+    fn decode(line: &str) -> Option<Measurement> {
+        let mut parts = line.split_whitespace();
+        let trials = parts.next()?.parse().ok()?;
+        let n_mapped_miss = parts.next()?.parse().ok()?;
+        let n_not_mapped_miss = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Measurement {
+            trials,
+            n_mapped_miss,
+            n_not_mapped_miss,
+        })
+    }
+}
+
+impl Record for u64 {
+    fn encode(&self) -> String {
+        format!("{self}")
+    }
+
+    fn decode(line: &str) -> Option<u64> {
+        line.trim().parse().ok()
+    }
+}
+
+impl Record for f64 {
+    fn encode(&self) -> String {
+        // Bit-exact: the resume contract is *bitwise* identity, which a
+        // decimal round-trip cannot guarantee for every value.
+        format!("{:016x}", self.to_bits())
+    }
+
+    fn decode(line: &str) -> Option<f64> {
+        u64::from_str_radix(line.trim(), 16)
+            .ok()
+            .map(f64::from_bits)
+    }
+}
+
+impl Record for (f64, f64) {
+    fn encode(&self) -> String {
+        format!("{} {}", self.0.encode(), self.1.encode())
+    }
+
+    fn decode(line: &str) -> Option<(f64, f64)> {
+        let mut parts = line.split_whitespace();
+        let a = f64::decode(parts.next()?)?;
+        let b = f64::decode(parts.next()?)?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some((a, b))
+    }
+}
+
+impl Record for (u64, u64) {
+    fn encode(&self) -> String {
+        format!("{} {}", self.0, self.1)
+    }
+
+    fn decode(line: &str) -> Option<(u64, u64)> {
+        let mut parts = line.split_whitespace();
+        let a = parts.next()?.parse().ok()?;
+        let b = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some((a, b))
+    }
+}
+
+impl Record for (f64, f64, f64) {
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.0.encode(),
+            self.1.encode(),
+            self.2.encode()
+        )
+    }
+
+    fn decode(line: &str) -> Option<(f64, f64, f64)> {
+        let mut parts = line.split_whitespace();
+        let a = f64::decode(parts.next()?)?;
+        let b = f64::decode(parts.next()?)?;
+        let c = f64::decode(parts.next()?)?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some((a, b, c))
+    }
+}
+
+/// Why a checkpoint could not be written, read, or applied.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file is not a well-formed checkpoint.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The checkpoint was written by a campaign with different settings.
+    SettingsMismatch {
+        /// The live campaign's fingerprint.
+        expected: u64,
+        /// The fingerprint recorded in the file.
+        found: u64,
+    },
+    /// The checkpoint records a different number of tasks.
+    TaskCountMismatch {
+        /// The live campaign's task count.
+        expected: usize,
+        /// The task count recorded in the file.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Malformed { line, reason } => {
+                write!(f, "malformed checkpoint (line {line}): {reason}")
+            }
+            CheckpointError::SettingsMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different campaign: settings fingerprint \
+                 {found:016x} in the file, {expected:016x} for this run"
+            ),
+            CheckpointError::TaskCountMismatch { expected, found } => write!(
+                f,
+                "checkpoint records {found} tasks but this campaign has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// How often and where the engine checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (written with temp-file + atomic rename).
+    pub path: PathBuf,
+    /// Write the file after every `every` newly completed shards (a final
+    /// write always happens at run end or interruption).
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing `path` after every 8 completed shards.
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            path: path.into(),
+            every: 8,
+        }
+    }
+}
+
+/// An in-memory checkpoint: the campaign identity plus every completed
+/// task's encoded result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Fingerprint of the campaign settings (see [`settings_fingerprint`]
+    /// and [`fingerprint`]).
+    pub settings_hash: u64,
+    /// Total number of tasks in the campaign.
+    pub tasks: usize,
+    /// Completed tasks: `(task index, encoded result)`, in completion
+    /// order.
+    pub done: Vec<(usize, String)>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for a campaign of `tasks` tasks.
+    pub fn new(settings_hash: u64, tasks: usize) -> Checkpoint {
+        Checkpoint {
+            settings_hash,
+            tasks,
+            done: Vec::new(),
+        }
+    }
+
+    /// Records one completed task.
+    pub fn record(&mut self, index: usize, result: &impl Record) {
+        self.done.push((index, result.encode()));
+    }
+
+    /// Errors unless the checkpoint matches the live campaign's identity.
+    pub fn validate(&self, settings_hash: u64, tasks: usize) -> Result<(), CheckpointError> {
+        if self.settings_hash != settings_hash {
+            return Err(CheckpointError::SettingsMismatch {
+                expected: settings_hash,
+                found: self.settings_hash,
+            });
+        }
+        if self.tasks != tasks {
+            return Err(CheckpointError::TaskCountMismatch {
+                expected: tasks,
+                found: self.tasks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Decodes every recorded result, rejecting out-of-range indices and
+    /// undecodable payloads.
+    pub fn decoded<R: Record>(&self) -> Result<Vec<(usize, R)>, CheckpointError> {
+        self.done
+            .iter()
+            .enumerate()
+            .map(|(n, (index, payload))| {
+                let malformed = |reason: String| CheckpointError::Malformed {
+                    // +4 for the three header lines, 1-based.
+                    line: n + 4,
+                    reason,
+                };
+                if *index >= self.tasks {
+                    return Err(malformed(format!(
+                        "task index {index} out of range (campaign has {} tasks)",
+                        self.tasks
+                    )));
+                }
+                let record = R::decode(payload)
+                    .ok_or_else(|| malformed(format!("undecodable result {payload:?}")))?;
+                Ok((*index, record))
+            })
+            .collect()
+    }
+
+    /// Serializes the checkpoint to its file format.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{MAGIC}\nsettings {:016x}\ntasks {}\n",
+            self.settings_hash, self.tasks
+        );
+        for (index, payload) in &self.done {
+            out.push_str(&format!("done {index} {payload}\n"));
+        }
+        out
+    }
+
+    /// Parses the file format produced by [`Checkpoint::render`].
+    pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let malformed = |line: usize, reason: &str| CheckpointError::Malformed {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+        let (_, magic) = lines.next().ok_or_else(|| malformed(1, "empty file"))?;
+        if magic.trim() != MAGIC {
+            return Err(malformed(1, "missing `secbench-checkpoint v1` header"));
+        }
+        let settings_hash = match lines.next() {
+            Some((_, l)) if l.starts_with("settings ") => {
+                u64::from_str_radix(l["settings ".len()..].trim(), 16)
+                    .map_err(|_| malformed(2, "unparsable settings fingerprint"))?
+            }
+            _ => return Err(malformed(2, "missing `settings` line")),
+        };
+        let tasks = match lines.next() {
+            Some((_, l)) if l.starts_with("tasks ") => l["tasks ".len()..]
+                .trim()
+                .parse()
+                .map_err(|_| malformed(3, "unparsable task count"))?,
+            _ => return Err(malformed(3, "missing `tasks` line")),
+        };
+        let mut done = Vec::new();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("done ")
+                .ok_or_else(|| malformed(lineno, "expected a `done` line"))?;
+            let (index, payload) = rest
+                .split_once(' ')
+                .ok_or_else(|| malformed(lineno, "expected `done <index> <result>`"))?;
+            let index: usize = index
+                .parse()
+                .map_err(|_| malformed(lineno, "unparsable task index"))?;
+            done.push((index, payload.to_owned()));
+        }
+        Ok(Checkpoint {
+            settings_hash,
+            tasks,
+            done,
+        })
+    }
+
+    /// Writes the checkpoint to `path` crash-safely: the content goes to
+    /// a sibling temp file first and is atomically renamed over the
+    /// target, so a kill at any instant leaves either the old complete
+    /// checkpoint or the new complete one — never a torn file.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(self.render().as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses a checkpoint file.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::parse(&fs::read_to_string(path)?)
+    }
+}
+
+/// Folds `parts` into `base` with [`splitmix64`] — the common fingerprint
+/// combinator for campaign identities.
+pub fn fingerprint(base: u64, parts: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = splitmix64(base);
+    for part in parts {
+        h = splitmix64(h ^ part);
+    }
+    h
+}
+
+/// Fingerprints a string (e.g. a driver name) into a fingerprint part.
+pub fn fingerprint_str(s: &str) -> u64 {
+    fingerprint(0x5ec_b3c4, s.bytes().map(u64::from))
+}
+
+/// Fingerprints the [`TrialSettings`] fields that determine a campaign's
+/// *results*. The worker count is deliberately excluded: any sharding of
+/// the trial space produces bitwise-identical measurements, so a
+/// checkpoint taken with `--workers 8` must resume cleanly under
+/// `--workers 2` (or serially).
+pub fn settings_fingerprint(settings: &TrialSettings) -> u64 {
+    use sectlb_tlb::RandomFillEviction;
+    fingerprint(
+        0x0007_ab1e_c4ec,
+        [
+            u64::from(settings.trials),
+            settings.base_seed,
+            settings.config.ways() as u64,
+            settings.config.sets() as u64,
+            settings.config.entries() as u64,
+            match settings.rf_eviction {
+                RandomFillEviction::RandomWay => 0,
+                RandomFillEviction::LruWay => 1,
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::num::NonZeroUsize;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sectlb-ckpt-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn measurement_record_roundtrips() {
+        let m = Measurement {
+            trials: 25,
+            n_mapped_miss: 7,
+            n_not_mapped_miss: 19,
+        };
+        assert_eq!(Measurement::decode(&m.encode()), Some(m));
+        assert_eq!(Measurement::decode("1 2"), None);
+        assert_eq!(Measurement::decode("1 2 3 4"), None);
+    }
+
+    #[test]
+    fn f64_record_is_bitwise() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 0.1 + 0.2] {
+            let back = f64::decode(&v.encode()).expect("decodes");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrips() {
+        let mut ck = Checkpoint::new(0xdead_beef, 10);
+        ck.record(3, &7u64);
+        ck.record(
+            0,
+            &Measurement {
+                trials: 5,
+                n_mapped_miss: 1,
+                n_not_mapped_miss: 2,
+            },
+        );
+        let parsed = Checkpoint::parse(&ck.render()).expect("parses");
+        assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn save_and_load_via_atomic_rename() {
+        let path = tmp_path("save-load");
+        let mut ck = Checkpoint::new(42, 3);
+        ck.record(1, &99u64);
+        ck.save(&path).expect("saves");
+        let loaded = Checkpoint::load(&path).expect("loads");
+        assert_eq!(loaded, ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_foreign_campaigns() {
+        let ck = Checkpoint::new(1, 5);
+        assert!(ck.validate(1, 5).is_ok());
+        assert!(matches!(
+            ck.validate(2, 5),
+            Err(CheckpointError::SettingsMismatch { .. })
+        ));
+        assert!(matches!(
+            ck.validate(1, 6),
+            Err(CheckpointError::TaskCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_line_numbers() {
+        assert!(matches!(
+            Checkpoint::parse(""),
+            Err(CheckpointError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            Checkpoint::parse("secbench-checkpoint v1\nsettings zz\n"),
+            Err(CheckpointError::Malformed { line: 2, .. })
+        ));
+        let text = "secbench-checkpoint v1\nsettings 00000000000000ff\ntasks 2\nnope\n";
+        assert!(matches!(
+            Checkpoint::parse(text),
+            Err(CheckpointError::Malformed { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn decoded_rejects_out_of_range_indices() {
+        let mut ck = Checkpoint::new(0, 2);
+        ck.record(5, &1u64);
+        assert!(matches!(
+            ck.decoded::<u64>(),
+            Err(CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn settings_fingerprint_ignores_workers_but_not_results_knobs() {
+        let base = TrialSettings::default();
+        let with_workers = TrialSettings {
+            workers: NonZeroUsize::new(8),
+            ..base
+        };
+        assert_eq!(
+            settings_fingerprint(&base),
+            settings_fingerprint(&with_workers)
+        );
+        let other_trials = TrialSettings {
+            trials: base.trials + 1,
+            ..base
+        };
+        assert_ne!(
+            settings_fingerprint(&base),
+            settings_fingerprint(&other_trials)
+        );
+        let other_seed = TrialSettings {
+            base_seed: base.base_seed ^ 1,
+            ..base
+        };
+        assert_ne!(
+            settings_fingerprint(&base),
+            settings_fingerprint(&other_seed)
+        );
+    }
+}

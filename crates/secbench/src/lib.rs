@@ -15,6 +15,11 @@
 //!   `(vulnerability, design, placement, trial-chunk)` space spread over
 //!   scoped worker threads with bitwise-deterministic seeding, so any
 //!   worker count (including the serial path) yields identical tables;
+//! - [`resilience`] — the fault-tolerant campaign engine: panic isolation
+//!   with deterministic retry, shard quarantine, a stall watchdog, and a
+//!   deterministic fault-injection harness for testing all of the above;
+//! - [`checkpoint`] — crash-safe campaign checkpoints (temp-file +
+//!   atomic-rename) so a killed campaign resumes bitwise-identically;
 //! - [`theory`] — the theoretical `p1`, `p2`, `C` of Table 4, including
 //!   the six combined Random-Fill TLB patterns of Section 5.3.1;
 //! - [`extended`] — the Appendix B evaluation: targeted-invalidation
@@ -42,16 +47,23 @@
 
 pub mod capacity;
 pub mod channel;
+pub mod checkpoint;
 pub mod extended;
 pub mod generate;
 pub mod mitigations;
 pub mod parallel;
 pub mod report;
+pub mod resilience;
 pub mod run;
 pub mod spec;
 pub mod theory;
 
 pub use capacity::binary_channel_capacity;
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record};
 pub use parallel::{measure_cells, run_sharded, PoolStats, WorkerStats};
+pub use resilience::{
+    measure_cells_resilient, run_sharded_resilient, CampaignError, CampaignOutcome, CellOutcome,
+    FaultPlan, ResilientRun, RunPolicy, ShardFailure, EXIT_QUARANTINED,
+};
 pub use run::{derive_trial_seed, run_vulnerability, Measurement, TrialSettings};
 pub use spec::BenchmarkSpec;

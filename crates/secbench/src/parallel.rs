@@ -50,6 +50,9 @@ pub struct WorkerStats {
     pub trials: u64,
     /// Time this worker spent executing shards (excludes queue idling).
     pub busy: Duration,
+    /// Shard attempts this worker retried after a caught panic (always 0
+    /// on the non-resilient [`run_sharded`] path).
+    pub retried: usize,
 }
 
 /// Timing and throughput of one sharded run.
@@ -59,6 +62,12 @@ pub struct PoolStats {
     pub wall: Duration,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<WorkerStats>,
+    /// Shards quarantined after exhausting their retry budget (always 0
+    /// on the non-resilient [`run_sharded`] path).
+    pub quarantined: usize,
+    /// Shards the watchdog flagged as exceeding their deadline (always 0
+    /// on the non-resilient [`run_sharded`] path, which has no watchdog).
+    pub stalled: usize,
 }
 
 impl PoolStats {
@@ -77,6 +86,11 @@ impl PoolStats {
         self.workers.iter().map(|w| w.busy).sum()
     }
 
+    /// Total shard attempts retried after a caught panic.
+    pub fn retried(&self) -> usize {
+        self.workers.iter().map(|w| w.retried).sum()
+    }
+
     /// Trials per second of wall-clock time (both placements counted).
     pub fn throughput(&self) -> f64 {
         2.0 * self.trials() as f64 / self.wall.as_secs_f64().max(1e-9)
@@ -93,8 +107,12 @@ impl PoolStats {
     }
 
     /// One-line throughput summary for campaign footers.
+    ///
+    /// Resilience counters (retries, quarantined shards, watchdog stalls)
+    /// are appended only when nonzero, so clean runs render exactly as
+    /// they did before the fault-tolerant engine existed.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} workers, {} shards, {} trials x 2 placements in {:.2?} \
              ({:.0} trials/s, {:.2}x worker overlap / speedup)",
             self.workers.len(),
@@ -103,7 +121,15 @@ impl PoolStats {
             self.wall,
             self.throughput(),
             self.speedup(),
-        )
+        );
+        let retried = self.retried();
+        if retried > 0 || self.quarantined > 0 || self.stalled > 0 {
+            line.push_str(&format!(
+                "; resilience: {retried} retried, {} quarantined, {} stalled",
+                self.quarantined, self.stalled
+            ));
+        }
+        line
     }
 }
 
@@ -132,6 +158,7 @@ where
                         shards: 0,
                         trials: 0,
                         busy: Duration::ZERO,
+                        retried: 0,
                     };
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -167,16 +194,34 @@ where
         PoolStats {
             wall: started.elapsed(),
             workers: worker_stats,
+            quarantined: 0,
+            stalled: 0,
         },
     )
 }
 
 /// One chunk of trials for one campaign cell.
 #[derive(Debug, Clone, Copy)]
-struct Shard {
-    cell: usize,
-    lo: u32,
-    hi: u32,
+pub(crate) struct Shard {
+    pub(crate) cell: usize,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+/// Splits `cells` campaign cells of `trials` trials each into
+/// [`TRIALS_PER_SHARD`]-sized shards, in cell order. Shared by the plain
+/// and the fault-tolerant campaign engines so both schedule identically.
+pub(crate) fn plan_shards(cells: usize, trials: u32) -> Vec<Shard> {
+    let mut shards = Vec::new();
+    for cell in 0..cells {
+        let mut lo = 0;
+        while lo < trials {
+            let hi = (lo + TRIALS_PER_SHARD).min(trials);
+            shards.push(Shard { cell, lo, hi });
+            lo = hi;
+        }
+    }
+    shards
 }
 
 /// Measures a list of campaign cells `(vulnerability, design)` by
@@ -195,15 +240,7 @@ pub fn measure_cells(
         .iter()
         .map(|(v, d)| BenchmarkSpec::build_with_config(v, *d, settings.config))
         .collect();
-    let mut shards = Vec::new();
-    for (cell, _) in cells.iter().enumerate() {
-        let mut lo = 0;
-        while lo < settings.trials {
-            let hi = (lo + TRIALS_PER_SHARD).min(settings.trials);
-            shards.push(Shard { cell, lo, hi });
-            lo = hi;
-        }
-    }
+    let shards = plan_shards(cells.len(), settings.trials);
     let (partials, mut stats) = run_sharded(&shards, workers, |shard| {
         run_trial_range(
             &specs[shard.cell],
@@ -225,7 +262,7 @@ pub fn measure_cells(
 /// proportionally to the shards each one completed (the queue hands out
 /// equal-sized shards, so this matches what each worker actually ran up
 /// to the final ragged shard).
-fn distribute_trial_counts(stats: &mut PoolStats, shards: &[Shard]) {
+pub(crate) fn distribute_trial_counts(stats: &mut PoolStats, shards: &[Shard]) {
     let total: u64 = shards.iter().map(|s| u64::from(s.hi - s.lo)).sum();
     let done: usize = stats.workers.iter().map(|w| w.shards).sum();
     if done == 0 {

@@ -5,11 +5,15 @@
 //! theoretical `p1`, `p2`, `C` — the full structure of Table 4.
 
 use std::fmt::Write as _;
+use std::num::NonZeroUsize;
 
 use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
 use sectlb_sim::machine::TlbDesign;
 
 use crate::parallel::{measure_cells, PoolStats};
+use crate::resilience::{
+    measure_cells_resilient, CampaignError, CellOutcome, RunPolicy, ShardFailure, EXIT_QUARANTINED,
+};
 use crate::run::{run_vulnerability, Measurement, TrialSettings};
 use crate::theory::{paper_theory, TheoryParams, TheoryRow};
 
@@ -138,6 +142,17 @@ impl Table4 {
 
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
+        self.render_masked(&[])
+    }
+
+    /// [`Table4::render`], with the listed `(row, column)` cells masked as
+    /// `QUARANTINED` and excluded from the defended counts.
+    ///
+    /// The fault-tolerant engine renders through this so a quarantined
+    /// cell is *visibly* missing — never a silently plausible number from
+    /// a partial measurement. With an empty mask the output is
+    /// byte-identical to [`Table4::render`].
+    pub fn render_masked(&self, masked: &[(usize, usize)]) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -157,7 +172,7 @@ impl Table4 {
         );
         let _ = writeln!(out, "{}", "-".repeat(header.len()));
         let mut last_strategy = String::new();
-        for row in &self.rows {
+        for (r, row) in self.rows.iter().enumerate() {
             let v = &row.vulnerability;
             let strategy = v.strategy.paper_name();
             let shown = if strategy == last_strategy {
@@ -168,27 +183,190 @@ impl Table4 {
             last_strategy = strategy.to_owned();
             let pat = format!("{} ({})", v.pattern, v.timing);
             let mut line = format!("{shown:<34} {pat:<30}");
-            for cell in &row.cells {
-                let _ = write!(
-                    line,
-                    " | {:>7.2} {:>7.2} {:>4.2} {:>3.2}",
-                    cell.measured.p1(),
-                    cell.measured.p2(),
-                    cell.measured.capacity(),
-                    cell.theory.capacity(),
-                );
+            for (c, cell) in row.cells.iter().enumerate() {
+                if masked.contains(&(r, c)) {
+                    let _ = write!(line, " | {:^24}", "QUARANTINED");
+                } else {
+                    let _ = write!(
+                        line,
+                        " | {:>7.2} {:>7.2} {:>4.2} {:>3.2}",
+                        cell.measured.p1(),
+                        cell.measured.p2(),
+                        cell.measured.capacity(),
+                        cell.theory.capacity(),
+                    );
+                }
             }
             let _ = writeln!(out, "{line}");
         }
         let _ = writeln!(out, "{}", "-".repeat(header.len()));
-        let [sa, sp, rf] = self.defended_counts();
+        let mut counts = [0usize; 3];
+        for (r, row) in self.rows.iter().enumerate() {
+            for (c, cell) in row.cells.iter().enumerate() {
+                if !masked.contains(&(r, c)) && cell.measured.defends(DEFENDED_THRESHOLD) {
+                    counts[c] += 1;
+                }
+            }
+        }
+        let [sa, sp, rf] = counts;
         let _ = writeln!(
             out,
             "defended (measured C* <= {DEFENDED_THRESHOLD}): SA {sa}/24, SP {sp}/24, RF {rf}/24 \
              (paper: 10, 14, 24)"
         );
+        if !masked.is_empty() {
+            let _ = writeln!(
+                out,
+                "WARNING: {} cell(s) quarantined and excluded from the counts above",
+                masked.len()
+            );
+        }
         out
     }
+}
+
+/// A campaign cell whose shards kept failing and were quarantined.
+#[derive(Debug, Clone)]
+pub struct QuarantinedCell {
+    /// The cell's vulnerability.
+    pub vulnerability: Vulnerability,
+    /// The cell's TLB design.
+    pub design: TlbDesign,
+    /// Row index in [`Table4::rows`].
+    pub row: usize,
+    /// Column index (0 = SA, 1 = SP, 2 = RF).
+    pub col: usize,
+    /// Merged measurement of the shards that did complete.
+    pub partial: Measurement,
+    /// The first quarantined shard's failure report.
+    pub failure: ShardFailure,
+}
+
+/// A Table 4 campaign run through the fault-tolerant engine: the table,
+/// the quarantine report, and the pool's resilience counters.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The assembled table (quarantined cells hold partial measurements
+    /// and are masked in [`CampaignReport::render`]).
+    pub table: Table4,
+    /// Every quarantined cell with its failure report — quarantine is
+    /// always surfaced, never silently dropped.
+    pub quarantined: Vec<QuarantinedCell>,
+    /// Pool timing plus retry/quarantine/stall counters.
+    pub stats: PoolStats,
+    /// Shards skipped via the resume checkpoint.
+    pub resumed: usize,
+}
+
+impl CampaignReport {
+    /// The driver exit code: 0 for a clean campaign, [`EXIT_QUARANTINED`]
+    /// when any cell was quarantined.
+    pub fn exit_code(&self) -> i32 {
+        if self.quarantined.is_empty() {
+            0
+        } else {
+            EXIT_QUARANTINED
+        }
+    }
+
+    /// Renders the table (quarantined cells masked) followed by the
+    /// quarantine detail section.
+    ///
+    /// Only deterministic content: a clean run renders byte-identically
+    /// to the plain [`Table4::render`] path, and a resumed run renders
+    /// byte-identically to an uninterrupted one. Timing and resume
+    /// counters go to stderr via [`CampaignReport::eprint_summary`].
+    pub fn render(&self) -> String {
+        let masked: Vec<(usize, usize)> = self.quarantined.iter().map(|q| (q.row, q.col)).collect();
+        let mut out = self.table.render_masked(&masked);
+        for q in &self.quarantined {
+            let _ = writeln!(
+                out,
+                "quarantined cell [{} on {} TLB]: {} ({} of {} trials salvaged)",
+                q.vulnerability, q.design, q.failure, q.partial.trials, self.table.trials
+            );
+        }
+        out
+    }
+
+    /// Prints the run's non-deterministic bookkeeping — the resume count
+    /// and the pool's timing/throughput line — to stderr, keeping stdout
+    /// bitwise-comparable across kill/resume interleavings.
+    pub fn eprint_summary(&self) {
+        if self.resumed > 0 {
+            eprintln!(
+                "resumed: {} shard(s) restored from checkpoint",
+                self.resumed
+            );
+        }
+        eprintln!("pool: {}", self.stats.render());
+    }
+}
+
+/// The full Table 4 cell list, in row-major `(vulnerability, design)`
+/// order — the task space shared by every Table 4 campaign path.
+pub fn table4_cells() -> Vec<(Vulnerability, TlbDesign)> {
+    enumerate_vulnerabilities()
+        .iter()
+        .flat_map(|&v| TlbDesign::ALL.map(|d| (v, d)))
+        .collect()
+}
+
+/// [`build_table4_with_stats`] on the fault-tolerant engine: worker
+/// panics are isolated and deterministically retried, completed shards
+/// are checkpointed per `policy`, and cells whose shards keep failing are
+/// quarantined in the report instead of killing the campaign.
+///
+/// A clean run's table is bitwise identical to [`build_table4`]'s.
+pub fn build_table4_resilient(
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+) -> Result<CampaignReport, CampaignError> {
+    let params = TheoryParams::default();
+    let cells = table4_cells();
+    let outcome = measure_cells_resilient(&cells, settings, workers, policy, &|b| b)?;
+    let mut quarantined = Vec::new();
+    let measurements: Vec<Measurement> = outcome
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| match cell {
+            CellOutcome::Measured(m) => *m,
+            CellOutcome::Quarantined { partial, failure } => {
+                quarantined.push(QuarantinedCell {
+                    vulnerability: cells[i].0,
+                    design: cells[i].1,
+                    row: i / 3,
+                    col: i % 3,
+                    partial: *partial,
+                    failure: failure.clone(),
+                });
+                *partial
+            }
+        })
+        .collect();
+    let vulns = enumerate_vulnerabilities();
+    let rows = vulns
+        .into_iter()
+        .zip(measurements.chunks_exact(3))
+        .map(|(v, cells)| Row {
+            vulnerability: v,
+            cells: core::array::from_fn(|i| Cell {
+                measured: cells[i],
+                theory: paper_theory(&v, TlbDesign::ALL[i], &params),
+            }),
+        })
+        .collect();
+    Ok(CampaignReport {
+        table: Table4 {
+            rows,
+            trials: settings.trials,
+        },
+        quarantined,
+        stats: outcome.stats,
+        resumed: outcome.resumed,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,834 @@
+//! The fault-tolerant campaign engine: panic isolation, deterministic
+//! retry, checkpoint/resume, a stall watchdog, and a deterministic
+//! fault-injection harness.
+//!
+//! The paper's security evaluation is tens of thousands of independent
+//! simulations per campaign. The plain [`crate::parallel`] engine treats
+//! any worker panic as fatal (`join().expect`) and loses every completed
+//! cell when the process dies. This module replaces that failure mode
+//! with graceful degradation:
+//!
+//! - **Panic isolation + deterministic retry** — every shard executes
+//!   under [`std::panic::catch_unwind`]. Because a trial's seed is a pure
+//!   function of its coordinates ([`crate::run::derive_trial_seed`]), a
+//!   failed shard is retried *identically* up to
+//!   [`RunPolicy::max_retries`] times; a shard that keeps failing is
+//!   **quarantined** — reported as a [`ShardFailure`] carrying its
+//!   coordinates and panic payload — instead of killing the campaign.
+//! - **Crash-safe checkpoint/resume** — completed shard results are
+//!   periodically serialized via [`crate::checkpoint`] (temp file +
+//!   atomic rename). A resumed run skips recorded shards and, by the
+//!   determinism contract, produces bitwise-identical final output to an
+//!   uninterrupted run.
+//! - **Watchdog** — an optional per-shard deadline; workers that exceed
+//!   it are reported as [`StallEvent`]s and counted in
+//!   [`PoolStats::stalled`].
+//! - **Fault injection** — a deterministic [`FaultPlan`] (seeded by shard
+//!   index, enabled only through test/CLI flags) makes chosen shards
+//!   panic or stall, so the integration suite can *prove* the properties
+//!   above: kill-and-resume equals uninterrupted, injected panics
+//!   converge after retry, quarantine never silently drops a cell.
+
+use std::collections::HashSet;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use sectlb_model::Vulnerability;
+use sectlb_sim::machine::{MachineBuilder, TlbDesign};
+
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record};
+use crate::parallel::{distribute_trial_counts, plan_shards, PoolStats, WorkerStats};
+use crate::run::{
+    run_trial_range, splitmix64, vulnerability_code, Measurement, SetupError, TrialSettings,
+};
+use crate::spec::BenchmarkSpec;
+
+/// Exit code drivers use when a campaign completed but quarantined at
+/// least one shard (the results are explicit about which cells are
+/// missing — never a silent abort).
+pub const EXIT_QUARANTINED: i32 = 4;
+
+/// One shard that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The shard's index in the campaign task list.
+    pub index: usize,
+    /// Human-readable coordinates ("what was this shard measuring").
+    pub task: String,
+    /// Attempts made (1 initial + retries) before quarantining.
+    pub attempts: u32,
+    /// The panic payload of the last attempt.
+    pub payload: String,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} [{}] quarantined after {} attempt(s): {}",
+            self.index, self.task, self.attempts, self.payload
+        )
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+/// A worker that exceeded the watchdog's per-shard deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallEvent {
+    /// The stalled worker's id.
+    pub worker: usize,
+    /// The shard it was executing when flagged.
+    pub task: usize,
+    /// How long the shard had been running when flagged.
+    pub waited: Duration,
+}
+
+/// Campaign-level failures — the typed hierarchy that propagates from the
+/// simulator's map/translate errors ([`SetupError`]) and the checkpoint
+/// layer up to driver exit codes.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Loading, validating, or writing a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// The run was deliberately interrupted (`--kill-after`) before every
+    /// shard completed; a final checkpoint was written if one was
+    /// configured.
+    Interrupted {
+        /// Shards completed before the interrupt (including resumed).
+        completed: usize,
+        /// Total shards in the campaign.
+        total: usize,
+        /// Where the final checkpoint was saved, if checkpointing was on.
+        checkpoint: Option<PathBuf>,
+    },
+    /// Machine setup failed on a serial (non-isolated) path.
+    Setup(SetupError),
+}
+
+impl CampaignError {
+    /// The process exit code a driver should use for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CampaignError::Checkpoint(_) => 2,
+            CampaignError::Interrupted { .. } => 3,
+            CampaignError::Setup(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::Interrupted {
+                completed,
+                total,
+                checkpoint,
+            } => {
+                write!(
+                    f,
+                    "campaign interrupted: {completed}/{total} shards complete"
+                )?;
+                match checkpoint {
+                    Some(path) => write!(f, "; checkpoint saved to {}", path.display()),
+                    None => write!(f, "; no checkpoint was configured — progress lost"),
+                }
+            }
+            CampaignError::Setup(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Checkpoint(e) => Some(e),
+            CampaignError::Setup(e) => Some(e),
+            CampaignError::Interrupted { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> CampaignError {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+impl From<SetupError> for CampaignError {
+    fn from(e: SetupError) -> CampaignError {
+        CampaignError::Setup(e)
+    }
+}
+
+/// A deterministic plan of injected faults, keyed by shard index.
+///
+/// Whether a given shard faults — and on which attempts — is a pure
+/// function of `(seed, shard index, attempt)`, so an injected campaign is
+/// exactly reproducible: the integration suite relies on this to prove
+/// that retried shards converge to the fault-free results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Base seed of the plan.
+    pub seed: u64,
+    /// Per-mille of shards whose first [`FaultPlan::panic_attempts`]
+    /// attempts panic (transient faults — retry recovers them).
+    pub panic_per_mille: u16,
+    /// How many leading attempts of a transiently faulty shard panic.
+    pub panic_attempts: u32,
+    /// Per-mille of shards that panic on *every* attempt (permanent
+    /// faults — these end up quarantined).
+    pub fatal_per_mille: u16,
+    /// Per-mille of shards whose first attempt stalls for
+    /// [`FaultPlan::stall`] before running (watchdog fodder).
+    pub stall_per_mille: u16,
+    /// Injected stall duration.
+    pub stall: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0xfa_017,
+            panic_per_mille: 0,
+            panic_attempts: 1,
+            fatal_per_mille: 0,
+            stall_per_mille: 0,
+            stall: Duration::from_millis(100),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.panic_per_mille > 0 || self.fatal_per_mille > 0 || self.stall_per_mille > 0
+    }
+
+    fn roll(&self, index: usize, salt: u64) -> u16 {
+        (splitmix64(splitmix64(self.seed ^ salt) ^ index as u64) % 1000) as u16
+    }
+
+    /// Whether the plan permanently fails shard `index`.
+    pub fn is_fatal(&self, index: usize) -> bool {
+        self.roll(index, 0xdead) < self.fatal_per_mille
+    }
+
+    /// Executes the planned fault for `(index, attempt)`, if any:
+    /// sleeps for injected stalls, panics for injected faults.
+    pub fn inject(&self, index: usize, attempt: u32) {
+        if self.roll(index, 0x57a11) < self.stall_per_mille && attempt == 0 {
+            std::thread::sleep(self.stall);
+        }
+        if self.is_fatal(index) {
+            panic!("injected permanent fault in shard {index} (attempt {attempt})");
+        }
+        if self.roll(index, 0x9a71c) < self.panic_per_mille && attempt < self.panic_attempts {
+            panic!("injected transient fault in shard {index} (attempt {attempt})");
+        }
+    }
+}
+
+/// How a resilient run behaves around failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Retries per shard after the initial attempt (deterministic: the
+    /// retried shard reruns with identical seeds).
+    pub max_retries: u32,
+    /// Per-shard watchdog deadline; `None` disables the watchdog.
+    pub stall_deadline: Option<Duration>,
+    /// Deterministic fault injection (test/CLI harness only).
+    pub faults: Option<FaultPlan>,
+    /// Halt the run after this many newly completed shards — a
+    /// deterministic stand-in for `kill -9` used by the kill/resume
+    /// integration tests and the CI smoke job.
+    pub stop_after: Option<usize>,
+    /// Periodic crash-safe checkpointing.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from this checkpoint (skip its recorded shards). A missing
+    /// file is treated as a fresh start so resume flags are idempotent.
+    pub resume: Option<PathBuf>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> RunPolicy {
+        RunPolicy {
+            max_retries: 2,
+            stall_deadline: None,
+            faults: None,
+            stop_after: None,
+            checkpoint: None,
+            resume: None,
+        }
+    }
+}
+
+impl RunPolicy {
+    /// Whether any option requires routing through the resilient engine
+    /// even when the caller did not ask for worker parallelism.
+    pub fn wants_engine(&self) -> bool {
+        self.checkpoint.is_some()
+            || self.resume.is_some()
+            || self.faults.is_some()
+            || self.stop_after.is_some()
+            || self.stall_deadline.is_some()
+    }
+}
+
+/// The outcome of a resilient sharded run.
+#[derive(Debug)]
+pub struct ResilientRun<R> {
+    /// One result per task, in task order: `Ok` for measured shards,
+    /// `Err` for quarantined ones. Every task is accounted for — a
+    /// quarantined shard is an explicit entry, never a silent gap.
+    pub results: Vec<Result<R, ShardFailure>>,
+    /// Pool timing plus resilience counters.
+    pub stats: PoolStats,
+    /// Tasks skipped because a resume checkpoint already recorded them.
+    pub resumed: usize,
+    /// Watchdog reports, if a deadline was configured.
+    pub stalls: Vec<StallEvent>,
+}
+
+impl<R> ResilientRun<R> {
+    /// The quarantined shards, in task order.
+    pub fn failures(&self) -> Vec<&ShardFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
+    }
+
+    /// Whether every shard completed.
+    pub fn is_clean(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Per-worker watchdog bookkeeping: when (nanos since run start, +1 so 0
+/// means idle) the worker started its current shard, and which shard.
+struct WatchSlot {
+    started: AtomicU64,
+    task: AtomicUsize,
+}
+
+/// Runs `f` over every task on a panic-isolated worker pool with
+/// deterministic retry, optional checkpoint/resume, an optional stall
+/// watchdog, and optional fault injection.
+///
+/// The generic, driver-facing primitive: results land in task order, and
+/// — provided `f` is a pure function of its task — are bitwise identical
+/// for any worker count, any interleaving of kills and resumes, and any
+/// transient-fault plan that retry can absorb. `fingerprint` names the
+/// campaign (settings + driver coordinates); checkpoints recording a
+/// different fingerprint or task count are rejected rather than resumed.
+///
+/// `label` renders a task's coordinates for quarantine reports.
+pub fn run_sharded_resilient<T, R, F>(
+    tasks: &[T],
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    fingerprint: u64,
+    label: &(dyn Fn(&T) -> String + Sync),
+    f: F,
+) -> Result<ResilientRun<R>, CampaignError>
+where
+    T: Sync,
+    R: Send + Record,
+    F: Fn(&T) -> R + Sync,
+{
+    let started = Instant::now();
+    let mut slots: Vec<Option<Result<R, ShardFailure>>> =
+        std::iter::repeat_with(|| None).take(tasks.len()).collect();
+    let mut ck = Checkpoint::new(fingerprint, tasks.len());
+    let mut resumed = 0usize;
+    if let Some(path) = &policy.resume {
+        if path.exists() {
+            let loaded = Checkpoint::load(path)?;
+            loaded.validate(fingerprint, tasks.len())?;
+            for (i, r) in loaded.decoded::<R>()? {
+                if slots[i].is_none() {
+                    resumed += 1;
+                    ck.record(i, &r);
+                    slots[i] = Some(Ok(r));
+                }
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..tasks.len()).filter(|&i| slots[i].is_none()).collect();
+    // The kill switch is enforced at claim time: with `stop_after: Some(n)`
+    // exactly `min(n, pending)` shards execute, for any worker count and
+    // any shard runtime — the kill point is deterministic, not a race
+    // between the collector's halt flag and fast workers draining the
+    // queue.
+    let claim_cap = policy.stop_after.unwrap_or(usize::MAX);
+    let worker_count = workers.get().min(pending.len().max(1));
+    let next = AtomicUsize::new(0);
+    let halt = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    let watch: Vec<WatchSlot> = (0..worker_count)
+        .map(|_| WatchSlot {
+            started: AtomicU64::new(0),
+            task: AtomicUsize::new(0),
+        })
+        .collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, ShardFailure>)>();
+
+    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(worker_count);
+    let mut stalls: Vec<StallEvent> = Vec::new();
+    let mut live_done = 0usize;
+
+    let f = &f;
+    std::thread::scope(|scope| -> Result<(), CampaignError> {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|w| {
+                let tx = tx.clone();
+                let watch_slot = &watch[w];
+                let pending = &pending;
+                let next = &next;
+                let halt = &halt;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats {
+                        shards: 0,
+                        trials: 0,
+                        busy: Duration::ZERO,
+                        retried: 0,
+                    };
+                    loop {
+                        if halt.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= claim_cap {
+                            break;
+                        }
+                        let Some(&i) = pending.get(k) else { break };
+                        let task = &tasks[i];
+                        watch_slot.task.store(i, Ordering::Release);
+                        watch_slot
+                            .started
+                            .store(started.elapsed().as_nanos() as u64 + 1, Ordering::Release);
+                        let t0 = Instant::now();
+                        let mut attempt = 0u32;
+                        let outcome = loop {
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                if let Some(plan) = &policy.faults {
+                                    plan.inject(i, attempt);
+                                }
+                                f(task)
+                            }));
+                            match run {
+                                Ok(r) => break Ok(r),
+                                Err(payload) => {
+                                    if attempt >= policy.max_retries {
+                                        break Err(ShardFailure {
+                                            index: i,
+                                            task: label(task),
+                                            attempts: attempt + 1,
+                                            payload: panic_message(payload.as_ref()),
+                                        });
+                                    }
+                                    attempt += 1;
+                                    stats.retried += 1;
+                                }
+                            }
+                        };
+                        watch_slot.started.store(0, Ordering::Release);
+                        stats.busy += t0.elapsed();
+                        stats.shards += 1;
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let watchdog = policy.stall_deadline.map(|deadline| {
+            let watch = &watch;
+            let done = &done;
+            scope.spawn(move || {
+                let poll = (deadline / 8)
+                    .max(Duration::from_millis(2))
+                    .min(Duration::from_millis(200));
+                let mut flagged: HashSet<(usize, usize)> = HashSet::new();
+                let mut events = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    std::thread::sleep(poll);
+                    let now = started.elapsed().as_nanos() as u64;
+                    for (w, slot) in watch.iter().enumerate() {
+                        let s = slot.started.load(Ordering::Acquire);
+                        if s == 0 {
+                            continue;
+                        }
+                        let elapsed = now.saturating_sub(s - 1);
+                        if elapsed > deadline.as_nanos() as u64 {
+                            let task = slot.task.load(Ordering::Acquire);
+                            if flagged.insert((w, task)) {
+                                events.push(StallEvent {
+                                    worker: w,
+                                    task,
+                                    waited: Duration::from_nanos(elapsed),
+                                });
+                            }
+                        }
+                    }
+                }
+                events
+            })
+        });
+
+        let collect = (|| -> Result<(), CampaignError> {
+            let mut since_checkpoint = 0usize;
+            for (i, outcome) in rx.iter() {
+                if let Ok(r) = &outcome {
+                    ck.record(i, r);
+                    since_checkpoint += 1;
+                }
+                debug_assert!(slots[i].is_none(), "task {i} produced twice");
+                slots[i] = Some(outcome);
+                live_done += 1;
+                if let Some(cp) = &policy.checkpoint {
+                    if since_checkpoint >= cp.every {
+                        ck.save(&cp.path)?;
+                        since_checkpoint = 0;
+                    }
+                }
+                if let Some(stop) = policy.stop_after {
+                    if live_done >= stop {
+                        halt.store(true, Ordering::Release);
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if collect.is_err() {
+            halt.store(true, Ordering::Release);
+        }
+
+        for handle in handles {
+            // Workers isolate task panics internally; a join failure can
+            // only come from an engine bug. Degrade to missing stats
+            // rather than aborting the campaign.
+            if let Ok(stats) = handle.join() {
+                worker_stats.push(stats);
+            }
+        }
+        done.store(true, Ordering::Release);
+        if let Some(handle) = watchdog {
+            if let Ok(events) = handle.join() {
+                stalls = events;
+            }
+        }
+        collect
+    })?;
+
+    // A final write so the file always reflects the run's end state —
+    // complete on success, maximal on interruption.
+    if let Some(cp) = &policy.checkpoint {
+        ck.save(&cp.path)?;
+    }
+
+    let completed = slots.iter().filter(|s| s.is_some()).count();
+    if completed < tasks.len() {
+        return Err(CampaignError::Interrupted {
+            completed,
+            total: tasks.len(),
+            checkpoint: policy.checkpoint.as_ref().map(|cp| cp.path.clone()),
+        });
+    }
+
+    let results: Vec<Result<R, ShardFailure>> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every task accounted for"))
+        .collect();
+    let quarantined = results.iter().filter(|r| r.is_err()).count();
+    let stats = PoolStats {
+        wall: started.elapsed(),
+        workers: worker_stats,
+        quarantined,
+        stalled: stalls.len(),
+    };
+    Ok(ResilientRun {
+        results,
+        stats,
+        resumed,
+        stalls,
+    })
+}
+
+/// The outcome of one campaign cell under the fault-tolerant engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// Every shard of the cell completed; the full measurement.
+    Measured(Measurement),
+    /// At least one shard was quarantined. The partial measurement covers
+    /// the shards that did complete; `failure` is the first quarantined
+    /// shard's report.
+    Quarantined {
+        /// Merged measurement of the cell's completed shards.
+        partial: Measurement,
+        /// The first quarantined shard of this cell.
+        failure: ShardFailure,
+    },
+}
+
+impl CellOutcome {
+    /// The full measurement, if the cell completed.
+    pub fn measurement(&self) -> Option<Measurement> {
+        match self {
+            CellOutcome::Measured(m) => Some(*m),
+            CellOutcome::Quarantined { .. } => None,
+        }
+    }
+}
+
+/// A fault-tolerant campaign over `(vulnerability, design)` cells.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// One outcome per cell, in input order. Cells are never silently
+    /// dropped: a cell is either fully measured or explicitly
+    /// quarantined.
+    pub cells: Vec<CellOutcome>,
+    /// Pool timing plus resilience counters.
+    pub stats: PoolStats,
+    /// Shards skipped via the resume checkpoint.
+    pub resumed: usize,
+    /// Watchdog reports.
+    pub stalls: Vec<StallEvent>,
+}
+
+/// The campaign fingerprint of a cell list under `settings` — what a
+/// checkpoint must match to be resumed.
+pub fn cells_fingerprint(cells: &[(Vulnerability, TlbDesign)], settings: &TrialSettings) -> u64 {
+    crate::checkpoint::fingerprint(
+        crate::checkpoint::settings_fingerprint(settings),
+        cells.iter().flat_map(|(v, d)| {
+            [
+                vulnerability_code(v),
+                TlbDesign::ALL.iter().position(|&x| x == *d).unwrap_or(0) as u64,
+            ]
+        }),
+    )
+}
+
+/// [`crate::parallel::measure_cells`], fault-tolerantly: the same shard
+/// plan and bitwise-identical measurements, but worker panics are
+/// isolated and retried, completed shards are checkpointed, and shards
+/// that keep failing quarantine their cell instead of killing the run.
+pub fn measure_cells_resilient(
+    cells: &[(Vulnerability, TlbDesign)],
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
+) -> Result<CampaignOutcome, CampaignError> {
+    let specs: Vec<BenchmarkSpec> = cells
+        .iter()
+        .map(|(v, d)| BenchmarkSpec::build_with_config(v, *d, settings.config))
+        .collect();
+    let shards = plan_shards(cells.len(), settings.trials);
+    let fingerprint = cells_fingerprint(cells, settings);
+    let run = run_sharded_resilient(
+        &shards,
+        workers,
+        policy,
+        fingerprint,
+        &|shard| {
+            let (v, d) = &cells[shard.cell];
+            format!("{v} on {d} TLB, trials {}..{}", shard.lo, shard.hi)
+        },
+        |shard| {
+            run_trial_range(
+                &specs[shard.cell],
+                cells[shard.cell].1,
+                settings,
+                shard.lo..shard.hi,
+                customize,
+            )
+        },
+    )?;
+
+    let mut merged = vec![Measurement::ZERO; cells.len()];
+    let mut first_failure: Vec<Option<ShardFailure>> = vec![None; cells.len()];
+    for (shard, result) in shards.iter().zip(&run.results) {
+        match result {
+            Ok(partial) => merged[shard.cell] = merged[shard.cell].merge(*partial),
+            Err(failure) => {
+                if first_failure[shard.cell].is_none() {
+                    first_failure[shard.cell] = Some(failure.clone());
+                }
+            }
+        }
+    }
+    let outcomes: Vec<CellOutcome> = merged
+        .into_iter()
+        .zip(first_failure)
+        .map(|(m, failure)| match failure {
+            None => CellOutcome::Measured(m),
+            Some(failure) => CellOutcome::Quarantined {
+                partial: m,
+                failure,
+            },
+        })
+        .collect();
+
+    let mut stats = run.stats;
+    // Trial accounting covers only the shards actually executed this run
+    // (resumed shards did their trials in a previous process).
+    let executed: Vec<_> = shards
+        .iter()
+        .zip(&run.results)
+        .filter(|(_, r)| r.is_ok())
+        .map(|(s, _)| *s)
+        .collect();
+    distribute_trial_counts(&mut stats, &executed);
+    Ok(CampaignOutcome {
+        cells: outcomes,
+        stats,
+        resumed: run.resumed,
+        stalls: run.stalls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two() -> NonZeroUsize {
+        NonZeroUsize::new(2).expect("nonzero")
+    }
+
+    #[test]
+    fn clean_run_matches_plain_sharding() {
+        let tasks: Vec<u64> = (0..60).collect();
+        let policy = RunPolicy::default();
+        let run =
+            run_sharded_resilient(&tasks, two(), &policy, 1, &|t| format!("t{t}"), |&t| t * t)
+                .expect("clean run");
+        assert!(run.is_clean());
+        let values: Vec<u64> = run.results.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(values, tasks.iter().map(|t| t * t).collect::<Vec<_>>());
+        assert_eq!(run.stats.quarantined, 0);
+        assert_eq!(run.stats.retried(), 0);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let plan = FaultPlan {
+            panic_per_mille: 250,
+            fatal_per_mille: 100,
+            ..FaultPlan::default()
+        };
+        for i in 0..100 {
+            assert_eq!(plan.is_fatal(i), plan.is_fatal(i));
+        }
+        assert!((0..1000).any(|i| plan.is_fatal(i)));
+        assert!(!(0..1000).all(|i| plan.is_fatal(i)));
+    }
+
+    #[test]
+    fn transient_faults_retry_to_identical_results() {
+        let tasks: Vec<u64> = (0..40).collect();
+        let clean = run_sharded_resilient(
+            &tasks,
+            two(),
+            &RunPolicy::default(),
+            2,
+            &|t| format!("t{t}"),
+            |&t| t + 1,
+        )
+        .expect("clean");
+        let faulty_policy = RunPolicy {
+            faults: Some(FaultPlan {
+                panic_per_mille: 400,
+                panic_attempts: 2,
+                ..FaultPlan::default()
+            }),
+            max_retries: 3,
+            ..RunPolicy::default()
+        };
+        let faulty = run_sharded_resilient(
+            &tasks,
+            two(),
+            &faulty_policy,
+            2,
+            &|t| format!("t{t}"),
+            |&t| t + 1,
+        )
+        .expect("faulty converges");
+        assert!(faulty.is_clean(), "retries absorb transient faults");
+        assert!(faulty.stats.retried() > 0, "some shards were retried");
+        let a: Vec<u64> = clean.results.into_iter().map(|r| r.expect("ok")).collect();
+        let b: Vec<u64> = faulty.results.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permanent_faults_quarantine_without_aborting() {
+        let tasks: Vec<u64> = (0..50).collect();
+        let plan = FaultPlan {
+            fatal_per_mille: 200,
+            ..FaultPlan::default()
+        };
+        let policy = RunPolicy {
+            faults: Some(plan),
+            max_retries: 1,
+            ..RunPolicy::default()
+        };
+        let run =
+            run_sharded_resilient(&tasks, two(), &policy, 3, &|t| format!("task {t}"), |&t| t)
+                .expect("run completes despite faults");
+        let expected_fatal: Vec<usize> = (0..tasks.len()).filter(|&i| plan.is_fatal(i)).collect();
+        assert!(!expected_fatal.is_empty(), "plan injects something");
+        for (i, result) in run.results.iter().enumerate() {
+            if expected_fatal.contains(&i) {
+                let failure = result.as_ref().expect_err("quarantined");
+                assert_eq!(failure.index, i);
+                assert_eq!(failure.attempts, 2, "1 attempt + 1 retry");
+                assert!(failure.payload.contains("injected permanent fault"));
+                assert!(failure.task.contains(&format!("task {i}")));
+            } else {
+                assert!(result.is_ok(), "shard {i} unaffected");
+            }
+        }
+        assert_eq!(run.stats.quarantined, expected_fatal.len());
+    }
+
+    #[test]
+    fn watchdog_reports_stalled_shards() {
+        let tasks: Vec<u64> = (0..4).collect();
+        let policy = RunPolicy {
+            stall_deadline: Some(Duration::from_millis(10)),
+            ..RunPolicy::default()
+        };
+        let run = run_sharded_resilient(&tasks, two(), &policy, 4, &|t| format!("t{t}"), |&t| {
+            if t == 2 {
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            t
+        })
+        .expect("completes");
+        assert!(run.is_clean());
+        assert!(run.stats.stalled >= 1, "stall detected");
+        assert!(run.stalls.iter().any(|s| s.task == 2), "{:?}", run.stalls);
+    }
+}

@@ -13,6 +13,7 @@ use std::num::NonZeroUsize;
 use sectlb_model::state::State;
 use sectlb_model::Vulnerability;
 use sectlb_sim::machine::{Machine, MachineBuilder, TlbDesign};
+use sectlb_sim::os::OsError;
 use sectlb_tlb::config::TlbConfig;
 use sectlb_tlb::RandomFillEviction;
 
@@ -167,16 +168,63 @@ impl Measurement {
     }
 }
 
+/// A machine-setup failure, annotated with the campaign cell that hit it.
+///
+/// Wraps the simulator's [`OsError`] (map/translate failures) with the
+/// vulnerability, design, and setup stage, so a failure deep inside
+/// `sectlb_sim` surfaces as "which cell of which table broke and why"
+/// instead of a bare `expect` panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetupError {
+    /// The vulnerability whose benchmark was being set up.
+    pub vulnerability: String,
+    /// The TLB design under test.
+    pub design: TlbDesign,
+    /// The setup stage that failed (e.g. `"map conflict region"`).
+    pub stage: &'static str,
+    /// The underlying OS/page-table error.
+    pub source: OsError,
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "machine setup failed for cell [{} on {} TLB] while trying to {}: {}",
+            self.vulnerability, self.design, self.stage, self.source
+        )
+    }
+}
+
+impl std::error::Error for SetupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Builds the per-trial machine: TLB design + geometry, victim and
 /// attacker processes, their mapped regions, and the programmed secure
 /// region (victim-ASID and `sbase`/`ssize` registers).
+///
+/// Setup failures (which a fresh machine should never produce, but a
+/// customized one from an ablation hook can) are reported with the
+/// vulnerability/design cell that hit them instead of panicking.
 fn build_machine(
     spec: &BenchmarkSpec,
     design: TlbDesign,
     seed: u64,
     rf_eviction: RandomFillEviction,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
-) -> Machine {
+) -> Result<Machine, SetupError> {
+    let cell_error = |stage: &'static str| {
+        let vulnerability = spec.vulnerability.to_string();
+        move |source: OsError| SetupError {
+            vulnerability,
+            design,
+            stage,
+            source,
+        }
+    };
     let builder = MachineBuilder::new()
         .design(design)
         .tlb_config(spec.config)
@@ -189,21 +237,21 @@ fn build_machine(
     debug_assert_eq!(attacker, ATTACKER_ASID);
     // The victim's secure region (also pre-generates PTEs for the RFE).
     m.protect_victim(victim, spec.region)
-        .expect("fresh machine cannot fail to map");
+        .map_err(cell_error("protect the victim's secure region"))?;
     // Both actors can reach the conflict pages, the in-range page numbers
     // (numerically, in their own address spaces) and their filler page.
     for asid in [victim, attacker] {
         m.os_mut()
             .map_region(asid, spec.dbase, 64)
-            .expect("fresh machine cannot fail to map");
+            .map_err(cell_error("map the conflict region"))?;
         m.os_mut()
             .map_region(asid, spec.region.base, spec.region.pages)
             .ok(); // victim's region is already mapped; attacker's is fresh
         m.os_mut()
             .map_page(asid, spec.filler)
-            .expect("fresh machine cannot fail to map");
+            .map_err(cell_error("map the filler page"))?;
     }
-    m
+    Ok(m)
 }
 
 /// Runs one trial; returns `true` when the timed step was slow (the miss
@@ -215,13 +263,13 @@ fn run_trial(
     seed: u64,
     rf_eviction: RandomFillEviction,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
-) -> bool {
-    let mut m = build_machine(spec, design, seed, rf_eviction, customize);
+) -> Result<bool, SetupError> {
+    let mut m = build_machine(spec, design, seed, rf_eviction, customize)?;
     let program = generate_program(spec, placement);
     m.run(&program);
     let reads = &m.stats().counter_reads;
     assert_eq!(reads.len(), 2, "benchmark reads the counter exactly twice");
-    reads[1] > reads[0]
+    Ok(reads[1] > reads[0])
 }
 
 /// Measures one vulnerability on one design.
@@ -273,6 +321,24 @@ pub fn run_trial_range(
     range: std::ops::Range<u32>,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
 ) -> Measurement {
+    match try_run_trial_range(spec, design, settings, range, customize) {
+        Ok(m) => m,
+        // The panic message carries the full cell coordinates, so the
+        // fault-tolerant engine's catch_unwind surfaces them verbatim in
+        // its quarantine report.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_trial_range`]: machine-setup failures are propagated as
+/// a typed [`SetupError`] naming the cell instead of panicking.
+pub fn try_run_trial_range(
+    spec: &BenchmarkSpec,
+    design: TlbDesign,
+    settings: &TrialSettings,
+    range: std::ops::Range<u32>,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
+) -> Result<Measurement, SetupError> {
     let v = &spec.vulnerability;
     let mut n_mapped_miss = 0;
     let mut n_not_mapped_miss = 0;
@@ -289,16 +355,16 @@ pub fn run_trial_range(
                 seed,
                 settings.rf_eviction,
                 customize,
-            ) {
+            )? {
                 *counter += 1;
             }
         }
     }
-    Measurement {
+    Ok(Measurement {
         trials: range.len() as u32,
         n_mapped_miss,
         n_not_mapped_miss,
-    }
+    })
 }
 
 #[cfg(test)]

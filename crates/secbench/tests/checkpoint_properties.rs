@@ -1,0 +1,102 @@
+//! Property tests for the crash-safe checkpoint format.
+//!
+//! The resume contract is *bitwise* identity, so the serialization must
+//! round-trip every field of every recorded result exactly — including
+//! f64 bit patterns — and must reject checkpoints whose settings
+//! fingerprint does not match the live campaign.
+
+use proptest::prelude::*;
+use sectlb_secbench::checkpoint::{Checkpoint, CheckpointError, Record};
+use sectlb_secbench::run::Measurement;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn measurement_records_preserve_every_field(
+        trials in 0u32..=1_000_000,
+        n_mapped_miss in 0u32..=1_000_000,
+        n_not_mapped_miss in 0u32..=1_000_000,
+    ) {
+        let m = Measurement { trials, n_mapped_miss, n_not_mapped_miss };
+        let back = Measurement::decode(&m.encode()).expect("round-trips");
+        prop_assert_eq!(back.trials, trials);
+        prop_assert_eq!(back.n_mapped_miss, n_mapped_miss);
+        prop_assert_eq!(back.n_not_mapped_miss, n_not_mapped_miss);
+    }
+
+    #[test]
+    fn f64_records_round_trip_bitwise(bits in any::<u64>()) {
+        // Any bit pattern — including NaNs, infinities, and subnormals —
+        // must survive encode/decode exactly.
+        let value = f64::from_bits(bits);
+        let back = f64::decode(&value.encode()).expect("round-trips");
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn checkpoint_files_round_trip_through_parse(
+        settings_hash in any::<u64>(),
+        results in proptest::collection::vec(
+            (0u32..=2000, 0u32..=2000, 0u32..=2000),
+            0..20,
+        ),
+    ) {
+        let tasks = results.len().max(1);
+        let mut ck = Checkpoint::new(settings_hash, tasks);
+        for (i, &(t, a, b)) in results.iter().enumerate() {
+            ck.record(i, &Measurement {
+                trials: t,
+                n_mapped_miss: a,
+                n_not_mapped_miss: b,
+            });
+        }
+        let parsed = Checkpoint::parse(&ck.render()).expect("parses");
+        prop_assert_eq!(&parsed, &ck);
+        let decoded = parsed.decoded::<Measurement>().expect("decodes");
+        prop_assert_eq!(decoded.len(), results.len());
+        for (k, ((i, m), &(t, a, b))) in decoded.iter().zip(&results).enumerate() {
+            prop_assert_eq!(*i, k, "indices preserved in record order");
+            prop_assert_eq!(m.trials, t);
+            prop_assert_eq!(m.n_mapped_miss, a);
+            prop_assert_eq!(m.n_not_mapped_miss, b);
+        }
+    }
+
+    #[test]
+    fn settings_hash_mismatches_are_rejected(
+        recorded in any::<u64>(),
+        live in any::<u64>(),
+        tasks in 1usize..=64,
+    ) {
+        let ck = Checkpoint::new(recorded, tasks);
+        let verdict = ck.validate(live, tasks);
+        if recorded == live {
+            prop_assert!(verdict.is_ok());
+        } else {
+            prop_assert!(matches!(
+                verdict,
+                Err(CheckpointError::SettingsMismatch { expected, found })
+                    if expected == live && found == recorded
+            ));
+        }
+    }
+
+    #[test]
+    fn task_count_mismatches_are_rejected(
+        hash in any::<u64>(),
+        recorded in 1usize..=64,
+        live in 1usize..=64,
+    ) {
+        let ck = Checkpoint::new(hash, recorded);
+        let verdict = ck.validate(hash, live);
+        if recorded == live {
+            prop_assert!(verdict.is_ok());
+        } else {
+            prop_assert!(matches!(
+                verdict,
+                Err(CheckpointError::TaskCountMismatch { .. })
+            ));
+        }
+    }
+}
