@@ -13,8 +13,11 @@
 //! With `--workers` or any fault-tolerance flag the 24×2 sweep runs on
 //! the resilient engine, one shard per (vulnerability, eviction) cell.
 
+use std::path::Path;
+
 use sectlb_bench::{campaign, cli};
 use sectlb_model::enumerate_vulnerabilities;
+use sectlb_secbench::oracle;
 use sectlb_secbench::run::{run_vulnerability, TrialSettings};
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::RandomFillEviction;
@@ -24,6 +27,7 @@ fn main() {
     let trials = cli::trials_flag(&args, 300);
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let oracle = cli::oracle_flags(&args, &policy, "ablation_rf");
     println!("RF TLB random-fill eviction ablation ({trials} trials per placement)\n");
     println!(
         "{:<48} {:>12} {:>12}",
@@ -35,6 +39,7 @@ fn main() {
             trials,
             workers: None, // sharding happens at cell granularity
             rf_eviction: eviction,
+            oracle,
             ..TrialSettings::default()
         };
         run_vulnerability(v, TlbDesign::Rf, &settings).capacity()
@@ -64,8 +69,10 @@ fn main() {
                 .collect();
             outcome.eprint_summary();
             if outcome.exit_code() != 0 {
-                render(&vulns, &caps);
-                std::process::exit(outcome.exit_code());
+                let summary = oracle::conclude("ablation_rf", Path::new("repro"));
+                render(&vulns, &caps, &summary);
+                summary.eprint();
+                std::process::exit(summary.exit_code(outcome.exit_code()));
             }
             caps
         }
@@ -79,13 +86,26 @@ fn main() {
             })
             .collect(),
     };
-    render(&vulns, &capacities);
+    let summary = oracle::conclude("ablation_rf", Path::new("repro"));
+    render(&vulns, &capacities, &summary);
+    summary.eprint();
+    std::process::exit(summary.exit_code(0));
 }
 
-fn render(vulns: &[sectlb_model::Vulnerability], capacities: &[Option<(f64, f64)>]) {
+fn render(
+    vulns: &[sectlb_model::Vulnerability],
+    capacities: &[Option<(f64, f64)>],
+    summary: &oracle::OracleSummary,
+) {
     let mut leaks = 0;
     for (v, caps) in vulns.iter().zip(capacities) {
         let name = format!("{} ({})", v.pattern, v.timing);
+        // The eviction policy is not part of the oracle context, so a
+        // violation marks the whole row (both columns) SUSPECT.
+        if summary.affects(&[&v.to_string()]) {
+            println!("{name:<48} {:>12} {:>12}", "SUSPECT", "SUSPECT");
+            continue;
+        }
         match caps {
             Some((random_way, lru_way)) => {
                 let marker = if *lru_way > 0.05 && *random_way <= 0.05 {

@@ -12,9 +12,12 @@
 //! With `--workers` or any fault-tolerance flag the sweep runs on the
 //! resilient engine, one shard per victim-way split.
 
+use std::path::Path;
+
 use sectlb_bench::perf::Workload;
 use sectlb_bench::{campaign, cli};
 use sectlb_model::{enumerate_vulnerabilities, Strategy};
+use sectlb_secbench::oracle;
 use sectlb_secbench::run::{run_vulnerability_with_builder, TrialSettings};
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::config::TlbConfig;
@@ -33,6 +36,7 @@ fn main() {
     let settings = TrialSettings {
         trials,
         workers: None, // sharding happens at sweep-point granularity
+        oracle: cli::oracle_flags(&args, &policy, "ablation_sp_ways"),
         ..TrialSettings::default()
     };
     println!("SP TLB victim-way sweep (8-way 32-entry; {trials} trials per placement)\n");
@@ -74,8 +78,11 @@ fn main() {
                 }
             }
             print_reading();
+            let summary = oracle::conclude("ablation_sp_ways", Path::new("repro"));
+            print_suspects(&summary);
             outcome.eprint_summary();
-            std::process::exit(outcome.exit_code());
+            summary.eprint();
+            std::process::exit(summary.exit_code(outcome.exit_code()));
         }
         None => {
             for victim_ways in splits {
@@ -83,8 +90,26 @@ fn main() {
                 println!("{victim_ways:>11} {capacity:>16.3} {alone:>14.3} {co:>18.3}");
             }
             print_reading();
+            let summary = oracle::conclude("ablation_sp_ways", Path::new("repro"));
+            print_suspects(&summary);
+            summary.eprint();
+            std::process::exit(summary.exit_code(0));
         }
     }
+}
+
+/// Every sweep point shares the same design and vulnerability context
+/// (only the way split differs), so a violation cannot be pinned to one
+/// printed row; it is surfaced as a table footer instead.
+fn print_suspects(summary: &oracle::OracleSummary) {
+    if summary.is_empty() {
+        return;
+    }
+    println!(
+        "\nWARNING: {} SUSPECT trial context(s) (shadow-oracle violation); the sweep above is \
+         untrustworthy",
+        summary.suspects.len()
+    );
 }
 
 fn print_reading() {

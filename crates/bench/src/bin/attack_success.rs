@@ -9,10 +9,19 @@
 //! so the per-design accuracies are identical for every worker count —
 //! and identical across any kill/checkpoint/resume interleaving, which
 //! the CI fault-injection smoke job exercises on this driver.
+//!
+//! `--oracle[=RATE]` runs the shadow oracle in lockstep with the sampled
+//! runs, and `--inject-corruption[=PM]` deterministically flips a TLB
+//! entry mid-attack so the oracle has something to catch: the affected
+//! design renders SUSPECT, a shrunk repro lands in `repro/`, and the
+//! process exits with [`sectlb_secbench::oracle::EXIT_SUSPECT`]. The CI
+//! oracle smoke job exercises exactly that path on this driver.
 
 use std::num::NonZeroUsize;
+use std::path::Path;
 
 use sectlb_bench::{campaign, cli};
+use sectlb_secbench::oracle;
 use sectlb_sim::machine::TlbDesign;
 use sectlb_workloads::attack::{attack_all_designs, prime_probe_attack, AttackSettings};
 use sectlb_workloads::rsa::RsaKey;
@@ -28,6 +37,7 @@ fn main() {
         .unwrap_or(5);
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let oracle = cli::oracle_flags(&args, &policy, "attack_success");
     let key = RsaKey::demo_128();
     println!("TLBleed-style Prime + Probe key recovery ({seeds} runs per design)");
     println!("secret: {}-bit exponent", key.secret_bits().len());
@@ -36,10 +46,15 @@ fn main() {
         .flat_map(|d| (0..seeds).map(move |s| (d, s)))
         .collect();
     let run_one = |&(design, s): &(TlbDesign, u64)| {
-        let settings = AttackSettings {
-            seed: 0xa77ac4 ^ s,
+        let seed = 0xa77ac4 ^ s;
+        let mut settings = AttackSettings {
+            seed,
             ..AttackSettings::default()
         };
+        if let Some(o) = oracle.filter(|o| o.armed(seed)) {
+            settings.oracle_tag = Some(o.tag);
+            settings.corruption = o.corruption(seed);
+        }
         prime_probe_attack(&key, design, &settings).accuracy()
     };
     let outcome = campaign::run_campaign(
@@ -51,6 +66,7 @@ fn main() {
         &|&(design, s)| format!("{design} TLB, seed {s}"),
         run_one,
     );
+    let summary = oracle::conclude("attack_success", Path::new("repro"));
     for (i, design) in TlbDesign::ALL.into_iter().enumerate() {
         let lo = i * seeds as usize;
         let slice = &outcome.results[lo..lo + seeds as usize];
@@ -58,7 +74,9 @@ fn main() {
             .iter()
             .filter_map(|r| r.as_ref().ok().copied())
             .collect();
-        if completed.len() == slice.len() {
+        if summary.affects(&[&design.to_string()]) {
+            println!("  {design} TLB: SUSPECT (shadow-oracle violation)");
+        } else if completed.len() == slice.len() {
             println!(
                 "  {} TLB: {:.1}% of key bits recovered",
                 design,
@@ -78,5 +96,6 @@ fn main() {
     if policy.wants_engine() || workers.is_some() {
         outcome.eprint_summary();
     }
-    std::process::exit(outcome.exit_code());
+    summary.eprint();
+    std::process::exit(summary.exit_code(outcome.exit_code()));
 }

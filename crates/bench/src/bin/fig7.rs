@@ -16,8 +16,11 @@
 //! the longest campaign in the harness, so `--checkpoint`/`--resume`
 //! matter most here.
 
-use sectlb_bench::perf::{headline, run_cell, Workload};
+use std::path::Path;
+
+use sectlb_bench::perf::{headline, run_cell_oracle, Workload};
 use sectlb_bench::{campaign, cli};
+use sectlb_secbench::oracle;
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::config::TlbConfig;
 
@@ -26,6 +29,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let oracle_cfg = cli::oracle_flags(&args, &policy, "fig7");
     let designs: Vec<TlbDesign> = match args
         .iter()
         .position(|a| a == "--design")
@@ -92,7 +96,7 @@ fn main() {
                         format!("{d} TLB {} {} x{r}", c.label(), w.label())
                     },
                     |&(d, c, w, r)| {
-                        let cell = run_cell(d, c, w, r);
+                        let cell = run_cell_oracle(d, c, w, r, oracle_cfg, |b| b);
                         (cell.ipc, cell.mpki)
                     },
                 );
@@ -109,13 +113,14 @@ fn main() {
                 tasks
                     .iter()
                     .map(|&(d, c, w, r)| {
-                        let cell = run_cell(d, c, w, r);
+                        let cell = run_cell_oracle(d, c, w, r, oracle_cfg, |b| b);
                         Some((cell.ipc, cell.mpki))
                     })
                     .collect(),
                 None,
             ),
         };
+    let summary = oracle::conclude("fig7", Path::new("repro"));
 
     for (design, configs, offset) in &panels {
         for metric in ["IPC", "MPKI"] {
@@ -136,7 +141,16 @@ fn main() {
             for (wi, w) in workloads.iter().enumerate() {
                 for (ri, &r) in runs.iter().enumerate() {
                     print!("{:<22} {:>5}", w.label(), r);
-                    for ci in 0..configs.len() {
+                    for (ci, c) in configs.iter().enumerate() {
+                        let cell_suspect = summary.affects(&[
+                            &design.to_string(),
+                            &c.label(),
+                            &format!("{} x{r}", w.label()),
+                        ]);
+                        if cell_suspect {
+                            print!(" {:>8}", "SUSPECT");
+                            continue;
+                        }
                         match cells[offset + (wi * runs.len() + ri) * configs.len() + ci] {
                             Some((ipc, mpki)) => {
                                 let v = if metric == "IPC" { ipc } else { mpki };
@@ -172,8 +186,13 @@ fn main() {
         );
     }
 
-    if let Some(outcome) = outcome {
-        outcome.eprint_summary();
-        std::process::exit(outcome.exit_code());
-    }
+    let base_exit = match &outcome {
+        Some(outcome) => {
+            outcome.eprint_summary();
+            outcome.exit_code()
+        }
+        None => 0,
+    };
+    summary.eprint();
+    std::process::exit(summary.exit_code(base_exit));
 }

@@ -1,0 +1,58 @@
+//! Deterministically re-executes shadow-oracle repro files.
+//!
+//! Usage: `replay REPRO_FILE...`
+//!
+//! The campaign drivers, when run with `--oracle`, shrink every caught
+//! violation to a minimal reproducing sequence and write it to
+//! `repro/*.ron`. This binary parses such a file, rebuilds the recorded
+//! machine (design, geometry, seed, mappings, secure regions), re-runs
+//! the recorded operation sequence with the oracle armed, and compares
+//! the replayed violation against the recorded one.
+//!
+//! Exit codes: 0 when every file reproduces its recorded violation
+//! exactly; 1 when any replay runs clean or trips a different invariant;
+//! 2 on usage or parse errors.
+
+use std::path::Path;
+use std::process::exit;
+
+use sectlb_secbench::oracle::replay_file;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: replay REPRO_FILE...");
+        eprintln!("re-executes shadow-oracle repro files (written to repro/*.ron by the");
+        eprintln!("campaign drivers under --oracle) and verifies the recorded violation");
+        eprintln!("reproduces identically");
+        exit(2);
+    }
+    let mut failed = false;
+    for arg in &args {
+        match replay_file(Path::new(arg)) {
+            Ok((capture, Some(v))) if v == capture.violation => {
+                println!("{arg}: reproduced ({} ops)", capture.ops.len());
+                println!("  {v}");
+            }
+            Ok((capture, Some(v))) => {
+                failed = true;
+                println!("{arg}: DIVERGED — a violation fired, but not the recorded one");
+                println!("  recorded: {}", capture.violation);
+                println!("  replayed: {v}");
+            }
+            Ok((capture, None)) => {
+                failed = true;
+                println!(
+                    "{arg}: FAILED to reproduce — replay ran clean ({} ops)",
+                    capture.ops.len()
+                );
+                println!("  recorded: {}", capture.violation);
+            }
+            Err(e) => {
+                eprintln!("{arg}: {e}");
+                exit(2);
+            }
+        }
+    }
+    exit(i32::from(failed));
+}

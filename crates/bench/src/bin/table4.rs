@@ -3,7 +3,13 @@
 //! against the theoretical p1, p2, C.
 //!
 //! Usage: `table4 [--trials N] [--workers N|auto] [--checkpoint PATH]
-//! [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//! [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]
+//! [--oracle[=RATE]] [--inject-corruption[=PM]]`
+//!
+//! `--oracle` runs the shadow oracle in lockstep with the sampled trials;
+//! a violated invariant renders the cell SUSPECT (like QUARANTINED),
+//! writes a shrunk repro to `repro/`, and exits
+//! [`sectlb_secbench::oracle::EXIT_SUSPECT`].
 //!
 //! The table is bitwise identical for every worker count; `--workers`
 //! only shards the 24×3-cell campaign across threads and reports the
@@ -13,9 +19,13 @@
 //! crash-safely, and cells whose shards keep failing are quarantined in
 //! the rendered table (exit code 4) instead of aborting the run.
 
+use std::path::Path;
+
 use sectlb_bench::{campaign, cli};
+use sectlb_secbench::oracle;
 use sectlb_secbench::report::{build_table4_resilient, build_table4_with_stats};
 use sectlb_secbench::run::TrialSettings;
+use sectlb_sim::machine::TlbDesign;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,6 +34,7 @@ fn main() {
     let settings = TrialSettings {
         trials: cli::trials_flag(&args, TrialSettings::default().trials),
         workers,
+        oracle: cli::oracle_flags(&args, &policy, "table4"),
         ..TrialSettings::default()
     };
     eprintln!(
@@ -42,9 +53,15 @@ fn main() {
                 std::process::exit(e.exit_code());
             }
         };
-        println!("{}", report.render());
+        let summary = oracle::conclude("table4", Path::new("repro"));
+        println!("{}", report.render_with_suspects(&summary));
         report.eprint_summary();
-        if report.quarantined.is_empty() && report.table.all_verdicts_match() {
+        if !summary.is_empty() {
+            println!(
+                "WARNING: {} cell(s) SUSPECT; the TLB model misbehaved there",
+                summary.suspects.len()
+            );
+        } else if report.quarantined.is_empty() && report.table.all_verdicts_match() {
             println!("all measured defense verdicts match the theoretical ones");
         } else if !report.quarantined.is_empty() {
             println!(
@@ -54,11 +71,32 @@ fn main() {
         } else {
             println!("WARNING: some measured verdicts disagree with theory");
         }
-        std::process::exit(report.exit_code());
+        summary.eprint();
+        std::process::exit(summary.exit_code(report.exit_code()));
     }
     let (table, stats) = build_table4_with_stats(&settings);
-    println!("{}", table.render());
-    if table.all_verdicts_match() {
+    let summary = oracle::conclude("table4", Path::new("repro"));
+    let suspect: Vec<(usize, usize)> = table
+        .rows
+        .iter()
+        .enumerate()
+        .flat_map(|(r, row)| {
+            let v = row.vulnerability.to_string();
+            TlbDesign::ALL
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| summary.affects(&[&v, d.name()]))
+                .map(|(c, _)| (r, c))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    println!("{}", table.render_annotated(&[], &suspect));
+    if !summary.is_empty() {
+        println!(
+            "WARNING: {} cell(s) SUSPECT; the TLB model misbehaved there",
+            summary.suspects.len()
+        );
+    } else if table.all_verdicts_match() {
         println!("all measured defense verdicts match the theoretical ones");
     } else {
         println!("WARNING: some measured verdicts disagree with theory");
@@ -66,4 +104,6 @@ fn main() {
     if let Some(stats) = stats {
         println!("\n{}", stats.render());
     }
+    summary.eprint();
+    std::process::exit(summary.exit_code(0));
 }

@@ -7,11 +7,16 @@
 //! The area model is pure arithmetic, so the flags exist mainly for a
 //! uniform campaign interface (and make this the cheapest driver to
 //! exercise the fault-tolerance machinery on); rows print in paper order.
+//! `--oracle` is likewise accepted for uniformity: no machine is ever
+//! built here, so the oracle can never find anything, but the
+//! conclude/exit-code plumbing still runs.
 
 use std::num::NonZeroUsize;
+use std::path::Path;
 
 use sectlb_area::{estimate, paper_table5};
 use sectlb_bench::{campaign, cli};
+use sectlb_secbench::oracle;
 use sectlb_sim::machine::TlbDesign;
 use sectlb_tlb::config::TlbConfig;
 
@@ -19,6 +24,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let _ = cli::oracle_flags(&args, &policy, "table5");
     let baseline_cfg = TlbConfig::sa(32, 4).expect("valid");
     let base = estimate(TlbDesign::Sa, baseline_cfg);
     println!("Table 5: area overhead (structural model vs. paper synthesis)");
@@ -76,5 +82,7 @@ fn main() {
     if workers.is_some() || policy.wants_engine() {
         outcome.eprint_summary();
     }
-    std::process::exit(outcome.exit_code());
+    let summary = oracle::conclude("table5", Path::new("repro"));
+    summary.eprint();
+    std::process::exit(summary.exit_code(outcome.exit_code()));
 }

@@ -13,10 +13,13 @@
 //! With `--workers` or any fault-tolerance flag the family × design grid
 //! runs on the resilient engine, one shard per cell.
 
+use std::path::Path;
+
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::extended::{
-    extended_benchmarks, run_extended, run_extended_with_workers, ExtDesign,
+    extended_benchmarks, run_extended_oracle, run_extended_with_workers, ExtDesign,
 };
+use sectlb_secbench::oracle;
 use sectlb_secbench::run::Measurement;
 
 fn main() {
@@ -24,6 +27,7 @@ fn main() {
     let trials = cli::trials_flag(&args, 500);
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let oracle_cfg = cli::oracle_flags(&args, &policy, "table7_eval");
     println!("Appendix B attacks vs. the designs ({trials} trials per placement)");
     println!("channel capacity C*; 0 = defended\n");
     print!("{:<38} {:<30}", "family", "pattern");
@@ -45,11 +49,18 @@ fn main() {
                 engine_workers,
                 &policy,
                 &|&(b, d): &(usize, ExtDesign)| format!("{} on {}", benches[b].name, d.label()),
-                |&(b, d): &(usize, ExtDesign)| run_extended(&benches[b], d, trials),
+                |&(b, d): &(usize, ExtDesign)| {
+                    run_extended_oracle(&benches[b], d, trials, oracle_cfg)
+                },
             );
+            let summary = oracle::conclude("table7_eval", Path::new("repro"));
             for (bi, bench) in benches.iter().enumerate() {
                 print!("{:<38} {:<30}", bench.name, bench.pattern);
-                for (di, _) in ExtDesign::ALL.into_iter().enumerate() {
+                for (di, d) in ExtDesign::ALL.into_iter().enumerate() {
+                    if summary.affects(&[bench.name, d.label()]) {
+                        print!(" {:>18}", "SUSPECT");
+                        continue;
+                    }
                     match &outcome.results[bi * ExtDesign::ALL.len() + di] {
                         Ok(m) => print!(" {:>18.3}", m.capacity()),
                         Err(_) => print!(" {:>18}", "QUARANTINED"),
@@ -59,18 +70,33 @@ fn main() {
             }
             print_reading();
             outcome.eprint_summary();
-            std::process::exit(outcome.exit_code());
+            summary.eprint();
+            std::process::exit(summary.exit_code(outcome.exit_code()));
         }
         None => {
+            let mut lines = Vec::new();
             for bench in &benches {
+                let caps: Vec<Measurement> = ExtDesign::ALL
+                    .into_iter()
+                    .map(|d| run_extended_with_workers(bench, d, trials, None, oracle_cfg))
+                    .collect();
+                lines.push(caps);
+            }
+            let summary = oracle::conclude("table7_eval", Path::new("repro"));
+            for (bench, caps) in benches.iter().zip(&lines) {
                 print!("{:<38} {:<30}", bench.name, bench.pattern);
-                for d in ExtDesign::ALL {
-                    let m: Measurement = run_extended_with_workers(bench, d, trials, None);
-                    print!(" {:>18.3}", m.capacity());
+                for (d, m) in ExtDesign::ALL.into_iter().zip(caps) {
+                    if summary.affects(&[bench.name, d.label()]) {
+                        print!(" {:>18}", "SUSPECT");
+                    } else {
+                        print!(" {:>18.3}", m.capacity());
+                    }
                 }
                 println!();
             }
             print_reading();
+            summary.eprint();
+            std::process::exit(summary.exit_code(0));
         }
     }
 }

@@ -17,6 +17,14 @@
 //!   `--inject-fatal PM` / `--inject-stall PM` / `--inject-stall-ms N` /
 //!   `--fault-seed S` — the deterministic fault-injection harness
 //!   (per-mille rates keyed by shard index)
+//! - `--inject-corruption[=PM]` — deterministically corrupt one TLB
+//!   entry in PM‰ of trials (default: all), keyed by trial seed; only
+//!   the shadow oracle can catch it
+//!
+//! The shadow-oracle flag ([`parse_oracle`]) arms the lockstep reference
+//! model: `--oracle[=RATE]` checks RATE‰ of trials (default: all).
+//! Violations render the cell SUSPECT, write a shrunk `repro/*.ron`
+//! file, and exit [`sectlb_secbench::oracle::EXIT_SUSPECT`].
 //!
 //! Parsing is split into fallible `parse_*` helpers (unit-testable) and
 //! thin `*_flag` wrappers that print the error and exit 2, matching the
@@ -28,6 +36,7 @@ use std::str::FromStr;
 use std::time::Duration;
 
 use sectlb_secbench::checkpoint::CheckpointPolicy;
+use sectlb_secbench::oracle::OracleConfig;
 use sectlb_secbench::resilience::{FaultPlan, RunPolicy};
 
 /// Looks up the value following `flag`, if the flag is present.
@@ -78,6 +87,60 @@ const WORKERS_USAGE: &str = "--workers needs a positive number or 'auto'";
 /// Parses `--trials N`; `Ok(default)` when absent.
 pub fn parse_trials(args: &[String], default: u32) -> Result<u32, String> {
     Ok(flag_num(args, "--trials")?.unwrap_or(default))
+}
+
+/// Looks up a `--flag` / `--flag=VALUE` style flag (value attached with
+/// `=`, unlike [`flag_value`]'s separate-argument style): `None` when
+/// absent, `Some(None)` for the bare flag, `Some(Some(v))` with a value.
+fn eq_flag<'a>(args: &'a [String], flag: &str) -> Option<Option<&'a str>> {
+    for a in args {
+        if a == flag {
+            return Some(None);
+        }
+        if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Some(Some(v));
+        }
+    }
+    None
+}
+
+/// Parses an `=`-style per-mille flag; the bare flag means 1000 (all).
+fn eq_per_mille(args: &[String], flag: &str) -> Result<Option<u16>, String> {
+    match eq_flag(args, flag) {
+        None => Ok(None),
+        Some(None) => Ok(Some(1000)),
+        Some(Some(v)) => match v.parse::<u16>() {
+            Ok(pm) if pm <= 1000 => Ok(Some(pm)),
+            _ => Err(format!(
+                "{flag} needs a per-mille rate (0..=1000), got {v:?}"
+            )),
+        },
+    }
+}
+
+/// Parses `--oracle[=RATE]` into an [`OracleConfig`] tagged with the
+/// driver's name, folding in the `--inject-corruption` rate and
+/// `--fault-seed` the [`parse_campaign`] policy already carries.
+///
+/// `Ok(None)` when neither `--oracle` nor `--inject-corruption` is
+/// present — drivers then change nothing, byte for byte.
+pub fn parse_oracle(
+    args: &[String],
+    policy: &RunPolicy,
+    tag: &'static str,
+) -> Result<Option<OracleConfig>, String> {
+    let rate = eq_per_mille(args, "--oracle")?;
+    let corrupt = policy.faults.as_ref().map_or(0, |f| f.corrupt_per_mille);
+    if rate.is_none() && corrupt == 0 {
+        return Ok(None);
+    }
+    let defaults = OracleConfig::default();
+    Ok(Some(OracleConfig {
+        rate_per_mille: rate.unwrap_or(0),
+        corrupt_per_mille: corrupt,
+        seed: policy.faults.as_ref().map_or(defaults.seed, |f| f.seed),
+        tag,
+    }))
 }
 
 /// Parses the fault-tolerance flags into a [`RunPolicy`].
@@ -134,6 +197,10 @@ pub fn parse_campaign(args: &[String]) -> Result<RunPolicy, String> {
     if let Some(seed) = flag_num::<u64>(args, "--fault-seed")? {
         faults.seed = seed;
     }
+    if let Some(pm) = eq_per_mille(args, "--inject-corruption")? {
+        faults.corrupt_per_mille = pm;
+        any_fault = true;
+    }
     if any_fault {
         policy.faults = Some(faults);
     }
@@ -158,6 +225,15 @@ pub fn trials_flag(args: &[String], default: u32) -> u32 {
 /// [`parse_campaign`], exiting 2 with the error on a malformed value.
 pub fn campaign_flags(args: &[String]) -> RunPolicy {
     parse_campaign(args).unwrap_or_else(|e| exit_usage(e))
+}
+
+/// [`parse_oracle`], exiting 2 with the error on a malformed value.
+pub fn oracle_flags(
+    args: &[String],
+    policy: &RunPolicy,
+    tag: &'static str,
+) -> Option<OracleConfig> {
+    parse_oracle(args, policy, tag).unwrap_or_else(|e| exit_usage(e))
 }
 
 /// The machine's available parallelism (1 if it cannot be determined).
@@ -252,6 +328,59 @@ mod tests {
         assert_eq!(faults.panic_per_mille, 100);
         assert_eq!(faults.fatal_per_mille, 7);
         assert_eq!(faults.seed, 99);
+    }
+
+    #[test]
+    fn oracle_flag_is_off_by_default_and_parses_rates() {
+        let policy = RunPolicy::default();
+        assert_eq!(parse_oracle(&args(&["prog"]), &policy, "t"), Ok(None));
+        let bare = parse_oracle(&args(&["prog", "--oracle"]), &policy, "t")
+            .expect("parses")
+            .expect("armed");
+        assert_eq!(bare.rate_per_mille, 1000);
+        assert_eq!(bare.corrupt_per_mille, 0);
+        assert_eq!(bare.tag, "t");
+        let sampled = parse_oracle(&args(&["prog", "--oracle=25"]), &policy, "t")
+            .expect("parses")
+            .expect("armed");
+        assert_eq!(sampled.rate_per_mille, 25);
+        assert!(
+            parse_oracle(&args(&["prog", "--oracle=1001"]), &policy, "t")
+                .expect_err("rejected")
+                .contains("--oracle")
+        );
+    }
+
+    #[test]
+    fn inject_corruption_arms_the_oracle_and_the_engine() {
+        let a = args(&["prog", "--inject-corruption", "--fault-seed", "7"]);
+        let policy = parse_campaign(&a).expect("parses");
+        assert!(
+            policy.wants_engine(),
+            "corruption routes through the engine"
+        );
+        assert_eq!(
+            policy.faults.as_ref().expect("faults").corrupt_per_mille,
+            1000
+        );
+        let cfg = parse_oracle(&a, &policy, "t")
+            .expect("parses")
+            .expect("corruption alone arms the oracle");
+        assert_eq!(
+            cfg.rate_per_mille, 0,
+            "no --oracle: only corrupted trials checked"
+        );
+        assert_eq!(cfg.corrupt_per_mille, 1000);
+        assert_eq!(cfg.seed, 7, "--fault-seed drives the corruption rolls");
+
+        let a = args(&["prog", "--oracle=500", "--inject-corruption=30"]);
+        let policy = parse_campaign(&a).expect("parses");
+        let cfg = parse_oracle(&a, &policy, "t")
+            .expect("parses")
+            .expect("armed");
+        assert_eq!(cfg.rate_per_mille, 500);
+        assert_eq!(cfg.corrupt_per_mille, 30);
+        assert!(parse_campaign(&args(&["prog", "--inject-corruption=abc"])).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! Metrics: IPC and TLB misses per kilo-instruction (MPKI), collected from
 //! the machine's cycle / instruction / TLB-miss counters.
 
+use sectlb_secbench::oracle::OracleConfig;
 use sectlb_sim::cpu::Instr;
 use sectlb_sim::machine::{MachineBuilder, TlbDesign};
 use sectlb_sim::sched::{run_round_robin, Program};
@@ -84,13 +85,48 @@ pub fn run_cell_with(
     runs: usize,
     customize: impl FnOnce(MachineBuilder) -> MachineBuilder,
 ) -> PerfCell {
+    run_cell_oracle(design, config, workload, runs, None, customize)
+}
+
+/// [`run_cell_with`] with the shadow oracle optionally armed.
+///
+/// With `Some(config)` whose roll arms this cell, the machine runs the
+/// lockstep reference model and reports violations under the context
+/// `tag|design|geometry|workload x runs|seed`, so the `fig7` driver can
+/// render the affected cells SUSPECT. `None` (and unarmed cells) build
+/// the machine exactly as before — the measured IPC and MPKI never
+/// change either way, because the oracle is a read-only observer.
+pub fn run_cell_oracle(
+    design: TlbDesign,
+    config: TlbConfig,
+    workload: Workload,
+    runs: usize,
+    oracle: Option<OracleConfig>,
+    customize: impl FnOnce(MachineBuilder) -> MachineBuilder,
+) -> PerfCell {
     let key = RsaKey::demo_128();
     let layout = RsaLayout::new();
-    let builder = MachineBuilder::new()
+    let seed = 0xf167 ^ runs as u64;
+    let oracle = oracle.filter(|o| o.armed(seed));
+    let mut builder = MachineBuilder::new()
         .design(design)
         .tlb_config(config)
-        .seed(0xf167 ^ runs as u64);
+        .seed(seed);
+    if oracle.is_some() {
+        builder = builder.oracle(true);
+    }
     let mut m = customize(builder).build();
+    if let Some(o) = oracle {
+        m.set_oracle_context(format!(
+            "{}|{design}|{}|{} x{runs}|{seed:#x}",
+            o.tag,
+            config.label(),
+            workload.label()
+        ));
+        if let Some((op_index, selector, kind)) = o.corruption(seed) {
+            m.schedule_corruption(op_index, selector, kind);
+        }
+    }
     let rsa_asid = m.os_mut().create_process();
     for page in layout.all_pages() {
         m.os_mut().map_page(rsa_asid, page).expect("fresh machine");

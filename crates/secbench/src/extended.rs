@@ -25,6 +25,7 @@ use sectlb_tlb::types::{SecureRegion, Vpn};
 use sectlb_tlb::InvalidationPolicy;
 
 use crate::generate::{ATTACKER_ASID, VICTIM_ASID};
+use crate::oracle::OracleConfig;
 use crate::run::Measurement;
 use crate::spec::{Placement, SBASE};
 
@@ -156,19 +157,46 @@ fn lower(step: ExtStep, u: Vpn, a: Vpn) -> Vec<Instr> {
 }
 
 /// Runs one extended trial; returns `true` when the timed step was slow.
-fn run_trial(bench: &ExtBenchmark, design: ExtDesign, placement: Placement, seed: u64) -> bool {
+///
+/// An armed `oracle` (sampled by seed) runs the shadow checker in
+/// lockstep with a `tag|benchmark|design|placement|seed` reporting
+/// context, and schedules the trial's planned corruption if any.
+fn run_trial(
+    bench: &ExtBenchmark,
+    design: ExtDesign,
+    placement: Placement,
+    seed: u64,
+    oracle: Option<OracleConfig>,
+) -> bool {
     let (tlb_design, policy) = match design {
         ExtDesign::Sa => (TlbDesign::Sa, InvalidationPolicy::Precise),
         ExtDesign::Sp => (TlbDesign::Sp, InvalidationPolicy::Precise),
         ExtDesign::RfPrecise => (TlbDesign::Rf, InvalidationPolicy::Precise),
         ExtDesign::RfRegionFlush => (TlbDesign::Rf, InvalidationPolicy::RegionFlush),
     };
-    let mut m = MachineBuilder::new()
+    let oracle = oracle.filter(|o| o.armed(seed));
+    let mut b = MachineBuilder::new()
         .design(tlb_design)
         .tlb_config(TlbConfig::security_eval())
         .seed(seed)
-        .rf_invalidation(policy)
-        .build();
+        .rf_invalidation(policy);
+    if oracle.is_some() {
+        b = b.oracle(true);
+    }
+    let mut m = b.build();
+    if let Some(o) = oracle {
+        m.set_oracle_context(format!(
+            "{}|{}|{}|{:?}|{:#x}",
+            o.tag,
+            bench.name,
+            design.label(),
+            placement,
+            seed
+        ));
+        if let Some((op_index, selector, kind)) = o.corruption(seed) {
+            m.schedule_corruption(op_index, selector, kind);
+        }
+    }
     let victim = m.os_mut().create_process();
     let attacker = m.os_mut().create_process();
     let region = SecureRegion::new(SBASE, SEC_PAGES);
@@ -217,15 +245,16 @@ fn run_extended_range(
     bench: &ExtBenchmark,
     design: ExtDesign,
     range: std::ops::Range<u32>,
+    oracle: Option<OracleConfig>,
 ) -> Measurement {
     let mut n_mapped_miss = 0;
     let mut n_not_mapped_miss = 0;
     for t in range.clone() {
         let seed = (u64::from(t) << 4) ^ 0x0ec4_eded;
-        if run_trial(bench, design, Placement::Mapped, seed) {
+        if run_trial(bench, design, Placement::Mapped, seed, oracle) {
             n_mapped_miss += 1;
         }
-        if run_trial(bench, design, Placement::NotMapped, seed ^ 1) {
+        if run_trial(bench, design, Placement::NotMapped, seed ^ 1, oracle) {
             n_not_mapped_miss += 1;
         }
     }
@@ -238,7 +267,18 @@ fn run_extended_range(
 
 /// Measures one extended benchmark on one design variant (serially).
 pub fn run_extended(bench: &ExtBenchmark, design: ExtDesign, trials: u32) -> Measurement {
-    run_extended_range(bench, design, 0..trials)
+    run_extended_oracle(bench, design, trials, None)
+}
+
+/// [`run_extended`] with optional shadow-oracle guardrails — the entry
+/// point of the `table7_eval` driver's `--oracle` mode.
+pub fn run_extended_oracle(
+    bench: &ExtBenchmark,
+    design: ExtDesign,
+    trials: u32,
+    oracle: Option<OracleConfig>,
+) -> Measurement {
+    run_extended_range(bench, design, 0..trials, oracle)
 }
 
 /// [`run_extended`] sharded across a worker pool; bitwise identical to
@@ -248,16 +288,17 @@ pub fn run_extended_with_workers(
     design: ExtDesign,
     trials: u32,
     workers: Option<std::num::NonZeroUsize>,
+    oracle: Option<OracleConfig>,
 ) -> Measurement {
     let Some(workers) = workers else {
-        return run_extended(bench, design, trials);
+        return run_extended_oracle(bench, design, trials, oracle);
     };
     let chunks: Vec<std::ops::Range<u32>> = (0..trials)
         .step_by(crate::parallel::TRIALS_PER_SHARD as usize)
         .map(|lo| lo..(lo + crate::parallel::TRIALS_PER_SHARD).min(trials))
         .collect();
     let (partials, _stats) = crate::parallel::run_sharded(&chunks, workers, |range| {
-        run_extended_range(bench, design, range.clone())
+        run_extended_range(bench, design, range.clone(), oracle)
     });
     partials
         .into_iter()
@@ -347,7 +388,7 @@ mod tests {
             let serial = run_extended(bench, design, 60);
             for workers in [1usize, 3] {
                 let w = std::num::NonZeroUsize::new(workers);
-                let parallel = run_extended_with_workers(bench, design, 60, w);
+                let parallel = run_extended_with_workers(bench, design, 60, w, None);
                 assert_eq!(parallel, serial, "workers={workers}");
             }
         }

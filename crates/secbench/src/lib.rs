@@ -20,6 +20,9 @@
 //!   deterministic fault-injection harness for testing all of the above;
 //! - [`checkpoint`] — crash-safe campaign checkpoints (temp-file +
 //!   atomic-rename) so a killed campaign resumes bitwise-identically;
+//! - [`oracle`] — campaign-side shadow-oracle guardrails: sampled
+//!   lockstep checking, `--inject-corruption` fault injection, SUSPECT
+//!   cells, delta-debugged minimal repro files, and their replay;
 //! - [`theory`] — the theoretical `p1`, `p2`, `C` of Table 4, including
 //!   the six combined Random-Fill TLB patterns of Section 5.3.1;
 //! - [`extended`] — the Appendix B evaluation: targeted-invalidation
@@ -51,6 +54,7 @@ pub mod checkpoint;
 pub mod extended;
 pub mod generate;
 pub mod mitigations;
+pub mod oracle;
 pub mod parallel;
 pub mod report;
 pub mod resilience;
@@ -60,6 +64,7 @@ pub mod theory;
 
 pub use capacity::binary_channel_capacity;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record};
+pub use oracle::{OracleConfig, OracleSummary, SuspectCell, EXIT_SUSPECT};
 pub use parallel::{measure_cells, run_sharded, PoolStats, WorkerStats};
 pub use resilience::{
     measure_cells_resilient, run_sharded_resilient, CampaignError, CampaignOutcome, CellOutcome,

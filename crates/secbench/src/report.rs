@@ -153,6 +153,19 @@ impl Table4 {
     /// a partial measurement. With an empty mask the output is
     /// byte-identical to [`Table4::render`].
     pub fn render_masked(&self, masked: &[(usize, usize)]) -> String {
+        self.render_annotated(masked, &[])
+    }
+
+    /// [`Table4::render_masked`], additionally rendering the listed
+    /// `(row, column)` cells as `SUSPECT`: the shadow oracle caught the
+    /// TLB model misbehaving there, so the numbers are untrustworthy.
+    /// SUSPECT wins over QUARANTINED when a cell is both. With both lists
+    /// empty the output is byte-identical to [`Table4::render`].
+    pub fn render_annotated(
+        &self,
+        masked: &[(usize, usize)],
+        suspect: &[(usize, usize)],
+    ) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -184,7 +197,9 @@ impl Table4 {
             let pat = format!("{} ({})", v.pattern, v.timing);
             let mut line = format!("{shown:<34} {pat:<30}");
             for (c, cell) in row.cells.iter().enumerate() {
-                if masked.contains(&(r, c)) {
+                if suspect.contains(&(r, c)) {
+                    let _ = write!(line, " | {:^24}", "SUSPECT");
+                } else if masked.contains(&(r, c)) {
                     let _ = write!(line, " | {:^24}", "QUARANTINED");
                 } else {
                     let _ = write!(
@@ -203,7 +218,10 @@ impl Table4 {
         let mut counts = [0usize; 3];
         for (r, row) in self.rows.iter().enumerate() {
             for (c, cell) in row.cells.iter().enumerate() {
-                if !masked.contains(&(r, c)) && cell.measured.defends(DEFENDED_THRESHOLD) {
+                if !masked.contains(&(r, c))
+                    && !suspect.contains(&(r, c))
+                    && cell.measured.defends(DEFENDED_THRESHOLD)
+                {
                     counts[c] += 1;
                 }
             }
@@ -219,6 +237,14 @@ impl Table4 {
                 out,
                 "WARNING: {} cell(s) quarantined and excluded from the counts above",
                 masked.len()
+            );
+        }
+        if !suspect.is_empty() {
+            let _ = writeln!(
+                out,
+                "WARNING: {} cell(s) SUSPECT (shadow-oracle violation) and excluded from the \
+                 counts above",
+                suspect.len()
             );
         }
         out
@@ -279,6 +305,40 @@ impl CampaignReport {
     pub fn render(&self) -> String {
         let masked: Vec<(usize, usize)> = self.quarantined.iter().map(|q| (q.row, q.col)).collect();
         let mut out = self.table.render_masked(&masked);
+        for q in &self.quarantined {
+            let _ = writeln!(
+                out,
+                "quarantined cell [{} on {} TLB]: {} ({} of {} trials salvaged)",
+                q.vulnerability, q.design, q.failure, q.partial.trials, self.table.trials
+            );
+        }
+        out
+    }
+
+    /// Maps an oracle summary's suspect contexts back to `(row, col)`
+    /// table cells by matching the context's vulnerability and design
+    /// fields.
+    pub fn suspect_cells(&self, summary: &crate::oracle::OracleSummary) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (r, row) in self.table.rows.iter().enumerate() {
+            let v = row.vulnerability.to_string();
+            for (c, d) in TlbDesign::ALL.iter().enumerate() {
+                if summary.affects(&[&v, d.name()]) {
+                    out.push((r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// [`CampaignReport::render`] with the oracle summary's SUSPECT cells
+    /// rendered in the table (SUSPECT wins over QUARANTINED). With an
+    /// empty summary the output is byte-identical to
+    /// [`CampaignReport::render`].
+    pub fn render_with_suspects(&self, summary: &crate::oracle::OracleSummary) -> String {
+        let suspect = self.suspect_cells(summary);
+        let masked: Vec<(usize, usize)> = self.quarantined.iter().map(|q| (q.row, q.col)).collect();
+        let mut out = self.table.render_annotated(&masked, &suspect);
         for q in &self.quarantined {
             let _ = writeln!(
                 out,

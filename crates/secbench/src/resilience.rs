@@ -189,6 +189,13 @@ pub struct FaultPlan {
     pub stall_per_mille: u16,
     /// Injected stall duration.
     pub stall: Duration,
+    /// Per-mille of *trials* whose TLB gets one entry deterministically
+    /// corrupted mid-run (`--inject-corruption`). Unlike the other knobs
+    /// this is not a shard-level fault: drivers forward it to
+    /// [`crate::oracle::OracleConfig`], which schedules the corruption
+    /// inside the simulated machine where only the shadow oracle can
+    /// catch it.
+    pub corrupt_per_mille: u16,
 }
 
 impl Default for FaultPlan {
@@ -200,6 +207,7 @@ impl Default for FaultPlan {
             fatal_per_mille: 0,
             stall_per_mille: 0,
             stall: Duration::from_millis(100),
+            corrupt_per_mille: 0,
         }
     }
 }
@@ -207,7 +215,10 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// Whether the plan injects anything at all.
     pub fn is_active(&self) -> bool {
-        self.panic_per_mille > 0 || self.fatal_per_mille > 0 || self.stall_per_mille > 0
+        self.panic_per_mille > 0
+            || self.fatal_per_mille > 0
+            || self.stall_per_mille > 0
+            || self.corrupt_per_mille > 0
     }
 
     fn roll(&self, index: usize, salt: u64) -> u16 {

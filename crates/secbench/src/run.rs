@@ -19,6 +19,7 @@ use sectlb_tlb::RandomFillEviction;
 
 use crate::capacity::binary_channel_capacity;
 use crate::generate::{generate_program, ATTACKER_ASID, VICTIM_ASID};
+use crate::oracle::OracleConfig;
 use crate::spec::{BenchmarkSpec, Placement};
 
 /// Parameters of a measurement campaign.
@@ -39,6 +40,13 @@ pub struct TrialSettings {
     /// every trial's seed depends only on
     /// `(base_seed, vulnerability, design, placement, trial index)`.
     pub workers: Option<NonZeroUsize>,
+    /// Shadow-oracle guardrails (`--oracle[=RATE]`,
+    /// `--inject-corruption[=PM]`). `None` leaves the machines at their
+    /// build-profile default and never installs a reporting context, so
+    /// campaign output is unchanged. Whether a given trial is sampled or
+    /// corrupted is a pure function of its seed, preserving the
+    /// determinism contract.
+    pub oracle: Option<OracleConfig>,
 }
 
 impl Default for TrialSettings {
@@ -49,6 +57,7 @@ impl Default for TrialSettings {
             base_seed: 0x7ab1e4,
             rf_eviction: RandomFillEviction::RandomWay,
             workers: None,
+            oracle: None,
         }
     }
 }
@@ -256,15 +265,39 @@ fn build_machine(
 
 /// Runs one trial; returns `true` when the timed step was slow (the miss
 /// counter advanced).
+///
+/// When `settings.oracle` arms this trial (sampled by seed), the machine
+/// runs with the shadow oracle in lockstep and a reporting context of
+/// `tag|vulnerability|design|placement|seed`; a planned corruption (the
+/// `--inject-corruption` harness) is scheduled before execution. Unarmed
+/// trials build exactly as before.
 fn run_trial(
     spec: &BenchmarkSpec,
     design: TlbDesign,
     placement: Placement,
     seed: u64,
-    rf_eviction: RandomFillEviction,
+    settings: &TrialSettings,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
 ) -> Result<bool, SetupError> {
-    let mut m = build_machine(spec, design, seed, rf_eviction, customize)?;
+    let oracle = settings.oracle.filter(|o| o.armed(seed));
+    let arm: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync) = &|b| {
+        let b = customize(b);
+        if oracle.is_some() {
+            b.oracle(true)
+        } else {
+            b
+        }
+    };
+    let mut m = build_machine(spec, design, seed, settings.rf_eviction, arm)?;
+    if let Some(o) = oracle {
+        m.set_oracle_context(format!(
+            "{}|{}|{}|{:?}|{:#x}",
+            o.tag, spec.vulnerability, design, placement, seed
+        ));
+        if let Some((op_index, selector, kind)) = o.corruption(seed) {
+            m.schedule_corruption(op_index, selector, kind);
+        }
+    }
     let program = generate_program(spec, placement);
     m.run(&program);
     let reads = &m.stats().counter_reads;
@@ -348,14 +381,7 @@ pub fn try_run_trial_range(
             (Placement::NotMapped, &mut n_not_mapped_miss),
         ] {
             let seed = derive_trial_seed(settings.base_seed, v, design, placement, t);
-            if run_trial(
-                spec,
-                design,
-                placement,
-                seed,
-                settings.rf_eviction,
-                customize,
-            )? {
+            if run_trial(spec, design, placement, seed, settings, customize)? {
                 *counter += 1;
             }
         }

@@ -48,12 +48,17 @@ pub mod os;
 pub mod page_table;
 pub mod phys_mem;
 pub mod sched;
+pub mod shadow;
 pub mod trace;
 pub mod walker;
 
 pub use cpu::{ExecStats, Instr};
-pub use machine::{Machine, MachineBuilder};
+pub use machine::{Machine, MachineBuilder, TlbDesign};
 pub use os::{FlushPolicy, Os};
 pub use page_table::{PageTable, Pte, PteFlags};
 pub use phys_mem::FrameAllocator;
+pub use shadow::{
+    drain_suspects_with_prefix, replay, Invariant, MachineSetup, OracleViolation, SuspectReport,
+    TraceCapture, TraceOp,
+};
 pub use walker::WalkerConfig;

@@ -5,14 +5,19 @@
 //! which selects one of the paper's three TLB designs and the system
 //! parameters.
 
+use sectlb_tlb::check::{CorruptionKind, IntegrityError, IntegrityKind, SnapshotEntry};
 use sectlb_tlb::config::TlbConfig;
 use sectlb_tlb::stats::TlbStats;
-use sectlb_tlb::tlb_trait::TlbCore;
+use sectlb_tlb::tlb_trait::{AccessResult, TlbCore};
 use sectlb_tlb::types::{Asid, SecureRegion, Vpn};
 use sectlb_tlb::{InvalidationPolicy, RandomFillEviction, RfTlb, SaTlb, SpTlb, TlbHierarchy};
 
 use crate::cpu::{ExecStats, Instr};
 use crate::os::{FlushPolicy, Os, OsError};
+use crate::shadow::{
+    Invariant, MachineSetup, Oracle, OracleViolation, PlannedCorruption, SuspectReport,
+    TraceCapture, TraceOp,
+};
 use crate::walker::{OsWalker, WalkerConfig};
 
 /// Which of the paper's TLB designs a machine uses.
@@ -38,6 +43,11 @@ impl TlbDesign {
             TlbDesign::Rf => "RF",
         }
     }
+
+    /// Parses [`TlbDesign::name`] output back (used by repro files).
+    pub fn from_name(name: &str) -> Option<TlbDesign> {
+        TlbDesign::ALL.into_iter().find(|d| d.name() == name)
+    }
 }
 
 impl std::fmt::Display for TlbDesign {
@@ -60,6 +70,7 @@ pub struct MachineBuilder {
     sp_victim_ways: Option<usize>,
     itlb: Option<(TlbDesign, TlbConfig)>,
     l2: Option<(TlbDesign, TlbConfig, u64)>,
+    oracle: Option<bool>,
 }
 
 impl MachineBuilder {
@@ -78,6 +89,7 @@ impl MachineBuilder {
             sp_victim_ways: None,
             itlb: None,
             l2: None,
+            oracle: None,
         }
     }
 
@@ -146,6 +158,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables or disables the shadow oracle (see [`crate::shadow`]).
+    /// When not called, the oracle defaults to **on in debug builds** —
+    /// so the entire test suite runs under lockstep checking — and **off
+    /// in release builds**, where campaign drivers opt in per trial via
+    /// `--oracle`. The oracle is read-only: enabling it never changes the
+    /// machine's timing, statistics, or TLB contents.
+    pub fn oracle(mut self, enabled: bool) -> MachineBuilder {
+        self.oracle = Some(enabled);
+        self
+    }
+
     /// Adds an instruction TLB of the given design and geometry. The
     /// paper focuses on the L1 D-TLB but notes the designs "can be
     /// applied to instruction TLBs as well" (Section 4); with an I-TLB
@@ -182,6 +205,24 @@ impl MachineBuilder {
         let itlb = self
             .itlb
             .map(|(design, config)| self.make_tlb(design, config, self.seed ^ 0x17b));
+        let oracle = self.oracle.unwrap_or(cfg!(debug_assertions)).then(|| {
+            Box::new(Oracle::new(MachineSetup {
+                design: self.design,
+                entries: self.config.entries(),
+                ways: self.config.ways(),
+                seed: self.seed,
+                flush_policy: self.flush_policy,
+                switch_cost: self.switch_cost,
+                cycles_per_level: self.walker.cycles_per_level,
+                rf_eviction: self.rf_eviction,
+                rf_invalidation: self.rf_invalidation,
+                sp_victim_ways: self.sp_victim_ways,
+                l2: self
+                    .l2
+                    .map(|(d, c, latency)| (d, c.entries(), c.ways(), latency)),
+                itlb: self.itlb.map(|(d, c)| (d, c.entries(), c.ways())),
+            }))
+        });
         Machine {
             tlb,
             itlb,
@@ -193,6 +234,7 @@ impl MachineBuilder {
             code_pages: std::collections::HashMap::new(),
             fetch_latch: None,
             stats: ExecStats::new(),
+            oracle,
         }
     }
 }
@@ -220,6 +262,16 @@ pub struct Machine {
     /// jumps.
     fetch_latch: Option<(Asid, Vpn)>,
     stats: ExecStats,
+    /// Shadow-oracle state, when enabled (see [`crate::shadow`]).
+    oracle: Option<Box<Oracle>>,
+}
+
+/// TLB state captured immediately before an instruction executes, for the
+/// oracle's post-execution checks.
+struct OraclePre {
+    snapshot: Vec<SnapshotEntry>,
+    stats: TlbStats,
+    asid: Asid,
 }
 
 impl std::fmt::Debug for Machine {
@@ -245,7 +297,14 @@ impl Machine {
     }
 
     /// The TLB, mutably (for direct register programming in tests).
+    ///
+    /// Taints the shadow oracle: once external code has fiddled with the
+    /// TLB directly, the oracle's reference model no longer describes the
+    /// machine, so it goes inert instead of raising false reports.
     pub fn tlb_mut(&mut self) -> &mut dyn TlbCore {
+        if let Some(o) = &mut self.oracle {
+            o.tainted = true;
+        }
         self.tlb.as_mut()
     }
 
@@ -325,6 +384,9 @@ impl Machine {
         self.os.prepare_secure_region(asid, region)?;
         self.tlb.set_victim_asid(Some(asid));
         self.tlb.set_secure_region(Some(region));
+        if let Some(o) = &mut self.oracle {
+            o.protects.push((asid, region, false));
+        }
         Ok(())
     }
 
@@ -352,6 +414,16 @@ impl Machine {
 
     /// Executes one instruction.
     pub fn exec(&mut self, instr: Instr) {
+        let pre = self.oracle_pre(instr);
+        let r = self.exec_inner(instr);
+        if let Some(pre) = pre {
+            self.oracle_post(instr, &pre, r);
+        }
+    }
+
+    /// The instruction semantics proper; returns the D-TLB access result
+    /// for memory instructions (the oracle checks it against a pure walk).
+    fn exec_inner(&mut self, instr: Instr) -> Option<AccessResult> {
         self.fetch();
         match instr {
             Instr::Load(vaddr) | Instr::Store(vaddr) => {
@@ -370,6 +442,7 @@ impl Machine {
                 if r.fault {
                     self.stats.faults += 1;
                 }
+                return Some(r);
             }
             Instr::Compute(n) => {
                 self.stats.instret += n;
@@ -442,6 +515,464 @@ impl Machine {
                 self.fetch_latch = None;
             }
         }
+        None
+    }
+
+    /// Whether the shadow oracle was enabled at build time.
+    pub fn oracle_enabled(&self) -> bool {
+        self.oracle.is_some()
+    }
+
+    /// Violations the oracle has recorded so far (empty without an
+    /// oracle). The oracle goes inert after its first violation, so in
+    /// practice this holds at most one entry.
+    pub fn oracle_violations(&self) -> &[OracleViolation] {
+        self.oracle.as_ref().map_or(&[], |o| &o.violations)
+    }
+
+    /// Installs the campaign reporting context ("driver|cell|…"). Only
+    /// machines with a context submit suspect captures to the process-wide
+    /// sink (see [`crate::shadow::drain_suspects_with_prefix`]); machines
+    /// without one — unit tests, replays — record violations locally only.
+    pub fn set_oracle_context(&mut self, context: impl Into<String>) {
+        if let Some(o) = &mut self.oracle {
+            o.context = Some(context.into());
+        }
+    }
+
+    /// Schedules a deterministic entry corruption to fire once `op_index`
+    /// instructions have executed (retrying on later instructions while
+    /// the TLB holds no eligible entry). Returns `false` when the oracle
+    /// is disabled — corruption injection is the oracle's own fault-
+    /// injection harness and is meaningless without its checks.
+    pub fn schedule_corruption(
+        &mut self,
+        op_index: u64,
+        selector: u64,
+        kind: CorruptionKind,
+    ) -> bool {
+        match &mut self.oracle {
+            Some(o) => {
+                o.planned = Some(PlannedCorruption {
+                    op_index,
+                    selector,
+                    kind,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Immediately corrupts one resident TLB entry (recording the
+    /// injection in the trace) and runs the oracle's corruption sweep.
+    /// Returns whether an entry was actually corrupted — `false` when the
+    /// oracle is inert or no entry is eligible.
+    pub fn inject_corruption_now(&mut self, selector: u64, kind: CorruptionKind) -> bool {
+        if !self.oracle_active() {
+            return false;
+        }
+        if self.tlb.corrupt_entry(selector, kind).is_none() {
+            return false;
+        }
+        let o = self.oracle.as_mut().expect("oracle is active");
+        o.ops.push(TraceOp::Corrupt { selector, kind });
+        if let Some(v) = self.corruption_check() {
+            self.record_violation(v);
+        }
+        true
+    }
+
+    /// Whether the oracle is present, untainted, and has not yet recorded
+    /// a violation.
+    fn oracle_active(&self) -> bool {
+        self.oracle
+            .as_ref()
+            .is_some_and(|o| !o.tainted && o.violations.is_empty())
+    }
+
+    /// Pre-execution oracle hook: fires any due scheduled corruption,
+    /// records the op in the trace, and snapshots the state the post-hook
+    /// compares against. Returns `None` when no checking should happen.
+    fn oracle_pre(&mut self, instr: Instr) -> Option<OraclePre> {
+        if !self.oracle_active() {
+            return None;
+        }
+        let due = self
+            .oracle
+            .as_ref()
+            .and_then(|o| o.planned.filter(|p| o.exec_count >= p.op_index));
+        if let Some(p) = due {
+            // A corruption attempt on an empty TLB stays pending and is
+            // retried on the next instruction.
+            if self.tlb.corrupt_entry(p.selector, p.kind).is_some() {
+                let o = self.oracle.as_mut().expect("oracle is active");
+                o.planned = None;
+                o.ops.push(TraceOp::Corrupt {
+                    selector: p.selector,
+                    kind: p.kind,
+                });
+                if let Some(v) = self.corruption_check() {
+                    self.record_violation(v);
+                    return None;
+                }
+            }
+        }
+        let needs_snapshot = matches!(
+            instr,
+            Instr::Load(_)
+                | Instr::Store(_)
+                | Instr::SetAsid(_)
+                | Instr::FlushAll
+                | Instr::FlushAsid(_)
+                | Instr::FlushPage(_)
+        );
+        let o = self.oracle.as_mut().expect("oracle is active");
+        o.ops.push(TraceOp::Exec(instr));
+        o.exec_count += 1;
+        Some(OraclePre {
+            snapshot: if needs_snapshot {
+                self.tlb.snapshot()
+            } else {
+                Vec::new()
+            },
+            stats: *self.tlb.stats(),
+            asid: self.current_asid,
+        })
+    }
+
+    /// Post-execution oracle hook: runs the per-instruction checks and
+    /// records the first violation.
+    fn oracle_post(&mut self, instr: Instr, pre: &OraclePre, r: Option<AccessResult>) {
+        if !self.oracle_active() {
+            return;
+        }
+        let op_index = self.oracle.as_ref().expect("oracle is active").ops.len() - 1;
+        let checks_tlb = !matches!(
+            instr,
+            Instr::Compute(_) | Instr::ReadMissCounter | Instr::JumpTo(_)
+        );
+        let v = self.oracle_check(instr, pre, r, op_index).or_else(|| {
+            checks_tlb
+                .then(|| self.integrity_violation(op_index))
+                .flatten()
+        });
+        if let Some(v) = v {
+            self.record_violation(v);
+        }
+    }
+
+    /// The currently effective `(victim, region)` protection for the
+    /// D-TLB, per the oracle's recorded `protect_victim` calls.
+    fn oracle_protection(&self) -> Option<(Asid, SecureRegion)> {
+        let o = self.oracle.as_ref()?;
+        o.protects
+            .iter()
+            .rev()
+            .find(|&&(_, _, is_code)| !is_code)
+            .map(|&(asid, region, _)| (asid, region))
+    }
+
+    /// The RF `Sec` classification of `(asid, vpn)` per the reference
+    /// model.
+    fn oracle_is_secure(&self, asid: Asid, vpn: Vpn) -> bool {
+        self.oracle_protection()
+            .is_some_and(|(victim, region)| victim == asid && region.contains(vpn))
+    }
+
+    fn violation(
+        &self,
+        op_index: usize,
+        invariant: Invariant,
+        expected: String,
+        actual: String,
+    ) -> OracleViolation {
+        OracleViolation {
+            design: self.design.name().to_string(),
+            op_index,
+            invariant,
+            expected,
+            actual,
+        }
+    }
+
+    fn violation_from_integrity(&self, op_index: usize, e: &IntegrityError) -> OracleViolation {
+        let invariant = match e.kind {
+            IntegrityKind::Capacity => Invariant::Capacity,
+            IntegrityKind::Partition => Invariant::Partition,
+            IntegrityKind::SecBit => Invariant::SecBit,
+        };
+        self.violation(
+            op_index,
+            invariant,
+            format!("the {} structural invariant to hold", e.kind),
+            e.detail.clone(),
+        )
+    }
+
+    /// The design's structural invariants over the current TLB contents.
+    fn integrity_violation(&self, op_index: usize) -> Option<OracleViolation> {
+        let e = self.tlb.integrity().err()?;
+        Some(self.violation_from_integrity(op_index, &e))
+    }
+
+    /// The per-instruction semantic checks (see [`crate::shadow`] for the
+    /// invariant catalogue).
+    fn oracle_check(
+        &self,
+        instr: Instr,
+        pre: &OraclePre,
+        r: Option<AccessResult>,
+        op_index: usize,
+    ) -> Option<OracleViolation> {
+        match instr {
+            Instr::Load(vaddr) | Instr::Store(vaddr) => {
+                let vpn = Vpn::of_addr(vaddr);
+                let asid = pre.asid;
+                let r = r?;
+                if r.hit {
+                    let resident = pre
+                        .snapshot
+                        .iter()
+                        .any(|s| s.level == 0 && s.entry.matches(asid, vpn));
+                    if !resident {
+                        return Some(self.violation(
+                            op_index,
+                            Invariant::HitSoundness,
+                            format!(
+                                "a resident L1 entry matching ({asid}, {vpn}) before the access"
+                            ),
+                            "hit reported with no matching entry resident".to_string(),
+                        ));
+                    }
+                }
+                let walked = self
+                    .os
+                    .process(asid)
+                    .ok()
+                    .and_then(|p| p.page_table().walk(vpn).pte);
+                if r.fault {
+                    if let Some(pte) = walked {
+                        return Some(self.violation(
+                            op_index,
+                            Invariant::Translation,
+                            format!(
+                                "no fault: the page table maps ({asid}, {vpn}) -> {}",
+                                pte.ppn
+                            ),
+                            "the access faulted".to_string(),
+                        ));
+                    }
+                } else {
+                    match (walked, r.ppn) {
+                        (Some(pte), Some(ppn)) if pte.ppn == ppn => {}
+                        (Some(pte), got) => {
+                            return Some(self.violation(
+                                op_index,
+                                Invariant::Translation,
+                                format!("({asid}, {vpn}) -> {} per the page table", pte.ppn),
+                                format!("the TLB returned {got:?}"),
+                            ));
+                        }
+                        (None, got) => {
+                            return Some(self.violation(
+                                op_index,
+                                Invariant::Translation,
+                                format!("a page fault: ({asid}, {vpn}) is unmapped"),
+                                format!("the TLB returned {got:?} without faulting"),
+                            ));
+                        }
+                    }
+                }
+                if self.design == TlbDesign::Rf
+                    && !r.hit
+                    && !r.fault
+                    && self.oracle_is_secure(asid, vpn)
+                    && self.tlb.stats().no_fill_responses == pre.stats.no_fill_responses
+                {
+                    return Some(self.violation(
+                        op_index,
+                        Invariant::NoFill,
+                        format!("a no-fill response for the secure-region miss ({asid}, {vpn})"),
+                        "the no-fill counter did not advance".to_string(),
+                    ));
+                }
+                None
+            }
+            Instr::FlushAll => {
+                let now = self.tlb.snapshot();
+                if now.is_empty() {
+                    None
+                } else {
+                    Some(self.violation(
+                        op_index,
+                        Invariant::FlushCompleteness,
+                        "an empty TLB after FlushAll".to_string(),
+                        format!("{} entries still resident", now.len()),
+                    ))
+                }
+            }
+            Instr::FlushAsid(asid) => {
+                let now = self.tlb.snapshot();
+                now.iter().find(|s| s.entry.asid == asid).map(|s| {
+                    self.violation(
+                        op_index,
+                        Invariant::FlushCompleteness,
+                        format!("no entries of {asid} after FlushAsid"),
+                        format!(
+                            "entry ({}, {}) still resident at level {} set {} way {}",
+                            s.entry.asid, s.entry.vpn, s.level, s.set, s.way
+                        ),
+                    )
+                })
+            }
+            Instr::FlushPage(vaddr) => {
+                let vpn = Vpn::of_addr(vaddr);
+                let asid = pre.asid;
+                let now = self.tlb.snapshot();
+                let rf_region_flush = self.design == TlbDesign::Rf
+                    && self.oracle.as_ref().is_some_and(|o| {
+                        o.setup.rf_invalidation == InvalidationPolicy::RegionFlush
+                    })
+                    && self.oracle_is_secure(asid, vpn);
+                if rf_region_flush {
+                    // RegionFlush drops every Sec entry; a non-Sec megapage
+                    // entry covering the page legitimately survives, so the
+                    // exact-match check does not apply.
+                    now.iter().find(|s| s.level == 0 && s.entry.sec).map(|s| {
+                        self.violation(
+                            op_index,
+                            Invariant::FlushCompleteness,
+                            "no Sec entries after a secure-page shootdown under RegionFlush"
+                                .to_string(),
+                            format!(
+                                "Sec entry ({}, {}) still resident",
+                                s.entry.asid, s.entry.vpn
+                            ),
+                        )
+                    })
+                } else {
+                    now.iter().find(|s| s.entry.matches(asid, vpn)).map(|s| {
+                        self.violation(
+                            op_index,
+                            Invariant::FlushCompleteness,
+                            format!("no entry matching ({asid}, {vpn}) after FlushPage"),
+                            format!(
+                                "entry ({}, {}) still resident at level {} set {} way {}",
+                                s.entry.asid, s.entry.vpn, s.level, s.set, s.way
+                            ),
+                        )
+                    })
+                }
+            }
+            Instr::SetAsid(asid) => {
+                let now = self.tlb.snapshot();
+                if asid != pre.asid && self.os.flush_policy() == FlushPolicy::FlushOnSwitch {
+                    if now.is_empty() {
+                        None
+                    } else {
+                        Some(self.violation(
+                            op_index,
+                            Invariant::FlushCompleteness,
+                            "an empty TLB after a flush-on-switch context switch".to_string(),
+                            format!("{} entries still resident", now.len()),
+                        ))
+                    }
+                } else if now != pre.snapshot {
+                    Some(self.violation(
+                        op_index,
+                        Invariant::Provenance,
+                        "bit-identical TLB contents across SetAsid".to_string(),
+                        format!(
+                            "contents changed from {} to {} entries",
+                            pre.snapshot.len(),
+                            now.len()
+                        ),
+                    ))
+                } else {
+                    None
+                }
+            }
+            Instr::Compute(_) | Instr::ReadMissCounter | Instr::JumpTo(_) => None,
+        }
+    }
+
+    /// The post-corruption sweep: structural invariants plus a full
+    /// translation sweep of every resident entry against the page tables.
+    /// Runs immediately after an injected corruption so the violation is
+    /// attributed to the injection, not to whichever later access happens
+    /// to touch the rotten entry.
+    fn corruption_check(&self) -> Option<OracleViolation> {
+        let op_index = self
+            .oracle
+            .as_ref()
+            .map_or(0, |o| o.ops.len().saturating_sub(1));
+        if let Some(v) = self.integrity_violation(op_index) {
+            return Some(v);
+        }
+        for s in self.tlb.snapshot() {
+            let e = s.entry;
+            let walked = self
+                .os
+                .process(e.asid)
+                .ok()
+                .and_then(|p| p.page_table().walk(e.vpn).pte);
+            let consistent = walked.is_some_and(|pte| pte.ppn == e.ppn && pte.size == e.size);
+            if !consistent {
+                return Some(self.violation(
+                    op_index,
+                    Invariant::Translation,
+                    format!(
+                        "a page-table mapping backing resident entry ({}, {}) -> {}",
+                        e.asid, e.vpn, e.ppn
+                    ),
+                    match walked {
+                        Some(pte) => format!(
+                            "the page table maps ({}, {}) -> {} ({:?})",
+                            e.asid, e.vpn, pte.ppn, pte.size
+                        ),
+                        None => format!("({}, {}) is not mapped", e.asid, e.vpn),
+                    },
+                ));
+            }
+        }
+        None
+    }
+
+    /// Records a violation and — when a campaign context is installed —
+    /// captures the full replayable trace and submits it to the suspect
+    /// sink. The oracle goes inert afterwards.
+    fn record_violation(&mut self, v: OracleViolation) {
+        let mut maps: Vec<(
+            Asid,
+            Vpn,
+            sectlb_tlb::types::PageSize,
+            sectlb_tlb::types::Ppn,
+        )> = Vec::new();
+        for asid in self.os.asids().collect::<Vec<_>>() {
+            let pt = self.os.process(asid).expect("asid is live").page_table();
+            for (vpn, pte) in pt.mappings() {
+                maps.push((asid, vpn, pte.size, pte.ppn));
+            }
+        }
+        // PPN order is frame-allocation order — the replay contract.
+        maps.sort_by_key(|&(_, _, _, ppn)| ppn.0);
+        let processes = self.os.asids().count() as u16;
+        let Some(o) = &mut self.oracle else { return };
+        o.violations.push(v.clone());
+        if let Some(context) = o.context.clone() {
+            crate::shadow::submit_suspect(SuspectReport {
+                context,
+                capture: TraceCapture {
+                    setup: o.setup,
+                    processes,
+                    maps: maps.into_iter().map(|(a, vp, s, _)| (a, vp, s)).collect(),
+                    protects: o.protects.clone(),
+                    ops: o.ops.clone(),
+                    violation: v,
+                },
+            });
+        }
     }
 
     /// Registers a secure *code* region for the I-TLB (the instruction-
@@ -456,6 +987,9 @@ impl Machine {
         if let Some(itlb) = &mut self.itlb {
             itlb.set_victim_asid(Some(asid));
             itlb.set_secure_region(Some(region));
+        }
+        if let Some(o) = &mut self.oracle {
+            o.protects.push((asid, region, true));
         }
         Ok(())
     }

@@ -234,6 +234,11 @@ impl Os {
         Ok(())
     }
 
+    /// ASIDs of all live processes, in ascending order.
+    pub fn asids(&self) -> impl Iterator<Item = Asid> + '_ {
+        self.processes.keys().copied()
+    }
+
     /// The frame allocator (diagnostics).
     pub fn frames(&self) -> &FrameAllocator {
         &self.frames

@@ -266,6 +266,26 @@ impl PageTable {
         node.leaves.get_mut(&index_at(vpn, LEVELS - 1))
     }
 
+    /// Every leaf mapping `(vpn, pte)` currently in the table, in
+    /// ascending VPN order. Megapage leaves appear once, at their aligned
+    /// VPN. Used by the shadow oracle to capture a replayable image of an
+    /// address space.
+    pub fn mappings(&self) -> Vec<(Vpn, Pte)> {
+        fn visit(node: &Node, base: u64, level: u32, out: &mut Vec<(Vpn, Pte)>) {
+            let shift = LEVEL_BITS * (LEVELS - 1 - level);
+            for (&idx, pte) in &node.leaves {
+                out.push((Vpn(base | (u64::from(idx) << shift)), *pte));
+            }
+            for (&idx, child) in &node.children {
+                visit(child, base | (u64::from(idx) << shift), level + 1, out);
+            }
+        }
+        let mut out = Vec::new();
+        visit(&self.root, 0, 0, &mut out);
+        out.sort_by_key(|(vpn, _)| vpn.0);
+        out
+    }
+
     /// Walks the table for `vpn`, counting the per-level memory accesses a
     /// hardware walker would perform. Megapage leaves terminate the walk
     /// one level early (superpages make walks cheaper, one of their

@@ -5,6 +5,7 @@
 //! way (partitioning, random filling). This module centralizes the common
 //! lookup, fill, and invalidation machinery.
 
+use crate::check::{CorruptionKind, IntegrityError, IntegrityKind, SnapshotEntry};
 use crate::config::TlbConfig;
 use crate::lru::LruSet;
 use crate::types::{Asid, PageSize, TlbEntry, Vpn};
@@ -158,6 +159,104 @@ impl EntryArray {
     /// Iterates over all valid entries (testing/diagnostics).
     pub(crate) fn valid_entries(&self) -> impl Iterator<Item = &TlbEntry> {
         self.entries.iter().filter(|e| e.valid)
+    }
+
+    /// Structural dump of every valid entry, tagged with `level`, in
+    /// deterministic set-major order.
+    pub(crate) fn snapshot_level(&self, level: usize) -> Vec<SnapshotEntry> {
+        let mut out = Vec::new();
+        for set in 0..self.config.sets() {
+            for way in 0..self.config.ways() {
+                let e = self.entry(set, way);
+                if e.valid {
+                    out.push(SnapshotEntry {
+                        level,
+                        set,
+                        way,
+                        entry: *e,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the geometry invariants every design shares: each valid
+    /// entry sits in the set its tag indexes, megapage tags are aligned,
+    /// and no `(asid, vpn, size)` key is resident twice.
+    pub(crate) fn check_geometry(&self) -> Result<(), IntegrityError> {
+        let mut seen = std::collections::HashSet::new();
+        for set in 0..self.config.sets() {
+            for way in 0..self.config.ways() {
+                let e = self.entry(set, way);
+                if !e.valid {
+                    continue;
+                }
+                if e.size == PageSize::Mega && e.vpn != PageSize::Mega.align(e.vpn) {
+                    return Err(IntegrityError {
+                        kind: IntegrityKind::Capacity,
+                        detail: format!(
+                            "megapage entry ({}, {}) at set {set} way {way} is not \
+                             512-page aligned",
+                            e.asid, e.vpn
+                        ),
+                    });
+                }
+                let home = self.set_of_sized(e.vpn, e.size);
+                if home != set {
+                    return Err(IntegrityError {
+                        kind: IntegrityKind::Capacity,
+                        detail: format!(
+                            "entry ({}, {}) resides in set {set} way {way} but its tag \
+                             indexes set {home}",
+                            e.asid, e.vpn
+                        ),
+                    });
+                }
+                if !seen.insert((e.asid, e.vpn, e.size)) {
+                    return Err(IntegrityError {
+                        kind: IntegrityKind::Capacity,
+                        detail: format!(
+                            "duplicate entry for ({}, {}) at set {set} way {way}",
+                            e.asid, e.vpn
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministically corrupts the `selector`-th eligible valid entry
+    /// (modulo the eligible count): flips the tag's or PPN's lowest bit,
+    /// or inverts the *Sec* bit. *Sec* corruption is confined to base-page
+    /// entries, whose *Sec* bit has exact reference semantics. Returns the
+    /// coordinates plus before/after images, or `None` when no entry is
+    /// eligible.
+    pub(crate) fn corrupt_nth(
+        &mut self,
+        selector: u64,
+        kind: CorruptionKind,
+    ) -> Option<(usize, usize, TlbEntry, TlbEntry)> {
+        let eligible: Vec<(usize, usize)> = (0..self.config.sets())
+            .flat_map(|s| (0..self.config.ways()).map(move |w| (s, w)))
+            .filter(|&(s, w)| {
+                let e = self.entry(s, w);
+                e.valid && (kind != CorruptionKind::Sec || e.size == PageSize::Base)
+            })
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let (set, way) = eligible[(selector % eligible.len() as u64) as usize];
+        let idx = self.index(set, way);
+        let before = self.entries[idx];
+        match kind {
+            CorruptionKind::Tag => self.entries[idx].vpn = Vpn(before.vpn.0 ^ 1),
+            CorruptionKind::Ppn => self.entries[idx].ppn.0 ^= 1,
+            CorruptionKind::Sec => self.entries[idx].sec = !before.sec,
+        }
+        Some((set, way, before, self.entries[idx]))
     }
 }
 

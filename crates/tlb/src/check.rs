@@ -1,0 +1,154 @@
+//! Structural self-checks and deterministic corruption hooks.
+//!
+//! The runtime shadow oracle (see `sectlb-sim::shadow`) verifies on every
+//! access that a TLB's internal state still satisfies the design's
+//! invariants. The designs expose three hooks for it through
+//! [`crate::TlbCore`]:
+//!
+//! - [`TlbCore::snapshot`](crate::TlbCore::snapshot) — a structural dump
+//!   of every valid entry with its `(level, set, way)` coordinates;
+//! - [`TlbCore::integrity`](crate::TlbCore::integrity) — the design's own
+//!   structural invariants (set indexing, megapage alignment, duplicate
+//!   freedom, SP partition isolation, RF *Sec*-bit correctness);
+//! - [`TlbCore::corrupt_entry`](crate::TlbCore::corrupt_entry) — a
+//!   deterministic fault-injection primitive flipping one bit of one
+//!   resident entry, used by the integration suite to prove end-to-end
+//!   that real state corruption is caught, shrunk, and replayable.
+
+use std::fmt;
+
+use crate::types::TlbEntry;
+
+/// Which field of a TLB entry a deterministic corruption flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionKind {
+    /// Flip the lowest bit of the entry's virtual page tag.
+    Tag,
+    /// Flip the lowest bit of the entry's physical page number.
+    Ppn,
+    /// Invert the entry's *Sec* bit.
+    Sec,
+}
+
+impl CorruptionKind {
+    /// All corruption kinds, in a stable order (used to derive a kind from
+    /// a deterministic per-trial roll).
+    pub const ALL: [CorruptionKind; 3] = [
+        CorruptionKind::Tag,
+        CorruptionKind::Ppn,
+        CorruptionKind::Sec,
+    ];
+
+    /// Stable lowercase name (also the repro-file encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionKind::Tag => "tag",
+            CorruptionKind::Ppn => "ppn",
+            CorruptionKind::Sec => "sec",
+        }
+    }
+
+    /// Inverse of [`CorruptionKind::name`].
+    pub fn from_name(name: &str) -> Option<CorruptionKind> {
+        CorruptionKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One valid entry in a structural TLB snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// TLB level: 0 for the L1 (or a single-level design), 1 for the L2.
+    pub level: usize,
+    /// The set holding the entry.
+    pub set: usize,
+    /// The way holding the entry.
+    pub way: usize,
+    /// The entry itself (always valid).
+    pub entry: TlbEntry,
+}
+
+/// What a successful [`crate::TlbCore::corrupt_entry`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// TLB level of the corrupted entry (0 = L1).
+    pub level: usize,
+    /// Set of the corrupted entry.
+    pub set: usize,
+    /// Way of the corrupted entry.
+    pub way: usize,
+    /// The field that was flipped.
+    pub kind: CorruptionKind,
+    /// The entry before corruption.
+    pub before: TlbEntry,
+    /// The entry after corruption.
+    pub after: TlbEntry,
+}
+
+/// Which invariant family an integrity check found violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityKind {
+    /// Geometry/capacity: wrong set for the tag, misaligned megapage, or a
+    /// duplicate `(asid, vpn, size)` entry.
+    Capacity,
+    /// SP partition isolation: an entry resides in the wrong partition.
+    Partition,
+    /// *Sec*-bit correctness: the bit disagrees with the programmed secure
+    /// region (RF) or is set at all (SA/SP).
+    SecBit,
+}
+
+impl fmt::Display for IntegrityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IntegrityKind::Capacity => "capacity",
+            IntegrityKind::Partition => "partition",
+            IntegrityKind::SecBit => "sec-bit",
+        })
+    }
+}
+
+/// A failed structural integrity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The violated invariant family.
+    pub kind: IntegrityKind,
+    /// Human-readable specifics (which entry, where, why it is wrong).
+    pub detail: String,
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} invariant violated: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_kind_names_roundtrip() {
+        for k in CorruptionKind::ALL {
+            assert_eq!(CorruptionKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(CorruptionKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn integrity_error_display_names_the_invariant() {
+        let e = IntegrityError {
+            kind: IntegrityKind::Partition,
+            detail: "entry in the wrong ways".to_owned(),
+        };
+        assert!(e.to_string().contains("partition invariant violated"));
+        assert!(e.to_string().contains("wrong ways"));
+    }
+}

@@ -11,6 +11,7 @@
 //! The composition reuses the [`Translator`] interface: from the L1's
 //! perspective, the L2 simply *is* its page-table walker.
 
+use crate::check::{CorruptionKind, CorruptionReport, IntegrityError, SnapshotEntry};
 use crate::config::TlbConfig;
 use crate::stats::TlbStats;
 use crate::tlb_trait::{sealed, AccessResult, TlbCore, Translator, WalkResult};
@@ -150,6 +151,35 @@ impl TlbCore for TlbHierarchy {
     fn set_secure_region(&mut self, region: Option<SecureRegion>) {
         self.l1.set_secure_region(region);
         self.l2.set_secure_region(region);
+    }
+
+    fn snapshot(&self) -> Vec<SnapshotEntry> {
+        let mut out = self.l1.snapshot();
+        out.extend(self.l2.snapshot().into_iter().map(|mut s| {
+            s.level += 1;
+            s
+        }));
+        out
+    }
+
+    fn integrity(&self) -> Result<(), IntegrityError> {
+        self.l1.integrity().map_err(|mut e| {
+            e.detail = format!("L1: {}", e.detail);
+            e
+        })?;
+        self.l2.integrity().map_err(|mut e| {
+            e.detail = format!("L2: {}", e.detail);
+            e
+        })
+    }
+
+    fn corrupt_entry(&mut self, selector: u64, kind: CorruptionKind) -> Option<CorruptionReport> {
+        self.l1.corrupt_entry(selector, kind).or_else(|| {
+            self.l2.corrupt_entry(selector, kind).map(|mut r| {
+                r.level += 1;
+                r
+            })
+        })
     }
 }
 

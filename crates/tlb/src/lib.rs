@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod array;
+pub mod check;
 pub mod config;
 pub mod hierarchy;
 pub mod lru;
@@ -53,12 +54,13 @@ pub mod stats;
 pub mod tlb_trait;
 pub mod types;
 
+pub use check::{CorruptionKind, CorruptionReport, IntegrityError, IntegrityKind, SnapshotEntry};
 pub use config::{TlbConfig, TlbOrg};
 pub use hierarchy::TlbHierarchy;
-pub use partition::SpTlb;
+pub use partition::{PartitionError, SpTlb};
 pub use random_fill::{InvalidationPolicy, RandomFillEviction, RfTlb};
 pub use rfe::RandomFillEngine;
 pub use set_assoc::SaTlb;
 pub use stats::TlbStats;
 pub use tlb_trait::{AccessResult, TlbCore, Translator, WalkResult};
-pub use types::SecureRegion;
+pub use types::{RegionError, SecureRegion};

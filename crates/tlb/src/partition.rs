@@ -11,10 +11,35 @@
 //! check already prevents — 14 of the 24 vulnerability types in total.
 
 use crate::array::EntryArray;
+use crate::check::{
+    CorruptionKind, CorruptionReport, IntegrityError, IntegrityKind, SnapshotEntry,
+};
 use crate::config::TlbConfig;
 use crate::stats::TlbStats;
 use crate::tlb_trait::{sealed, AccessResult, TlbCore, Translator};
 use crate::types::{Asid, TlbEntry, Vpn};
+
+/// An invalid SP partition split: the victim partition must leave at least
+/// one way on each side (`0 < victim_ways < ways`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionError {
+    /// The rejected victim way count.
+    pub victim_ways: usize,
+    /// The configuration's total ways per set.
+    pub ways: usize,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "victim partition must take between 1 and ways-1 ways, got {} of {}",
+            self.victim_ways, self.ways
+        )
+    }
+}
+
+impl std::error::Error for PartitionError {}
 
 /// The Static-Partition TLB.
 #[derive(Debug, Clone)]
@@ -44,19 +69,36 @@ impl SpTlb {
     /// # Panics
     ///
     /// Panics if `victim_ways` is zero or not strictly less than the way
-    /// count.
+    /// count; see [`SpTlb::try_with_victim_ways`] for the fallible form.
     pub fn with_victim_ways(config: TlbConfig, victim_ways: usize) -> SpTlb {
-        assert!(
-            victim_ways > 0 && victim_ways < config.ways(),
-            "victim partition must take between 1 and ways-1 ways, got {victim_ways} of {}",
-            config.ways()
-        );
-        SpTlb {
+        match SpTlb::try_with_victim_ways(config, victim_ways) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`SpTlb::with_victim_ways`]: an out-of-range split is
+    /// reported as a typed [`PartitionError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `0 < victim_ways < ways`.
+    pub fn try_with_victim_ways(
+        config: TlbConfig,
+        victim_ways: usize,
+    ) -> Result<SpTlb, PartitionError> {
+        if victim_ways == 0 || victim_ways >= config.ways() {
+            return Err(PartitionError {
+                victim_ways,
+                ways: config.ways(),
+            });
+        }
+        Ok(SpTlb {
             array: EntryArray::new(config),
             stats: TlbStats::new(),
             victim_asid: None,
             victim_ways,
-        }
+        })
     }
 
     /// Ways per set reserved for the victim partition.
@@ -72,17 +114,29 @@ impl SpTlb {
     /// # Panics
     ///
     /// Panics if `victim_ways` is zero or not strictly less than the way
-    /// count.
+    /// count; see [`SpTlb::try_set_victim_ways`] for the fallible form.
     pub fn set_victim_ways(&mut self, victim_ways: usize) {
-        assert!(
-            victim_ways > 0 && victim_ways < self.array.config().ways(),
-            "victim partition must take between 1 and ways-1 ways, got {victim_ways} of {}",
-            self.array.config().ways()
-        );
+        if let Err(e) = self.try_set_victim_ways(victim_ways) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`SpTlb::set_victim_ways`]: an out-of-range split is
+    /// reported as a typed [`PartitionError`] and leaves the TLB untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `0 < victim_ways < ways`.
+    pub fn try_set_victim_ways(&mut self, victim_ways: usize) -> Result<(), PartitionError> {
+        let ways = self.array.config().ways();
+        if victim_ways == 0 || victim_ways >= ways {
+            return Err(PartitionError { victim_ways, ways });
+        }
         if victim_ways != self.victim_ways {
             self.flush_all();
             self.victim_ways = victim_ways;
         }
+        Ok(())
     }
 
     /// The currently programmed victim process, if any.
@@ -233,6 +287,59 @@ impl TlbCore for SpTlb {
             self.flush_all();
         }
         self.victim_asid = victim;
+    }
+
+    fn snapshot(&self) -> Vec<SnapshotEntry> {
+        self.array.snapshot_level(0)
+    }
+
+    fn integrity(&self) -> Result<(), IntegrityError> {
+        self.array.check_geometry()?;
+        let config = self.array.config();
+        for set in 0..config.sets() {
+            for way in 0..config.ways() {
+                let e = self.array.entry(set, way);
+                if !e.valid {
+                    continue;
+                }
+                if e.sec {
+                    return Err(IntegrityError {
+                        kind: IntegrityKind::SecBit,
+                        detail: format!(
+                            "SP entry ({}, {}) has its Sec bit set; the SP design never \
+                             sets it",
+                            e.asid, e.vpn
+                        ),
+                    });
+                }
+                let in_victim_ways = way < self.victim_ways;
+                let owner_is_victim = self.is_victim(e.asid);
+                if in_victim_ways != owner_is_victim {
+                    return Err(IntegrityError {
+                        kind: IntegrityKind::Partition,
+                        detail: format!(
+                            "entry ({}, {}) at set {set} way {way} is on the wrong side \
+                             of the {}-way victim split (victim asid: {:?})",
+                            e.asid, e.vpn, self.victim_ways, self.victim_asid
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn corrupt_entry(&mut self, selector: u64, kind: CorruptionKind) -> Option<CorruptionReport> {
+        self.array
+            .corrupt_nth(selector, kind)
+            .map(|(set, way, before, after)| CorruptionReport {
+                level: 0,
+                set,
+                way,
+                kind,
+                before,
+                after,
+            })
     }
 }
 

@@ -23,6 +23,9 @@
 //! *cache*) would starve under TLB-intensive secure workloads.
 
 use crate::array::EntryArray;
+use crate::check::{
+    CorruptionKind, CorruptionReport, IntegrityError, IntegrityKind, SnapshotEntry,
+};
 use crate::config::TlbConfig;
 use crate::rfe::RandomFillEngine;
 use crate::stats::TlbStats;
@@ -373,6 +376,47 @@ impl TlbCore for RfTlb {
             self.flush_all();
         }
         self.region = region;
+    }
+
+    fn snapshot(&self) -> Vec<SnapshotEntry> {
+        self.array.snapshot_level(0)
+    }
+
+    fn integrity(&self) -> Result<(), IntegrityError> {
+        self.array.check_geometry()?;
+        // Base entries carry an exact Sec classification of their own tag.
+        // Megapage entries are skipped: their Sec bit is derived from the
+        // unaligned fill address, not the aligned tag.
+        for e in self.array.valid_entries() {
+            if e.size != crate::types::PageSize::Base {
+                continue;
+            }
+            let expected = self.is_secure(e.asid, e.vpn);
+            if e.sec != expected {
+                return Err(IntegrityError {
+                    kind: IntegrityKind::SecBit,
+                    detail: format!(
+                        "RF entry ({}, {}) has Sec = {} but the programmed secure region \
+                         (victim {:?}, region {:?}) implies Sec = {}",
+                        e.asid, e.vpn, e.sec, self.victim_asid, self.region, expected
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn corrupt_entry(&mut self, selector: u64, kind: CorruptionKind) -> Option<CorruptionReport> {
+        self.array
+            .corrupt_nth(selector, kind)
+            .map(|(set, way, before, after)| CorruptionReport {
+                level: 0,
+                set,
+                way,
+                kind,
+                before,
+                after,
+            })
     }
 }
 

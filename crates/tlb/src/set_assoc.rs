@@ -6,6 +6,9 @@
 //! configurations of the same design.
 
 use crate::array::EntryArray;
+use crate::check::{
+    CorruptionKind, CorruptionReport, IntegrityError, IntegrityKind, SnapshotEntry,
+};
 use crate::config::TlbConfig;
 use crate::stats::TlbStats;
 use crate::tlb_trait::{sealed, AccessResult, TlbCore, Translator};
@@ -122,6 +125,40 @@ impl TlbCore for SaTlb {
 
     fn design_name(&self) -> &'static str {
         "SA"
+    }
+
+    fn snapshot(&self) -> Vec<SnapshotEntry> {
+        self.array.snapshot_level(0)
+    }
+
+    fn integrity(&self) -> Result<(), IntegrityError> {
+        self.array.check_geometry()?;
+        // The SA design never sets the Sec bit.
+        for e in self.array.valid_entries() {
+            if e.sec {
+                return Err(IntegrityError {
+                    kind: IntegrityKind::SecBit,
+                    detail: format!(
+                        "SA entry ({}, {}) has its Sec bit set; the SA design never sets it",
+                        e.asid, e.vpn
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn corrupt_entry(&mut self, selector: u64, kind: CorruptionKind) -> Option<CorruptionReport> {
+        self.array
+            .corrupt_nth(selector, kind)
+            .map(|(set, way, before, after)| CorruptionReport {
+                level: 0,
+                set,
+                way,
+                kind,
+                before,
+                after,
+            })
     }
 }
 

@@ -156,6 +156,29 @@ pub trait TlbCore: sealed::Sealed {
     /// Programs the secure-region registers (`sbase`, `ssize`). Only the
     /// RF TLB has them; other designs ignore this.
     fn set_secure_region(&mut self, _region: Option<crate::types::SecureRegion>) {}
+
+    /// Structural dump of every valid entry across all levels, in
+    /// deterministic `(level, set, way)` order — the shadow oracle's view
+    /// of the TLB state. Does not disturb replacement state or counters.
+    fn snapshot(&self) -> Vec<crate::check::SnapshotEntry>;
+
+    /// Verifies the design's structural invariants (set indexing, megapage
+    /// alignment, duplicate freedom, and — per design — SP partition
+    /// isolation or RF *Sec*-bit correctness) over the current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant with entry-level detail.
+    fn integrity(&self) -> Result<(), crate::check::IntegrityError>;
+
+    /// Deterministically corrupts one resident entry (fault injection for
+    /// the oracle's end-to-end tests). Returns `None` when no entry is
+    /// eligible (e.g. the TLB is empty).
+    fn corrupt_entry(
+        &mut self,
+        selector: u64,
+        kind: crate::check::CorruptionKind,
+    ) -> Option<crate::check::CorruptionReport>;
 }
 
 pub(crate) mod sealed {

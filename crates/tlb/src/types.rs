@@ -152,17 +152,65 @@ pub struct SecureRegion {
     pub pages: u64,
 }
 
+/// Why a [`SecureRegion`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The region spans zero pages. An empty secure region is a
+    /// configuration error, not a disabled one (use `Option::None` for
+    /// "no region").
+    Empty,
+    /// `base + pages` overflows the virtual page-number space, so the
+    /// region's upper bound is not representable.
+    Overflow {
+        /// The requested first page.
+        base: Vpn,
+        /// The requested length in pages.
+        pages: u64,
+    },
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::Empty => write!(f, "secure region must span at least one page"),
+            RegionError::Overflow { base, pages } => write!(
+                f,
+                "secure region of {pages} pages at {base} overflows the page-number space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
 impl SecureRegion {
     /// A region of `pages` pages starting at `base`.
     ///
     /// # Panics
     ///
-    /// Panics if `pages` is zero — an empty secure region is a
-    /// configuration error, not a disabled one (use `Option::None` for
-    /// "no region").
+    /// Panics on the conditions [`SecureRegion::try_new`] rejects.
     pub fn new(base: Vpn, pages: u64) -> SecureRegion {
-        assert!(pages > 0, "secure region must span at least one page");
-        SecureRegion { base, pages }
+        match SecureRegion::try_new(base, pages) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A region of `pages` pages starting at `base`, rejecting degenerate
+    /// geometry with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::Empty`] if `pages` is zero; [`RegionError::Overflow`]
+    /// if the region's end page is not representable.
+    pub fn try_new(base: Vpn, pages: u64) -> Result<SecureRegion, RegionError> {
+        if pages == 0 {
+            return Err(RegionError::Empty);
+        }
+        if base.0.checked_add(pages).is_none() {
+            return Err(RegionError::Overflow { base, pages });
+        }
+        Ok(SecureRegion { base, pages })
     }
 
     /// Whether `vpn` lies within the region.
@@ -194,6 +242,18 @@ mod tests {
     #[should_panic(expected = "at least one page")]
     fn empty_secure_region_panics() {
         SecureRegion::new(Vpn(0), 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(SecureRegion::try_new(Vpn(0), 0), Err(RegionError::Empty));
+        let overflow = SecureRegion::try_new(Vpn(u64::MAX), 2);
+        assert!(matches!(overflow, Err(RegionError::Overflow { .. })));
+        assert!(overflow
+            .unwrap_err()
+            .to_string()
+            .contains("overflows the page-number space"));
+        assert!(SecureRegion::try_new(Vpn(10), 3).is_ok());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! End-to-end acceptance of the shadow-oracle guardrails, through the
+//! public facade — the contract the `--oracle` / `--inject-corruption`
+//! driver flags and the CI oracle smoke job rely on:
+//!
+//! 1. a deterministically corrupted TLB entry inside an ordinary
+//!    campaign trial is **caught** by the lockstep oracle (never a
+//!    panic, never a silently wrong number);
+//! 2. the affected cell concludes SUSPECT with the dominating exit code;
+//! 3. the captured trace is **shrunk** to a minimal reproducing
+//!    sequence and written as a repro file;
+//! 4. replaying the repro file reproduces the **identical** structured
+//!    violation;
+//! 5. with the oracle armed but no corruption, a campaign stays clean —
+//!    the guardrail does not cry wolf.
+
+use std::path::PathBuf;
+
+use secure_tlbs::model::enumerate_vulnerabilities;
+use secure_tlbs::secbench::oracle::{conclude, replay_file, OracleConfig, EXIT_SUSPECT};
+use secure_tlbs::secbench::run::{run_vulnerability, TrialSettings};
+use secure_tlbs::sim::machine::TlbDesign;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sectlb-oracle-e2e-{}-{name}", std::process::id()));
+    p
+}
+
+fn settings(oracle: OracleConfig) -> TrialSettings {
+    TrialSettings {
+        trials: 6,
+        oracle: Some(oracle),
+        ..TrialSettings::default()
+    }
+}
+
+#[test]
+fn corrupted_trial_is_caught_shrunk_written_and_replayable() {
+    let dir = tmp_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let oracle = OracleConfig {
+        rate_per_mille: 0, // corruption forces arming; nothing else sampled
+        corrupt_per_mille: 1000,
+        seed: 0x5eed,
+        tag: "e2e-corrupt",
+    };
+    let vulns = enumerate_vulnerabilities();
+    let _ = run_vulnerability(&vulns[0], TlbDesign::Sa, &settings(oracle));
+
+    let summary = conclude("e2e-corrupt", &dir);
+    assert!(!summary.is_empty(), "corruption must be caught");
+    assert_eq!(summary.exit_code(0), EXIT_SUSPECT);
+    assert_eq!(summary.exit_code(4), EXIT_SUSPECT, "dominates quarantine");
+    assert!(summary.affects(&["SA"]), "the corrupted design is named");
+
+    for s in &summary.suspects {
+        assert!(
+            s.capture.ops.len() <= s.original_ops,
+            "shrinking never grows the trace"
+        );
+        let path = s.path.as_ref().expect("repro file written");
+        assert!(path.starts_with(&dir));
+        let (capture, replayed) = replay_file(path).expect("repro file parses");
+        assert_eq!(
+            replayed.expect("replay violates"),
+            capture.violation,
+            "replay reproduces the recorded violation exactly"
+        );
+        assert_eq!(capture.violation, s.capture.violation);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn armed_oracle_without_corruption_stays_clean() {
+    let dir = tmp_dir("clean");
+    let _ = std::fs::remove_dir_all(&dir);
+    let oracle = OracleConfig {
+        rate_per_mille: 1000,
+        corrupt_per_mille: 0,
+        seed: 0x5eed,
+        tag: "e2e-clean",
+    };
+    let vulns = enumerate_vulnerabilities();
+    for design in TlbDesign::ALL {
+        let _ = run_vulnerability(&vulns[0], design, &settings(oracle));
+    }
+    let summary = conclude("e2e-clean", &dir);
+    assert!(summary.is_empty(), "no violation without corruption");
+    assert_eq!(summary.exit_code(0), 0);
+    assert!(!dir.exists(), "no repro directory for a clean campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+}
