@@ -7,16 +7,21 @@
 //! This binary measures the channel capacity of every Table 2 row on the
 //! RF TLB under both policies.
 //!
-//! Usage: `ablation_rf [--trials N] [--workers N|auto] [--checkpoint
-//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//! Usage: `ablation_rf [--trials N] [--adaptive[=ALPHA]] [--workers
+//! N|auto] [--checkpoint PATH] [--resume PATH] [--retries N]
+//! [--kill-after N] [--inject-* ...]`
 //!
 //! With `--workers` or any fault-tolerance flag the 24×2 sweep runs on
 //! the resilient engine, one shard per (vulnerability, eviction) cell.
+//! `--adaptive` stops each cell's trials as soon as its leak verdict is
+//! statistically settled (the printed C* then reflects the settled
+//! prefix), which never flips a verdict.
 
 use std::path::Path;
 
 use sectlb_bench::{campaign, cli};
 use sectlb_model::enumerate_vulnerabilities;
+use sectlb_secbench::adaptive::{run_vulnerability_adaptive, SequentialTest};
 use sectlb_secbench::oracle;
 use sectlb_secbench::run::{run_vulnerability, TrialSettings};
 use sectlb_sim::machine::TlbDesign;
@@ -27,6 +32,7 @@ fn main() {
     let trials = cli::trials_flag(&args, 300);
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let adaptive = cli::adaptive_flags(&args);
     let oracle = cli::oracle_flags(&args, &policy, "ablation_rf");
     println!("RF TLB random-fill eviction ablation ({trials} trials per placement)\n");
     println!(
@@ -34,6 +40,12 @@ fn main() {
         "vulnerability", "C* random-way", "C* LRU-way"
     );
     let vulns = enumerate_vulnerabilities();
+    // The leak criterion below prints at C* > 0.05, so the sequential
+    // test must settle against the same threshold to preserve verdicts.
+    let test = adaptive.map(|a| SequentialTest {
+        alpha: a.alpha,
+        threshold: 0.05,
+    });
     let measure = |v, eviction| {
         let settings = TrialSettings {
             trials,
@@ -42,50 +54,65 @@ fn main() {
             oracle,
             ..TrialSettings::default()
         };
-        run_vulnerability(v, TlbDesign::Rf, &settings).capacity()
+        match &test {
+            Some(test) => run_vulnerability_adaptive(v, TlbDesign::Rf, &settings, test).capacity(),
+            None => run_vulnerability(v, TlbDesign::Rf, &settings).capacity(),
+        }
     };
     // One engine task per (vulnerability, eviction) cell, in print order.
-    let capacities: Vec<Option<(f64, f64)>> = match campaign::engine_workers(workers, &policy) {
-        Some(engine_workers) => {
-            let tasks: Vec<usize> = (0..vulns.len()).collect();
-            let outcome = campaign::run_campaign(
-                "ablation_rf",
-                [u64::from(trials)],
-                &tasks,
-                engine_workers,
-                &policy,
-                &|&i: &usize| format!("{} on RF TLB, both evictions", vulns[i]),
-                |&i: &usize| {
-                    (
-                        measure(&vulns[i], RandomFillEviction::RandomWay),
-                        measure(&vulns[i], RandomFillEviction::LruWay),
-                    )
-                },
-            );
-            let caps: Vec<Option<(f64, f64)>> = outcome
-                .results
-                .iter()
-                .map(|r| r.as_ref().ok().copied())
-                .collect();
-            outcome.eprint_summary();
-            if outcome.exit_code() != 0 {
-                let summary = oracle::conclude("ablation_rf", Path::new("repro"));
-                render(&vulns, &caps, &summary);
-                summary.eprint();
-                std::process::exit(summary.exit_code(outcome.exit_code()));
+    // The adaptive alpha joins the fingerprint: an adaptive checkpoint
+    // holds settled prefixes, which an exhaustive resume must not trust.
+    let mut coords = vec![u64::from(trials)];
+    if let Some(test) = &test {
+        coords.push(test.alpha.to_bits());
+    }
+    let capacities: Vec<Result<(f64, f64), &'static str>> =
+        match campaign::engine_workers(workers, &policy) {
+            Some(engine_workers) => {
+                let tasks: Vec<usize> = (0..vulns.len()).collect();
+                let outcome = campaign::run_campaign(
+                    "ablation_rf",
+                    coords,
+                    &tasks,
+                    engine_workers,
+                    &policy,
+                    &|&i: &usize| format!("{} on RF TLB, both evictions", vulns[i]),
+                    |&i: &usize| {
+                        (
+                            measure(&vulns[i], RandomFillEviction::RandomWay),
+                            measure(&vulns[i], RandomFillEviction::LruWay),
+                        )
+                    },
+                );
+                let caps: Vec<Result<(f64, f64), &'static str>> =
+                    outcome
+                        .results
+                        .iter()
+                        .map(|r| match r.done() {
+                            Some(&pair) => Ok(pair),
+                            None => Err(campaign::gap_marker(std::slice::from_ref(r))
+                                .unwrap_or("QUARANTINED")),
+                        })
+                        .collect();
+                outcome.eprint_summary();
+                if outcome.exit_code() != 0 {
+                    let summary = oracle::conclude("ablation_rf", Path::new("repro"));
+                    render(&vulns, &caps, &summary);
+                    summary.eprint();
+                    std::process::exit(summary.exit_code(outcome.exit_code()));
+                }
+                caps
             }
-            caps
-        }
-        None => vulns
-            .iter()
-            .map(|v| {
-                Some((
-                    measure(v, RandomFillEviction::RandomWay),
-                    measure(v, RandomFillEviction::LruWay),
-                ))
-            })
-            .collect(),
-    };
+            None => vulns
+                .iter()
+                .map(|v| {
+                    Ok((
+                        measure(v, RandomFillEviction::RandomWay),
+                        measure(v, RandomFillEviction::LruWay),
+                    ))
+                })
+                .collect(),
+        };
     let summary = oracle::conclude("ablation_rf", Path::new("repro"));
     render(&vulns, &capacities, &summary);
     summary.eprint();
@@ -94,7 +121,7 @@ fn main() {
 
 fn render(
     vulns: &[sectlb_model::Vulnerability],
-    capacities: &[Option<(f64, f64)>],
+    capacities: &[Result<(f64, f64), &'static str>],
     summary: &oracle::OracleSummary,
 ) {
     let mut leaks = 0;
@@ -107,7 +134,7 @@ fn render(
             continue;
         }
         match caps {
-            Some((random_way, lru_way)) => {
+            Ok((random_way, lru_way)) => {
                 let marker = if *lru_way > 0.05 && *random_way <= 0.05 {
                     leaks += 1;
                     "  <-- LRU-way eviction leaks"
@@ -116,7 +143,7 @@ fn render(
                 };
                 println!("{name:<48} {random_way:>12.3} {lru_way:>12.3}{marker}");
             }
-            None => println!("{name:<48} {:>12} {:>12}", "QUARANTINED", "QUARANTINED"),
+            Err(gap) => println!("{name:<48} {gap:>12} {gap:>12}"),
         }
     }
     println!(

@@ -28,6 +28,7 @@ fn main() {
     let trials = cli::trials_flag(&args, 200);
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    cli::reject_adaptive(&args, "ablation_sp_ways");
     let config = TlbConfig::security_eval(); // 8 ways, 4 sets
     let pp = *enumerate_vulnerabilities()
         .iter()
@@ -67,14 +68,15 @@ fn main() {
                 sweep_point,
             );
             for (victim_ways, result) in splits.iter().zip(&outcome.results) {
-                match result {
-                    Ok((capacity, alone, co)) => {
+                match result.done() {
+                    Some((capacity, alone, co)) => {
                         println!("{victim_ways:>11} {capacity:>16.3} {alone:>14.3} {co:>18.3}")
                     }
-                    Err(_) => println!(
-                        "{victim_ways:>11} {:>16} {:>14} {:>18}",
-                        "QUAR", "QUAR", "QUAR"
-                    ),
+                    None => {
+                        let gap =
+                            campaign::gap_marker(std::slice::from_ref(result)).unwrap_or("QUAR");
+                        println!("{victim_ways:>11} {gap:>16} {gap:>14} {gap:>18}")
+                    }
                 }
             }
             print_reading();

@@ -37,6 +37,7 @@ fn main() {
         .unwrap_or(5);
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    cli::reject_adaptive(&args, "attack_success");
     let oracle = cli::oracle_flags(&args, &policy, "attack_success");
     let key = RsaKey::demo_128();
     println!("TLBleed-style Prime + Probe key recovery ({seeds} runs per design)");
@@ -70,10 +71,7 @@ fn main() {
     for (i, design) in TlbDesign::ALL.into_iter().enumerate() {
         let lo = i * seeds as usize;
         let slice = &outcome.results[lo..lo + seeds as usize];
-        let completed: Vec<f64> = slice
-            .iter()
-            .filter_map(|r| r.as_ref().ok().copied())
-            .collect();
+        let completed: Vec<f64> = slice.iter().filter_map(|r| r.done().copied()).collect();
         if summary.affects(&[&design.to_string()]) {
             println!("  {design} TLB: SUSPECT (shadow-oracle violation)");
         } else if completed.len() == slice.len() {
@@ -84,8 +82,9 @@ fn main() {
             );
         } else {
             println!(
-                "  {} TLB: QUARANTINED ({} of {} runs completed)",
+                "  {} TLB: {} ({} of {} runs completed)",
                 design,
+                campaign::gap_marker(slice).expect("incomplete row has a gap"),
                 completed.len(),
                 slice.len()
             );

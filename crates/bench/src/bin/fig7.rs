@@ -29,6 +29,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    cli::reject_adaptive(&args, "fig7");
     let oracle_cfg = cli::oracle_flags(&args, &policy, "fig7");
     let designs: Vec<TlbDesign> = match args
         .iter()
@@ -81,9 +82,10 @@ fn main() {
             }
         }
     }
-    // Each engine result is the cell's (ipc, mpki) pair; a quarantined
-    // cell renders as "QUAR" in both panels instead of a number.
-    let (cells, outcome): (Vec<Option<(f64, f64)>>, _) =
+    // Each engine result is the cell's (ipc, mpki) pair; an incomplete
+    // cell renders its gap marker (QUAR / TIMEOUT / PARTIAL) in both
+    // panels instead of a number.
+    let (cells, outcome): (Vec<Result<(f64, f64), &'static str>>, _) =
         match campaign::engine_workers(workers, &policy) {
             Some(engine_workers) => {
                 let outcome = campaign::run_campaign(
@@ -104,7 +106,11 @@ fn main() {
                     outcome
                         .results
                         .iter()
-                        .map(|r| r.as_ref().ok().copied())
+                        .map(|r| match r.done() {
+                            Some(&pair) => Ok(pair),
+                            None => Err(campaign::gap_marker(std::slice::from_ref(r))
+                                .map_or("QUAR", |m| if m == "QUARANTINED" { "QUAR" } else { m })),
+                        })
                         .collect(),
                     Some(outcome),
                 )
@@ -114,7 +120,7 @@ fn main() {
                     .iter()
                     .map(|&(d, c, w, r)| {
                         let cell = run_cell_oracle(d, c, w, r, oracle_cfg, |b| b);
-                        Some((cell.ipc, cell.mpki))
+                        Ok((cell.ipc, cell.mpki))
                     })
                     .collect(),
                 None,
@@ -152,11 +158,11 @@ fn main() {
                             continue;
                         }
                         match cells[offset + (wi * runs.len() + ri) * configs.len() + ci] {
-                            Some((ipc, mpki)) => {
+                            Ok((ipc, mpki)) => {
                                 let v = if metric == "IPC" { ipc } else { mpki };
                                 print!(" {:>8.3}", v);
                             }
-                            None => print!(" {:>8}", "QUAR"),
+                            Err(marker) => print!(" {:>8}", marker),
                         }
                     }
                     println!();

@@ -2,63 +2,108 @@
 //! types each pre-existing mitigation (and each of the paper's designs)
 //! defends.
 //!
-//! Usage: `mitigations [--trials N] [--workers N|auto] [--checkpoint
-//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//! Usage: `mitigations [--trials N] [--adaptive[=ALPHA]] [--workers
+//! N|auto] [--checkpoint PATH] [--resume PATH] [--retries N]
+//! [--kill-after N] [--inject-* ...]`
 //!
 //! With `--workers` or any fault-tolerance flag the survey runs on the
 //! resilient engine, one shard per mitigation: a panicking survey row is
 //! retried deterministically and, if it keeps failing, reported as
-//! quarantined instead of aborting the others.
+//! quarantined instead of aborting the others. `--adaptive` stops each
+//! of a row's 24 cells as soon as its verdict is statistically settled;
+//! the defended counts are guaranteed to match the exhaustive run.
 
 use std::path::Path;
 
 use sectlb_bench::{campaign, cli};
-use sectlb_secbench::mitigations::{defended_count, Mitigation};
+use sectlb_secbench::adaptive::SequentialTest;
+use sectlb_secbench::mitigations::{defended_count, defended_count_adaptive, Mitigation};
 use sectlb_secbench::oracle;
 use sectlb_secbench::run::TrialSettings;
+
+/// The defended-capacity threshold this survey has always used.
+const THRESHOLD: f64 = 0.06;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let adaptive = cli::adaptive_flags(&args);
     let settings = TrialSettings {
         trials: cli::trials_flag(&args, 300),
         workers: None, // sharding happens at mitigation granularity below
         oracle: cli::oracle_flags(&args, &policy, "mitigations"),
         ..TrialSettings::default()
     };
+    let test = adaptive.map(|a| SequentialTest {
+        alpha: a.alpha,
+        threshold: THRESHOLD,
+    });
     println!("Section 2.3: existing mitigations vs. the 24 vulnerability types");
     println!("({} trials per placement)\n", settings.trials);
     println!("{:<42} {:>10} {:>8}", "approach", "measured", "paper");
+    // One row = 24 adaptive cells; the count plus total trials saved.
+    let row = |m: &Mitigation, test: &SequentialTest| {
+        let (count, saved) = defended_count_adaptive(*m, &settings, test);
+        (count as u64, saved)
+    };
     match campaign::engine_workers(workers, &policy) {
         Some(engine_workers) => {
             let tasks: Vec<Mitigation> = Mitigation::ALL.to_vec();
-            let outcome = campaign::run_campaign(
-                "mitigations",
-                [u64::from(settings.trials), settings.base_seed],
-                &tasks,
-                engine_workers,
-                &policy,
-                &|m: &Mitigation| m.label().to_owned(),
-                |m: &Mitigation| defended_count(*m, &settings, 0.06) as u64,
-            );
+            // The adaptive alpha joins the fingerprint (and the record
+            // shape changes), so adaptive and exhaustive checkpoints can
+            // never cross-resume.
+            let mut saved_total = 0;
+            let outcome = match &test {
+                Some(test) => {
+                    let outcome = campaign::run_campaign(
+                        "mitigations",
+                        [
+                            u64::from(settings.trials),
+                            settings.base_seed,
+                            test.alpha.to_bits(),
+                        ],
+                        &tasks,
+                        engine_workers,
+                        &policy,
+                        &|m: &Mitigation| m.label().to_owned(),
+                        |m: &Mitigation| row(m, test),
+                    );
+                    saved_total = outcome
+                        .results
+                        .iter()
+                        .filter_map(|r| r.done().map(|&(_, saved)| saved))
+                        .sum();
+                    outcome.map(|(count, _)| count)
+                }
+                None => campaign::run_campaign(
+                    "mitigations",
+                    [u64::from(settings.trials), settings.base_seed],
+                    &tasks,
+                    engine_workers,
+                    &policy,
+                    &|m: &Mitigation| m.label().to_owned(),
+                    |m: &Mitigation| defended_count(*m, &settings, THRESHOLD) as u64,
+                ),
+            };
             for (m, result) in tasks.iter().zip(&outcome.results) {
-                match result {
-                    Ok(measured) => println!(
+                match result.done() {
+                    Some(measured) => println!(
                         "{:<42} {:>7}/24 {:>5}/24",
                         m.label(),
                         measured,
                         m.paper_defended_count()
                     ),
-                    Err(_) => println!(
+                    None => println!(
                         "{:<42} {:>10} {:>5}/24",
                         m.label(),
-                        "QUARANTINED",
+                        campaign::gap_marker(std::slice::from_ref(result)).unwrap_or("QUARANTINED"),
                         m.paper_defended_count()
                     ),
                 }
             }
             print_reading();
+            print_saved(&test, saved_total);
             let summary = oracle::conclude("mitigations", Path::new("repro"));
             print_suspects(&summary);
             outcome.eprint_summary();
@@ -66,8 +111,16 @@ fn main() {
             std::process::exit(summary.exit_code(outcome.exit_code()));
         }
         None => {
+            let mut saved_total = 0;
             for m in Mitigation::ALL {
-                let measured = defended_count(m, &settings, 0.06);
+                let measured = match &test {
+                    Some(test) => {
+                        let (count, saved) = row(&m, test);
+                        saved_total += saved;
+                        count as usize
+                    }
+                    None => defended_count(m, &settings, THRESHOLD),
+                };
                 println!(
                     "{:<42} {:>7}/24 {:>5}/24",
                     m.label(),
@@ -76,11 +129,22 @@ fn main() {
                 );
             }
             print_reading();
+            print_saved(&test, saved_total);
             let summary = oracle::conclude("mitigations", Path::new("repro"));
             print_suspects(&summary);
             summary.eprint();
             std::process::exit(summary.exit_code(0));
         }
+    }
+}
+
+fn print_saved(test: &Option<SequentialTest>, saved: u64) {
+    if let Some(test) = test {
+        println!(
+            "\nadaptive early stopping (alpha = {}): saved {saved} trials x 2 placements \
+             across the survey",
+            test.alpha
+        );
     }
 }
 

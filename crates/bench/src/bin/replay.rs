@@ -10,22 +10,30 @@
 //! the replayed violation against the recorded one.
 //!
 //! Exit codes: 0 when every file reproduces its recorded violation
-//! exactly; 1 when any replay runs clean or trips a different invariant;
-//! 2 on usage or parse errors.
+//! exactly (and for `--help`); 1 when any replay runs clean or trips a
+//! different invariant; 2 on usage or parse errors.
 
 use std::path::Path;
 use std::process::exit;
 
+use sectlb_bench::exit::{EXIT_OK, EXIT_USAGE};
 use sectlb_secbench::oracle::replay_file;
+
+const USAGE: &str = "usage: replay REPRO_FILE...\n\
+    re-executes shadow-oracle repro files (written to repro/*.ron by the\n\
+    campaign drivers under --oracle) and verifies the recorded violation\n\
+    reproduces identically";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: replay REPRO_FILE...");
-        eprintln!("re-executes shadow-oracle repro files (written to repro/*.ron by the");
-        eprintln!("campaign drivers under --oracle) and verifies the recorded violation");
-        eprintln!("reproduces identically");
-        exit(2);
+    // Asking for help is not an error: usage goes to stdout, exit 0.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        exit(EXIT_OK);
+    }
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        exit(EXIT_USAGE);
     }
     let mut failed = false;
     for arg in &args {
@@ -50,7 +58,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("{arg}: {e}");
-                exit(2);
+                exit(EXIT_USAGE);
             }
         }
     }

@@ -21,32 +21,48 @@
 
 use std::path::Path;
 
+use std::num::NonZeroUsize;
+
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::oracle;
-use sectlb_secbench::report::{build_table4_resilient, build_table4_with_stats};
+use sectlb_secbench::report::{
+    build_table4_adaptive, build_table4_resilient, build_table4_with_stats,
+};
 use sectlb_secbench::run::TrialSettings;
+use sectlb_secbench::supervisor;
 use sectlb_sim::machine::TlbDesign;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    let adaptive = cli::adaptive_flags(&args);
     let settings = TrialSettings {
         trials: cli::trials_flag(&args, TrialSettings::default().trials),
         workers,
         oracle: cli::oracle_flags(&args, &policy, "table4"),
         ..TrialSettings::default()
     };
+    // --adaptive always runs on the engine (its round scheduler lives
+    // there), defaulting to one worker like the fault-tolerance flags.
+    let engine = campaign::engine_workers(workers, &policy).or(adaptive.map(|_| NonZeroUsize::MIN));
     eprintln!(
         "running {} trials x 2 placements x 24 vulnerabilities x 3 designs ({}) ...",
         settings.trials,
-        match campaign::engine_workers(workers, &policy) {
+        match engine {
+            Some(w) if adaptive.is_some() =>
+                format!("{w} workers, resilient engine, adaptive early stopping"),
             Some(w) => format!("{w} workers, resilient engine"),
             None => "serial".to_owned(),
         }
     );
-    if let Some(engine_workers) = campaign::engine_workers(workers, &policy) {
-        let report = match build_table4_resilient(&settings, engine_workers, &policy) {
+    if let Some(engine_workers) = engine {
+        supervisor::install_signal_handlers();
+        let built = match adaptive {
+            Some(a) => build_table4_adaptive(&settings, engine_workers, &policy, &a),
+            None => build_table4_resilient(&settings, engine_workers, &policy),
+        };
+        let report = match built {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("{e}");
@@ -60,6 +76,11 @@ fn main() {
             println!(
                 "WARNING: {} cell(s) SUSPECT; the TLB model misbehaved there",
                 summary.suspects.len()
+            );
+        } else if !report.partial.is_empty() {
+            println!(
+                "WARNING: {} cell(s) incomplete (budget); resume to finish the verdicts",
+                report.partial.len()
             );
         } else if report.quarantined.is_empty() && report.table.all_verdicts_match() {
             println!("all measured defense verdicts match the theoretical ones");

@@ -24,6 +24,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    cli::reject_adaptive(&args, "table5");
     let _ = cli::oracle_flags(&args, &policy, "table5");
     let baseline_cfg = TlbConfig::sa(32, 4).expect("valid");
     let base = estimate(TlbDesign::Sa, baseline_cfg);
@@ -52,8 +53,8 @@ fn main() {
     for (row, result) in rows.iter().zip(&outcome.results) {
         let pdl = row.luts as i64 - paper_base.luts as i64;
         let pdr = row.registers as i64 - paper_base.registers as i64;
-        match result {
-            Ok((luts, registers)) => {
+        match result.done() {
+            Some((luts, registers)) => {
                 let dl = *luts as i64 - base.luts as i64;
                 let dr = *registers as i64 - base.registers as i64;
                 println!(
@@ -68,13 +69,15 @@ fn main() {
                     pdr
                 );
             }
-            Err(_) => {
+            None => {
+                let gap =
+                    campaign::gap_marker(std::slice::from_ref(result)).unwrap_or("QUARANTINED");
                 println!(
                     "{:<4} {:>8} | {:^29} | {:^28}",
                     row.design.name(),
                     row.config.label(),
-                    "QUARANTINED",
-                    "QUARANTINED"
+                    gap,
+                    gap
                 );
             }
         }

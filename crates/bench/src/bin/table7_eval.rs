@@ -27,6 +27,7 @@ fn main() {
     let trials = cli::trials_flag(&args, 500);
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
+    cli::reject_adaptive(&args, "table7_eval");
     let oracle_cfg = cli::oracle_flags(&args, &policy, "table7_eval");
     println!("Appendix B attacks vs. the designs ({trials} trials per placement)");
     println!("channel capacity C*; 0 = defended\n");
@@ -61,9 +62,14 @@ fn main() {
                         print!(" {:>18}", "SUSPECT");
                         continue;
                     }
-                    match &outcome.results[bi * ExtDesign::ALL.len() + di] {
-                        Ok(m) => print!(" {:>18.3}", m.capacity()),
-                        Err(_) => print!(" {:>18}", "QUARANTINED"),
+                    let result = &outcome.results[bi * ExtDesign::ALL.len() + di];
+                    match result.done() {
+                        Some(m) => print!(" {:>18.3}", m.capacity()),
+                        None => print!(
+                            " {:>18}",
+                            campaign::gap_marker(std::slice::from_ref(result))
+                                .unwrap_or("QUARANTINED")
+                        ),
                     }
                 }
                 println!();

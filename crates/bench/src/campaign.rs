@@ -2,52 +2,75 @@
 //!
 //! Every campaign binary shares the same resilience lifecycle: decide
 //! whether the resilient engine is wanted (either `--workers` or any
-//! fault-tolerance flag), run the task list through
+//! fault-tolerance/budget flag), install the signal handlers, run the
+//! task list through
 //! [`sectlb_secbench::resilience::run_sharded_resilient`] with a
-//! driver-specific fingerprint, surface quarantined shards on stderr, and
-//! translate the outcome into a process exit code
-//! (0 clean, 2 usage/checkpoint, 3 interrupted, 4 quarantined).
+//! driver-specific fingerprint, surface quarantined/stalled shards on
+//! stderr, and translate the outcome into a process exit code — see
+//! [`crate::exit`] for the full code table.
+//!
+//! A run the supervisor stopped early (wall-clock `--deadline` expiry or
+//! SIGINT/SIGTERM) is **not** an error: the engine drains, flushes the
+//! checkpoint, and returns with explicit [`ShardOutcome::Skipped`] /
+//! [`ShardOutcome::TimedOut`] gaps, so the driver still renders its
+//! (partial) table and exits [`crate::exit::EXIT_BUDGET`].
 
 use std::num::NonZeroUsize;
 
 use sectlb_secbench::checkpoint::{fingerprint, fingerprint_str, Record};
 use sectlb_secbench::parallel::PoolStats;
-use sectlb_secbench::resilience::{
-    run_sharded_resilient, RunPolicy, ShardFailure, EXIT_QUARANTINED,
-};
+use sectlb_secbench::resilience::{run_sharded_resilient, RunPolicy, ShardOutcome, StallEvent};
+use sectlb_secbench::supervisor::{self, StopReason};
+
+use crate::exit::{EXIT_BUDGET, EXIT_OK, EXIT_QUARANTINED};
 
 /// Whether this invocation should route through the resilient engine, and
 /// with how many workers.
 ///
-/// `--workers N` opts in with `N` workers; any fault-tolerance flag
-/// (checkpoint, resume, retry tuning via kill/fault/stall switches) opts
-/// in with a single worker so the flags work without `--workers`.
-/// `None` means the driver should keep its legacy (serial) path, whose
-/// output existing tests and scripts pin.
+/// `--workers N` opts in with `N` workers; any fault-tolerance or budget
+/// flag (checkpoint, resume, retry tuning via kill/fault/stall switches,
+/// deadlines) opts in with a single worker so the flags work without
+/// `--workers`. `None` means the driver should keep its legacy (serial)
+/// path, whose output existing tests and scripts pin.
 pub fn engine_workers(workers: Option<NonZeroUsize>, policy: &RunPolicy) -> Option<NonZeroUsize> {
     workers.or_else(|| policy.wants_engine().then_some(NonZeroUsize::MIN))
 }
 
-/// A completed driver campaign: per-task results (quarantined shards are
-/// explicit `Err` entries, never silent gaps) plus the pool counters.
+/// A completed driver campaign: per-task outcomes (quarantined shards
+/// and budget gaps are explicit variants, never silent holes) plus the
+/// pool counters, watchdog reports, and the early-stop reason if the
+/// supervisor cut the run short.
 #[derive(Debug)]
 pub struct DriverCampaign<R> {
-    /// One result per task, in task order.
-    pub results: Vec<Result<R, ShardFailure>>,
-    /// Pool timing plus retry/quarantine/stall counters.
+    /// One outcome per task, in task order.
+    pub results: Vec<ShardOutcome<R>>,
+    /// Pool timing plus retry/quarantine/stall/budget counters.
     pub stats: PoolStats,
     /// Tasks restored from the resume checkpoint.
     pub resumed: usize,
+    /// Watchdog reports, if `--stall-deadline-ms` was configured.
+    pub stalls: Vec<StallEvent>,
+    /// Why the supervisor stopped the run early, if it did.
+    pub stop: Option<StopReason>,
 }
 
 impl<R> DriverCampaign<R> {
     /// Number of quarantined tasks.
     pub fn quarantined(&self) -> usize {
-        self.results.iter().filter(|r| r.is_err()).count()
+        self.results
+            .iter()
+            .filter(|r| r.failure().is_some())
+            .count()
     }
 
-    /// Prints the resume/quarantine/pool summary to stderr (stdout is
-    /// reserved for the table itself, which scripts diff).
+    /// Number of tasks the budget left unfinished (preempted or never
+    /// claimed).
+    pub fn budget_gaps(&self) -> usize {
+        self.results.iter().filter(|r| r.is_budget_gap()).count()
+    }
+
+    /// Prints the resume/quarantine/stall/stop/pool summary to stderr
+    /// (stdout is reserved for the table itself, which scripts diff).
     pub fn eprint_summary(&self) {
         if self.resumed > 0 {
             eprintln!(
@@ -55,27 +78,61 @@ impl<R> DriverCampaign<R> {
                 self.resumed
             );
         }
-        for failure in self.results.iter().filter_map(|r| r.as_ref().err()) {
+        for failure in self.results.iter().filter_map(|r| r.failure()) {
             eprintln!("{failure}");
+        }
+        for stall in &self.stalls {
+            eprintln!(
+                "stall: worker {} exceeded the watchdog deadline on shard {} (ran {:.2?})",
+                stall.worker, stall.task, stall.waited
+            );
+        }
+        if let Some(stop) = self.stop {
+            eprintln!(
+                "campaign stopped early: {stop} ({} of {} task(s) unfinished)",
+                self.budget_gaps(),
+                self.results.len()
+            );
         }
         eprintln!("pool: {}", self.stats.render());
     }
 
-    /// The process exit code: 0 clean, [`EXIT_QUARANTINED`] otherwise.
+    /// Maps every completed result, preserving gaps and counters — for
+    /// drivers whose engine result carries bookkeeping (e.g. adaptive
+    /// trials-saved) they strip before rendering.
+    pub fn map<S>(self, f: impl Fn(R) -> S) -> DriverCampaign<S> {
+        DriverCampaign {
+            results: self.results.into_iter().map(|r| r.map(&f)).collect(),
+            stats: self.stats,
+            resumed: self.resumed,
+            stalls: self.stalls,
+            stop: self.stop,
+        }
+    }
+
+    /// The process exit code: [`EXIT_BUDGET`] when the supervisor cut the
+    /// run short (the table is partial and a `--resume` can finish it),
+    /// else [`EXIT_QUARANTINED`] when shards exhausted their retries,
+    /// else [`EXIT_OK`].
     pub fn exit_code(&self) -> i32 {
-        if self.quarantined() == 0 {
-            0
-        } else {
+        if self.stop.is_some() || self.budget_gaps() > 0 {
+            EXIT_BUDGET
+        } else if self.quarantined() > 0 {
             EXIT_QUARANTINED
+        } else {
+            EXIT_OK
         }
     }
 }
 
 /// Runs a driver's task list through the resilient engine.
 ///
-/// The campaign fingerprint — what a `--resume` checkpoint must match —
-/// combines the driver `name` with the driver-specific `coordinates`
-/// (trial counts, seeds, anything that changes results). On a
+/// Installs the SIGINT/SIGTERM handlers first, so an interrupted campaign
+/// drains through the same flush-checkpoint-render-partial path as a
+/// `--deadline` expiry. The campaign fingerprint — what a `--resume`
+/// checkpoint must match — combines the driver `name` with the
+/// driver-specific `coordinates` (trial counts, seeds, anything that
+/// changes results). On a
 /// [`sectlb_secbench::resilience::CampaignError`] (checkpoint problems,
 /// `--kill-after` interruption) the error is printed and the process
 /// exits with the error's code.
@@ -92,16 +149,42 @@ where
     T: Sync,
     R: Send + Record,
 {
+    supervisor::install_signal_handlers();
     let fp = fingerprint(fingerprint_str(name), coordinates);
     match run_sharded_resilient(tasks, workers, policy, fp, label, f) {
         Ok(run) => DriverCampaign {
             results: run.results,
             stats: run.stats,
             resumed: run.resumed,
+            stalls: run.stalls,
+            stop: run.stop,
         },
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(e.exit_code());
         }
+    }
+}
+
+/// The marker a driver should print for an aggregate row whose tasks did
+/// not all complete: QUARANTINED dominates (those shards exhausted their
+/// retries and will not finish on resume), then TIMEOUT (a cell's shard
+/// overran `--cell-deadline-ms`), then PARTIAL (the budget stopped the
+/// campaign before the cell was claimed). `None` when every task is done.
+pub fn gap_marker<R>(outcomes: &[ShardOutcome<R>]) -> Option<&'static str> {
+    if outcomes.iter().any(|r| r.failure().is_some()) {
+        Some("QUARANTINED")
+    } else if outcomes
+        .iter()
+        .any(|r| matches!(r, ShardOutcome::TimedOut(_)))
+    {
+        Some("TIMEOUT")
+    } else if outcomes
+        .iter()
+        .any(|r| matches!(r, ShardOutcome::Skipped(_)))
+    {
+        Some("PARTIAL")
+    } else {
+        None
     }
 }

@@ -21,6 +21,16 @@
 //!   entry in PM‰ of trials (default: all), keyed by trial seed; only
 //!   the shadow oracle can catch it
 //!
+//! The resource-budget flags fold into the same [`RunPolicy`]:
+//!
+//! - `--deadline SECS` — wall-clock budget for the whole campaign;
+//!   on expiry the engine stops claiming shards, drains, flushes the
+//!   checkpoint, and the driver renders a partial report (exit 7)
+//! - `--cell-deadline-ms MS` — per-shard budget; an overrunning shard is
+//!   cooperatively preempted and its cell rendered TIMEOUT
+//! - `--adaptive[=ALPHA]` ([`parse_adaptive`]) — sequential early
+//!   stopping per cell, guaranteed to agree with the exhaustive verdicts
+//!
 //! The shadow-oracle flag ([`parse_oracle`]) arms the lockstep reference
 //! model: `--oracle[=RATE]` checks RATE‰ of trials (default: all).
 //! Violations render the cell SUSPECT, write a shrunk `repro/*.ron`
@@ -35,9 +45,12 @@ use std::path::PathBuf;
 use std::str::FromStr;
 use std::time::Duration;
 
+use sectlb_secbench::adaptive::AdaptivePolicy;
 use sectlb_secbench::checkpoint::CheckpointPolicy;
 use sectlb_secbench::oracle::OracleConfig;
 use sectlb_secbench::resilience::{FaultPlan, RunPolicy};
+
+use crate::exit::usage as exit_usage;
 
 /// Looks up the value following `flag`, if the flag is present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
@@ -172,7 +185,39 @@ pub fn parse_campaign(args: &[String]) -> Result<RunPolicy, String> {
         policy.resume = Some(PathBuf::from(path));
     }
     if let Some(n) = flag_num::<usize>(args, "--kill-after")? {
+        if n == 0 {
+            return Err(
+                "--kill-after must be at least 1: killing before the first shard runs \
+                 no trials at all (use --deadline for wall-clock budgets)"
+                    .to_owned(),
+            );
+        }
+        if policy.checkpoint.is_none() {
+            return Err(
+                "--kill-after requires --checkpoint PATH: an interrupted run without a \
+                 checkpoint discards all completed work and cannot be resumed"
+                    .to_owned(),
+            );
+        }
         policy.stop_after = Some(n);
+    }
+    if let Some(secs) = flag_num::<f64>(args, "--deadline")? {
+        if !(secs > 0.0 && secs.is_finite()) {
+            return Err(format!(
+                "--deadline needs a positive number of seconds, got {secs:?}"
+            ));
+        }
+        policy.budget.deadline = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(ms) = flag_num::<u64>(args, "--cell-deadline-ms")? {
+        if ms == 0 {
+            return Err(
+                "--cell-deadline-ms must be at least 1: a zero per-shard budget would \
+                 preempt every shard before its first trial"
+                    .to_owned(),
+            );
+        }
+        policy.budget.cell_deadline = Some(Duration::from_millis(ms));
     }
     let mut faults = FaultPlan::default();
     let mut any_fault = false;
@@ -207,9 +252,47 @@ pub fn parse_campaign(args: &[String]) -> Result<RunPolicy, String> {
     Ok(policy)
 }
 
-fn exit_usage(message: String) -> ! {
-    eprintln!("{message}");
-    std::process::exit(2);
+/// Parses `--adaptive[=ALPHA]` into an [`AdaptivePolicy`]; `Ok(None)`
+/// when absent. The bare flag uses the default confidence
+/// (`AdaptivePolicy::default()`); an explicit alpha must lie in (0, 1).
+///
+/// `--adaptive` conflicts with `--kill-after`: the kill switch counts
+/// engine shards, and early stopping changes how many shards a cell
+/// needs, so the combination would make "kill after N" depend on the
+/// statistics it is supposed to be testing.
+pub fn parse_adaptive(args: &[String]) -> Result<Option<AdaptivePolicy>, String> {
+    let alpha = match eq_flag(args, "--adaptive") {
+        None => return Ok(None),
+        Some(None) => AdaptivePolicy::default().alpha,
+        Some(Some(v)) => match v.parse::<f64>() {
+            Ok(a) if a > 0.0 && a < 1.0 => a,
+            _ => {
+                return Err(format!(
+                    "--adaptive needs an error budget alpha in (0, 1), got {v:?}"
+                ))
+            }
+        },
+    };
+    if args.iter().any(|a| a == "--kill-after") {
+        return Err(
+            "--adaptive conflicts with --kill-after: the kill switch counts shards, and \
+             adaptive early stopping changes how many shards each cell runs \
+             (use --deadline for a budget that composes with --adaptive)"
+                .to_owned(),
+        );
+    }
+    Ok(Some(AdaptivePolicy { alpha }))
+}
+
+/// Rejects `--adaptive` on drivers whose verdicts are not a per-cell
+/// two-proportion test (exit 2 with a driver-specific message).
+pub fn reject_adaptive(args: &[String], driver: &str) {
+    if eq_flag(args, "--adaptive").is_some() {
+        exit_usage(format!(
+            "{driver} does not support --adaptive: its cells are not defended/vulnerable \
+             verdicts a sequential test can settle early"
+        ));
+    }
 }
 
 /// [`parse_workers`], exiting 2 with the error on a malformed value.
@@ -225,6 +308,11 @@ pub fn trials_flag(args: &[String], default: u32) -> u32 {
 /// [`parse_campaign`], exiting 2 with the error on a malformed value.
 pub fn campaign_flags(args: &[String]) -> RunPolicy {
     parse_campaign(args).unwrap_or_else(|e| exit_usage(e))
+}
+
+/// [`parse_adaptive`], exiting 2 with the error on a malformed value.
+pub fn adaptive_flags(args: &[String]) -> Option<AdaptivePolicy> {
+    parse_adaptive(args).unwrap_or_else(|e| exit_usage(e))
 }
 
 /// [`parse_oracle`], exiting 2 with the error on a malformed value.
@@ -381,6 +469,70 @@ mod tests {
         assert_eq!(cfg.rate_per_mille, 500);
         assert_eq!(cfg.corrupt_per_mille, 30);
         assert!(parse_campaign(&args(&["prog", "--inject-corruption=abc"])).is_err());
+    }
+
+    #[test]
+    fn budget_flags_build_a_policy() {
+        let policy = parse_campaign(&args(&[
+            "prog",
+            "--deadline",
+            "2.5",
+            "--cell-deadline-ms",
+            "40",
+        ]))
+        .expect("parses");
+        assert!(policy.wants_engine(), "a budget routes through the engine");
+        assert_eq!(policy.budget.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(policy.budget.cell_deadline, Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn malformed_budget_values_are_rejected() {
+        for bad in [
+            &["prog", "--deadline", "0"][..],
+            &["prog", "--deadline", "-3"],
+        ] {
+            assert!(parse_campaign(&args(bad))
+                .expect_err("rejected")
+                .contains("--deadline needs a positive number"));
+        }
+        assert!(parse_campaign(&args(&["prog", "--deadline", "soon"]))
+            .expect_err("rejected")
+            .contains("--deadline"));
+        assert!(parse_campaign(&args(&["prog", "--cell-deadline-ms", "0"]))
+            .expect_err("rejected")
+            .contains("--cell-deadline-ms must be at least 1"));
+    }
+
+    #[test]
+    fn kill_after_needs_a_checkpoint_and_a_positive_count() {
+        let err = parse_campaign(&args(&["prog", "--kill-after", "3"])).expect_err("rejected");
+        assert!(err.contains("requires --checkpoint"), "{err}");
+        assert!(err.contains("discards all completed work"), "{err}");
+        let err = parse_campaign(&args(&["prog", "--checkpoint", "ck", "--kill-after", "0"]))
+            .expect_err("rejected");
+        assert!(err.contains("--kill-after must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_flag_parses_alpha_and_conflicts_with_kill_after() {
+        assert_eq!(parse_adaptive(&args(&["prog"])), Ok(None));
+        let bare = parse_adaptive(&args(&["prog", "--adaptive"]))
+            .expect("parses")
+            .expect("armed");
+        assert_eq!(bare.alpha, AdaptivePolicy::default().alpha);
+        let tuned = parse_adaptive(&args(&["prog", "--adaptive=0.05"]))
+            .expect("parses")
+            .expect("armed");
+        assert_eq!(tuned.alpha, 0.05);
+        for bad in ["--adaptive=0", "--adaptive=1", "--adaptive=lots"] {
+            assert!(parse_adaptive(&args(&["prog", bad]))
+                .expect_err("rejected")
+                .contains("alpha in (0, 1)"));
+        }
+        let err = parse_adaptive(&args(&["prog", "--adaptive", "--kill-after", "2"]))
+            .expect_err("rejected");
+        assert!(err.contains("conflicts with --kill-after"), "{err}");
     }
 
     #[test]

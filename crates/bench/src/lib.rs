@@ -21,7 +21,16 @@
 //! (`--checkpoint`, `--resume`, `--retries`, `--kill-after`,
 //! `--stall-deadline-ms`, and the `--inject-*` fault-injection harness),
 //! which route the run through `sectlb_secbench::resilience` — see the
-//! [`campaign`] module for the shared driver glue and exit codes.
+//! [`campaign`] module for the shared driver glue, and the [`exit`]
+//! module for the exit-code contract every driver honors.
+//!
+//! The resource-budget flags (`--deadline SECS`, `--cell-deadline-ms MS`)
+//! bound a campaign's wall-clock time: on expiry — or on SIGINT/SIGTERM —
+//! the drivers stop claiming work, drain, flush the checkpoint, render a
+//! partial report with `PARTIAL`/`TIMEOUT` cell markers, and exit with
+//! `sectlb_secbench::supervisor::EXIT_BUDGET`. Where supported,
+//! `--adaptive[=ALPHA]` stops each cell's trials early once its verdict
+//! is statistically settled, without ever changing a verdict.
 //!
 //! The [`perf`] module holds the Figure 7 machinery shared between the
 //! `fig7` binary and the integration tests.
@@ -31,4 +40,5 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod exit;
 pub mod perf;

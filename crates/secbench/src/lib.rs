@@ -18,6 +18,14 @@
 //! - [`resilience`] — the fault-tolerant campaign engine: panic isolation
 //!   with deterministic retry, shard quarantine, a stall watchdog, and a
 //!   deterministic fault-injection harness for testing all of the above;
+//! - [`supervisor`] — the resource-budgeted campaign supervisor:
+//!   wall-clock deadlines, per-shard timeouts with cooperative
+//!   preemption, and signal-safe graceful shutdown, all draining through
+//!   the same flush-checkpoint-render-partial path;
+//! - [`adaptive`] — sequential early stopping: a Hoeffding-bound
+//!   confidence rectangle on `(p1*, p2*)` stops a cell's trials as soon
+//!   as its defended/vulnerable verdict is statistically settled, while
+//!   provably agreeing with the exhaustive run;
 //! - [`checkpoint`] — crash-safe campaign checkpoints (temp-file +
 //!   atomic-rename) so a killed campaign resumes bitwise-identically;
 //! - [`oracle`] — campaign-side shadow-oracle guardrails: sampled
@@ -48,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod capacity;
 pub mod channel;
 pub mod checkpoint;
@@ -60,15 +69,18 @@ pub mod report;
 pub mod resilience;
 pub mod run;
 pub mod spec;
+pub mod supervisor;
 pub mod theory;
 
+pub use adaptive::{measure_cells_adaptive, AdaptiveOutcome, AdaptivePolicy, SequentialTest};
 pub use capacity::binary_channel_capacity;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record};
 pub use oracle::{OracleConfig, OracleSummary, SuspectCell, EXIT_SUSPECT};
 pub use parallel::{measure_cells, run_sharded, PoolStats, WorkerStats};
 pub use resilience::{
     measure_cells_resilient, run_sharded_resilient, CampaignError, CampaignOutcome, CellOutcome,
-    FaultPlan, ResilientRun, RunPolicy, ShardFailure, EXIT_QUARANTINED,
+    FaultPlan, ResilientRun, RunPolicy, ShardFailure, ShardOutcome, EXIT_QUARANTINED,
 };
 pub use run::{derive_trial_seed, run_vulnerability, Measurement, TrialSettings};
 pub use spec::BenchmarkSpec;
+pub use supervisor::{BudgetPolicy, StopReason, Supervisor, EXIT_BUDGET};

@@ -68,6 +68,15 @@ pub struct PoolStats {
     /// Shards the watchdog flagged as exceeding their deadline (always 0
     /// on the non-resilient [`run_sharded`] path, which has no watchdog).
     pub stalled: usize,
+    /// Shards never claimed because the supervisor stopped the campaign
+    /// (deadline expiry or graceful signal). Always 0 without a budget.
+    pub skipped: usize,
+    /// Shards preempted mid-flight by the per-shard `--cell-deadline-ms`
+    /// bound. Always 0 without a budget.
+    pub preempted: usize,
+    /// Trials the adaptive early-stopping rule avoided running (always 0
+    /// on exhaustive campaigns).
+    pub trials_saved: u64,
 }
 
 impl PoolStats {
@@ -127,6 +136,18 @@ impl PoolStats {
             line.push_str(&format!(
                 "; resilience: {retried} retried, {} quarantined, {} stalled",
                 self.quarantined, self.stalled
+            ));
+        }
+        if self.skipped > 0 || self.preempted > 0 {
+            line.push_str(&format!(
+                "; budget: {} shards skipped, {} preempted",
+                self.skipped, self.preempted
+            ));
+        }
+        if self.trials_saved > 0 {
+            line.push_str(&format!(
+                "; adaptive: {} trials x 2 placements saved",
+                self.trials_saved
             ));
         }
         line
@@ -196,6 +217,9 @@ where
             workers: worker_stats,
             quarantined: 0,
             stalled: 0,
+            skipped: 0,
+            preempted: 0,
+            trials_saved: 0,
         },
     )
 }

@@ -10,11 +10,14 @@ use std::num::NonZeroUsize;
 use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
 use sectlb_sim::machine::TlbDesign;
 
+use crate::adaptive::{measure_cells_adaptive, AdaptivePolicy};
 use crate::parallel::{measure_cells, PoolStats};
 use crate::resilience::{
-    measure_cells_resilient, CampaignError, CellOutcome, RunPolicy, ShardFailure, EXIT_QUARANTINED,
+    measure_cells_resilient, CampaignError, CellGap, CellOutcome, RunPolicy, ShardFailure,
+    StallEvent, EXIT_QUARANTINED,
 };
 use crate::run::{run_vulnerability, Measurement, TrialSettings};
+use crate::supervisor::{StopReason, EXIT_BUDGET};
 use crate::theory::{paper_theory, TheoryParams, TheoryRow};
 
 /// One design's columns for one vulnerability row.
@@ -166,6 +169,22 @@ impl Table4 {
         masked: &[(usize, usize)],
         suspect: &[(usize, usize)],
     ) -> String {
+        self.render_marked(masked, suspect, &[])
+    }
+
+    /// The fully general renderer: quarantined, suspect, and
+    /// budget-truncated cells each get their marker, with priority
+    /// `SUSPECT > QUARANTINED > TIMEOUT > PARTIAL` when a cell qualifies
+    /// for more than one. Marked cells are excluded from the defended
+    /// counts; each nonempty category appends its own warning footer.
+    /// With all lists empty the output is byte-identical to
+    /// [`Table4::render`].
+    pub fn render_marked(
+        &self,
+        masked: &[(usize, usize)],
+        suspect: &[(usize, usize)],
+        partial: &[(usize, usize, CellGap)],
+    ) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -197,10 +216,13 @@ impl Table4 {
             let pat = format!("{} ({})", v.pattern, v.timing);
             let mut line = format!("{shown:<34} {pat:<30}");
             for (c, cell) in row.cells.iter().enumerate() {
+                let gap = partial.iter().find(|(pr, pc, _)| (*pr, *pc) == (r, c));
                 if suspect.contains(&(r, c)) {
                     let _ = write!(line, " | {:^24}", "SUSPECT");
                 } else if masked.contains(&(r, c)) {
                     let _ = write!(line, " | {:^24}", "QUARANTINED");
+                } else if let Some((_, _, gap)) = gap {
+                    let _ = write!(line, " | {:^24}", gap.marker());
                 } else {
                     let _ = write!(
                         line,
@@ -220,6 +242,7 @@ impl Table4 {
             for (c, cell) in row.cells.iter().enumerate() {
                 if !masked.contains(&(r, c))
                     && !suspect.contains(&(r, c))
+                    && !partial.iter().any(|(pr, pc, _)| (*pr, *pc) == (r, c))
                     && cell.measured.defends(DEFENDED_THRESHOLD)
                 {
                     counts[c] += 1;
@@ -247,6 +270,14 @@ impl Table4 {
                 suspect.len()
             );
         }
+        if !partial.is_empty() {
+            let _ = writeln!(
+                out,
+                "WARNING: {} cell(s) incomplete (PARTIAL/TIMEOUT) and excluded from the counts \
+                 above — resume from the checkpoint to finish them",
+                partial.len()
+            );
+        }
         out
     }
 }
@@ -268,6 +299,49 @@ pub struct QuarantinedCell {
     pub failure: ShardFailure,
 }
 
+/// A campaign cell left incomplete by the resource budget — the campaign
+/// stopped (or the cell timed out) before its trials finished.
+#[derive(Debug, Clone)]
+pub struct PartialCell {
+    /// The cell's vulnerability.
+    pub vulnerability: Vulnerability,
+    /// The cell's TLB design.
+    pub design: TlbDesign,
+    /// Row index in [`Table4::rows`].
+    pub row: usize,
+    /// Column index (0 = SA, 1 = SP, 2 = RF).
+    pub col: usize,
+    /// Merged measurement of the trials that did complete.
+    pub partial: Measurement,
+    /// Why the cell is incomplete (selects the `PARTIAL`/`TIMEOUT`
+    /// marker).
+    pub gap: CellGap,
+}
+
+/// The adaptive campaign's early-stopping accounting: which cells were
+/// settled before their full trial budget and what that saved.
+/// Deterministic — the stopping points are pure functions of the trial
+/// prefixes — so it renders on stdout with the table.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSummary {
+    /// Confidence parameter of the sequential test.
+    pub alpha: f64,
+    /// The exhaustive per-cell budget being truncated.
+    pub full_trials: u32,
+    /// `(row, col, trials used)` for every early-stopped cell.
+    pub stopped: Vec<(usize, usize, u32)>,
+}
+
+impl AdaptiveSummary {
+    /// Total per-placement trials the early stops avoided.
+    pub fn saved(&self) -> u64 {
+        self.stopped
+            .iter()
+            .map(|(_, _, used)| u64::from(self.full_trials.saturating_sub(*used)))
+            .sum()
+    }
+}
+
 /// A Table 4 campaign run through the fault-tolerant engine: the table,
 /// the quarantine report, and the pool's resilience counters.
 #[derive(Debug)]
@@ -278,20 +352,34 @@ pub struct CampaignReport {
     /// Every quarantined cell with its failure report — quarantine is
     /// always surfaced, never silently dropped.
     pub quarantined: Vec<QuarantinedCell>,
+    /// Every cell the resource budget left incomplete, rendered
+    /// `PARTIAL`/`TIMEOUT` — like quarantine, never silently dropped.
+    pub partial: Vec<PartialCell>,
     /// Pool timing plus retry/quarantine/stall counters.
     pub stats: PoolStats,
     /// Shards skipped via the resume checkpoint.
     pub resumed: usize,
+    /// The stall watchdog's individual reports (counted in
+    /// [`PoolStats::stalled`], detailed here).
+    pub stalls: Vec<StallEvent>,
+    /// Why the supervisor stopped the campaign early, if it did.
+    pub stop: Option<StopReason>,
+    /// Early-stopping accounting when the campaign ran `--adaptive`.
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
 impl CampaignReport {
-    /// The driver exit code: 0 for a clean campaign, [`EXIT_QUARANTINED`]
-    /// when any cell was quarantined.
+    /// The driver exit code: 0 for a clean campaign,
+    /// [`EXIT_QUARANTINED`] when any cell was quarantined, and
+    /// [`EXIT_BUDGET`] — which wins, since the campaign is incomplete
+    /// but resumable — when the budget cut it short.
     pub fn exit_code(&self) -> i32 {
-        if self.quarantined.is_empty() {
-            0
-        } else {
+        if !self.partial.is_empty() || self.stop.is_some() {
+            EXIT_BUDGET
+        } else if !self.quarantined.is_empty() {
             EXIT_QUARANTINED
+        } else {
+            0
         }
     }
 
@@ -304,7 +392,18 @@ impl CampaignReport {
     /// counters go to stderr via [`CampaignReport::eprint_summary`].
     pub fn render(&self) -> String {
         let masked: Vec<(usize, usize)> = self.quarantined.iter().map(|q| (q.row, q.col)).collect();
-        let mut out = self.table.render_masked(&masked);
+        let partial: Vec<(usize, usize, CellGap)> =
+            self.partial.iter().map(|p| (p.row, p.col, p.gap)).collect();
+        let mut out = self.table.render_marked(&masked, &[], &partial);
+        self.render_details(&mut out);
+        out
+    }
+
+    /// The deterministic per-cell detail sections shared by
+    /// [`CampaignReport::render`] and
+    /// [`CampaignReport::render_with_suspects`]: quarantine reports,
+    /// budget gaps, the stop reason, and the adaptive accounting.
+    fn render_details(&self, out: &mut String) {
         for q in &self.quarantined {
             let _ = writeln!(
                 out,
@@ -312,7 +411,42 @@ impl CampaignReport {
                 q.vulnerability, q.design, q.failure, q.partial.trials, self.table.trials
             );
         }
-        out
+        for p in &self.partial {
+            let _ = writeln!(
+                out,
+                "{} cell [{} on {} TLB]: {} of {} trials completed",
+                p.gap.marker(),
+                p.vulnerability,
+                p.design,
+                p.partial.trials,
+                self.table.trials
+            );
+        }
+        if let Some(stop) = self.stop {
+            let _ = writeln!(out, "campaign stopped early: {stop}");
+        }
+        if let Some(adaptive) = &self.adaptive {
+            let _ = writeln!(
+                out,
+                "adaptive early stopping (alpha = {}): {} of {} cells settled early, saving {} \
+                 trials x 2 placements",
+                adaptive.alpha,
+                adaptive.stopped.len(),
+                self.table.rows.len() * 3,
+                adaptive.saved()
+            );
+            for &(r, c, used) in &adaptive.stopped {
+                let _ = writeln!(
+                    out,
+                    "adaptive stop [{} on {} TLB]: settled after {} of {} trials (saved {})",
+                    self.table.rows[r].vulnerability,
+                    TlbDesign::ALL[c],
+                    used,
+                    adaptive.full_trials,
+                    adaptive.full_trials.saturating_sub(used)
+                );
+            }
+        }
     }
 
     /// Maps an oracle summary's suspect contexts back to `(row, col)`
@@ -338,25 +472,28 @@ impl CampaignReport {
     pub fn render_with_suspects(&self, summary: &crate::oracle::OracleSummary) -> String {
         let suspect = self.suspect_cells(summary);
         let masked: Vec<(usize, usize)> = self.quarantined.iter().map(|q| (q.row, q.col)).collect();
-        let mut out = self.table.render_annotated(&masked, &suspect);
-        for q in &self.quarantined {
-            let _ = writeln!(
-                out,
-                "quarantined cell [{} on {} TLB]: {} ({} of {} trials salvaged)",
-                q.vulnerability, q.design, q.failure, q.partial.trials, self.table.trials
-            );
-        }
+        let partial: Vec<(usize, usize, CellGap)> =
+            self.partial.iter().map(|p| (p.row, p.col, p.gap)).collect();
+        let mut out = self.table.render_marked(&masked, &suspect, &partial);
+        self.render_details(&mut out);
         out
     }
 
-    /// Prints the run's non-deterministic bookkeeping — the resume count
-    /// and the pool's timing/throughput line — to stderr, keeping stdout
-    /// bitwise-comparable across kill/resume interleavings.
+    /// Prints the run's non-deterministic bookkeeping — the resume count,
+    /// the stall watchdog's reports, and the pool's timing/throughput
+    /// line — to stderr, keeping stdout bitwise-comparable across
+    /// kill/resume interleavings.
     pub fn eprint_summary(&self) {
         if self.resumed > 0 {
             eprintln!(
                 "resumed: {} shard(s) restored from checkpoint",
                 self.resumed
+            );
+        }
+        for s in &self.stalls {
+            eprintln!(
+                "stall: worker {} exceeded the watchdog deadline on shard {} (ran {:.2?})",
+                s.worker, s.task, s.waited
             );
         }
         eprintln!("pool: {}", self.stats.render());
@@ -383,12 +520,77 @@ pub fn build_table4_resilient(
     workers: NonZeroUsize,
     policy: &RunPolicy,
 ) -> Result<CampaignReport, CampaignError> {
-    let params = TheoryParams::default();
     let cells = table4_cells();
     let outcome = measure_cells_resilient(&cells, settings, workers, policy, &|b| b)?;
-    let mut quarantined = Vec::new();
-    let measurements: Vec<Measurement> = outcome
+    Ok(assemble_campaign_report(
+        &cells,
+        settings,
+        outcome.cells,
+        outcome.stats,
+        outcome.resumed,
+        outcome.stalls,
+        outcome.stop,
+        None,
+    ))
+}
+
+/// [`build_table4_resilient`] with sequential early stopping
+/// (`--adaptive`): every cell's verdict matches the exhaustive run's,
+/// early-stopped cells report their truncated trial counts, and the
+/// report carries the [`AdaptiveSummary`] accounting.
+pub fn build_table4_adaptive(
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    adaptive: &AdaptivePolicy,
+) -> Result<CampaignReport, CampaignError> {
+    let cells = table4_cells();
+    let outcome = measure_cells_adaptive(&cells, settings, workers, policy, adaptive, &|b| b)?;
+    let stopped: Vec<(usize, usize, u32)> = outcome
         .cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, cell)| match cell {
+            CellOutcome::Measured(m) if m.trials < outcome.full_trials => {
+                Some((i / 3, i % 3, m.trials))
+            }
+            _ => None,
+        })
+        .collect();
+    let summary = AdaptiveSummary {
+        alpha: adaptive.alpha,
+        full_trials: outcome.full_trials,
+        stopped,
+    };
+    Ok(assemble_campaign_report(
+        &cells,
+        settings,
+        outcome.cells,
+        outcome.stats,
+        outcome.resumed,
+        outcome.stalls,
+        outcome.stop,
+        Some(summary),
+    ))
+}
+
+/// Folds a cell-outcome list into the [`CampaignReport`] shape shared by
+/// the exhaustive and adaptive engines.
+#[allow(clippy::too_many_arguments)]
+fn assemble_campaign_report(
+    cells: &[(Vulnerability, TlbDesign)],
+    settings: &TrialSettings,
+    outcomes: Vec<CellOutcome>,
+    stats: PoolStats,
+    resumed: usize,
+    stalls: Vec<StallEvent>,
+    stop: Option<StopReason>,
+    adaptive: Option<AdaptiveSummary>,
+) -> CampaignReport {
+    let params = TheoryParams::default();
+    let mut quarantined = Vec::new();
+    let mut partial_cells = Vec::new();
+    let measurements: Vec<Measurement> = outcomes
         .iter()
         .enumerate()
         .map(|(i, cell)| match cell {
@@ -401,6 +603,17 @@ pub fn build_table4_resilient(
                     col: i % 3,
                     partial: *partial,
                     failure: failure.clone(),
+                });
+                *partial
+            }
+            CellOutcome::Partial { partial, gap } => {
+                partial_cells.push(PartialCell {
+                    vulnerability: cells[i].0,
+                    design: cells[i].1,
+                    row: i / 3,
+                    col: i % 3,
+                    partial: *partial,
+                    gap: *gap,
                 });
                 *partial
             }
@@ -418,15 +631,19 @@ pub fn build_table4_resilient(
             }),
         })
         .collect();
-    Ok(CampaignReport {
+    CampaignReport {
         table: Table4 {
             rows,
             trials: settings.trials,
         },
         quarantined,
-        stats: outcome.stats,
-        resumed: outcome.resumed,
-    })
+        partial: partial_cells,
+        stats,
+        resumed,
+        stalls,
+        stop,
+        adaptive,
+    }
 }
 
 #[cfg(test)]

@@ -28,13 +28,19 @@
 //!   panic or stall, so the integration suite can *prove* the properties
 //!   above: kill-and-resume equals uninterrupted, injected panics
 //!   converge after retry, quarantine never silently drops a cell.
+//! - **Resource budget** — a [`BudgetPolicy`] ([`crate::supervisor`])
+//!   stops the claim loop on deadline expiry or a latched SIGINT/SIGTERM,
+//!   drains in-flight shards (preempting them at trial boundaries when a
+//!   per-shard deadline is set), flushes the checkpoint, and returns a
+//!   *partial* [`ResilientRun`] whose unexecuted shards are explicit
+//!   [`ShardOutcome::Skipped`]/[`ShardOutcome::TimedOut`] entries.
 
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use sectlb_model::Vulnerability;
@@ -46,6 +52,7 @@ use crate::run::{
     run_trial_range, splitmix64, vulnerability_code, Measurement, SetupError, TrialSettings,
 };
 use crate::spec::BenchmarkSpec;
+use crate::supervisor::{self, BudgetPolicy, ShardPreempted, StopReason, Supervisor};
 
 /// Exit code drivers use when a campaign completed but quarantined at
 /// least one shard (the results are explicit about which cells are
@@ -264,6 +271,9 @@ pub struct RunPolicy {
     /// Resume from this checkpoint (skip its recorded shards). A missing
     /// file is treated as a fresh start so resume flags are idempotent.
     pub resume: Option<PathBuf>,
+    /// The resource budget (`--deadline` / `--cell-deadline-ms`) enforced
+    /// by the [`crate::supervisor`]. Inactive by default.
+    pub budget: BudgetPolicy,
 }
 
 impl Default for RunPolicy {
@@ -275,6 +285,7 @@ impl Default for RunPolicy {
             stop_after: None,
             checkpoint: None,
             resume: None,
+            budget: BudgetPolicy::default(),
         }
     }
 }
@@ -288,36 +299,94 @@ impl RunPolicy {
             || self.faults.is_some()
             || self.stop_after.is_some()
             || self.stall_deadline.is_some()
+            || self.budget.is_active()
+    }
+}
+
+/// What became of one shard under the fault-tolerant engine. Every task
+/// gets exactly one outcome, in task order — quarantine, preemption, and
+/// budget stops are explicit entries, never silent gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardOutcome<R> {
+    /// The shard completed and produced its result.
+    Done(R),
+    /// The shard exhausted its retry budget and was quarantined.
+    Quarantined(ShardFailure),
+    /// The shard overran the per-shard `--cell-deadline-ms` bound and was
+    /// preempted at a trial boundary after running this long. Never
+    /// checkpointed: a resume re-runs it in full.
+    TimedOut(Duration),
+    /// The shard was never claimed: the supervisor stopped the campaign
+    /// first (deadline expiry or graceful signal).
+    Skipped(StopReason),
+}
+
+impl<R> ShardOutcome<R> {
+    /// The shard's result, if it completed.
+    pub fn done(&self) -> Option<&R> {
+        match self {
+            ShardOutcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The shard's quarantine report, if it was quarantined.
+    pub fn failure(&self) -> Option<&ShardFailure> {
+        match self {
+            ShardOutcome::Quarantined(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Whether the shard completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, ShardOutcome::Done(_))
+    }
+
+    /// Whether the shard went unexecuted because of the resource budget
+    /// (skipped at the claim boundary or preempted mid-flight).
+    pub fn is_budget_gap(&self) -> bool {
+        matches!(self, ShardOutcome::TimedOut(_) | ShardOutcome::Skipped(_))
+    }
+
+    /// Maps the completed result, preserving the gap variants.
+    pub fn map<S>(self, f: impl FnOnce(R) -> S) -> ShardOutcome<S> {
+        match self {
+            ShardOutcome::Done(r) => ShardOutcome::Done(f(r)),
+            ShardOutcome::Quarantined(q) => ShardOutcome::Quarantined(q),
+            ShardOutcome::TimedOut(t) => ShardOutcome::TimedOut(t),
+            ShardOutcome::Skipped(s) => ShardOutcome::Skipped(s),
+        }
     }
 }
 
 /// The outcome of a resilient sharded run.
 #[derive(Debug)]
 pub struct ResilientRun<R> {
-    /// One result per task, in task order: `Ok` for measured shards,
-    /// `Err` for quarantined ones. Every task is accounted for — a
-    /// quarantined shard is an explicit entry, never a silent gap.
-    pub results: Vec<Result<R, ShardFailure>>,
+    /// One outcome per task, in task order.
+    pub results: Vec<ShardOutcome<R>>,
     /// Pool timing plus resilience counters.
     pub stats: PoolStats,
     /// Tasks skipped because a resume checkpoint already recorded them.
     pub resumed: usize,
     /// Watchdog reports, if a deadline was configured.
     pub stalls: Vec<StallEvent>,
+    /// Why the supervisor stopped the run early, if it did. `Some` implies
+    /// at least one [`ShardOutcome::Skipped`]/[`ShardOutcome::TimedOut`]
+    /// entry; a run that drained to completion reports `None` even if a
+    /// signal landed after the last claim.
+    pub stop: Option<StopReason>,
 }
 
 impl<R> ResilientRun<R> {
     /// The quarantined shards, in task order.
     pub fn failures(&self) -> Vec<&ShardFailure> {
-        self.results
-            .iter()
-            .filter_map(|r| r.as_ref().err())
-            .collect()
+        self.results.iter().filter_map(|r| r.failure()).collect()
     }
 
     /// Whether every shard completed.
     pub fn is_clean(&self) -> bool {
-        self.results.iter().all(|r| r.is_ok())
+        self.results.iter().all(|r| r.is_done())
     }
 }
 
@@ -364,7 +433,8 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let started = Instant::now();
-    let mut slots: Vec<Option<Result<R, ShardFailure>>> =
+    let supervisor = Supervisor::new(policy.budget);
+    let mut slots: Vec<Option<ShardOutcome<R>>> =
         std::iter::repeat_with(|| None).take(tasks.len()).collect();
     let mut ck = Checkpoint::new(fingerprint, tasks.len());
     let mut resumed = 0usize;
@@ -376,7 +446,7 @@ where
                 if slots[i].is_none() {
                     resumed += 1;
                     ck.record(i, &r);
-                    slots[i] = Some(Ok(r));
+                    slots[i] = Some(ShardOutcome::Done(r));
                 }
             }
         }
@@ -393,13 +463,23 @@ where
     let next = AtomicUsize::new(0);
     let halt = AtomicBool::new(false);
     let done = AtomicBool::new(false);
+    // First supervisor stop observed at a claim boundary; set-once so the
+    // reported reason is the one that actually stopped the claim loop.
+    let stop_slot: OnceLock<StopReason> = OnceLock::new();
     let watch: Vec<WatchSlot> = (0..worker_count)
         .map(|_| WatchSlot {
             started: AtomicU64::new(0),
             task: AtomicUsize::new(0),
         })
         .collect();
-    let (tx, rx) = mpsc::channel::<(usize, Result<R, ShardFailure>)>();
+    // One preemption flag per worker, shared with the monitor thread; the
+    // worker arms its thread-local alias around each shard so the trial
+    // loop's `preempt_point` can observe it.
+    let preempt: Vec<Arc<AtomicBool>> = (0..worker_count)
+        .map(|_| Arc::new(AtomicBool::new(false)))
+        .collect();
+    let cell_deadline = supervisor.cell_deadline();
+    let (tx, rx) = mpsc::channel::<(usize, ShardOutcome<R>)>();
 
     let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(worker_count);
     let mut stalls: Vec<StallEvent> = Vec::new();
@@ -411,9 +491,12 @@ where
             .map(|w| {
                 let tx = tx.clone();
                 let watch_slot = &watch[w];
+                let preempt_flag = &preempt[w];
                 let pending = &pending;
                 let next = &next;
                 let halt = &halt;
+                let supervisor = &supervisor;
+                let stop_slot = &stop_slot;
                 scope.spawn(move || {
                     let mut stats = WorkerStats {
                         shards: 0,
@@ -423,6 +506,13 @@ where
                     };
                     loop {
                         if halt.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // The budget is enforced here, at the claim
+                        // boundary: in-flight shards drain, new ones are
+                        // not started.
+                        if let Some(reason) = supervisor.should_stop() {
+                            let _ = stop_slot.set(reason);
                             break;
                         }
                         let k = next.fetch_add(1, Ordering::Relaxed);
@@ -435,6 +525,14 @@ where
                         watch_slot
                             .started
                             .store(started.elapsed().as_nanos() as u64 + 1, Ordering::Release);
+                        if cell_deadline.is_some() {
+                            // Re-arm after the watch slot is current, so a
+                            // monitor reading the *previous* shard's start
+                            // time can at worst preempt this shard a few
+                            // trials early — never let it run unbounded.
+                            preempt_flag.store(false, Ordering::Release);
+                            supervisor::set_preempt_flag(Some(preempt_flag.clone()));
+                        }
                         let t0 = Instant::now();
                         let mut attempt = 0u32;
                         let outcome = loop {
@@ -445,10 +543,16 @@ where
                                 f(task)
                             }));
                             match run {
-                                Ok(r) => break Ok(r),
+                                Ok(r) => break ShardOutcome::Done(r),
                                 Err(payload) => {
+                                    if payload.downcast_ref::<ShardPreempted>().is_some() {
+                                        // Preemption is not a fault: no
+                                        // retry, no quarantine — the shard
+                                        // simply ran out of time.
+                                        break ShardOutcome::TimedOut(t0.elapsed());
+                                    }
                                     if attempt >= policy.max_retries {
-                                        break Err(ShardFailure {
+                                        break ShardOutcome::Quarantined(ShardFailure {
                                             index: i,
                                             task: label(task),
                                             attempts: attempt + 1,
@@ -460,6 +564,7 @@ where
                                 }
                             }
                         };
+                        supervisor::set_preempt_flag(None);
                         watch_slot.started.store(0, Ordering::Release);
                         stats.busy += t0.elapsed();
                         stats.shards += 1;
@@ -473,11 +578,23 @@ where
             .collect();
         drop(tx);
 
-        let watchdog = policy.stall_deadline.map(|deadline| {
+        // One monitor thread serves both per-shard deadlines: the stall
+        // watchdog (report-only) and the budget's cell deadline
+        // (preempting). Polling granularity follows the tighter of the
+        // two.
+        let stall_deadline = policy.stall_deadline;
+        let monitor = (stall_deadline.is_some() || cell_deadline.is_some()).then(|| {
             let watch = &watch;
             let done = &done;
+            let preempt = &preempt;
             scope.spawn(move || {
-                let poll = (deadline / 8)
+                let tightest = match (stall_deadline, cell_deadline) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => unreachable!("monitor spawned without a deadline"),
+                };
+                let poll = (tightest / 8)
                     .max(Duration::from_millis(2))
                     .min(Duration::from_millis(200));
                 let mut flagged: HashSet<(usize, usize)> = HashSet::new();
@@ -491,14 +608,21 @@ where
                             continue;
                         }
                         let elapsed = now.saturating_sub(s - 1);
-                        if elapsed > deadline.as_nanos() as u64 {
-                            let task = slot.task.load(Ordering::Acquire);
-                            if flagged.insert((w, task)) {
-                                events.push(StallEvent {
-                                    worker: w,
-                                    task,
-                                    waited: Duration::from_nanos(elapsed),
-                                });
+                        if let Some(deadline) = stall_deadline {
+                            if elapsed > deadline.as_nanos() as u64 {
+                                let task = slot.task.load(Ordering::Acquire);
+                                if flagged.insert((w, task)) {
+                                    events.push(StallEvent {
+                                        worker: w,
+                                        task,
+                                        waited: Duration::from_nanos(elapsed),
+                                    });
+                                }
+                            }
+                        }
+                        if let Some(deadline) = cell_deadline {
+                            if elapsed > deadline.as_nanos() as u64 {
+                                preempt[w].store(true, Ordering::Release);
                             }
                         }
                     }
@@ -510,7 +634,10 @@ where
         let collect = (|| -> Result<(), CampaignError> {
             let mut since_checkpoint = 0usize;
             for (i, outcome) in rx.iter() {
-                if let Ok(r) = &outcome {
+                if let ShardOutcome::Done(r) = &outcome {
+                    // Only completed shards are checkpointed — a preempted
+                    // shard re-runs in full on resume, keeping the final
+                    // output bitwise identical.
                     ck.record(i, r);
                     since_checkpoint += 1;
                 }
@@ -544,7 +671,7 @@ where
             }
         }
         done.store(true, Ordering::Release);
-        if let Some(handle) = watchdog {
+        if let Some(handle) = monitor {
             if let Ok(events) = handle.join() {
                 stalls = events;
             }
@@ -553,13 +680,23 @@ where
     })?;
 
     // A final write so the file always reflects the run's end state —
-    // complete on success, maximal on interruption.
+    // complete on success, maximal on interruption or budget stop.
     if let Some(cp) = &policy.checkpoint {
         ck.save(&cp.path)?;
     }
 
     let completed = slots.iter().filter(|s| s.is_some()).count();
-    if completed < tasks.len() {
+    // A supervisor stop only counts if shards actually went unclaimed: a
+    // signal that lands as the queue drains changes nothing, and the
+    // campaign is reported complete.
+    let stop = if completed < tasks.len() {
+        stop_slot.get().copied()
+    } else {
+        None
+    };
+    if completed < tasks.len() && stop.is_none() {
+        // The legacy deterministic kill switch (`--kill-after`) keeps its
+        // hard-interrupt semantics and exit code.
         return Err(CampaignError::Interrupted {
             completed,
             total: tasks.len(),
@@ -567,23 +704,59 @@ where
         });
     }
 
-    let results: Vec<Result<R, ShardFailure>> = slots
+    let results: Vec<ShardOutcome<R>> = slots
         .into_iter()
-        .map(|slot| slot.expect("every task accounted for"))
+        .map(|slot| match slot {
+            Some(outcome) => outcome,
+            None => ShardOutcome::Skipped(stop.expect("missing shards imply a supervisor stop")),
+        })
         .collect();
-    let quarantined = results.iter().filter(|r| r.is_err()).count();
+    let quarantined = results.iter().filter(|r| r.failure().is_some()).count();
+    let preempted = results
+        .iter()
+        .filter(|r| matches!(r, ShardOutcome::TimedOut(_)))
+        .count();
+    let skipped = results
+        .iter()
+        .filter(|r| matches!(r, ShardOutcome::Skipped(_)))
+        .count();
     let stats = PoolStats {
         wall: started.elapsed(),
         workers: worker_stats,
         quarantined,
         stalled: stalls.len(),
+        skipped,
+        preempted,
+        trials_saved: 0,
     };
     Ok(ResilientRun {
         results,
         stats,
         resumed,
         stalls,
+        stop,
     })
+}
+
+/// Why a cell is missing trials under the resource budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellGap {
+    /// At least one of the cell's shards overran the per-shard deadline
+    /// and was preempted (rendered `TIMEOUT`).
+    Timeout,
+    /// The supervisor stopped the campaign before all of the cell's
+    /// shards ran (rendered `PARTIAL`).
+    Stopped(StopReason),
+}
+
+impl CellGap {
+    /// The table marker for this gap.
+    pub fn marker(&self) -> &'static str {
+        match self {
+            CellGap::Timeout => "TIMEOUT",
+            CellGap::Stopped(_) => "PARTIAL",
+        }
+    }
 }
 
 /// The outcome of one campaign cell under the fault-tolerant engine.
@@ -600,6 +773,17 @@ pub enum CellOutcome {
         /// The first quarantined shard of this cell.
         failure: ShardFailure,
     },
+    /// The cell is missing trials because of the resource budget — the
+    /// campaign stopped (or the cell's shards timed out) before it
+    /// finished. The run is resumable; nothing was quarantined.
+    Partial {
+        /// Merged measurement of the cell's completed shards.
+        partial: Measurement,
+        /// Why trials are missing (selects the `TIMEOUT`/`PARTIAL`
+        /// marker; a timeout wins when both apply, being the more
+        /// specific diagnosis).
+        gap: CellGap,
+    },
 }
 
 impl CellOutcome {
@@ -607,7 +791,7 @@ impl CellOutcome {
     pub fn measurement(&self) -> Option<Measurement> {
         match self {
             CellOutcome::Measured(m) => Some(*m),
-            CellOutcome::Quarantined { .. } => None,
+            CellOutcome::Quarantined { .. } | CellOutcome::Partial { .. } => None,
         }
     }
 }
@@ -625,6 +809,8 @@ pub struct CampaignOutcome {
     pub resumed: usize,
     /// Watchdog reports.
     pub stalls: Vec<StallEvent>,
+    /// Why the supervisor stopped the campaign early, if it did.
+    pub stop: Option<StopReason>,
 }
 
 /// The campaign fingerprint of a cell list under `settings` — what a
@@ -680,12 +866,19 @@ pub fn measure_cells_resilient(
 
     let mut merged = vec![Measurement::ZERO; cells.len()];
     let mut first_failure: Vec<Option<ShardFailure>> = vec![None; cells.len()];
+    let mut gap: Vec<Option<CellGap>> = vec![None; cells.len()];
     for (shard, result) in shards.iter().zip(&run.results) {
         match result {
-            Ok(partial) => merged[shard.cell] = merged[shard.cell].merge(*partial),
-            Err(failure) => {
+            ShardOutcome::Done(partial) => merged[shard.cell] = merged[shard.cell].merge(*partial),
+            ShardOutcome::Quarantined(failure) => {
                 if first_failure[shard.cell].is_none() {
                     first_failure[shard.cell] = Some(failure.clone());
+                }
+            }
+            ShardOutcome::TimedOut(_) => gap[shard.cell] = Some(CellGap::Timeout),
+            ShardOutcome::Skipped(reason) => {
+                if gap[shard.cell].is_none() {
+                    gap[shard.cell] = Some(CellGap::Stopped(*reason));
                 }
             }
         }
@@ -693,22 +886,25 @@ pub fn measure_cells_resilient(
     let outcomes: Vec<CellOutcome> = merged
         .into_iter()
         .zip(first_failure)
-        .map(|(m, failure)| match failure {
-            None => CellOutcome::Measured(m),
-            Some(failure) => CellOutcome::Quarantined {
+        .zip(gap)
+        .map(|((m, failure), gap)| match (failure, gap) {
+            (Some(failure), _) => CellOutcome::Quarantined {
                 partial: m,
                 failure,
             },
+            (None, Some(gap)) => CellOutcome::Partial { partial: m, gap },
+            (None, None) => CellOutcome::Measured(m),
         })
         .collect();
 
     let mut stats = run.stats;
-    // Trial accounting covers only the shards actually executed this run
-    // (resumed shards did their trials in a previous process).
+    // Trial accounting covers only the shards fully executed this run
+    // (resumed shards did their trials in a previous process; preempted
+    // shards discard theirs).
     let executed: Vec<_> = shards
         .iter()
         .zip(&run.results)
-        .filter(|(_, r)| r.is_ok())
+        .filter(|(_, r)| r.is_done())
         .map(|(s, _)| *s)
         .collect();
     distribute_trial_counts(&mut stats, &executed);
@@ -717,6 +913,7 @@ pub fn measure_cells_resilient(
         stats,
         resumed: run.resumed,
         stalls: run.stalls,
+        stop: run.stop,
     })
 }
 
@@ -730,16 +927,24 @@ mod tests {
 
     #[test]
     fn clean_run_matches_plain_sharding() {
+        let _latch = supervisor::latch_guard();
         let tasks: Vec<u64> = (0..60).collect();
         let policy = RunPolicy::default();
         let run =
             run_sharded_resilient(&tasks, two(), &policy, 1, &|t| format!("t{t}"), |&t| t * t)
                 .expect("clean run");
         assert!(run.is_clean());
-        let values: Vec<u64> = run.results.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(run.stop, None);
+        let values: Vec<u64> = run
+            .results
+            .into_iter()
+            .map(|r| *r.done().expect("ok"))
+            .collect();
         assert_eq!(values, tasks.iter().map(|t| t * t).collect::<Vec<_>>());
         assert_eq!(run.stats.quarantined, 0);
         assert_eq!(run.stats.retried(), 0);
+        assert_eq!(run.stats.skipped, 0);
+        assert_eq!(run.stats.preempted, 0);
     }
 
     #[test]
@@ -758,6 +963,7 @@ mod tests {
 
     #[test]
     fn transient_faults_retry_to_identical_results() {
+        let _latch = supervisor::latch_guard();
         let tasks: Vec<u64> = (0..40).collect();
         let clean = run_sharded_resilient(
             &tasks,
@@ -788,13 +994,22 @@ mod tests {
         .expect("faulty converges");
         assert!(faulty.is_clean(), "retries absorb transient faults");
         assert!(faulty.stats.retried() > 0, "some shards were retried");
-        let a: Vec<u64> = clean.results.into_iter().map(|r| r.expect("ok")).collect();
-        let b: Vec<u64> = faulty.results.into_iter().map(|r| r.expect("ok")).collect();
+        let a: Vec<u64> = clean
+            .results
+            .into_iter()
+            .map(|r| *r.done().expect("ok"))
+            .collect();
+        let b: Vec<u64> = faulty
+            .results
+            .into_iter()
+            .map(|r| *r.done().expect("ok"))
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn permanent_faults_quarantine_without_aborting() {
+        let _latch = supervisor::latch_guard();
         let tasks: Vec<u64> = (0..50).collect();
         let plan = FaultPlan {
             fatal_per_mille: 200,
@@ -812,13 +1027,13 @@ mod tests {
         assert!(!expected_fatal.is_empty(), "plan injects something");
         for (i, result) in run.results.iter().enumerate() {
             if expected_fatal.contains(&i) {
-                let failure = result.as_ref().expect_err("quarantined");
+                let failure = result.failure().expect("quarantined");
                 assert_eq!(failure.index, i);
                 assert_eq!(failure.attempts, 2, "1 attempt + 1 retry");
                 assert!(failure.payload.contains("injected permanent fault"));
                 assert!(failure.task.contains(&format!("task {i}")));
             } else {
-                assert!(result.is_ok(), "shard {i} unaffected");
+                assert!(result.is_done(), "shard {i} unaffected");
             }
         }
         assert_eq!(run.stats.quarantined, expected_fatal.len());
@@ -826,6 +1041,7 @@ mod tests {
 
     #[test]
     fn watchdog_reports_stalled_shards() {
+        let _latch = supervisor::latch_guard();
         let tasks: Vec<u64> = (0..4).collect();
         let policy = RunPolicy {
             stall_deadline: Some(Duration::from_millis(10)),
@@ -841,5 +1057,86 @@ mod tests {
         assert!(run.is_clean());
         assert!(run.stats.stalled >= 1, "stall detected");
         assert!(run.stalls.iter().any(|s| s.task == 2), "{:?}", run.stalls);
+    }
+
+    #[test]
+    fn expired_deadline_skips_all_shards_gracefully() {
+        let _latch = supervisor::latch_guard();
+        let tasks: Vec<u64> = (0..20).collect();
+        let policy = RunPolicy {
+            budget: BudgetPolicy {
+                deadline: Some(Duration::ZERO),
+                cell_deadline: None,
+            },
+            ..RunPolicy::default()
+        };
+        supervisor::reset_interrupt();
+        let run = run_sharded_resilient(&tasks, two(), &policy, 9, &|t| format!("t{t}"), |&t| t)
+            .expect("budget stop is a graceful Ok, not an error");
+        assert_eq!(run.stop, Some(StopReason::DeadlineExpired));
+        assert_eq!(run.stats.skipped, tasks.len());
+        assert!(run
+            .results
+            .iter()
+            .all(|r| matches!(r, ShardOutcome::Skipped(StopReason::DeadlineExpired))));
+    }
+
+    #[test]
+    fn tripped_signal_latch_stops_the_claim_loop() {
+        let _latch = supervisor::latch_guard();
+        let tasks: Vec<u64> = (0..20).collect();
+        supervisor::trip_interrupt();
+        let run = run_sharded_resilient(
+            &tasks,
+            two(),
+            &RunPolicy::default(),
+            10,
+            &|t| format!("t{t}"),
+            |&t| t,
+        )
+        .expect("graceful drain");
+        supervisor::reset_interrupt();
+        assert_eq!(run.stop, Some(StopReason::Interrupted));
+        assert!(!run.is_clean());
+        assert!(run
+            .results
+            .iter()
+            .all(|r| matches!(r, ShardOutcome::Skipped(StopReason::Interrupted))));
+    }
+
+    #[test]
+    fn cell_deadline_preempts_an_overrunning_shard() {
+        let _latch = supervisor::latch_guard();
+        // Task 1 spins on preempt_point until the monitor flags it; the
+        // other tasks are instant. The run completes with task 1 reported
+        // TimedOut — not quarantined, not retried — and `stop` is None
+        // because the overall campaign was never stopped.
+        supervisor::reset_interrupt();
+        let tasks: Vec<u64> = (0..4).collect();
+        let policy = RunPolicy {
+            budget: BudgetPolicy {
+                deadline: None,
+                cell_deadline: Some(Duration::from_millis(15)),
+            },
+            ..RunPolicy::default()
+        };
+        let run = run_sharded_resilient(&tasks, two(), &policy, 11, &|t| format!("t{t}"), |&t| {
+            if t == 1 {
+                let t0 = Instant::now();
+                while t0.elapsed() < Duration::from_secs(10) {
+                    supervisor::preempt_point();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            t
+        })
+        .expect("completes");
+        assert_eq!(run.stop, None);
+        assert_eq!(run.stats.preempted, 1);
+        assert_eq!(run.stats.retried(), 0);
+        assert!(matches!(run.results[1], ShardOutcome::TimedOut(_)));
+        for i in [0usize, 2, 3] {
+            assert!(run.results[i].is_done(), "shard {i} unaffected");
+        }
     }
 }

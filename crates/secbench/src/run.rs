@@ -376,6 +376,10 @@ pub fn try_run_trial_range(
     let mut n_mapped_miss = 0;
     let mut n_not_mapped_miss = 0;
     for t in range.clone() {
+        // Cooperative cell-deadline preemption: unwinds with a typed
+        // payload the resilient engine reports as TIMEOUT. A no-op unless
+        // the engine armed this thread's flag.
+        crate::supervisor::preempt_point();
         for (placement, counter) in [
             (Placement::Mapped, &mut n_mapped_miss),
             (Placement::NotMapped, &mut n_not_mapped_miss),

@@ -1,0 +1,252 @@
+//! The resource-budgeted campaign supervisor.
+//!
+//! A real campaign runs under real limits: a CI time slot, an operator's
+//! patience, a shared machine. This module gives the fault-tolerant
+//! engine ([`crate::resilience`]) the three cooperating mechanisms that
+//! make it degrade gracefully instead of running open-loop:
+//!
+//! - **Wall-clock budget** ([`BudgetPolicy::deadline`], `--deadline
+//!   SECS`): checked cooperatively at shard-claim boundaries. On expiry
+//!   workers stop claiming new shards, in-flight shards drain, the
+//!   checkpoint is flushed, and the campaign returns a *partial* outcome
+//!   — unfinished cells render as `PARTIAL` (exit [`EXIT_BUDGET`]), and a
+//!   `--resume` from the flushed checkpoint completes to output bitwise
+//!   identical to an uninterrupted run.
+//! - **Per-shard deadline** ([`BudgetPolicy::cell_deadline`],
+//!   `--cell-deadline-ms MS`): bounds any single shard's runtime. A
+//!   monitor thread flags overrunning workers; the trial loop notices at
+//!   its next [`preempt_point`] and unwinds with [`ShardPreempted`]. The
+//!   shard is reported `TIMEOUT` — never recorded in the checkpoint, so a
+//!   resume re-runs it in full and determinism is preserved. This is also
+//!   what bounds the drain time after a budget expiry.
+//! - **Signal-safe shutdown** ([`install_signal_handlers`]): the first
+//!   SIGINT/SIGTERM trips a process-global latch ([`sectlb_signal`])
+//!   that the claim boundary treats exactly like a deadline expiry —
+//!   drain, flush, partial report — and a second signal exits
+//!   immediately. Tests drive the identical path via [`trip_interrupt`].
+//!
+//! The supervisor never changes *what* a completed shard measured — only
+//! *whether* a shard runs. Every completed shard is a pure function of
+//! its coordinates, so any interleaving of budgets, signals, and resumes
+//! converges to the same final table.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Exit code drivers use when a campaign was cut short by its resource
+/// budget — a deadline expiry, a per-shard timeout, or a graceful-signal
+/// drain. The rendered table marks the missing cells `PARTIAL`/`TIMEOUT`
+/// and a flushed checkpoint (when configured) is resumable.
+pub const EXIT_BUDGET: i32 = 7;
+
+/// Why the supervisor stopped a campaign before every shard completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The `--deadline` wall-clock budget expired.
+    DeadlineExpired,
+    /// A SIGINT/SIGTERM (or an in-process [`trip_interrupt`]) requested a
+    /// graceful shutdown.
+    Interrupted,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::DeadlineExpired => write!(f, "wall-clock deadline expired"),
+            StopReason::Interrupted => write!(f, "interrupted by signal"),
+        }
+    }
+}
+
+/// The campaign's resource budget (the `--deadline` / `--cell-deadline-ms`
+/// flags). Plain data so [`crate::resilience::RunPolicy`] stays `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetPolicy {
+    /// Wall-clock budget for the whole campaign; `None` is unlimited.
+    pub deadline: Option<Duration>,
+    /// Per-shard runtime bound; an overrunning shard is preempted at its
+    /// next trial boundary and reported `TIMEOUT`. `None` never preempts.
+    pub cell_deadline: Option<Duration>,
+}
+
+impl BudgetPolicy {
+    /// Whether any budget mechanism is configured.
+    pub fn is_active(&self) -> bool {
+        self.deadline.is_some() || self.cell_deadline.is_some()
+    }
+}
+
+/// The live supervisor of one engine run: the budget plus the run's start
+/// instant. Signal state is process-global (signals are); deadline state
+/// is per-run.
+#[derive(Debug)]
+pub struct Supervisor {
+    started: Instant,
+    budget: BudgetPolicy,
+}
+
+impl Supervisor {
+    /// Starts supervising a run under `budget`, with the clock at zero.
+    pub fn new(budget: BudgetPolicy) -> Supervisor {
+        Supervisor {
+            started: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Whether the run should stop claiming new shards, and why.
+    /// A latched signal wins over a deadline expiry: it is the more
+    /// urgent of the two and the operator-visible one.
+    pub fn should_stop(&self) -> Option<StopReason> {
+        if sectlb_signal::received() {
+            return Some(StopReason::Interrupted);
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.started.elapsed() >= deadline {
+                return Some(StopReason::DeadlineExpired);
+            }
+        }
+        None
+    }
+
+    /// The per-shard deadline, if one is configured.
+    pub fn cell_deadline(&self) -> Option<Duration> {
+        self.budget.cell_deadline
+    }
+
+    /// Time elapsed since the supervisor started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Installs the process-global SIGINT/SIGTERM handlers (idempotent).
+///
+/// Drivers call this once the resilient engine is about to run; the
+/// legacy serial paths keep the default signal disposition, so plain
+/// invocations behave exactly as before.
+pub fn install_signal_handlers() {
+    sectlb_signal::install();
+}
+
+/// Trips the graceful-shutdown latch in-process — the test-harness stand
+/// in for a real SIGINT/SIGTERM, driving the identical drain path.
+pub fn trip_interrupt() {
+    sectlb_signal::trip();
+}
+
+/// Clears the graceful-shutdown latch (tests run many campaigns per
+/// process; a real campaign never unlatches).
+pub fn reset_interrupt() {
+    sectlb_signal::reset();
+}
+
+/// Serializes tests that touch the process-global signal latch — or that
+/// assert engine stop behavior, which reads it — so the parallel test
+/// harness cannot interleave a tripped latch into an unrelated run.
+#[cfg(test)]
+pub(crate) fn latch_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The panic payload of a preempted shard. The engine's `catch_unwind`
+/// recognizes this type and records the shard as `TIMEOUT` instead of
+/// retrying or quarantining it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPreempted;
+
+impl std::fmt::Display for ShardPreempted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard preempted by the cell deadline")
+    }
+}
+
+thread_local! {
+    /// The preemption flag of the shard currently executing on this
+    /// thread, if the engine armed one. Shared with the monitor thread,
+    /// which sets it when the shard overruns its deadline.
+    static PREEMPT: RefCell<Option<Arc<AtomicBool>>> = const { RefCell::new(None) };
+}
+
+/// Arms (or clears, with `None`) the calling thread's preemption flag.
+/// The engine calls this around each shard execution.
+pub fn set_preempt_flag(flag: Option<Arc<AtomicBool>>) {
+    PREEMPT.with(|p| *p.borrow_mut() = flag);
+}
+
+/// Cooperative preemption point, called by the trial loop between
+/// trials. Unwinds with [`ShardPreempted`] when the monitor has flagged
+/// this shard as over its deadline; a few nanoseconds of no-op otherwise.
+pub fn preempt_point() {
+    let preempt = PREEMPT.with(|p| {
+        p.borrow()
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Acquire))
+    });
+    if preempt {
+        // Disarm before unwinding so the panic path cannot re-trigger.
+        set_preempt_flag(None);
+        std::panic::panic_any(ShardPreempted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expiry_is_reported() {
+        let _latch = latch_guard();
+        reset_interrupt();
+        let s = Supervisor::new(BudgetPolicy {
+            deadline: Some(Duration::ZERO),
+            cell_deadline: None,
+        });
+        assert_eq!(s.should_stop(), Some(StopReason::DeadlineExpired));
+        let relaxed = Supervisor::new(BudgetPolicy {
+            deadline: Some(Duration::from_secs(3600)),
+            cell_deadline: None,
+        });
+        assert_eq!(relaxed.should_stop(), None);
+    }
+
+    #[test]
+    fn signal_latch_wins_over_the_deadline() {
+        let _latch = latch_guard();
+        reset_interrupt();
+        let s = Supervisor::new(BudgetPolicy {
+            deadline: Some(Duration::ZERO),
+            cell_deadline: None,
+        });
+        trip_interrupt();
+        assert_eq!(s.should_stop(), Some(StopReason::Interrupted));
+        reset_interrupt();
+        assert_eq!(s.should_stop(), Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn unbudgeted_supervisor_never_stops() {
+        let _latch = latch_guard();
+        reset_interrupt();
+        let s = Supervisor::new(BudgetPolicy::default());
+        assert_eq!(s.should_stop(), None);
+        assert!(!BudgetPolicy::default().is_active());
+    }
+
+    #[test]
+    fn preempt_point_unwinds_only_when_flagged() {
+        preempt_point(); // unarmed: no-op
+        let flag = Arc::new(AtomicBool::new(false));
+        set_preempt_flag(Some(flag.clone()));
+        preempt_point(); // armed but not flagged: no-op
+        flag.store(true, Ordering::Release);
+        let unwound = std::panic::catch_unwind(preempt_point).expect_err("unwinds");
+        assert!(unwound.downcast_ref::<ShardPreempted>().is_some());
+        // The flag was disarmed on unwind.
+        preempt_point();
+    }
+}

@@ -1,0 +1,269 @@
+//! Integration tests of the resource-budgeted supervisor and adaptive
+//! early stopping.
+//!
+//! The acceptance contract: a campaign stopped by its wall-clock budget
+//! is not an error — it drains, flushes its checkpoint, reports explicit
+//! `PARTIAL` cells, and a `--resume` completes it **bitwise-identical**
+//! to an uninterrupted run; adaptive early stopping saves trials while
+//! producing exactly the verdicts of the exhaustive run, independent of
+//! the worker count.
+
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
+use sectlb_secbench::adaptive::{measure_cells_adaptive, AdaptivePolicy};
+use sectlb_secbench::report::{build_table4_resilient, table4_cells, DEFENDED_THRESHOLD};
+use sectlb_secbench::resilience::{measure_cells_resilient, CellGap, CellOutcome, RunPolicy};
+use sectlb_secbench::run::{Measurement, TrialSettings};
+use sectlb_secbench::supervisor::{BudgetPolicy, StopReason, EXIT_BUDGET};
+use sectlb_secbench::CheckpointPolicy;
+use sectlb_sim::machine::TlbDesign;
+
+fn cells() -> Vec<(Vulnerability, TlbDesign)> {
+    let vulns = enumerate_vulnerabilities();
+    [vulns[0], vulns[12]]
+        .into_iter()
+        .flat_map(|v| TlbDesign::ALL.map(|d| (v, d)))
+        .collect()
+}
+
+fn settings() -> TrialSettings {
+    TrialSettings {
+        trials: 30,
+        ..TrialSettings::default()
+    }
+}
+
+fn workers() -> NonZeroUsize {
+    NonZeroUsize::new(3).expect("nonzero")
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sectlb-budget-{}-{name}", std::process::id()));
+    p
+}
+
+fn measurements(outcomes: &[CellOutcome]) -> Vec<Measurement> {
+    outcomes
+        .iter()
+        .map(|c| c.measurement().expect("cell measured"))
+        .collect()
+}
+
+fn deadline_policy(deadline: Duration, path: &Path) -> RunPolicy {
+    RunPolicy {
+        checkpoint: Some(CheckpointPolicy {
+            path: path.to_path_buf(),
+            every: 1,
+        }),
+        budget: BudgetPolicy {
+            deadline: Some(deadline),
+            ..BudgetPolicy::default()
+        },
+        ..RunPolicy::default()
+    }
+}
+
+#[test]
+fn expired_deadline_reports_partial_cells_then_resume_matches_bitwise() {
+    let cells = cells();
+    let settings = settings();
+    let path = tmp_path("deadline-resume");
+    let reference =
+        measure_cells_resilient(&cells, &settings, workers(), &RunPolicy::default(), &|b| b)
+            .expect("uninterrupted campaign");
+
+    // An already-expired deadline: the supervisor stops the claim loop
+    // before any shard runs. This is a graceful stop, not an error.
+    let stopped = measure_cells_resilient(
+        &cells,
+        &settings,
+        workers(),
+        &deadline_policy(Duration::ZERO, &path),
+        &|b| b,
+    )
+    .expect("budget stop is not an error");
+    assert_eq!(stopped.stop, Some(StopReason::DeadlineExpired));
+    assert!(path.exists(), "checkpoint flushed on the budget stop");
+    for outcome in &stopped.cells {
+        match outcome {
+            CellOutcome::Partial { partial, gap } => {
+                assert_eq!(*gap, CellGap::Stopped(StopReason::DeadlineExpired));
+                assert_eq!(partial.trials, 0, "nothing ran under a zero deadline");
+            }
+            other => panic!("expected every cell Partial, got {other:?}"),
+        }
+    }
+
+    // Resume without a budget: the completed campaign must be bitwise
+    // identical to the uninterrupted reference.
+    let resumed_policy = RunPolicy {
+        resume: Some(path.clone()),
+        ..RunPolicy::default()
+    };
+    let resumed = measure_cells_resilient(&cells, &settings, workers(), &resumed_policy, &|b| b)
+        .expect("resumed campaign completes");
+    assert_eq!(resumed.stop, None);
+    assert_eq!(measurements(&resumed.cells), measurements(&reference.cells));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mid_campaign_deadline_still_resumes_bitwise_identical() {
+    let cells = cells();
+    let settings = settings();
+    let path = tmp_path("mid-deadline");
+    let reference =
+        measure_cells_resilient(&cells, &settings, workers(), &RunPolicy::default(), &|b| b)
+            .expect("uninterrupted campaign");
+
+    // A deadline that lands mid-campaign on most machines. How many
+    // shards finish is timing-dependent; the invariant under test is
+    // that the resumed result is identical no matter where it landed.
+    let run = measure_cells_resilient(
+        &cells,
+        &settings,
+        workers(),
+        &deadline_policy(Duration::from_millis(10), &path),
+        &|b| b,
+    )
+    .expect("budget stop is not an error");
+    let resumed_policy = RunPolicy {
+        resume: Some(path.clone()),
+        ..RunPolicy::default()
+    };
+    let resumed = if run.stop.is_some() {
+        measure_cells_resilient(&cells, &settings, workers(), &resumed_policy, &|b| b)
+            .expect("resumed campaign completes")
+    } else {
+        run // the machine beat the deadline; the run is already complete
+    };
+    assert_eq!(measurements(&resumed.cells), measurements(&reference.cells));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn budget_stopped_table4_renders_partial_markers_and_exits_budget_code() {
+    let settings = TrialSettings {
+        trials: 6,
+        ..TrialSettings::default()
+    };
+    let policy = RunPolicy {
+        budget: BudgetPolicy {
+            deadline: Some(Duration::ZERO),
+            ..BudgetPolicy::default()
+        },
+        ..RunPolicy::default()
+    };
+    let report = build_table4_resilient(&settings, workers(), &policy)
+        .expect("budget stop still renders a report");
+    assert_eq!(report.stop, Some(StopReason::DeadlineExpired));
+    assert_eq!(report.partial.len(), table4_cells().len());
+    assert_eq!(report.exit_code(), EXIT_BUDGET);
+    let text = report.render();
+    assert!(text.contains("PARTIAL"), "{text}");
+    assert!(text.contains("incomplete (PARTIAL/TIMEOUT)"), "{text}");
+    assert!(
+        text.contains("campaign stopped early: wall-clock deadline expired"),
+        "{text}"
+    );
+}
+
+#[test]
+fn adaptive_verdicts_match_the_exhaustive_run_and_save_trials() {
+    // The golden Table 2 enumeration: all 24 vulnerabilities x 3 designs.
+    let cells = table4_cells();
+    let settings = TrialSettings {
+        trials: 40,
+        ..TrialSettings::default()
+    };
+    let exhaustive =
+        measure_cells_resilient(&cells, &settings, workers(), &RunPolicy::default(), &|b| b)
+            .expect("exhaustive campaign");
+    let adaptive = measure_cells_adaptive(
+        &cells,
+        &settings,
+        workers(),
+        &RunPolicy::default(),
+        &AdaptivePolicy::default(),
+        &|b| b,
+    )
+    .expect("adaptive campaign");
+    assert_eq!(adaptive.stop, None);
+
+    let verdicts = |outcomes: &[CellOutcome]| -> Vec<bool> {
+        measurements(outcomes)
+            .iter()
+            .map(|m| m.defends(DEFENDED_THRESHOLD))
+            .collect()
+    };
+    assert_eq!(
+        verdicts(&adaptive.cells),
+        verdicts(&exhaustive.cells),
+        "early stopping must never flip a defended/vulnerable verdict"
+    );
+    assert!(
+        adaptive.stats.trials_saved > 0,
+        "the clear-cut cells settle well before 40 trials"
+    );
+    let saved = adaptive.saved_per_cell();
+    assert_eq!(
+        saved.iter().map(|&s| u64::from(s)).sum::<u64>(),
+        adaptive.stats.trials_saved
+    );
+}
+
+#[test]
+fn adaptive_measurements_are_identical_for_every_worker_count() {
+    let cells = cells();
+    let settings = settings();
+    let runs: Vec<Vec<Measurement>> = [1usize, 3, 5]
+        .into_iter()
+        .map(|w| {
+            let run = measure_cells_adaptive(
+                &cells,
+                &settings,
+                NonZeroUsize::new(w).expect("nonzero"),
+                &RunPolicy::default(),
+                &AdaptivePolicy::default(),
+                &|b| b,
+            )
+            .expect("adaptive campaign");
+            measurements(&run.cells)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 3 workers");
+    assert_eq!(runs[0], runs[2], "1 vs 5 workers");
+}
+
+#[test]
+fn adaptive_campaign_respects_the_outer_deadline() {
+    let cells = cells();
+    let settings = settings();
+    let policy = RunPolicy {
+        budget: BudgetPolicy {
+            deadline: Some(Duration::ZERO),
+            ..BudgetPolicy::default()
+        },
+        ..RunPolicy::default()
+    };
+    let run = measure_cells_adaptive(
+        &cells,
+        &settings,
+        workers(),
+        &policy,
+        &AdaptivePolicy::default(),
+        &|b| b,
+    )
+    .expect("budget stop is not an error");
+    assert_eq!(run.stop, Some(StopReason::DeadlineExpired));
+    assert!(
+        run.cells
+            .iter()
+            .all(|c| matches!(c, CellOutcome::Partial { .. })),
+        "no rounds ran under a zero deadline"
+    );
+}

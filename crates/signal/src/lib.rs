@@ -1,0 +1,123 @@
+//! Async-signal-safe SIGINT/SIGTERM latch for the campaign supervisor.
+//!
+//! The campaign engine wants *graceful* shutdown: the first SIGINT or
+//! SIGTERM should stop the run at the next shard boundary (drain, flush a
+//! checkpoint, render a partial report), and a second signal should kill
+//! the process immediately — the operator's escape hatch when the drain
+//! itself hangs.
+//!
+//! The build environment has no crates.io access, so this crate talks to
+//! libc directly with two `extern "C"` declarations instead of pulling in
+//! `libc`/`signal-hook`. The handler does only async-signal-safe work: an
+//! atomic increment, and `_exit` on the second delivery.
+//!
+//! Everything is process-global by design — signals are process-global —
+//! and the latch can also be tripped in-process ([`trip`]) so tests can
+//! exercise the exact drain path a real signal takes without involving
+//! the kernel.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Number of graceful-shutdown signals received (or [`trip`]s).
+static RECEIVED: AtomicUsize = AtomicUsize::new(0);
+
+/// Exit status used when a *second* signal forces an immediate exit:
+/// the conventional `128 + signo` of a signal death.
+fn hard_exit_code(signo: i32) -> i32 {
+    128 + signo
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{hard_exit_code, RECEIVED};
+    use std::sync::atomic::Ordering;
+
+    /// `SIGINT` on every Unix this builds on.
+    pub const SIGINT: i32 = 2;
+    /// `SIGTERM` on every Unix this builds on.
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // ISO C `signal`: simple-semantics handler installation is all we
+        // need for a latch (no siginfo, no masks), and its prototype is
+        // identical across the Unixes this project targets.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        // Async-signal-safe immediate exit (no atexit handlers, no
+        // buffered-IO flushing — this is the "get out NOW" path).
+        fn _exit(status: i32) -> !;
+    }
+
+    extern "C" fn on_signal(signo: i32) {
+        // fetch_add on a static atomic is async-signal-safe.
+        let prior = RECEIVED.fetch_add(1, Ordering::SeqCst);
+        if prior >= 1 {
+            // Second signal: the graceful drain did not finish (or the
+            // operator is insisting). Die immediately.
+            unsafe { _exit(hard_exit_code(signo)) }
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// On non-Unix targets the latch still works via [`super::trip`];
+    /// real signal delivery is simply not hooked.
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent; the first call
+/// wins). After this, the first signal latches [`received`] and the
+/// second exits the process immediately with status `128 + signo`.
+pub fn install() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(imp::install);
+}
+
+/// Whether at least one graceful-shutdown signal has been received.
+pub fn received() -> bool {
+    RECEIVED.load(Ordering::SeqCst) > 0
+}
+
+/// Trips the latch as if a signal had been delivered — lets tests drive
+/// the exact drain path of a real SIGINT/SIGTERM without the kernel.
+pub fn trip() {
+    RECEIVED.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Clears the latch. Test-only in spirit: a real campaign never unlatches
+/// (a signalled operator wants the run to end), but tests run many
+/// campaigns in one process.
+pub fn reset() {
+    RECEIVED.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_trips_and_resets() {
+        reset();
+        assert!(!received());
+        trip();
+        assert!(received());
+        reset();
+        assert!(!received());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}
