@@ -9,7 +9,7 @@
 //!
 //! Usage: `ablation_rf [--trials N] [--adaptive[=ALPHA]] [--workers
 //! N|auto] [--checkpoint PATH] [--resume PATH] [--retries N]
-//! [--kill-after N] [--inject-* ...]`
+//! [--kill-after N] [--inject-* ...] [--events PATH] [--metrics PATH]`
 //!
 //! With `--workers` or any fault-tolerance flag the 24×2 sweep runs on
 //! the resilient engine, one shard per (vulnerability, eviction) cell.
@@ -19,6 +19,7 @@
 
 use std::path::Path;
 
+use sectlb_bench::observe::Observability;
 use sectlb_bench::{campaign, cli};
 use sectlb_model::enumerate_vulnerabilities;
 use sectlb_secbench::adaptive::{run_vulnerability_adaptive, SequentialTest};
@@ -34,6 +35,7 @@ fn main() {
     let policy = cli::campaign_flags(&args);
     let adaptive = cli::adaptive_flags(&args);
     let oracle = cli::oracle_flags(&args, &policy, "ablation_rf");
+    let mut obs = Observability::from_args("ablation_rf", &args);
     println!("RF TLB random-fill eviction ablation ({trials} trials per placement)\n");
     println!(
         "{:<48} {:>12} {:>12}",
@@ -66,16 +68,19 @@ fn main() {
     if let Some(test) = &test {
         coords.push(test.alpha.to_bits());
     }
+    let mut engine_stats = None;
+    obs.campaign_begin();
     let capacities: Vec<Result<(f64, f64), &'static str>> =
         match campaign::engine_workers(workers, &policy) {
             Some(engine_workers) => {
                 let tasks: Vec<usize> = (0..vulns.len()).collect();
-                let outcome = campaign::run_campaign(
+                let outcome = campaign::run_campaign_observed(
                     "ablation_rf",
                     coords,
                     &tasks,
                     engine_workers,
                     &policy,
+                    obs.telemetry(),
                     &|&i: &usize| format!("{} on RF TLB, both evictions", vulns[i]),
                     |&i: &usize| {
                         (
@@ -84,6 +89,8 @@ fn main() {
                         )
                     },
                 );
+                obs.campaign_end();
+                engine_stats = Some(outcome.stats.clone());
                 let caps: Vec<Result<(f64, f64), &'static str>> =
                     outcome
                         .results
@@ -99,6 +106,8 @@ fn main() {
                     let summary = oracle::conclude("ablation_rf", Path::new("repro"));
                     render(&vulns, &caps, &summary);
                     summary.eprint();
+                    obs.oracle_summary(&summary);
+                    obs.finish(Some(&outcome.stats));
                     std::process::exit(summary.exit_code(outcome.exit_code()));
                 }
                 caps
@@ -113,9 +122,12 @@ fn main() {
                 })
                 .collect(),
         };
+    obs.campaign_end();
     let summary = oracle::conclude("ablation_rf", Path::new("repro"));
     render(&vulns, &capacities, &summary);
     summary.eprint();
+    obs.oracle_summary(&summary);
+    obs.finish(engine_stats.as_ref());
     std::process::exit(summary.exit_code(0));
 }
 

@@ -7,13 +7,15 @@
 //! defended and (b) the MPKI of the SecRSA and co-running workloads.
 //!
 //! Usage: `ablation_sp_ways [--trials N] [--workers N|auto] [--checkpoint
-//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]
+//! [--events PATH] [--metrics PATH]`
 //!
 //! With `--workers` or any fault-tolerance flag the sweep runs on the
 //! resilient engine, one shard per victim-way split.
 
 use std::path::Path;
 
+use sectlb_bench::observe::Observability;
 use sectlb_bench::perf::Workload;
 use sectlb_bench::{campaign, cli};
 use sectlb_model::{enumerate_vulnerabilities, Strategy};
@@ -55,18 +57,22 @@ fn main() {
             perf_mpki(victim_ways, Some(SpecBenchmark::Povray)),
         )
     };
+    let mut obs = Observability::from_args("ablation_sp_ways", &args);
     let splits: Vec<usize> = (1..config.ways()).collect();
     match campaign::engine_workers(workers, &policy) {
         Some(engine_workers) => {
-            let outcome = campaign::run_campaign(
+            obs.campaign_begin();
+            let outcome = campaign::run_campaign_observed(
                 "ablation_sp_ways",
                 [u64::from(trials)],
                 &splits,
                 engine_workers,
                 &policy,
+                obs.telemetry(),
                 &|&w: &usize| format!("SP TLB with {w} victim way(s)"),
                 sweep_point,
             );
+            obs.campaign_end();
             for (victim_ways, result) in splits.iter().zip(&outcome.results) {
                 match result.done() {
                     Some((capacity, alone, co)) => {
@@ -84,17 +90,23 @@ fn main() {
             print_suspects(&summary);
             outcome.eprint_summary();
             summary.eprint();
+            obs.oracle_summary(&summary);
+            obs.finish(Some(&outcome.stats));
             std::process::exit(summary.exit_code(outcome.exit_code()));
         }
         None => {
+            obs.campaign_begin();
             for victim_ways in splits {
                 let (capacity, alone, co) = sweep_point(&victim_ways);
                 println!("{victim_ways:>11} {capacity:>16.3} {alone:>14.3} {co:>18.3}");
             }
+            obs.campaign_end();
             print_reading();
             let summary = oracle::conclude("ablation_sp_ways", Path::new("repro"));
             print_suspects(&summary);
             summary.eprint();
+            obs.oracle_summary(&summary);
+            obs.finish(None);
             std::process::exit(summary.exit_code(0));
         }
     }
@@ -121,11 +133,15 @@ fn print_reading() {
 }
 
 fn perf_mpki(victim_ways: usize, co: Option<SpecBenchmark>) -> f64 {
+    let config = TlbConfig::sa(32, 8).unwrap_or_else(|e| {
+        eprintln!("error: sweep TLB geometry rejected: {e}");
+        std::process::exit(sectlb_bench::exit::EXIT_SETUP);
+    });
     // The perf module's builder uses the default 50/50 split; rebuild the
     // cell with the swept split via the run_cell_with hook.
     sectlb_bench::perf::run_cell_with(
         TlbDesign::Sp,
-        TlbConfig::sa(32, 8).expect("valid"),
+        config,
         Workload {
             secure: true,
             co_runner: co,

@@ -3,7 +3,8 @@
 //! secret exponent bits recovered.
 //!
 //! Usage: `attack_success [--seeds N] [--workers N|auto] [--checkpoint
-//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]
+//! [--events PATH] [--metrics PATH]`
 //!
 //! Each (design, seed) run is an independent deterministic simulation,
 //! so the per-design accuracies are identical for every worker count —
@@ -20,6 +21,7 @@
 use std::num::NonZeroUsize;
 use std::path::Path;
 
+use sectlb_bench::observe::Observability;
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::oracle;
 use sectlb_sim::machine::TlbDesign;
@@ -39,6 +41,7 @@ fn main() {
     let policy = cli::campaign_flags(&args);
     cli::reject_adaptive(&args, "attack_success");
     let oracle = cli::oracle_flags(&args, &policy, "attack_success");
+    let mut obs = Observability::from_args("attack_success", &args);
     let key = RsaKey::demo_128();
     println!("TLBleed-style Prime + Probe key recovery ({seeds} runs per design)");
     println!("secret: {}-bit exponent", key.secret_bits().len());
@@ -58,15 +61,18 @@ fn main() {
         }
         prime_probe_attack(&key, design, &settings).accuracy()
     };
-    let outcome = campaign::run_campaign(
+    obs.campaign_begin();
+    let outcome = campaign::run_campaign_observed(
         "attack_success",
         [seeds],
         &runs,
         workers.unwrap_or(NonZeroUsize::MIN),
         &policy,
+        obs.telemetry(),
         &|&(design, s)| format!("{design} TLB, seed {s}"),
         run_one,
     );
+    obs.campaign_end();
     let summary = oracle::conclude("attack_success", Path::new("repro"));
     for (i, design) in TlbDesign::ALL.into_iter().enumerate() {
         let lo = i * seeds as usize;
@@ -96,5 +102,7 @@ fn main() {
         outcome.eprint_summary();
     }
     summary.eprint();
+    obs.oracle_summary(&summary);
+    obs.finish(Some(&outcome.stats));
     std::process::exit(summary.exit_code(outcome.exit_code()));
 }

@@ -5,7 +5,7 @@
 //!
 //! Usage: `fig7 [--design sa|sp|rf] [--quick] [--workers N|auto]
 //! [--checkpoint PATH] [--resume PATH] [--retries N] [--kill-after N]
-//! [--inject-* ...]`
+//! [--inject-* ...] [--events PATH] [--metrics PATH]`
 //!
 //! `--quick` runs 10 decryptions and the alone/omnetpp workloads only.
 //! Run with `--release`; the full sweep executes billions of simulated
@@ -18,6 +18,8 @@
 
 use std::path::Path;
 
+use sectlb_bench::exit::EXIT_SETUP;
+use sectlb_bench::observe::Observability;
 use sectlb_bench::perf::{headline, run_cell_oracle, Workload};
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::oracle;
@@ -59,6 +61,7 @@ fn main() {
         Workload::all()
     };
     let runs: Vec<usize> = if quick { vec![10] } else { vec![50, 100, 150] };
+    let mut obs = Observability::from_args("fig7", &args);
 
     // Enumerate every (design, workload, runs, config) cell up front in
     // print order, simulate each exactly once (sharded across the pool
@@ -85,15 +88,17 @@ fn main() {
     // Each engine result is the cell's (ipc, mpki) pair; an incomplete
     // cell renders its gap marker (QUAR / TIMEOUT / PARTIAL) in both
     // panels instead of a number.
+    obs.campaign_begin();
     let (cells, outcome): (Vec<Result<(f64, f64), &'static str>>, _) =
         match campaign::engine_workers(workers, &policy) {
             Some(engine_workers) => {
-                let outcome = campaign::run_campaign(
+                let outcome = campaign::run_campaign_observed(
                     "fig7",
                     [u64::from(quick)],
                     &tasks,
                     engine_workers,
                     &policy,
+                    obs.telemetry(),
                     &|&(d, c, w, r): &(TlbDesign, TlbConfig, Workload, usize)| {
                         format!("{d} TLB {} {} x{r}", c.label(), w.label())
                     },
@@ -126,6 +131,7 @@ fn main() {
                 None,
             ),
         };
+    obs.campaign_end();
     let summary = oracle::conclude("fig7", Path::new("repro"));
 
     for (design, configs, offset) in &panels {
@@ -172,7 +178,10 @@ fn main() {
     }
 
     if designs.len() == 3 {
-        let h = headline(if quick { 10 } else { 50 });
+        let h = headline(if quick { 10 } else { 50 }).unwrap_or_else(|e| {
+            eprintln!("error: headline baseline geometry rejected: {e}");
+            std::process::exit(EXIT_SETUP);
+        });
         println!("\nHeadline comparisons (Sections 6.3-6.5, SecRSA workloads, 4W 32):");
         println!(
             "  SP MPKI / SA MPKI        = {:.2}x   (paper: ~3.07x)",
@@ -200,5 +209,7 @@ fn main() {
         None => 0,
     };
     summary.eprint();
+    obs.oracle_summary(&summary);
+    obs.finish(outcome.as_ref().map(|o| &o.stats));
     std::process::exit(summary.exit_code(base_exit));
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `mitigations [--trials N] [--adaptive[=ALPHA]] [--workers
 //! N|auto] [--checkpoint PATH] [--resume PATH] [--retries N]
-//! [--kill-after N] [--inject-* ...]`
+//! [--kill-after N] [--inject-* ...] [--events PATH] [--metrics PATH]`
 //!
 //! With `--workers` or any fault-tolerance flag the survey runs on the
 //! resilient engine, one shard per mitigation: a panicking survey row is
@@ -15,6 +15,7 @@
 
 use std::path::Path;
 
+use sectlb_bench::observe::Observability;
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::adaptive::SequentialTest;
 use sectlb_secbench::mitigations::{defended_count, defended_count_adaptive, Mitigation};
@@ -39,6 +40,7 @@ fn main() {
         alpha: a.alpha,
         threshold: THRESHOLD,
     });
+    let mut obs = Observability::from_args("mitigations", &args);
     println!("Section 2.3: existing mitigations vs. the 24 vulnerability types");
     println!("({} trials per placement)\n", settings.trials);
     println!("{:<42} {:>10} {:>8}", "approach", "measured", "paper");
@@ -54,9 +56,10 @@ fn main() {
             // shape changes), so adaptive and exhaustive checkpoints can
             // never cross-resume.
             let mut saved_total = 0;
+            obs.campaign_begin();
             let outcome = match &test {
                 Some(test) => {
-                    let outcome = campaign::run_campaign(
+                    let outcome = campaign::run_campaign_observed(
                         "mitigations",
                         [
                             u64::from(settings.trials),
@@ -66,6 +69,7 @@ fn main() {
                         &tasks,
                         engine_workers,
                         &policy,
+                        obs.telemetry(),
                         &|m: &Mitigation| m.label().to_owned(),
                         |m: &Mitigation| row(m, test),
                     );
@@ -76,16 +80,18 @@ fn main() {
                         .sum();
                     outcome.map(|(count, _)| count)
                 }
-                None => campaign::run_campaign(
+                None => campaign::run_campaign_observed(
                     "mitigations",
                     [u64::from(settings.trials), settings.base_seed],
                     &tasks,
                     engine_workers,
                     &policy,
+                    obs.telemetry(),
                     &|m: &Mitigation| m.label().to_owned(),
                     |m: &Mitigation| defended_count(*m, &settings, THRESHOLD) as u64,
                 ),
             };
+            obs.campaign_end();
             for (m, result) in tasks.iter().zip(&outcome.results) {
                 match result.done() {
                     Some(measured) => println!(
@@ -108,9 +114,12 @@ fn main() {
             print_suspects(&summary);
             outcome.eprint_summary();
             summary.eprint();
+            obs.oracle_summary(&summary);
+            obs.finish(Some(&outcome.stats));
             std::process::exit(summary.exit_code(outcome.exit_code()));
         }
         None => {
+            obs.campaign_begin();
             let mut saved_total = 0;
             for m in Mitigation::ALL {
                 let measured = match &test {
@@ -128,11 +137,14 @@ fn main() {
                     m.paper_defended_count()
                 );
             }
+            obs.campaign_end();
             print_reading();
             print_saved(&test, saved_total);
             let summary = oracle::conclude("mitigations", Path::new("repro"));
             print_suspects(&summary);
             summary.eprint();
+            obs.oracle_summary(&summary);
+            obs.finish(None);
             std::process::exit(summary.exit_code(0));
         }
     }

@@ -4,7 +4,8 @@
 //!
 //! Usage: `table4 [--trials N] [--workers N|auto] [--checkpoint PATH]
 //! [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]
-//! [--oracle[=RATE]] [--inject-corruption[=PM]]`
+//! [--oracle[=RATE]] [--inject-corruption[=PM]]
+//! [--events PATH] [--metrics PATH]`
 //!
 //! `--oracle` runs the shadow oracle in lockstep with the sampled trials;
 //! a violated invariant renders the cell SUSPECT (like QUARANTINED),
@@ -23,10 +24,11 @@ use std::path::Path;
 
 use std::num::NonZeroUsize;
 
+use sectlb_bench::observe::Observability;
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::oracle;
 use sectlb_secbench::report::{
-    build_table4_adaptive, build_table4_resilient, build_table4_with_stats,
+    build_table4_adaptive_observed, build_table4_resilient_observed, build_table4_with_stats,
 };
 use sectlb_secbench::run::TrialSettings;
 use sectlb_secbench::supervisor;
@@ -56,16 +58,28 @@ fn main() {
             None => "serial".to_owned(),
         }
     );
+    let mut obs = Observability::from_args("table4", &args);
     if let Some(engine_workers) = engine {
         supervisor::install_signal_handlers();
+        obs.campaign_begin();
         let built = match adaptive {
-            Some(a) => build_table4_adaptive(&settings, engine_workers, &policy, &a),
-            None => build_table4_resilient(&settings, engine_workers, &policy),
+            Some(a) => build_table4_adaptive_observed(
+                &settings,
+                engine_workers,
+                &policy,
+                &a,
+                obs.telemetry(),
+            ),
+            None => {
+                build_table4_resilient_observed(&settings, engine_workers, &policy, obs.telemetry())
+            }
         };
+        obs.campaign_end();
         let report = match built {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("{e}");
+                obs.finish(None);
                 std::process::exit(e.exit_code());
             }
         };
@@ -93,9 +107,13 @@ fn main() {
             println!("WARNING: some measured verdicts disagree with theory");
         }
         summary.eprint();
+        obs.oracle_summary(&summary);
+        obs.finish(Some(&report.stats));
         std::process::exit(summary.exit_code(report.exit_code()));
     }
+    obs.campaign_begin();
     let (table, stats) = build_table4_with_stats(&settings);
+    obs.campaign_end();
     let summary = oracle::conclude("table4", Path::new("repro"));
     let suspect: Vec<(usize, usize)> = table
         .rows
@@ -122,9 +140,11 @@ fn main() {
     } else {
         println!("WARNING: some measured verdicts disagree with theory");
     }
-    if let Some(stats) = stats {
+    if let Some(stats) = &stats {
         println!("\n{}", stats.render());
     }
     summary.eprint();
+    obs.oracle_summary(&summary);
+    obs.finish(stats.as_ref());
     std::process::exit(summary.exit_code(0));
 }

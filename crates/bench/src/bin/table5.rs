@@ -2,7 +2,8 @@
 //! structural model's estimates next to the paper's synthesis numbers.
 //!
 //! Usage: `table5 [--workers N|auto] [--checkpoint PATH] [--resume PATH]
-//! [--retries N] [--kill-after N] [--inject-* ...]`
+//! [--retries N] [--kill-after N] [--inject-* ...]
+//! [--events PATH] [--metrics PATH]`
 //!
 //! The area model is pure arithmetic, so the flags exist mainly for a
 //! uniform campaign interface (and make this the cheapest driver to
@@ -15,6 +16,8 @@ use std::num::NonZeroUsize;
 use std::path::Path;
 
 use sectlb_area::{estimate, paper_table5};
+use sectlb_bench::exit::EXIT_SETUP;
+use sectlb_bench::observe::Observability;
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::oracle;
 use sectlb_sim::machine::TlbDesign;
@@ -26,7 +29,11 @@ fn main() {
     let policy = cli::campaign_flags(&args);
     cli::reject_adaptive(&args, "table5");
     let _ = cli::oracle_flags(&args, &policy, "table5");
-    let baseline_cfg = TlbConfig::sa(32, 4).expect("valid");
+    let mut obs = Observability::from_args("table5", &args);
+    let baseline_cfg = TlbConfig::sa(32, 4).unwrap_or_else(|e| {
+        eprintln!("error: baseline TLB geometry rejected: {e}");
+        std::process::exit(EXIT_SETUP);
+    });
     let base = estimate(TlbDesign::Sa, baseline_cfg);
     println!("Table 5: area overhead (structural model vs. paper synthesis)");
     println!("baseline: 32-entry 4-way SA TLB");
@@ -36,12 +43,14 @@ fn main() {
     );
     let paper_base = sectlb_area::paper::paper_baseline();
     let rows = paper_table5();
-    let outcome = campaign::run_campaign(
+    obs.campaign_begin();
+    let outcome = campaign::run_campaign_observed(
         "table5",
         [0u64; 0],
         &rows,
         workers.unwrap_or(NonZeroUsize::MIN),
         &policy,
+        obs.telemetry(),
         &|row: &sectlb_area::paper::PaperRow| {
             format!("{} {}", row.design.name(), row.config.label())
         },
@@ -50,6 +59,7 @@ fn main() {
             (e.luts, e.registers)
         },
     );
+    obs.campaign_end();
     for (row, result) in rows.iter().zip(&outcome.results) {
         let pdl = row.luts as i64 - paper_base.luts as i64;
         let pdr = row.registers as i64 - paper_base.registers as i64;
@@ -87,5 +97,7 @@ fn main() {
     }
     let summary = oracle::conclude("table5", Path::new("repro"));
     summary.eprint();
+    obs.oracle_summary(&summary);
+    obs.finish(Some(&outcome.stats));
     std::process::exit(summary.exit_code(outcome.exit_code()));
 }

@@ -8,13 +8,15 @@
 //! with this reproduction's region-flush invalidation extension.
 //!
 //! Usage: `table7_eval [--trials N] [--workers N|auto] [--checkpoint
-//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]`
+//! PATH] [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]
+//! [--events PATH] [--metrics PATH]`
 //!
 //! With `--workers` or any fault-tolerance flag the family × design grid
 //! runs on the resilient engine, one shard per cell.
 
 use std::path::Path;
 
+use sectlb_bench::observe::Observability;
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::extended::{
     extended_benchmarks, run_extended_oracle, run_extended_with_workers, ExtDesign,
@@ -29,6 +31,7 @@ fn main() {
     let policy = cli::campaign_flags(&args);
     cli::reject_adaptive(&args, "table7_eval");
     let oracle_cfg = cli::oracle_flags(&args, &policy, "table7_eval");
+    let mut obs = Observability::from_args("table7_eval", &args);
     println!("Appendix B attacks vs. the designs ({trials} trials per placement)");
     println!("channel capacity C*; 0 = defended\n");
     print!("{:<38} {:<30}", "family", "pattern");
@@ -43,17 +46,20 @@ fn main() {
             let cells: Vec<(usize, ExtDesign)> = (0..benches.len())
                 .flat_map(|b| ExtDesign::ALL.map(|d| (b, d)))
                 .collect();
-            let outcome = campaign::run_campaign(
+            obs.campaign_begin();
+            let outcome = campaign::run_campaign_observed(
                 "table7_eval",
                 [u64::from(trials)],
                 &cells,
                 engine_workers,
                 &policy,
+                obs.telemetry(),
                 &|&(b, d): &(usize, ExtDesign)| format!("{} on {}", benches[b].name, d.label()),
                 |&(b, d): &(usize, ExtDesign)| {
                     run_extended_oracle(&benches[b], d, trials, oracle_cfg)
                 },
             );
+            obs.campaign_end();
             let summary = oracle::conclude("table7_eval", Path::new("repro"));
             for (bi, bench) in benches.iter().enumerate() {
                 print!("{:<38} {:<30}", bench.name, bench.pattern);
@@ -77,9 +83,12 @@ fn main() {
             print_reading();
             outcome.eprint_summary();
             summary.eprint();
+            obs.oracle_summary(&summary);
+            obs.finish(Some(&outcome.stats));
             std::process::exit(summary.exit_code(outcome.exit_code()));
         }
         None => {
+            obs.campaign_begin();
             let mut lines = Vec::new();
             for bench in &benches {
                 let caps: Vec<Measurement> = ExtDesign::ALL
@@ -88,6 +97,7 @@ fn main() {
                     .collect();
                 lines.push(caps);
             }
+            obs.campaign_end();
             let summary = oracle::conclude("table7_eval", Path::new("repro"));
             for (bench, caps) in benches.iter().zip(&lines) {
                 print!("{:<38} {:<30}", bench.name, bench.pattern);
@@ -102,6 +112,8 @@ fn main() {
             }
             print_reading();
             summary.eprint();
+            obs.oracle_summary(&summary);
+            obs.finish(None);
             std::process::exit(summary.exit_code(0));
         }
     }

@@ -19,8 +19,11 @@ use std::num::NonZeroUsize;
 
 use sectlb_secbench::checkpoint::{fingerprint, fingerprint_str, Record};
 use sectlb_secbench::parallel::PoolStats;
-use sectlb_secbench::resilience::{run_sharded_resilient, RunPolicy, ShardOutcome, StallEvent};
+use sectlb_secbench::resilience::{
+    run_sharded_resilient_observed, CampaignError, RunPolicy, ShardOutcome, StallEvent,
+};
 use sectlb_secbench::supervisor::{self, StopReason};
+use sectlb_secbench::telemetry::{duration_ns, stop_reason_str, Event, Telemetry};
 
 use crate::exit::{EXIT_BUDGET, EXIT_OK, EXIT_QUARANTINED};
 
@@ -149,17 +152,80 @@ where
     T: Sync,
     R: Send + Record,
 {
+    run_campaign_observed(
+        name,
+        coordinates,
+        tasks,
+        workers,
+        policy,
+        &Telemetry::disabled(),
+        label,
+        f,
+    )
+}
+
+/// [`run_campaign`] with a telemetry handle: emits the campaign
+/// start/stop envelope around the engine's per-shard event stream. With
+/// a disabled handle the behavior is exactly [`run_campaign`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_observed<T, R>(
+    name: &str,
+    coordinates: impl IntoIterator<Item = u64>,
+    tasks: &[T],
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    telemetry: &Telemetry,
+    label: &(dyn Fn(&T) -> String + Sync),
+    f: impl Fn(&T) -> R + Sync,
+) -> DriverCampaign<R>
+where
+    T: Sync,
+    R: Send + Record,
+{
     supervisor::install_signal_handlers();
     let fp = fingerprint(fingerprint_str(name), coordinates);
-    match run_sharded_resilient(tasks, workers, policy, fp, label, f) {
-        Ok(run) => DriverCampaign {
-            results: run.results,
-            stats: run.stats,
-            resumed: run.resumed,
-            stalls: run.stalls,
-            stop: run.stop,
-        },
+    if telemetry.is_armed() {
+        telemetry.emit(Event::CampaignStart {
+            driver: telemetry.driver().to_owned(),
+            fingerprint: fp,
+            tasks: tasks.len() as u64,
+            workers: workers.get() as u64,
+        });
+    }
+    match run_sharded_resilient_observed(tasks, workers, policy, fp, label, telemetry, f) {
+        Ok(run) => {
+            if telemetry.is_armed() {
+                telemetry.emit(Event::CampaignStop {
+                    reason: run.stop.map_or("complete", stop_reason_str).to_owned(),
+                    completed: run.results.iter().filter(|r| r.is_done()).count() as u64,
+                    total: run.results.len() as u64,
+                    wall_ns: duration_ns(run.stats.wall),
+                });
+                telemetry.flush();
+            }
+            DriverCampaign {
+                results: run.results,
+                stats: run.stats,
+                resumed: run.resumed,
+                stalls: run.stalls,
+                stop: run.stop,
+            }
+        }
         Err(e) => {
+            if telemetry.is_armed() {
+                if let CampaignError::Interrupted {
+                    completed, total, ..
+                } = &e
+                {
+                    telemetry.emit(Event::CampaignStop {
+                        reason: "kill-after".to_owned(),
+                        completed: *completed as u64,
+                        total: *total as u64,
+                        wall_ns: 0,
+                    });
+                }
+                telemetry.flush();
+            }
             eprintln!("{e}");
             std::process::exit(e.exit_code());
         }

@@ -36,6 +36,13 @@
 //! Violations render the cell SUSPECT, write a shrunk `repro/*.ron`
 //! file, and exit [`sectlb_secbench::oracle::EXIT_SUSPECT`].
 //!
+//! The observability flags ([`parse_events`] / [`parse_metrics`]) arm the
+//! structured telemetry layer (`sectlb_secbench::telemetry`):
+//! `--events PATH` streams the campaign's versioned JSONL events and
+//! `--metrics PATH` writes the aggregated `BENCH_<driver>.json` snapshot.
+//! Both default off; with neither flag, the drivers' text output is byte
+//! identical to a build without the telemetry layer.
+//!
 //! Parsing is split into fallible `parse_*` helpers (unit-testable) and
 //! thin `*_flag` wrappers that print the error and exit 2, matching the
 //! drivers' historical behavior for malformed flags.
@@ -284,6 +291,18 @@ pub fn parse_adaptive(args: &[String]) -> Result<Option<AdaptivePolicy>, String>
     Ok(Some(AdaptivePolicy { alpha }))
 }
 
+/// Parses `--events PATH` (JSONL event-stream sink); `Ok(None)` when
+/// absent.
+pub fn parse_events(args: &[String]) -> Result<Option<PathBuf>, String> {
+    Ok(flag_value(args, "--events")?.map(PathBuf::from))
+}
+
+/// Parses `--metrics PATH` (aggregated metrics snapshot, conventionally
+/// `BENCH_<driver>.json`); `Ok(None)` when absent.
+pub fn parse_metrics(args: &[String]) -> Result<Option<PathBuf>, String> {
+    Ok(flag_value(args, "--metrics")?.map(PathBuf::from))
+}
+
 /// Rejects `--adaptive` on drivers whose verdicts are not a per-cell
 /// two-proportion test (exit 2 with a driver-specific message).
 pub fn reject_adaptive(args: &[String], driver: &str) {
@@ -313,6 +332,16 @@ pub fn campaign_flags(args: &[String]) -> RunPolicy {
 /// [`parse_adaptive`], exiting 2 with the error on a malformed value.
 pub fn adaptive_flags(args: &[String]) -> Option<AdaptivePolicy> {
     parse_adaptive(args).unwrap_or_else(|e| exit_usage(e))
+}
+
+/// [`parse_events`], exiting 2 with the error on a malformed value.
+pub fn events_flag(args: &[String]) -> Option<PathBuf> {
+    parse_events(args).unwrap_or_else(|e| exit_usage(e))
+}
+
+/// [`parse_metrics`], exiting 2 with the error on a malformed value.
+pub fn metrics_flag(args: &[String]) -> Option<PathBuf> {
+    parse_metrics(args).unwrap_or_else(|e| exit_usage(e))
 }
 
 /// [`parse_oracle`], exiting 2 with the error on a malformed value.
@@ -533,6 +562,26 @@ mod tests {
         let err = parse_adaptive(&args(&["prog", "--adaptive", "--kill-after", "2"]))
             .expect_err("rejected");
         assert!(err.contains("conflicts with --kill-after"), "{err}");
+    }
+
+    #[test]
+    fn observability_flags_are_off_by_default_and_parse_paths() {
+        assert_eq!(parse_events(&args(&["prog"])), Ok(None));
+        assert_eq!(parse_metrics(&args(&["prog"])), Ok(None));
+        assert_eq!(
+            parse_events(&args(&["prog", "--events", "ev.jsonl"])),
+            Ok(Some(PathBuf::from("ev.jsonl")))
+        );
+        assert_eq!(
+            parse_metrics(&args(&["prog", "--metrics", "BENCH_table4.json"])),
+            Ok(Some(PathBuf::from("BENCH_table4.json")))
+        );
+        assert!(parse_events(&args(&["prog", "--events"]))
+            .expect_err("rejected")
+            .contains("--events needs a value"));
+        assert!(parse_metrics(&args(&["prog", "--metrics"]))
+            .expect_err("rejected")
+            .contains("--metrics needs a value"));
     }
 
     #[test]

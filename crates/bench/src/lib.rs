@@ -32,6 +32,13 @@
 //! `--adaptive[=ALPHA]` stops each cell's trials early once its verdict
 //! is statistically settled, without ever changing a verdict.
 //!
+//! Every driver additionally accepts the observability flags
+//! (`--events PATH` for the versioned JSONL event stream, `--metrics
+//! PATH` for the aggregated `BENCH_<driver>.json` snapshot) — see the
+//! [`observe`] module for the shared wiring. Both default off, and with
+//! neither flag the text output is byte-identical to a run without the
+//! telemetry layer.
+//!
 //! The [`perf`] module holds the Figure 7 machinery shared between the
 //! `fig7` binary and the integration tests.
 
@@ -41,4 +48,5 @@
 pub mod campaign;
 pub mod cli;
 pub mod exit;
+pub mod observe;
 pub mod perf;

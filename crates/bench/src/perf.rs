@@ -10,7 +10,7 @@ use sectlb_secbench::oracle::OracleConfig;
 use sectlb_sim::cpu::Instr;
 use sectlb_sim::machine::{MachineBuilder, TlbDesign};
 use sectlb_sim::sched::{run_round_robin, Program};
-use sectlb_tlb::config::TlbConfig;
+use sectlb_tlb::config::{ConfigError, TlbConfig};
 use sectlb_tlb::types::Vpn;
 use sectlb_workloads::rsa::{decryption_program, encrypt, RsaKey, RsaLayout};
 use sectlb_workloads::spec_like::SpecBenchmark;
@@ -207,8 +207,12 @@ pub struct Headline {
 
 /// Computes the headline ratios on the protected (SecRSA) workloads with
 /// the paper's baseline geometry.
-pub fn headline(runs: usize) -> Headline {
-    let base = TlbConfig::sa(32, 4).expect("valid");
+///
+/// Returns the geometry's typed [`ConfigError`] instead of panicking if
+/// the baseline configuration is ever rejected — callers surface it and
+/// exit [`crate::exit::EXIT_SETUP`].
+pub fn headline(runs: usize) -> Result<Headline, ConfigError> {
+    let base = TlbConfig::sa(32, 4)?;
     let workloads: Vec<Workload> = Workload::all().into_iter().filter(|w| w.secure).collect();
     // Per-workload MPKI ratios, then the mean across workloads — so the
     // low-MPKI workloads (where the partition hurts most, relatively)
@@ -235,12 +239,12 @@ pub fn headline(runs: usize) -> Headline {
     };
     let ipc_1e = run_cell(TlbDesign::Sa, TlbConfig::single_entry(), rsa_only, runs).ipc;
     let ipc_4w = run_cell(TlbDesign::Sa, base, rsa_only, runs).ipc;
-    Headline {
+    Ok(Headline {
         sp_over_sa_mpki: sp,
         rf_over_sa_mpki: rf,
         rf_over_sp_mpki: rf_sp,
         one_entry_ipc_ratio: ipc_1e / ipc_4w,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -224,6 +224,32 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias toward the characters serializers must treat specially —
+        // quotes, backslashes, control characters — alongside plain ASCII
+        // and arbitrary unicode scalars.
+        match rng.below(8) {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32(rng.sample(0u32..0x20)).expect("controls are scalars"),
+            3..=5 => char::from(rng.sample(0x20u8..0x7f)),
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.sample(0u32..=0x0010_FFFF)) {
+                    break c;
+                }
+            },
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(12);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
 /// The whole-domain strategy for `T` (mirrors `proptest::prelude::any`).
 pub fn any<T: Arbitrary>() -> Any<T> {
     Any(core::marker::PhantomData)

@@ -41,12 +41,13 @@ use crate::checkpoint::{Checkpoint, Record};
 use crate::parallel::{distribute_trial_counts, PoolStats, Shard, TRIALS_PER_SHARD};
 use crate::report::DEFENDED_THRESHOLD;
 use crate::resilience::{
-    cells_fingerprint, run_sharded_resilient, CampaignError, CellGap, CellOutcome, RunPolicy,
-    ShardOutcome, StallEvent,
+    cells_fingerprint, run_sharded_resilient_observed, CampaignError, CellGap, CellOutcome,
+    RunPolicy, ShardOutcome, StallEvent,
 };
 use crate::run::{run_trial_range, Measurement, TrialSettings};
 use crate::spec::BenchmarkSpec;
 use crate::supervisor::{BudgetPolicy, StopReason, Supervisor};
+use crate::telemetry::{duration_ns, stop_reason_str, Event, Telemetry};
 
 /// The `--adaptive[=ALPHA]` configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,9 +237,42 @@ pub fn measure_cells_adaptive(
     adaptive: &AdaptivePolicy,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
 ) -> Result<AdaptiveOutcome, CampaignError> {
+    measure_cells_adaptive_observed(
+        cells,
+        settings,
+        workers,
+        policy,
+        adaptive,
+        &Telemetry::disabled(),
+        customize,
+    )
+}
+
+/// [`measure_cells_adaptive`] with a [`Telemetry`] handle: the campaign
+/// start/stop envelope, a resume restore, per-round shard-lifecycle
+/// events from the engine, an [`Event::AdaptiveStop`] per settled cell,
+/// and checkpoint flushes. The round runs themselves emit no nested
+/// campaign envelopes — they are internal engine invocations.
+pub fn measure_cells_adaptive_observed(
+    cells: &[(Vulnerability, TlbDesign)],
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    adaptive: &AdaptivePolicy,
+    telemetry: &Telemetry,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
+) -> Result<AdaptiveOutcome, CampaignError> {
     let full = settings.trials;
     let test = SequentialTest::table4(adaptive.alpha);
     let fingerprint = adaptive_fingerprint(cells, settings, &test);
+    if telemetry.is_armed() {
+        telemetry.emit(Event::CampaignStart {
+            driver: telemetry.driver().to_owned(),
+            fingerprint,
+            tasks: cells.len() as u64,
+            workers: workers.get() as u64,
+        });
+    }
     let specs: Vec<BenchmarkSpec> = cells
         .iter()
         .map(|(v, d)| BenchmarkSpec::build_with_config(v, *d, settings.config))
@@ -257,18 +291,28 @@ pub fn measure_cells_adaptive(
     let mut timed_out = vec![false; cells.len()];
 
     let mut resumed = 0usize;
+    let mut prior = std::time::Duration::ZERO;
     if let Some(path) = &policy.resume {
         if path.exists() {
             let loaded = Checkpoint::load(path)?;
             loaded.validate(fingerprint, cells.len())?;
+            prior = loaded.consumed;
             for (i, state) in loaded.decoded::<AdaptiveCellState>()? {
                 states[i] = state;
                 resumed += 1;
             }
+            if telemetry.is_armed() {
+                telemetry.emit(Event::Resume {
+                    restored: resumed as u64,
+                    consumed_ns: duration_ns(prior),
+                });
+            }
         }
     }
 
-    let outer = Supervisor::new(policy.budget);
+    // Wall-clock already consumed by the resume chain counts against the
+    // whole-campaign deadline, exactly as on the exhaustive engine.
+    let outer = Supervisor::with_consumed(policy.budget, prior);
     let mut stop: Option<StopReason> = None;
     let mut stats = PoolStats {
         wall: std::time::Duration::ZERO,
@@ -282,14 +326,27 @@ pub fn measure_cells_adaptive(
     let mut stalls: Vec<StallEvent> = Vec::new();
     let started = Instant::now();
 
-    loop {
-        // Settle everything the current prefixes already decide (also
-        // covers resumed cells and the trials == full case).
-        for state in &mut states {
+    // Settles every cell whose current prefix decides it (also covers
+    // resumed cells and the trials == full case), emitting exactly one
+    // adaptive-stop event per newly settled cell.
+    let settle = |states: &mut [AdaptiveCellState]| {
+        for (i, state) in states.iter_mut().enumerate() {
             if !state.decided && (state.m.trials >= full || test.decide(&state.m).is_some()) {
                 state.decided = true;
+                if telemetry.is_armed() {
+                    let (v, d) = &cells[i];
+                    telemetry.emit(Event::AdaptiveStop {
+                        cell: format!("{v} on {d} TLB"),
+                        trials: u64::from(state.m.trials),
+                        saved: u64::from(full.saturating_sub(state.m.trials)),
+                    });
+                }
             }
         }
+    };
+
+    loop {
+        settle(&mut states);
         let live: Vec<usize> = (0..cells.len())
             .filter(|&i| !states[i].decided && quarantined[i].is_none() && !timed_out[i])
             .collect();
@@ -324,7 +381,7 @@ pub fn measure_cells_adaptive(
                 hi: (states[i].m.trials + TRIALS_PER_SHARD).min(full),
             })
             .collect();
-        let run = run_sharded_resilient(
+        let run = run_sharded_resilient_observed(
             &tasks,
             workers,
             &round_policy,
@@ -336,6 +393,7 @@ pub fn measure_cells_adaptive(
                     shard.lo, shard.hi
                 )
             },
+            telemetry,
             |shard| {
                 run_trial_range(
                     &specs[shard.cell],
@@ -377,17 +435,21 @@ pub fn measure_cells_adaptive(
             let mut ck = Checkpoint::new(fingerprint, cells.len());
             // Settle decisions before persisting so a resumed process
             // sees the same decided set this one would compute.
-            for state in &mut states {
-                if !state.decided && (state.m.trials >= full || test.decide(&state.m).is_some()) {
-                    state.decided = true;
-                }
-            }
+            settle(&mut states);
             for (i, state) in states.iter().enumerate() {
                 if state.m.trials > 0 || state.decided {
                     ck.record(i, state);
                 }
             }
+            ck.consumed = outer.elapsed();
             ck.save(&cp.path)?;
+            if telemetry.is_armed() {
+                telemetry.emit(Event::CheckpointFlush {
+                    path: cp.path.display().to_string(),
+                    done: ck.done.len() as u64,
+                    tasks: cells.len() as u64,
+                });
+            }
         }
         if let Some(reason) = run.stop {
             stop = Some(reason);
@@ -427,6 +489,16 @@ pub fn measure_cells_adaptive(
             _ => 0,
         })
         .sum();
+
+    if telemetry.is_armed() {
+        telemetry.emit(Event::CampaignStop {
+            reason: stop.map_or("complete", stop_reason_str).to_owned(),
+            completed: states.iter().filter(|s| s.decided).count() as u64,
+            total: cells.len() as u64,
+            wall_ns: duration_ns(stats.wall),
+        });
+        telemetry.flush();
+    }
 
     Ok(AdaptiveOutcome {
         cells: outcomes,

@@ -19,6 +19,7 @@
 //! secbench-checkpoint v1
 //! settings 00c0ffee00c0ffee
 //! tasks 72
+//! elapsed 45000000000
 //! done 0 25 3 22
 //! done 5 25 24 1
 //! ```
@@ -26,8 +27,12 @@
 //! `settings` is the campaign fingerprint ([`settings_fingerprint`]
 //! chained with driver-specific coordinates); a mismatch on load is a
 //! hard error — resuming a different campaign from a stale file would
-//! silently corrupt results. Each `done` line is a completed task index
-//! followed by its [`Record`]-encoded result.
+//! silently corrupt results. `elapsed` is the campaign wall-clock (in
+//! nanoseconds) consumed up to the flush, across every run in the resume
+//! chain — it is what keeps `--deadline` honest across `--resume`
+//! (files written before this line existed load as zero consumed). Each
+//! `done` line is a completed task index followed by its
+//! [`Record`]-encoded result.
 
 use std::fs;
 use std::io::Write as _;
@@ -244,6 +249,9 @@ pub struct Checkpoint {
     pub settings_hash: u64,
     /// Total number of tasks in the campaign.
     pub tasks: usize,
+    /// Campaign wall-clock consumed up to this flush, summed across every
+    /// run in the resume chain. Deducted from `--deadline` on resume.
+    pub consumed: std::time::Duration,
     /// Completed tasks: `(task index, encoded result)`, in completion
     /// order.
     pub done: Vec<(usize, String)>,
@@ -255,6 +263,7 @@ impl Checkpoint {
         Checkpoint {
             settings_hash,
             tasks,
+            consumed: std::time::Duration::ZERO,
             done: Vec::new(),
         }
     }
@@ -289,8 +298,8 @@ impl Checkpoint {
             .enumerate()
             .map(|(n, (index, payload))| {
                 let malformed = |reason: String| CheckpointError::Malformed {
-                    // +4 for the three header lines, 1-based.
-                    line: n + 4,
+                    // +5 for the four header lines, 1-based.
+                    line: n + 5,
                     reason,
                 };
                 if *index >= self.tasks {
@@ -308,8 +317,9 @@ impl Checkpoint {
 
     /// Serializes the checkpoint to its file format.
     pub fn render(&self) -> String {
+        let nanos = u64::try_from(self.consumed.as_nanos()).unwrap_or(u64::MAX);
         let mut out = format!(
-            "{MAGIC}\nsettings {:016x}\ntasks {}\n",
+            "{MAGIC}\nsettings {:016x}\ntasks {}\nelapsed {nanos}\n",
             self.settings_hash, self.tasks
         );
         for (index, payload) in &self.done {
@@ -343,8 +353,24 @@ impl Checkpoint {
                 .map_err(|_| malformed(3, "unparsable task count"))?,
             _ => return Err(malformed(3, "missing `tasks` line")),
         };
+        // The `elapsed` header is optional: checkpoints written before
+        // deadline accounting existed lack it and resume with zero
+        // consumed wall-clock.
+        let mut consumed = std::time::Duration::ZERO;
+        let mut pending = None;
+        match lines.next() {
+            Some((_, l)) if l.starts_with("elapsed ") => {
+                let nanos: u64 = l["elapsed ".len()..]
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed(4, "unparsable elapsed nanoseconds"))?;
+                consumed = std::time::Duration::from_nanos(nanos);
+            }
+            Some(other) => pending = Some(other),
+            None => {}
+        }
         let mut done = Vec::new();
-        for (i, line) in lines {
+        for (i, line) in pending.into_iter().chain(lines) {
             let lineno = i + 1;
             if line.trim().is_empty() {
                 continue;
@@ -363,6 +389,7 @@ impl Checkpoint {
         Ok(Checkpoint {
             settings_hash,
             tasks,
+            consumed,
             done,
         })
     }
@@ -462,6 +489,7 @@ mod tests {
     #[test]
     fn checkpoint_file_roundtrips() {
         let mut ck = Checkpoint::new(0xdead_beef, 10);
+        ck.consumed = std::time::Duration::from_nanos(45_000_000_123);
         ck.record(3, &7u64);
         ck.record(
             0,
@@ -473,6 +501,18 @@ mod tests {
         );
         let parsed = Checkpoint::parse(&ck.render()).expect("parses");
         assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn legacy_files_without_elapsed_load_with_zero_consumed() {
+        let text = "secbench-checkpoint v1\nsettings 00000000000000ff\ntasks 2\ndone 1 9\n";
+        let ck = Checkpoint::parse(text).expect("parses");
+        assert_eq!(ck.consumed, std::time::Duration::ZERO);
+        assert_eq!(ck.done, vec![(1, "9".to_owned())]);
+        assert!(matches!(
+            Checkpoint::parse("secbench-checkpoint v1\nsettings 00\ntasks 2\nelapsed x\n"),
+            Err(CheckpointError::Malformed { line: 4, .. })
+        ));
     }
 
     #[test]

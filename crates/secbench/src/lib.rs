@@ -31,6 +31,10 @@
 //! - [`oracle`] — campaign-side shadow-oracle guardrails: sampled
 //!   lockstep checking, `--inject-corruption` fault injection, SUSPECT
 //!   cells, delta-debugged minimal repro files, and their replay;
+//! - [`telemetry`] — the structured observability layer: a versioned
+//!   JSONL event stream (shard lifecycle, supervisor decisions,
+//!   checkpoint flushes, oracle violations) plus an aggregated metrics
+//!   snapshot, both off by default and byte-invisible when disabled;
 //! - [`theory`] — the theoretical `p1`, `p2`, `C` of Table 4, including
 //!   the six combined Random-Fill TLB patterns of Section 5.3.1;
 //! - [`extended`] — the Appendix B evaluation: targeted-invalidation
@@ -70,17 +74,23 @@ pub mod resilience;
 pub mod run;
 pub mod spec;
 pub mod supervisor;
+pub mod telemetry;
 pub mod theory;
 
-pub use adaptive::{measure_cells_adaptive, AdaptiveOutcome, AdaptivePolicy, SequentialTest};
+pub use adaptive::{
+    measure_cells_adaptive, measure_cells_adaptive_observed, AdaptiveOutcome, AdaptivePolicy,
+    SequentialTest,
+};
 pub use capacity::binary_channel_capacity;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record};
 pub use oracle::{OracleConfig, OracleSummary, SuspectCell, EXIT_SUSPECT};
 pub use parallel::{measure_cells, run_sharded, PoolStats, WorkerStats};
 pub use resilience::{
-    measure_cells_resilient, run_sharded_resilient, CampaignError, CampaignOutcome, CellOutcome,
-    FaultPlan, ResilientRun, RunPolicy, ShardFailure, ShardOutcome, EXIT_QUARANTINED,
+    measure_cells_resilient, measure_cells_resilient_observed, run_sharded_resilient,
+    run_sharded_resilient_observed, CampaignError, CampaignOutcome, CellOutcome, FaultPlan,
+    ResilientRun, RunPolicy, ShardFailure, ShardOutcome, EXIT_QUARANTINED,
 };
 pub use run::{derive_trial_seed, run_vulnerability, Measurement, TrialSettings};
 pub use spec::BenchmarkSpec;
 pub use supervisor::{BudgetPolicy, StopReason, Supervisor, EXIT_BUDGET};
+pub use telemetry::{Envelope, Event, PhaseTimings, Telemetry, SCHEMA_VERSION};

@@ -100,9 +100,17 @@ impl PoolStats {
         self.workers.iter().map(|w| w.retried).sum()
     }
 
-    /// Trials per second of wall-clock time (both placements counted).
+    /// Trial *pairs* completed per second of wall-clock time.
+    ///
+    /// [`WorkerStats::trials`] counts per-placement trial indices, and
+    /// every index runs as one mapped + one not-mapped placement pair, so
+    /// a pair is the natural unit of completed work. An earlier revision
+    /// multiplied by 2 here to count individual placements while
+    /// `trials()` already described the same work — readers comparing the
+    /// footer against `trials x 2 placements` saw a doubled rate. The
+    /// pinned definition is `trials() / wall`, labeled "trial pairs/s".
     pub fn throughput(&self) -> f64 {
-        2.0 * self.trials() as f64 / self.wall.as_secs_f64().max(1e-9)
+        self.trials() as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
     /// Worker overlap: aggregate busy time divided by wall-clock time.
@@ -123,7 +131,7 @@ impl PoolStats {
     pub fn render(&self) -> String {
         let mut line = format!(
             "{} workers, {} shards, {} trials x 2 placements in {:.2?} \
-             ({:.0} trials/s, {:.2}x worker overlap / speedup)",
+             ({:.0} trial pairs/s, {:.2}x worker overlap / speedup)",
             self.workers.len(),
             self.shards(),
             self.trials(),
@@ -367,6 +375,41 @@ mod tests {
                 u64::from(settings.trials) * cells.len() as u64
             );
         }
+    }
+
+    #[test]
+    fn throughput_counts_trial_pairs_once() {
+        let stats = PoolStats {
+            wall: Duration::from_secs(2),
+            workers: vec![
+                WorkerStats {
+                    shards: 4,
+                    trials: 100,
+                    busy: Duration::from_secs(1),
+                    retried: 0,
+                },
+                WorkerStats {
+                    shards: 2,
+                    trials: 50,
+                    busy: Duration::from_secs(1),
+                    retried: 0,
+                },
+            ],
+            quarantined: 0,
+            stalled: 0,
+            skipped: 0,
+            preempted: 0,
+            trials_saved: 0,
+        };
+        // 150 trial pairs over 2 seconds: exactly 75 pairs/s, with no
+        // doubling for the two placements each pair already contains.
+        assert_eq!(stats.trials(), 150);
+        assert!((stats.throughput() - 75.0).abs() < 1e-9);
+        assert!(
+            stats.render().contains("trial pairs/s"),
+            "{}",
+            stats.render()
+        );
     }
 
     #[test]

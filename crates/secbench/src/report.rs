@@ -10,11 +10,10 @@ use std::num::NonZeroUsize;
 use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
 use sectlb_sim::machine::TlbDesign;
 
-use crate::adaptive::{measure_cells_adaptive, AdaptivePolicy};
+use crate::adaptive::AdaptivePolicy;
 use crate::parallel::{measure_cells, PoolStats};
 use crate::resilience::{
-    measure_cells_resilient, CampaignError, CellGap, CellOutcome, RunPolicy, ShardFailure,
-    StallEvent, EXIT_QUARANTINED,
+    CampaignError, CellGap, CellOutcome, RunPolicy, ShardFailure, StallEvent, EXIT_QUARANTINED,
 };
 use crate::run::{run_vulnerability, Measurement, TrialSettings};
 use crate::supervisor::{StopReason, EXIT_BUDGET};
@@ -520,8 +519,31 @@ pub fn build_table4_resilient(
     workers: NonZeroUsize,
     policy: &RunPolicy,
 ) -> Result<CampaignReport, CampaignError> {
+    build_table4_resilient_observed(
+        settings,
+        workers,
+        policy,
+        &crate::telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`build_table4_resilient`] with a [`crate::telemetry::Telemetry`]
+/// handle streaming the campaign's event envelope and shard lifecycle.
+pub fn build_table4_resilient_observed(
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    telemetry: &crate::telemetry::Telemetry,
+) -> Result<CampaignReport, CampaignError> {
     let cells = table4_cells();
-    let outcome = measure_cells_resilient(&cells, settings, workers, policy, &|b| b)?;
+    let outcome = crate::resilience::measure_cells_resilient_observed(
+        &cells,
+        settings,
+        workers,
+        policy,
+        telemetry,
+        &|b| b,
+    )?;
     Ok(assemble_campaign_report(
         &cells,
         settings,
@@ -544,8 +566,35 @@ pub fn build_table4_adaptive(
     policy: &RunPolicy,
     adaptive: &AdaptivePolicy,
 ) -> Result<CampaignReport, CampaignError> {
+    build_table4_adaptive_observed(
+        settings,
+        workers,
+        policy,
+        adaptive,
+        &crate::telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`build_table4_adaptive`] with a [`crate::telemetry::Telemetry`]
+/// handle streaming the campaign envelope, shard lifecycle, and per-cell
+/// adaptive-stop decisions.
+pub fn build_table4_adaptive_observed(
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    adaptive: &AdaptivePolicy,
+    telemetry: &crate::telemetry::Telemetry,
+) -> Result<CampaignReport, CampaignError> {
     let cells = table4_cells();
-    let outcome = measure_cells_adaptive(&cells, settings, workers, policy, adaptive, &|b| b)?;
+    let outcome = crate::adaptive::measure_cells_adaptive_observed(
+        &cells,
+        settings,
+        workers,
+        policy,
+        adaptive,
+        telemetry,
+        &|b| b,
+    )?;
     let stopped: Vec<(usize, usize, u32)> = outcome
         .cells
         .iter()

@@ -53,6 +53,7 @@ use crate::run::{
 };
 use crate::spec::BenchmarkSpec;
 use crate::supervisor::{self, BudgetPolicy, ShardPreempted, StopReason, Supervisor};
+use crate::telemetry::{duration_ns, stop_reason_str, Event, Telemetry};
 
 /// Exit code drivers use when a campaign completed but quarantined at
 /// least one shard (the results are explicit about which cells are
@@ -432,16 +433,48 @@ where
     R: Send + Record,
     F: Fn(&T) -> R + Sync,
 {
+    run_sharded_resilient_observed(
+        tasks,
+        workers,
+        policy,
+        fingerprint,
+        label,
+        &Telemetry::disabled(),
+        f,
+    )
+}
+
+/// [`run_sharded_resilient`] with a [`Telemetry`] handle: emits the
+/// shard-lifecycle slice of the event schema — resume restores,
+/// claim/complete/retry/quarantine/preempt/skip, checkpoint flushes.
+/// Campaign-level start/stop events belong to the *caller*, which knows
+/// the driver identity; this also keeps the adaptive scheduler's
+/// per-round engine runs from emitting nested campaign envelopes.
+pub fn run_sharded_resilient_observed<T, R, F>(
+    tasks: &[T],
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    fingerprint: u64,
+    label: &(dyn Fn(&T) -> String + Sync),
+    telemetry: &Telemetry,
+    f: F,
+) -> Result<ResilientRun<R>, CampaignError>
+where
+    T: Sync,
+    R: Send + Record,
+    F: Fn(&T) -> R + Sync,
+{
     let started = Instant::now();
-    let supervisor = Supervisor::new(policy.budget);
     let mut slots: Vec<Option<ShardOutcome<R>>> =
         std::iter::repeat_with(|| None).take(tasks.len()).collect();
     let mut ck = Checkpoint::new(fingerprint, tasks.len());
     let mut resumed = 0usize;
+    let mut prior = Duration::ZERO;
     if let Some(path) = &policy.resume {
         if path.exists() {
             let loaded = Checkpoint::load(path)?;
             loaded.validate(fingerprint, tasks.len())?;
+            prior = loaded.consumed;
             for (i, r) in loaded.decoded::<R>()? {
                 if slots[i].is_none() {
                     resumed += 1;
@@ -449,8 +482,19 @@ where
                     slots[i] = Some(ShardOutcome::Done(r));
                 }
             }
+            if telemetry.is_armed() {
+                telemetry.emit(Event::Resume {
+                    restored: resumed as u64,
+                    consumed_ns: duration_ns(prior),
+                });
+            }
         }
     }
+    ck.consumed = prior;
+    // Wall-clock consumed by earlier runs in the resume chain counts
+    // against `--deadline`: a resumed campaign gets the remainder of its
+    // budget, never a fresh one.
+    let supervisor = Supervisor::with_consumed(policy.budget, prior);
 
     let pending: Vec<usize> = (0..tasks.len()).filter(|&i| slots[i].is_none()).collect();
     // The kill switch is enforced at claim time: with `stop_after: Some(n)`
@@ -521,6 +565,13 @@ where
                         }
                         let Some(&i) = pending.get(k) else { break };
                         let task = &tasks[i];
+                        if telemetry.is_armed() {
+                            telemetry.emit(Event::ShardClaim {
+                                task: i as u64,
+                                worker: w as u64,
+                                label: label(task),
+                            });
+                        }
                         watch_slot.task.store(i, Ordering::Release);
                         watch_slot
                             .started
@@ -559,6 +610,14 @@ where
                                             payload: panic_message(payload.as_ref()),
                                         });
                                     }
+                                    if telemetry.is_armed() {
+                                        telemetry.emit(Event::ShardRetry {
+                                            task: i as u64,
+                                            worker: w as u64,
+                                            attempt: u64::from(attempt),
+                                            error: panic_message(payload.as_ref()),
+                                        });
+                                    }
                                     attempt += 1;
                                     stats.retried += 1;
                                 }
@@ -568,6 +627,33 @@ where
                         watch_slot.started.store(0, Ordering::Release);
                         stats.busy += t0.elapsed();
                         stats.shards += 1;
+                        if telemetry.is_armed() {
+                            match &outcome {
+                                ShardOutcome::Done(_) => {
+                                    telemetry.emit(Event::ShardComplete {
+                                        task: i as u64,
+                                        worker: w as u64,
+                                        wall_ns: duration_ns(t0.elapsed()),
+                                    });
+                                }
+                                ShardOutcome::Quarantined(failure) => {
+                                    telemetry.emit(Event::ShardQuarantine {
+                                        task: i as u64,
+                                        worker: w as u64,
+                                        attempts: u64::from(failure.attempts),
+                                        error: failure.payload.clone(),
+                                    });
+                                }
+                                ShardOutcome::TimedOut(t) => {
+                                    telemetry.emit(Event::ShardPreempt {
+                                        task: i as u64,
+                                        worker: w as u64,
+                                        wall_ns: duration_ns(*t),
+                                    });
+                                }
+                                ShardOutcome::Skipped(_) => {}
+                            }
+                        }
                         if tx.send((i, outcome)).is_err() {
                             break;
                         }
@@ -646,7 +732,15 @@ where
                 live_done += 1;
                 if let Some(cp) = &policy.checkpoint {
                     if since_checkpoint >= cp.every {
+                        ck.consumed = supervisor.elapsed();
                         ck.save(&cp.path)?;
+                        if telemetry.is_armed() {
+                            telemetry.emit(Event::CheckpointFlush {
+                                path: cp.path.display().to_string(),
+                                done: ck.done.len() as u64,
+                                tasks: tasks.len() as u64,
+                            });
+                        }
                         since_checkpoint = 0;
                     }
                 }
@@ -682,7 +776,15 @@ where
     // A final write so the file always reflects the run's end state —
     // complete on success, maximal on interruption or budget stop.
     if let Some(cp) = &policy.checkpoint {
+        ck.consumed = supervisor.elapsed();
         ck.save(&cp.path)?;
+        if telemetry.is_armed() {
+            telemetry.emit(Event::CheckpointFlush {
+                path: cp.path.display().to_string(),
+                done: ck.done.len() as u64,
+                tasks: tasks.len() as u64,
+            });
+        }
     }
 
     let completed = slots.iter().filter(|s| s.is_some()).count();
@@ -706,9 +808,19 @@ where
 
     let results: Vec<ShardOutcome<R>> = slots
         .into_iter()
-        .map(|slot| match slot {
+        .enumerate()
+        .map(|(i, slot)| match slot {
             Some(outcome) => outcome,
-            None => ShardOutcome::Skipped(stop.expect("missing shards imply a supervisor stop")),
+            None => {
+                let reason = stop.expect("missing shards imply a supervisor stop");
+                if telemetry.is_armed() {
+                    telemetry.emit(Event::ShardSkip {
+                        task: i as u64,
+                        reason: stop_reason_str(reason).to_owned(),
+                    });
+                }
+                ShardOutcome::Skipped(reason)
+            }
         })
         .collect();
     let quarantined = results.iter().filter(|r| r.failure().is_some()).count();
@@ -838,13 +950,42 @@ pub fn measure_cells_resilient(
     policy: &RunPolicy,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
 ) -> Result<CampaignOutcome, CampaignError> {
+    measure_cells_resilient_observed(
+        cells,
+        settings,
+        workers,
+        policy,
+        &Telemetry::disabled(),
+        customize,
+    )
+}
+
+/// [`measure_cells_resilient`] with a [`Telemetry`] handle: wraps the
+/// engine's shard-lifecycle events in the campaign start/stop envelope
+/// (the driver identity comes from the handle).
+pub fn measure_cells_resilient_observed(
+    cells: &[(Vulnerability, TlbDesign)],
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    telemetry: &Telemetry,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
+) -> Result<CampaignOutcome, CampaignError> {
     let specs: Vec<BenchmarkSpec> = cells
         .iter()
         .map(|(v, d)| BenchmarkSpec::build_with_config(v, *d, settings.config))
         .collect();
     let shards = plan_shards(cells.len(), settings.trials);
     let fingerprint = cells_fingerprint(cells, settings);
-    let run = run_sharded_resilient(
+    if telemetry.is_armed() {
+        telemetry.emit(Event::CampaignStart {
+            driver: telemetry.driver().to_owned(),
+            fingerprint,
+            tasks: shards.len() as u64,
+            workers: workers.get() as u64,
+        });
+    }
+    let run = match run_sharded_resilient_observed(
         &shards,
         workers,
         policy,
@@ -853,6 +994,7 @@ pub fn measure_cells_resilient(
             let (v, d) = &cells[shard.cell];
             format!("{v} on {d} TLB, trials {}..{}", shard.lo, shard.hi)
         },
+        telemetry,
         |shard| {
             run_trial_range(
                 &specs[shard.cell],
@@ -862,7 +1004,35 @@ pub fn measure_cells_resilient(
                 customize,
             )
         },
-    )?;
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            if telemetry.is_armed() {
+                if let CampaignError::Interrupted {
+                    completed, total, ..
+                } = &e
+                {
+                    telemetry.emit(Event::CampaignStop {
+                        reason: "kill-after".to_owned(),
+                        completed: *completed as u64,
+                        total: *total as u64,
+                        wall_ns: 0,
+                    });
+                }
+                telemetry.flush();
+            }
+            return Err(e);
+        }
+    };
+    if telemetry.is_armed() {
+        telemetry.emit(Event::CampaignStop {
+            reason: run.stop.map_or("complete", stop_reason_str).to_owned(),
+            completed: run.results.iter().filter(|r| r.is_done()).count() as u64,
+            total: run.results.len() as u64,
+            wall_ns: duration_ns(run.stats.wall),
+        });
+        telemetry.flush();
+    }
 
     let mut merged = vec![Measurement::ZERO; cells.len()];
     let mut first_failure: Vec<Option<ShardFailure>> = vec![None; cells.len()];

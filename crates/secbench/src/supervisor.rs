@@ -78,20 +78,32 @@ impl BudgetPolicy {
     }
 }
 
-/// The live supervisor of one engine run: the budget plus the run's start
-/// instant. Signal state is process-global (signals are); deadline state
-/// is per-run.
+/// The live supervisor of one engine run: the budget, the run's start
+/// instant, and wall-clock already consumed by earlier runs of the same
+/// campaign (restored from the checkpoint on `--resume`). Signal state is
+/// process-global (signals are); deadline state is per-run.
 #[derive(Debug)]
 pub struct Supervisor {
     started: Instant,
+    consumed: Duration,
     budget: BudgetPolicy,
 }
 
 impl Supervisor {
-    /// Starts supervising a run under `budget`, with the clock at zero.
+    /// Starts supervising a fresh run under `budget`, with the clock at
+    /// zero.
     pub fn new(budget: BudgetPolicy) -> Supervisor {
+        Supervisor::with_consumed(budget, Duration::ZERO)
+    }
+
+    /// Starts supervising a resumed run: `consumed` wall-clock was
+    /// already spent by earlier runs of this campaign and counts against
+    /// `budget.deadline`. A `--deadline 60` campaign killed at 45 seconds
+    /// resumes with 15 seconds left, not a fresh 60.
+    pub fn with_consumed(budget: BudgetPolicy, consumed: Duration) -> Supervisor {
         Supervisor {
             started: Instant::now(),
+            consumed,
             budget,
         }
     }
@@ -104,7 +116,7 @@ impl Supervisor {
             return Some(StopReason::Interrupted);
         }
         if let Some(deadline) = self.budget.deadline {
-            if self.started.elapsed() >= deadline {
+            if self.elapsed() >= deadline {
                 return Some(StopReason::DeadlineExpired);
             }
         }
@@ -116,8 +128,14 @@ impl Supervisor {
         self.budget.cell_deadline
     }
 
-    /// Time elapsed since the supervisor started.
+    /// Campaign wall-clock consumed so far: this run's elapsed time plus
+    /// the consumed time carried in from resumed checkpoints.
     pub fn elapsed(&self) -> Duration {
+        self.consumed + self.started.elapsed()
+    }
+
+    /// Time elapsed in this process alone (excludes resumed consumption).
+    pub fn elapsed_here(&self) -> Duration {
         self.started.elapsed()
     }
 }
@@ -226,6 +244,23 @@ mod tests {
         assert_eq!(s.should_stop(), Some(StopReason::Interrupted));
         reset_interrupt();
         assert_eq!(s.should_stop(), Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn consumed_time_counts_against_the_deadline() {
+        let _latch = latch_guard();
+        reset_interrupt();
+        let budget = BudgetPolicy {
+            deadline: Some(Duration::from_secs(3600)),
+            cell_deadline: None,
+        };
+        // Fresh run: a full hour left.
+        assert_eq!(Supervisor::new(budget).should_stop(), None);
+        // Resumed run that already burned two hours: stops immediately.
+        let resumed = Supervisor::with_consumed(budget, Duration::from_secs(7200));
+        assert_eq!(resumed.should_stop(), Some(StopReason::DeadlineExpired));
+        assert!(resumed.elapsed() >= Duration::from_secs(7200));
+        assert!(resumed.elapsed_here() < Duration::from_secs(1));
     }
 
     #[test]

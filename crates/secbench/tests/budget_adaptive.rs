@@ -14,8 +14,11 @@ use std::time::Duration;
 
 use sectlb_model::{enumerate_vulnerabilities, Vulnerability};
 use sectlb_secbench::adaptive::{measure_cells_adaptive, AdaptivePolicy};
+use sectlb_secbench::checkpoint::Checkpoint;
 use sectlb_secbench::report::{build_table4_resilient, table4_cells, DEFENDED_THRESHOLD};
-use sectlb_secbench::resilience::{measure_cells_resilient, CellGap, CellOutcome, RunPolicy};
+use sectlb_secbench::resilience::{
+    measure_cells_resilient, run_sharded_resilient, CellGap, CellOutcome, RunPolicy, ShardOutcome,
+};
 use sectlb_secbench::run::{Measurement, TrialSettings};
 use sectlb_secbench::supervisor::{BudgetPolicy, StopReason, EXIT_BUDGET};
 use sectlb_secbench::CheckpointPolicy;
@@ -170,6 +173,96 @@ fn budget_stopped_table4_renders_partial_markers_and_exits_budget_code() {
         text.contains("campaign stopped early: wall-clock deadline expired"),
         "{text}"
     );
+}
+
+#[test]
+fn resumed_campaigns_deduct_consumed_wall_clock_from_the_deadline() {
+    // A prior run already spent two hours of a one-hour budget: the
+    // checkpoint records the consumed wall clock, and the resumed
+    // campaign must stop before claiming a single shard rather than
+    // granting itself a fresh deadline.
+    let fingerprint = 0x5eed;
+    let tasks = [1u64, 2, 3, 4];
+    let path = tmp_path("consumed-deadline");
+    let mut ck = Checkpoint::new(fingerprint, tasks.len());
+    ck.consumed = Duration::from_secs(2 * 3600);
+    ck.save(&path).expect("checkpoint saved");
+
+    let policy = RunPolicy {
+        resume: Some(path.clone()),
+        budget: BudgetPolicy {
+            deadline: Some(Duration::from_secs(3600)),
+            ..BudgetPolicy::default()
+        },
+        ..RunPolicy::default()
+    };
+    let run = run_sharded_resilient(
+        &tasks,
+        workers(),
+        &policy,
+        fingerprint,
+        &|&t| format!("task {t}"),
+        |&t| t * 2,
+    )
+    .expect("budget stop is not an error");
+    assert_eq!(run.stop, Some(StopReason::DeadlineExpired));
+    assert!(
+        run.results
+            .iter()
+            .all(|r| matches!(r, ShardOutcome::Skipped(StopReason::DeadlineExpired))),
+        "the exhausted budget must skip every shard"
+    );
+
+    // The same checkpoint without a deadline still resumes normally:
+    // consumed time only matters when a budget is set.
+    let unlimited = RunPolicy {
+        resume: Some(path.clone()),
+        ..RunPolicy::default()
+    };
+    let run = run_sharded_resilient(
+        &tasks,
+        workers(),
+        &unlimited,
+        fingerprint,
+        &|&t| format!("task {t}"),
+        |&t| t * 2,
+    )
+    .expect("unlimited resume completes");
+    assert_eq!(run.stop, None);
+    let done: Vec<u64> = run
+        .results
+        .iter()
+        .filter_map(|r| r.done().copied())
+        .collect();
+    assert_eq!(done, vec![2, 4, 6, 8]);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn interrupted_runs_checkpoint_their_consumed_wall_clock() {
+    // A zero deadline stops the campaign immediately; the flushed
+    // checkpoint must carry the (tiny but real) consumed wall clock so a
+    // later resume keeps deducting it.
+    let cells = cells();
+    let settings = settings();
+    let path = tmp_path("consumed-persisted");
+    let run = measure_cells_resilient(
+        &cells,
+        &settings,
+        workers(),
+        &deadline_policy(Duration::ZERO, &path),
+        &|b| b,
+    )
+    .expect("budget stop is not an error");
+    assert_eq!(run.stop, Some(StopReason::DeadlineExpired));
+    let text = std::fs::read_to_string(&path).expect("checkpoint flushed");
+    let ck = Checkpoint::parse(&text).expect("checkpoint parses");
+    assert!(
+        ck.consumed > Duration::ZERO,
+        "the stop path must persist the elapsed wall clock, got {:?}",
+        ck.consumed
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
