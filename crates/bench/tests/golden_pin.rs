@@ -1,0 +1,78 @@
+//! Golden pins of the paper-facing outputs the hot-path overhaul must
+//! not move.
+//!
+//! The SoA storage, packed LRU, and enum dispatch are pure
+//! representation changes; Table 2 (the vulnerability enumeration) and
+//! the Figure 7 RF performance cells are pinned here to exact values so
+//! any behavioral drift — in particular a replacement-state update
+//! sneaking onto the RF no-fill path — fails loudly instead of quietly
+//! skewing the reproduction's headline numbers.
+
+use sectlb_bench::perf::{run_cell, Workload};
+use sectlb_model::enumerate::structural_candidate_count;
+use sectlb_model::render::{render_table1, render_table2};
+use sectlb_sim::machine::TlbDesign;
+use sectlb_tlb::config::TlbConfig;
+use sectlb_workloads::spec_like::SpecBenchmark;
+
+#[test]
+fn table2_output_matches_the_committed_golden() {
+    let vulns = sectlb_model::enumerate_vulnerabilities();
+    let known = vulns.iter().filter(|v| v.known_attack.is_some()).count();
+    // Reconstruct the `table2` binary's stdout line for line.
+    let expected = format!(
+        "{}\n{}\n{} structural candidates before the rule-(7) information analysis\n\
+         {known} types map to previously published attacks; {} are new (paper: 8 and 16)\n",
+        render_table1(),
+        render_table2(),
+        structural_candidate_count(),
+        vulns.len() - known,
+    );
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/table2.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden file committed");
+    assert_eq!(
+        golden, expected,
+        "table2 output drifted from tests/golden/table2.txt — if the model \
+         changed intentionally, regenerate the golden with \
+         `cargo run --release -p sectlb-bench --bin table2 > tests/golden/table2.txt`"
+    );
+}
+
+#[test]
+fn fig7_rf_cells_are_pinned() {
+    // Two RF cells at the security-evaluation geometry, 10 decryptions
+    // (the `--quick` setting): SecRSA alone is dominated by no-fill
+    // responses, SecRSA+omnetpp adds eviction pressure from a co-runner.
+    let cases = [
+        (
+            Workload {
+                secure: true,
+                co_runner: None,
+            },
+            "0.998339",
+            "0.019193",
+        ),
+        (
+            Workload {
+                secure: true,
+                co_runner: Some(SpecBenchmark::Omnetpp),
+            },
+            "0.112244",
+            "99.238112",
+        ),
+    ];
+    for (workload, ipc, mpki) in cases {
+        let cell = run_cell(TlbDesign::Rf, TlbConfig::security_eval(), workload, 10);
+        let label = workload.label();
+        assert_eq!(
+            format!("{:.6}", cell.ipc),
+            ipc,
+            "{label}: RF IPC drifted from the pinned Figure 7 value"
+        );
+        assert_eq!(
+            format!("{:.6}", cell.mpki),
+            mpki,
+            "{label}: RF MPKI drifted from the pinned Figure 7 value"
+        );
+    }
+}

@@ -22,6 +22,41 @@ const DEFAULT_SAMPLES: usize = 30;
 /// Minimum measured time per batch; iteration counts scale to reach it.
 const BATCH_TARGET: Duration = Duration::from_millis(10);
 
+/// Identifies one benchmark within a group: a function name plus a
+/// displayed parameter (criterion's `BenchmarkId` shape). Lets a group
+/// run the same routine across parameters — here, per TLB design.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`, criterion's canonical two-part id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id that is just the displayed parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
 /// Benchmark registry and runner.
 pub struct Criterion {
     samples: usize,
@@ -74,9 +109,15 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        self.parent.bench_function(&format!("  {name}"), f);
+    /// Runs one benchmark within the group; accepts a plain name or a
+    /// [`BenchmarkId`] (per-parameter ids within the group).
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.parent
+            .bench_function(&format!("  {}", id.into().id), f);
         self
     }
 
@@ -193,6 +234,20 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(3);
         g.bench_function("inner", |b| b.iter(|| work(black_box(10))));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_compose_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("run_batch", "RF").id, "run_batch/RF");
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("ids");
+        g.sample_size(2);
+        g.bench_function(BenchmarkId::new("work", 10), |b| {
+            b.iter(|| work(black_box(10)))
+        });
         g.finish();
     }
 

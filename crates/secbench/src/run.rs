@@ -275,6 +275,7 @@ fn run_trial(
     spec: &BenchmarkSpec,
     design: TlbDesign,
     placement: Placement,
+    program: &[sectlb_sim::cpu::Instr],
     seed: u64,
     settings: &TrialSettings,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
@@ -298,8 +299,7 @@ fn run_trial(
             m.schedule_corruption(op_index, selector, kind);
         }
     }
-    let program = generate_program(spec, placement);
-    m.run(&program);
+    m.run_batch(program);
     let reads = &m.stats().counter_reads;
     assert_eq!(reads.len(), 2, "benchmark reads the counter exactly twice");
     Ok(reads[1] > reads[0])
@@ -375,17 +375,27 @@ pub fn try_run_trial_range(
     let v = &spec.vulnerability;
     let mut n_mapped_miss = 0;
     let mut n_not_mapped_miss = 0;
+    // The benchmark program depends only on (spec, placement), so it is
+    // generated once per shard instead of once per trial — the trial loop
+    // proper allocates nothing for the op sequence.
+    let mapped_program = generate_program(spec, Placement::Mapped);
+    let not_mapped_program = generate_program(spec, Placement::NotMapped);
     for t in range.clone() {
         // Cooperative cell-deadline preemption: unwinds with a typed
         // payload the resilient engine reports as TIMEOUT. A no-op unless
-        // the engine armed this thread's flag.
+        // the engine armed this thread's flag. Sits between trials, so a
+        // preemption never splits a trial's batch mid-run.
         crate::supervisor::preempt_point();
-        for (placement, counter) in [
-            (Placement::Mapped, &mut n_mapped_miss),
-            (Placement::NotMapped, &mut n_not_mapped_miss),
+        for (placement, program, counter) in [
+            (Placement::Mapped, &mapped_program, &mut n_mapped_miss),
+            (
+                Placement::NotMapped,
+                &not_mapped_program,
+                &mut n_not_mapped_miss,
+            ),
         ] {
             let seed = derive_trial_seed(settings.base_seed, v, design, placement, t);
-            if run_trial(spec, design, placement, seed, settings, customize)? {
+            if run_trial(spec, design, placement, program, seed, settings, customize)? {
                 *counter += 1;
             }
         }

@@ -10,7 +10,10 @@ use sectlb_tlb::config::TlbConfig;
 use sectlb_tlb::stats::TlbStats;
 use sectlb_tlb::tlb_trait::{AccessResult, TlbCore};
 use sectlb_tlb::types::{Asid, SecureRegion, Vpn};
-use sectlb_tlb::{InvalidationPolicy, RandomFillEviction, RfTlb, SaTlb, SpTlb, TlbHierarchy};
+use sectlb_tlb::{
+    InvalidationPolicy, RandomFillEviction, RfTlb, RfTlbRef, SaTlb, SaTlbRef, SpTlb, SpTlbRef,
+    TlbHierarchy, TlbUnit,
+};
 
 use crate::cpu::{ExecStats, Instr};
 use crate::os::{FlushPolicy, Os, OsError};
@@ -71,6 +74,7 @@ pub struct MachineBuilder {
     itlb: Option<(TlbDesign, TlbConfig)>,
     l2: Option<(TlbDesign, TlbConfig, u64)>,
     oracle: Option<bool>,
+    reference_path: bool,
 }
 
 impl MachineBuilder {
@@ -90,6 +94,7 @@ impl MachineBuilder {
             itlb: None,
             l2: None,
             oracle: None,
+            reference_path: false,
         }
     }
 
@@ -179,7 +184,33 @@ impl MachineBuilder {
         self
     }
 
-    fn make_tlb(&self, design: TlbDesign, config: TlbConfig, seed: u64) -> Box<dyn TlbCore> {
+    /// Routes every TLB through the pre-overhaul slow path: array-of-
+    /// structs entry storage, timestamp LRU, and dyn-trait dispatch
+    /// ([`TlbUnit::Dyn`]). Behaviorally identical to the default fast
+    /// path — the differential equivalence suite drives both in lockstep
+    /// to prove it — and kept as the reference implementation.
+    pub fn reference_path(mut self, enabled: bool) -> MachineBuilder {
+        self.reference_path = enabled;
+        self
+    }
+
+    /// A boxed single-level TLB (hierarchy components, reference path).
+    fn make_core(&self, design: TlbDesign, config: TlbConfig, seed: u64) -> Box<dyn TlbCore> {
+        if self.reference_path {
+            return match design {
+                TlbDesign::Sa => Box::new(SaTlbRef::new(config)),
+                TlbDesign::Sp => match self.sp_victim_ways {
+                    Some(n) => Box::new(SpTlbRef::with_victim_ways(config, n)),
+                    None => Box::new(SpTlbRef::new(config)),
+                },
+                TlbDesign::Rf => {
+                    let mut tlb = RfTlbRef::with_seed(config, seed);
+                    tlb.set_random_fill_eviction(self.rf_eviction);
+                    tlb.set_invalidation_policy(self.rf_invalidation);
+                    Box::new(tlb)
+                }
+            };
+        }
         match design {
             TlbDesign::Sa => Box::new(SaTlb::new(config)),
             TlbDesign::Sp => match self.sp_victim_ways {
@@ -195,13 +226,41 @@ impl MachineBuilder {
         }
     }
 
+    /// A single-level TLB as an enum-dispatched unit (the fast path), or
+    /// a [`TlbUnit::Dyn`] when the reference path is selected.
+    fn make_tlb(&self, design: TlbDesign, config: TlbConfig, seed: u64) -> TlbUnit {
+        if self.reference_path {
+            return TlbUnit::Dyn(self.make_core(design, config, seed));
+        }
+        match design {
+            TlbDesign::Sa => SaTlb::new(config).into(),
+            TlbDesign::Sp => match self.sp_victim_ways {
+                Some(n) => SpTlb::with_victim_ways(config, n).into(),
+                None => SpTlb::new(config).into(),
+            },
+            TlbDesign::Rf => {
+                let mut tlb = RfTlb::with_seed(config, seed);
+                tlb.set_random_fill_eviction(self.rf_eviction);
+                tlb.set_invalidation_policy(self.rf_invalidation);
+                tlb.into()
+            }
+        }
+    }
+
     /// Builds the machine.
     pub fn build(self) -> Machine {
-        let mut tlb = self.make_tlb(self.design, self.config, self.seed);
-        if let Some((design, config, latency)) = self.l2 {
-            let l2 = self.make_tlb(design, config, self.seed ^ 0x12);
-            tlb = Box::new(TlbHierarchy::new(tlb, l2, latency));
-        }
+        let tlb = if let Some((design, config, latency)) = self.l2 {
+            let l1 = self.make_core(self.design, self.config, self.seed);
+            let l2 = self.make_core(design, config, self.seed ^ 0x12);
+            let hier = TlbHierarchy::new(l1, l2, latency);
+            if self.reference_path {
+                TlbUnit::Dyn(Box::new(hier))
+            } else {
+                TlbUnit::Hier(hier)
+            }
+        } else {
+            self.make_tlb(self.design, self.config, self.seed)
+        };
         let itlb = self
             .itlb
             .map(|(design, config)| self.make_tlb(design, config, self.seed ^ 0x17b));
@@ -247,8 +306,8 @@ impl Default for MachineBuilder {
 
 /// A simulated single-core machine.
 pub struct Machine {
-    tlb: Box<dyn TlbCore>,
-    itlb: Option<Box<dyn TlbCore>>,
+    tlb: TlbUnit,
+    itlb: Option<TlbUnit>,
     design: TlbDesign,
     os: Os,
     walker: WalkerConfig,
@@ -293,7 +352,7 @@ impl Machine {
 
     /// The TLB (for stats and probing).
     pub fn tlb(&self) -> &dyn TlbCore {
-        self.tlb.as_ref()
+        self.tlb.as_core()
     }
 
     /// The TLB, mutably (for direct register programming in tests).
@@ -305,7 +364,7 @@ impl Machine {
         if let Some(o) = &mut self.oracle {
             o.tainted = true;
         }
-        self.tlb.as_mut()
+        self.tlb.as_core_mut()
     }
 
     /// The OS model.
@@ -335,13 +394,13 @@ impl Machine {
 
     /// The instruction TLB, if configured.
     pub fn itlb(&self) -> Option<&dyn TlbCore> {
-        self.itlb.as_deref()
+        self.itlb.as_ref().map(TlbUnit::as_core)
     }
 
     /// The instruction TLB, mutably.
     pub fn itlb_mut(&mut self) -> Option<&mut (dyn TlbCore + '_)> {
         match &mut self.itlb {
-            Some(t) => Some(t.as_mut()),
+            Some(t) => Some(t.as_core_mut()),
             None => None,
         }
     }
@@ -996,8 +1055,25 @@ impl Machine {
 
     /// Executes a straight-line program.
     pub fn run(&mut self, program: &[Instr]) {
+        self.run_batch(program);
+    }
+
+    /// Executes a program as one batch — the trial drivers' entry point.
+    ///
+    /// Semantically identical to calling [`Machine::exec`] per
+    /// instruction (the differential equivalence suite pins this), but
+    /// when the shadow oracle is inactive the whole batch runs through
+    /// the instruction semantics directly, skipping the per-instruction
+    /// oracle bookkeeping. An empty batch is a no-op.
+    pub fn run_batch(&mut self, program: &[Instr]) {
+        if self.oracle_active() {
+            for &i in program {
+                self.exec(i);
+            }
+            return;
+        }
         for &i in program {
-            self.exec(i);
+            self.exec_inner(i);
         }
     }
 }

@@ -10,8 +10,6 @@
 //! cache, so every TLB miss pays the full walk; our walker model follows
 //! that.
 
-use std::collections::HashMap;
-
 use sectlb_tlb::types::{PageSize, Ppn, Vpn};
 
 use crate::phys_mem::{FrameAllocator, OutOfFrames};
@@ -63,13 +61,78 @@ pub struct Pte {
     pub size: PageSize,
 }
 
+/// A sparse radix-node directory: `(slot, value)` pairs sorted by slot.
+///
+/// Machine setup maps on the order of a hundred pages, and campaign
+/// trials build machines by the thousand, so node bookkeeping is squarely
+/// on the hot path. A sorted vector beats a `HashMap` here twice over: no
+/// SipHash per probe, and workloads map regions in ascending VPN order,
+/// which the append fast path turns into a push. Lookups binary-search;
+/// nodes hold at most 512 slots and in practice a handful.
+#[derive(Debug, Clone)]
+struct SlotMap<T> {
+    slots: Vec<(u16, T)>,
+}
+
+impl<T> Default for SlotMap<T> {
+    fn default() -> SlotMap<T> {
+        SlotMap { slots: Vec::new() }
+    }
+}
+
+impl<T> SlotMap<T> {
+    /// Position of `idx`, or the insertion point keeping slots sorted.
+    #[inline]
+    fn find(&self, idx: u16) -> Result<usize, usize> {
+        match self.slots.last() {
+            None => Err(0),
+            Some(&(last, _)) if last < idx => Err(self.slots.len()),
+            Some(&(last, _)) if last == idx => Ok(self.slots.len() - 1),
+            _ => self.slots.binary_search_by_key(&idx, |&(i, _)| i),
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: u16) -> Option<&T> {
+        self.find(idx).ok().map(|p| &self.slots[p].1)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, idx: u16) -> Option<&mut T> {
+        self.find(idx).ok().map(move |p| &mut self.slots[p].1)
+    }
+
+    fn contains(&self, idx: u16) -> bool {
+        self.find(idx).is_ok()
+    }
+
+    /// Inserts `value` at `idx` if vacant; returns whether it inserted.
+    fn try_insert(&mut self, idx: u16, value: T) -> bool {
+        match self.find(idx) {
+            Ok(_) => false,
+            Err(p) => {
+                self.slots.insert(p, (idx, value));
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, idx: u16) -> Option<T> {
+        self.find(idx).ok().map(|p| self.slots.remove(p).1)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u16, &T)> {
+        self.slots.iter().map(|(i, v)| (*i, v))
+    }
+}
+
 /// One radix node: a frame plus its (sparse) entries. `leaves` at the
 /// middle level hold megapage mappings.
 #[derive(Debug, Clone, Default)]
 struct Node {
     frame: Ppn,
-    children: HashMap<u16, Node>,
-    leaves: HashMap<u16, Pte>,
+    children: SlotMap<Box<Node>>,
+    leaves: SlotMap<Pte>,
 }
 
 /// Result of walking the table for a VPN.
@@ -168,27 +231,31 @@ impl PageTable {
         let mut node = &mut self.root;
         for level in 0..LEVELS - 1 {
             let idx = index_at(vpn, level);
-            if let std::collections::hash_map::Entry::Vacant(slot) = node.children.entry(idx) {
+            if !node.children.contains(idx) {
+                // Allocate before inserting so an allocation failure
+                // leaves the table untouched.
                 let frame = frames.alloc()?;
-                slot.insert(Node {
-                    frame,
-                    ..Node::default()
-                });
+                node.children.try_insert(
+                    idx,
+                    Box::new(Node {
+                        frame,
+                        ..Node::default()
+                    }),
+                );
             }
-            node = node.children.get_mut(&idx).expect("just inserted");
+            node = node.children.get_mut(idx).expect("just inserted");
         }
         let leaf_idx = index_at(vpn, LEVELS - 1);
-        if node.leaves.contains_key(&leaf_idx) {
-            return Err(MapError::AlreadyMapped(vpn));
-        }
-        node.leaves.insert(
+        if !node.leaves.try_insert(
             leaf_idx,
             Pte {
                 ppn,
                 flags,
                 size: PageSize::Base,
             },
-        );
+        ) {
+            return Err(MapError::AlreadyMapped(vpn));
+        }
         self.mapped_pages += 1;
         Ok(())
     }
@@ -211,19 +278,22 @@ impl PageTable {
             return Err(MapError::VpnOutOfRange(vpn));
         }
         let idx0 = index_at(vpn, 0);
-        if let std::collections::hash_map::Entry::Vacant(slot) = self.root.children.entry(idx0) {
+        if !self.root.children.contains(idx0) {
             let frame = frames.alloc()?;
-            slot.insert(Node {
-                frame,
-                ..Node::default()
-            });
+            self.root.children.try_insert(
+                idx0,
+                Box::new(Node {
+                    frame,
+                    ..Node::default()
+                }),
+            );
         }
-        let mid = self.root.children.get_mut(&idx0).expect("just inserted");
+        let mid = self.root.children.get_mut(idx0).expect("just inserted");
         let idx1 = index_at(vpn, 1);
-        if mid.leaves.contains_key(&idx1) || mid.children.contains_key(&idx1) {
+        if mid.leaves.contains(idx1) || mid.children.contains(idx1) {
             return Err(MapError::AlreadyMapped(vpn));
         }
-        mid.leaves.insert(
+        mid.leaves.try_insert(
             idx1,
             Pte {
                 ppn,
@@ -239,9 +309,9 @@ impl PageTable {
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
         let mut node = &mut self.root;
         for level in 0..LEVELS - 1 {
-            node = node.children.get_mut(&index_at(vpn, level))?;
+            node = node.children.get_mut(index_at(vpn, level))?;
         }
-        let removed = node.leaves.remove(&index_at(vpn, LEVELS - 1));
+        let removed = node.leaves.remove(index_at(vpn, LEVELS - 1));
         if removed.is_some() {
             self.mapped_pages -= 1;
         }
@@ -261,9 +331,9 @@ impl PageTable {
     fn lookup_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
         let mut node = &mut self.root;
         for level in 0..LEVELS - 1 {
-            node = node.children.get_mut(&index_at(vpn, level))?;
+            node = node.children.get_mut(index_at(vpn, level))?;
         }
-        node.leaves.get_mut(&index_at(vpn, LEVELS - 1))
+        node.leaves.get_mut(index_at(vpn, LEVELS - 1))
     }
 
     /// Every leaf mapping `(vpn, pte)` currently in the table, in
@@ -273,10 +343,10 @@ impl PageTable {
     pub fn mappings(&self) -> Vec<(Vpn, Pte)> {
         fn visit(node: &Node, base: u64, level: u32, out: &mut Vec<(Vpn, Pte)>) {
             let shift = LEVEL_BITS * (LEVELS - 1 - level);
-            for (&idx, pte) in &node.leaves {
+            for (idx, pte) in node.leaves.iter() {
                 out.push((Vpn(base | (u64::from(idx) << shift)), *pte));
             }
-            for (&idx, child) in &node.children {
+            for (idx, child) in node.children.iter() {
                 visit(child, base | (u64::from(idx) << shift), level + 1, out);
             }
         }
@@ -301,14 +371,14 @@ impl PageTable {
         for level in 0..LEVELS - 1 {
             // A leaf above the last level is a megapage mapping.
             if level > 0 {
-                if let Some(pte) = node.leaves.get(&index_at(vpn, level)) {
+                if let Some(pte) = node.leaves.get(index_at(vpn, level)) {
                     return Walk {
                         pte: Some(*pte),
                         levels_accessed: level + 1,
                     };
                 }
             }
-            match node.children.get(&index_at(vpn, level)) {
+            match node.children.get(index_at(vpn, level)) {
                 Some(child) => node = child,
                 None => {
                     return Walk {
@@ -319,7 +389,7 @@ impl PageTable {
             }
         }
         Walk {
-            pte: node.leaves.get(&index_at(vpn, LEVELS - 1)).copied(),
+            pte: node.leaves.get(index_at(vpn, LEVELS - 1)).copied(),
             levels_accessed: LEVELS,
         }
     }
@@ -455,6 +525,28 @@ mod tests {
             pt.map_mega(Vpn(0x200), f2, PteFlags::rw_user(), &mut frames),
             Err(MapError::AlreadyMapped(Vpn(0x200)))
         );
+    }
+
+    #[test]
+    fn out_of_order_mappings_stay_walkable() {
+        // Exercises the SlotMap insertion path that is not an append:
+        // mapping in descending/shuffled order must still produce a
+        // sorted, fully walkable table.
+        let (mut pt, mut frames) = setup();
+        let vpns = [9u64, 3, 7, 1, 8, 0, 511, 2];
+        for &v in &vpns {
+            let ppn = frames.alloc().unwrap();
+            pt.map(Vpn(v), ppn, PteFlags::rw_user(), &mut frames)
+                .unwrap();
+        }
+        for &v in &vpns {
+            assert!(pt.walk(Vpn(v)).pte.is_some(), "vpn {v}");
+        }
+        assert!(pt.walk(Vpn(4)).pte.is_none());
+        let listed: Vec<u64> = pt.mappings().iter().map(|(v, _)| v.0).collect();
+        let mut sorted = vpns.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(listed, sorted);
     }
 
     #[test]

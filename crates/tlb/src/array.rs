@@ -4,32 +4,36 @@
 //! per-set true-LRU state; they differ only in how fills choose a victim
 //! way (partitioning, random filling). This module centralizes the common
 //! lookup, fill, and invalidation machinery.
+//!
+//! The array is generic over a [`StoreProfile`], which selects both the
+//! entry layout (struct-of-arrays fast path or the array-of-structs
+//! reference) and the replacement-state representation (packed rank words
+//! or reference timestamps). See `crate::store` for the profiles.
 
 use crate::check::{CorruptionKind, IntegrityError, IntegrityKind, SnapshotEntry};
 use crate::config::TlbConfig;
-use crate::lru::LruSet;
+use crate::lru::Replacement;
+use crate::store::{EntryStore, SoaProfile, StoreProfile};
 use crate::types::{Asid, PageSize, TlbEntry, Vpn};
 
 /// The `sets × ways` entry array plus replacement state.
 #[derive(Debug, Clone)]
-pub(crate) struct EntryArray {
+pub(crate) struct EntryArray<P: StoreProfile = SoaProfile> {
     config: TlbConfig,
     /// `sets * ways` entries, row-major by set.
-    entries: Vec<TlbEntry>,
-    lru: Vec<LruSet>,
+    store: P::Store,
+    lru: P::Lru,
     /// Resident megapage entries; lets [`EntryArray::lookup`] skip the
     /// second (megapage) probe on the hot path when there are none.
     mega_entries: usize,
 }
 
-impl EntryArray {
-    pub(crate) fn new(config: TlbConfig) -> EntryArray {
+impl<P: StoreProfile> EntryArray<P> {
+    pub(crate) fn new(config: TlbConfig) -> EntryArray<P> {
         EntryArray {
             config,
-            entries: vec![TlbEntry::invalid(); config.entries()],
-            lru: (0..config.sets())
-                .map(|_| LruSet::new(config.ways()))
-                .collect(),
+            store: P::Store::new(config.entries()),
+            lru: P::Lru::new(config.sets(), config.ways()),
             mega_entries: 0,
         }
     }
@@ -42,8 +46,8 @@ impl EntryArray {
         set * self.config.ways() + way
     }
 
-    pub(crate) fn entry(&self, set: usize, way: usize) -> &TlbEntry {
-        &self.entries[self.index(set, way)]
+    pub(crate) fn entry(&self, set: usize, way: usize) -> TlbEntry {
+        self.store.get(self.index(set, way))
     }
 
     /// The set an entry of the given page size indexes into. Megapage
@@ -60,19 +64,30 @@ impl EntryArray {
     /// in the page's set, then — only when megapage entries exist at all —
     /// a megapage probe in the superpage's set.
     pub(crate) fn lookup(&self, asid: Asid, vpn: Vpn) -> Option<(usize, usize)> {
-        let sizes: &[PageSize] = if self.mega_entries > 0 {
-            &[PageSize::Base, PageSize::Mega]
-        } else {
-            &[PageSize::Base]
-        };
-        for &size in sizes {
-            let set = self.set_of_sized(vpn, size);
-            let hit = (0..self.config.ways()).find(|&w| {
-                let e = self.entry(set, w);
-                e.size == size && e.matches(asid, vpn)
-            });
-            if let Some(w) = hit {
+        let ways = self.config.ways();
+        // Base-page probe: the common case, a straight scan over the
+        // set's lanes.
+        let set = self.config.set_of(vpn);
+        let base = set * ways;
+        for w in 0..ways {
+            if self
+                .store
+                .matches_sized(base + w, asid, vpn, PageSize::Base)
+            {
                 return Some((set, w));
+            }
+        }
+        if self.mega_entries > 0 {
+            let aligned = PageSize::Mega.align(vpn);
+            let set = self.set_of_sized(vpn, PageSize::Mega);
+            let base = set * ways;
+            for w in 0..ways {
+                if self
+                    .store
+                    .matches_sized(base + w, asid, aligned, PageSize::Mega)
+                {
+                    return Some((set, w));
+                }
             }
         }
         None
@@ -80,7 +95,14 @@ impl EntryArray {
 
     /// Marks `(set, way)` most recently used.
     pub(crate) fn touch(&mut self, set: usize, way: usize) {
-        self.lru[set].touch(way);
+        self.lru.touch(set, way);
+    }
+
+    /// Read-only view of the replacement state, for the regression tests
+    /// pinning "no-fill accesses leave rank state untouched".
+    #[cfg(test)]
+    pub(crate) fn lru(&self) -> &P::Lru {
+        &self.lru
     }
 
     /// The way a fill into `set` would replace, considering only `ways`:
@@ -92,10 +114,13 @@ impl EntryArray {
         set: usize,
         ways: impl Iterator<Item = usize> + Clone,
     ) -> Option<usize> {
-        if let Some(w) = ways.clone().find(|&w| !self.entry(set, w).valid) {
+        if let Some(w) = ways
+            .clone()
+            .find(|&w| !self.store.valid(self.index(set, w)))
+        {
             return Some(w);
         }
-        self.lru[set].lru_among(ways)
+        self.lru.lru_among(set, ways)
     }
 
     /// The way a fill into `set` would replace, over all ways.
@@ -108,36 +133,34 @@ impl EntryArray {
     /// if there was one, and marks the way most recently used.
     pub(crate) fn fill_at(&mut self, set: usize, way: usize, entry: TlbEntry) -> Option<TlbEntry> {
         let idx = self.index(set, way);
-        let old = self.entries[idx];
+        let old = self.store.get(idx);
         if old.valid && old.size == PageSize::Mega {
             self.mega_entries -= 1;
         }
         if entry.valid && entry.size == PageSize::Mega {
             self.mega_entries += 1;
         }
-        self.entries[idx] = entry;
-        self.lru[set].touch(way);
+        self.store.set(idx, entry);
+        self.lru.touch(set, way);
         old.valid.then_some(old)
     }
 
     /// Invalidates `(set, way)`; returns whether it held a valid entry.
     pub(crate) fn invalidate_at(&mut self, set: usize, way: usize) -> bool {
         let idx = self.index(set, way);
-        let was_valid = self.entries[idx].valid;
-        if was_valid && self.entries[idx].size == PageSize::Mega {
+        let was_valid = self.store.valid(idx);
+        if was_valid && self.store.get(idx).size == PageSize::Mega {
             self.mega_entries -= 1;
         }
-        self.entries[idx] = TlbEntry::invalid();
-        self.lru[set].reset(way);
+        self.store.invalidate(idx);
+        self.lru.reset(set, way);
         was_valid
     }
 
     /// Invalidates every entry.
     pub(crate) fn clear(&mut self) {
-        self.entries.fill(TlbEntry::invalid());
-        for l in &mut self.lru {
-            l.reset_all();
-        }
+        self.store.clear();
+        self.lru.reset_all();
         self.mega_entries = 0;
     }
 
@@ -147,7 +170,8 @@ impl EntryArray {
         let mut removed = 0;
         for set in 0..self.config.sets() {
             for way in 0..self.config.ways() {
-                if self.entry(set, way).valid && pred(self.entry(set, way)) {
+                let e = self.entry(set, way);
+                if e.valid && pred(&e) {
                     self.invalidate_at(set, way);
                     removed += 1;
                 }
@@ -157,8 +181,10 @@ impl EntryArray {
     }
 
     /// Iterates over all valid entries (testing/diagnostics).
-    pub(crate) fn valid_entries(&self) -> impl Iterator<Item = &TlbEntry> {
-        self.entries.iter().filter(|e| e.valid)
+    pub(crate) fn valid_entries(&self) -> impl Iterator<Item = TlbEntry> + '_ {
+        (0..self.config.entries())
+            .map(|i| self.store.get(i))
+            .filter(|e| e.valid)
     }
 
     /// Structural dump of every valid entry, tagged with `level`, in
@@ -173,7 +199,7 @@ impl EntryArray {
                         level,
                         set,
                         way,
-                        entry: *e,
+                        entry: e,
                     });
                 }
             }
@@ -250,19 +276,22 @@ impl EntryArray {
         }
         let (set, way) = eligible[(selector % eligible.len() as u64) as usize];
         let idx = self.index(set, way);
-        let before = self.entries[idx];
+        let before = self.store.get(idx);
+        let mut after = before;
         match kind {
-            CorruptionKind::Tag => self.entries[idx].vpn = Vpn(before.vpn.0 ^ 1),
-            CorruptionKind::Ppn => self.entries[idx].ppn.0 ^= 1,
-            CorruptionKind::Sec => self.entries[idx].sec = !before.sec,
+            CorruptionKind::Tag => after.vpn = Vpn(before.vpn.0 ^ 1),
+            CorruptionKind::Ppn => after.ppn.0 ^= 1,
+            CorruptionKind::Sec => after.sec = !before.sec,
         }
-        Some((set, way, before, self.entries[idx]))
+        self.store.set(idx, after);
+        Some((set, way, before, after))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::AosProfile;
     use crate::types::Ppn;
 
     fn entry(asid: u16, vpn: u64) -> TlbEntry {
@@ -278,7 +307,7 @@ mod tests {
 
     #[test]
     fn lookup_finds_filled_entries() {
-        let mut a = EntryArray::new(TlbConfig::sa(8, 2).unwrap());
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 2).unwrap());
         let e = entry(1, 5);
         let set = a.config().set_of(Vpn(5));
         let way = a.choose_victim(set);
@@ -289,7 +318,7 @@ mod tests {
 
     #[test]
     fn fills_prefer_invalid_ways() {
-        let mut a = EntryArray::new(TlbConfig::sa(4, 4).unwrap());
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(4, 4).unwrap());
         a.fill_at(0, 0, entry(1, 0));
         // Ways 1..3 still invalid; victim must be one of them, not way 0.
         assert_ne!(a.choose_victim(0), 0);
@@ -297,7 +326,7 @@ mod tests {
 
     #[test]
     fn eviction_returns_the_old_entry() {
-        let mut a = EntryArray::new(TlbConfig::sa(1, 1).unwrap());
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(1, 1).unwrap());
         assert_eq!(a.fill_at(0, 0, entry(1, 0)), None);
         let evicted = a.fill_at(0, 0, entry(1, 4)).expect("way was valid");
         assert_eq!(evicted.vpn, Vpn(0));
@@ -305,7 +334,7 @@ mod tests {
 
     #[test]
     fn invalidate_matching_counts_removals() {
-        let mut a = EntryArray::new(TlbConfig::sa(8, 2).unwrap());
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 2).unwrap());
         for v in 0..8u64 {
             let set = a.config().set_of(Vpn(v));
             let way = a.choose_victim(set);
@@ -318,7 +347,7 @@ mod tests {
 
     #[test]
     fn mega_counter_tracks_fills_and_invalidations() {
-        let mut a = EntryArray::new(TlbConfig::sa(8, 2).unwrap());
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 2).unwrap());
         let mega = TlbEntry {
             valid: true,
             vpn: Vpn(0x200),
@@ -343,7 +372,7 @@ mod tests {
 
     #[test]
     fn no_duplicate_entries_after_refill() {
-        let mut a = EntryArray::new(TlbConfig::sa(8, 4).unwrap());
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 4).unwrap());
         for _ in 0..3 {
             if a.lookup(Asid(1), Vpn(2)).is_none() {
                 let set = a.config().set_of(Vpn(2));
@@ -356,5 +385,51 @@ mod tests {
             .filter(|e| e.matches(Asid(1), Vpn(2)))
             .count();
         assert_eq!(dups, 1);
+    }
+
+    /// The two store profiles must behave identically through the whole
+    /// array API (fills, victim choices, invalidations, snapshots).
+    #[test]
+    fn profiles_agree_through_the_array_api() {
+        let config = TlbConfig::sa(8, 2).unwrap();
+        let mut fast = EntryArray::<SoaProfile>::new(config);
+        let mut reference = EntryArray::<AosProfile>::new(config);
+        for v in 0..24u64 {
+            let vpn = Vpn(v % 12);
+            let asid = Asid((v % 3) as u16);
+            for a in [0u8, 1] {
+                let (lf, lr) = (fast.lookup(asid, vpn), reference.lookup(asid, vpn));
+                assert_eq!(lf, lr, "lookup diverged at step {v}.{a}");
+                match lf {
+                    Some((set, way)) => {
+                        fast.touch(set, way);
+                        reference.touch(set, way);
+                    }
+                    None => {
+                        let set = config.set_of(vpn);
+                        let (wf, wr) = (fast.choose_victim(set), reference.choose_victim(set));
+                        assert_eq!(wf, wr, "victim diverged at step {v}.{a}");
+                        let e = TlbEntry {
+                            valid: true,
+                            vpn,
+                            ppn: Ppn(v + 100),
+                            asid,
+                            sec: false,
+                            size: PageSize::Base,
+                        };
+                        assert_eq!(fast.fill_at(set, wf, e), reference.fill_at(set, wr, e));
+                    }
+                }
+            }
+            if v % 7 == 0 {
+                assert_eq!(
+                    fast.invalidate_matching(|e| e.asid == Asid(0)),
+                    reference.invalidate_matching(|e| e.asid == Asid(0))
+                );
+            }
+        }
+        assert_eq!(fast.snapshot_level(0), reference.snapshot_level(0));
+        fast.check_geometry().unwrap();
+        reference.check_geometry().unwrap();
     }
 }

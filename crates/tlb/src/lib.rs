@@ -44,6 +44,7 @@
 mod array;
 pub mod check;
 pub mod config;
+pub mod dispatch;
 pub mod hierarchy;
 pub mod lru;
 pub mod partition;
@@ -51,16 +52,20 @@ pub mod random_fill;
 pub mod rfe;
 pub mod set_assoc;
 pub mod stats;
+pub mod store;
 pub mod tlb_trait;
 pub mod types;
 
 pub use check::{CorruptionKind, CorruptionReport, IntegrityError, IntegrityKind, SnapshotEntry};
 pub use config::{TlbConfig, TlbOrg};
+pub use dispatch::TlbUnit;
 pub use hierarchy::TlbHierarchy;
-pub use partition::{PartitionError, SpTlb};
-pub use random_fill::{InvalidationPolicy, RandomFillEviction, RfTlb};
+pub use lru::{PackedLru, Replacement, StampLru};
+pub use partition::{PartitionError, SpTlb, SpTlbGen, SpTlbRef};
+pub use random_fill::{InvalidationPolicy, RandomFillEviction, RfTlb, RfTlbGen, RfTlbRef};
 pub use rfe::RandomFillEngine;
-pub use set_assoc::SaTlb;
+pub use set_assoc::{SaTlb, SaTlbGen, SaTlbRef};
 pub use stats::TlbStats;
+pub use store::{AosProfile, AosStore, EntryStore, SoaProfile, SoaStore, StoreProfile};
 pub use tlb_trait::{AccessResult, TlbCore, Translator, WalkResult};
 pub use types::{RegionError, SecureRegion};

@@ -16,6 +16,7 @@ use crate::check::{
 };
 use crate::config::TlbConfig;
 use crate::stats::TlbStats;
+use crate::store::{AosProfile, SoaProfile, StoreProfile};
 use crate::tlb_trait::{sealed, AccessResult, TlbCore, Translator};
 use crate::types::{Asid, TlbEntry, Vpn};
 
@@ -41,16 +42,22 @@ impl std::fmt::Display for PartitionError {
 
 impl std::error::Error for PartitionError {}
 
-/// The Static-Partition TLB.
+/// The Static-Partition TLB, generic over the entry-storage profile.
 #[derive(Debug, Clone)]
-pub struct SpTlb {
-    array: EntryArray,
+pub struct SpTlbGen<P: StoreProfile = SoaProfile> {
+    array: EntryArray<P>,
     stats: TlbStats,
     victim_asid: Option<Asid>,
     victim_ways: usize,
 }
 
-impl SpTlb {
+/// The SP TLB on the struct-of-arrays fast path (the default).
+pub type SpTlb = SpTlbGen<SoaProfile>;
+
+/// The SP TLB on the pre-overhaul reference storage (differential tests).
+pub type SpTlbRef = SpTlbGen<AosProfile>;
+
+impl<P: StoreProfile> SpTlbGen<P> {
     /// Creates an SP TLB with the paper's default allocation: the victim
     /// partition takes 50% of the ways.
     ///
@@ -58,8 +65,8 @@ impl SpTlb {
     ///
     /// Panics if the configuration has fewer than two ways per set (there
     /// must be at least one way on each side of the split).
-    pub fn new(config: TlbConfig) -> SpTlb {
-        SpTlb::with_victim_ways(config, config.ways() / 2)
+    pub fn new(config: TlbConfig) -> SpTlbGen<P> {
+        SpTlbGen::with_victim_ways(config, config.ways() / 2)
     }
 
     /// Creates an SP TLB assigning `victim_ways` ways per set to the
@@ -69,15 +76,15 @@ impl SpTlb {
     /// # Panics
     ///
     /// Panics if `victim_ways` is zero or not strictly less than the way
-    /// count; see [`SpTlb::try_with_victim_ways`] for the fallible form.
-    pub fn with_victim_ways(config: TlbConfig, victim_ways: usize) -> SpTlb {
-        match SpTlb::try_with_victim_ways(config, victim_ways) {
+    /// count; see [`SpTlbGen::try_with_victim_ways`] for the fallible form.
+    pub fn with_victim_ways(config: TlbConfig, victim_ways: usize) -> SpTlbGen<P> {
+        match SpTlbGen::try_with_victim_ways(config, victim_ways) {
             Ok(t) => t,
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// Fallible [`SpTlb::with_victim_ways`]: an out-of-range split is
+    /// Fallible [`SpTlbGen::with_victim_ways`]: an out-of-range split is
     /// reported as a typed [`PartitionError`] instead of panicking.
     ///
     /// # Errors
@@ -86,14 +93,14 @@ impl SpTlb {
     pub fn try_with_victim_ways(
         config: TlbConfig,
         victim_ways: usize,
-    ) -> Result<SpTlb, PartitionError> {
+    ) -> Result<SpTlbGen<P>, PartitionError> {
         if victim_ways == 0 || victim_ways >= config.ways() {
             return Err(PartitionError {
                 victim_ways,
                 ways: config.ways(),
             });
         }
-        Ok(SpTlb {
+        Ok(SpTlbGen {
             array: EntryArray::new(config),
             stats: TlbStats::new(),
             victim_asid: None,
@@ -114,14 +121,14 @@ impl SpTlb {
     /// # Panics
     ///
     /// Panics if `victim_ways` is zero or not strictly less than the way
-    /// count; see [`SpTlb::try_set_victim_ways`] for the fallible form.
+    /// count; see [`SpTlbGen::try_set_victim_ways`] for the fallible form.
     pub fn set_victim_ways(&mut self, victim_ways: usize) {
         if let Err(e) = self.try_set_victim_ways(victim_ways) {
             panic!("{e}");
         }
     }
 
-    /// Fallible [`SpTlb::set_victim_ways`]: an out-of-range split is
+    /// Fallible [`SpTlbGen::set_victim_ways`]: an out-of-range split is
     /// reported as a typed [`PartitionError`] and leaves the TLB untouched.
     ///
     /// # Errors
@@ -184,9 +191,9 @@ impl SpTlb {
     }
 }
 
-impl sealed::Sealed for SpTlb {}
+impl<P: StoreProfile> sealed::Sealed for SpTlbGen<P> {}
 
-impl TlbCore for SpTlb {
+impl<P: StoreProfile> TlbCore for SpTlbGen<P> {
     fn access(&mut self, asid: Asid, vpn: Vpn, walker: &mut dyn Translator) -> AccessResult {
         self.stats.accesses += 1;
         // Hit path identical to the SA TLB (Figure 1): search every way.

@@ -29,6 +29,7 @@ use crate::check::{
 use crate::config::TlbConfig;
 use crate::rfe::RandomFillEngine;
 use crate::stats::TlbStats;
+use crate::store::{AosProfile, SoaProfile, StoreProfile};
 use crate::tlb_trait::{sealed, AccessResult, TlbCore, Translator};
 use crate::types::{Asid, SecureRegion, TlbEntry, Vpn};
 
@@ -71,10 +72,10 @@ pub enum InvalidationPolicy {
     RegionFlush,
 }
 
-/// The Random-Fill TLB.
+/// The Random-Fill TLB, generic over the entry-storage profile.
 #[derive(Debug, Clone)]
-pub struct RfTlb {
-    array: EntryArray,
+pub struct RfTlbGen<P: StoreProfile = SoaProfile> {
+    array: EntryArray<P>,
     stats: TlbStats,
     rfe: RandomFillEngine,
     victim_asid: Option<Asid>,
@@ -83,19 +84,25 @@ pub struct RfTlb {
     invalidation: InvalidationPolicy,
 }
 
-impl RfTlb {
+/// The RF TLB on the struct-of-arrays fast path (the default).
+pub type RfTlb = RfTlbGen<SoaProfile>;
+
+/// The RF TLB on the pre-overhaul reference storage (differential tests).
+pub type RfTlbRef = RfTlbGen<AosProfile>;
+
+impl<P: StoreProfile> RfTlbGen<P> {
     /// Creates an RF TLB with a default RFE seed. No secure region is
     /// configured initially, so the design behaves exactly like an SA TLB
     /// until [`TlbCore::set_secure_region`] and
     /// [`TlbCore::set_victim_asid`] are programmed by the (trusted) OS.
-    pub fn new(config: TlbConfig) -> RfTlb {
-        RfTlb::with_seed(config, 0x5ec7_1b5e)
+    pub fn new(config: TlbConfig) -> RfTlbGen<P> {
+        RfTlbGen::with_seed(config, 0x5ec7_1b5e)
     }
 
     /// Creates an RF TLB whose Random Fill Engine is seeded with `seed`
     /// (for reproducible simulation).
-    pub fn with_seed(config: TlbConfig, seed: u64) -> RfTlb {
-        RfTlb {
+    pub fn with_seed(config: TlbConfig, seed: u64) -> RfTlbGen<P> {
+        RfTlbGen {
             array: EntryArray::new(config),
             stats: TlbStats::new(),
             rfe: RandomFillEngine::from_seed(seed),
@@ -228,9 +235,9 @@ impl RfTlb {
     }
 }
 
-impl sealed::Sealed for RfTlb {}
+impl<P: StoreProfile> sealed::Sealed for RfTlbGen<P> {}
 
-impl TlbCore for RfTlb {
+impl<P: StoreProfile> TlbCore for RfTlbGen<P> {
     fn access(&mut self, asid: Asid, vpn: Vpn, walker: &mut dyn Translator) -> AccessResult {
         self.stats.accesses += 1;
         // TLB hit: identical to the SA TLB.
@@ -246,7 +253,7 @@ impl TlbCore for RfTlb {
         // bit — steps (1)-(3) of Figure 4b.
         let set = self.array.config().set_of(vpn);
         let r_way = self.array.choose_victim(set);
-        let r = *self.array.entry(set, r_way);
+        let r = self.array.entry(set, r_way);
         let sec_r = r.valid && r.sec;
 
         match (sec_r, sec_d) {
@@ -576,6 +583,81 @@ mod tests {
             t.access(VICTIM, Vpn(0x100 + (i % 3)), &mut Ident);
         }
         assert!(t.resident_secure_count() <= 3);
+    }
+
+    /// Flattened `(entry, rank)` pairs for every lane — entries from the
+    /// store, ranks from the packed-LRU words the fast profile uses.
+    fn lanes(t: &RfTlb) -> Vec<(TlbEntry, u16)> {
+        let cfg = t.array.config();
+        let mut out = Vec::with_capacity(cfg.entries());
+        for s in 0..cfg.sets() {
+            for w in 0..cfg.ways() {
+                out.push((t.array.entry(s, w), t.array.lru().rank(s, w)));
+            }
+        }
+        out
+    }
+
+    /// The packed-LRU regression the overhaul must not break: a no-fill
+    /// (Sec-bit miss) access answers the request through the buffer
+    /// without inserting it, so it must leave the rank state of every
+    /// lane untouched *except* the single lane the accompanying random
+    /// fill wrote or refreshed. A fast path that marked the probed
+    /// victim R (or the requested set) "recently used" on these misses
+    /// would skew every subsequent eviction — and the paper's Table 2 /
+    /// Figure 7 RF results with it.
+    #[test]
+    fn no_fill_misses_leave_rank_state_untouched() {
+        let mut t = RfTlb::with_seed(TlbConfig::sa(16, 4).unwrap(), 7);
+        t.set_victim_asid(Some(VICTIM));
+        t.set_secure_region(Some(SecureRegion::new(Vpn(0x100), 3)));
+        let mut no_fill_misses = 0;
+        for step in 0..400u64 {
+            // Interleave secure misses (the Sec_D = 1 branch), attacker
+            // pressure on the region's sets (driving the probed victim R
+            // secure, the Sec_R = 1 branch), and attacker reuse.
+            if step % 16 == 15 {
+                // An ASID rollover evicts the victim's secure entries so
+                // the Sec_D = 1 miss path keeps firing all run long.
+                t.flush_asid(VICTIM);
+            }
+            let (asid, vpn) = match step % 4 {
+                0 | 1 => (VICTIM, Vpn(0x100 + step % 3)),
+                2 => (ATTACKER, Vpn(0x100 + 4 * (step % 5))),
+                _ => (ATTACKER, Vpn(0x101 + 4 * (step % 5))),
+            };
+            let before = lanes(&t);
+            let nf = t.stats().no_fill_responses;
+            t.access(asid, vpn, &mut Ident);
+            if t.stats().no_fill_responses == nf {
+                continue; // hit or normal fill: recency updates expected
+            }
+            no_fill_misses += 1;
+            let after = lanes(&t);
+            let mut refreshed = 0;
+            for ((e0, r0), (e1, r1)) in before.iter().zip(&after) {
+                if e0 == e1 && r0 != r1 {
+                    // Only the random fill's target D' may be refreshed
+                    // in place — one lane, never the requested page.
+                    refreshed += 1;
+                    assert!(e1.valid, "rank of an empty lane moved");
+                    assert_ne!(
+                        (e1.asid, e1.vpn),
+                        (asid, vpn),
+                        "no-fill access touched the requested page's rank"
+                    );
+                }
+            }
+            assert!(
+                refreshed <= 1,
+                "no-fill miss refreshed {refreshed} lanes it did not fill"
+            );
+        }
+        assert!(
+            no_fill_misses > 20,
+            "the interleaving must actually exercise the no-fill paths \
+             (got {no_fill_misses})"
+        );
     }
 
     #[test]

@@ -11,20 +11,28 @@ use crate::check::{
 };
 use crate::config::TlbConfig;
 use crate::stats::TlbStats;
+use crate::store::{AosProfile, SoaProfile, StoreProfile};
 use crate::tlb_trait::{sealed, AccessResult, TlbCore, Translator};
 use crate::types::{Asid, TlbEntry, Vpn};
 
-/// A standard set-associative TLB with ASID tags and true-LRU replacement.
+/// A standard set-associative TLB with ASID tags and true-LRU replacement,
+/// generic over the entry-storage profile.
 #[derive(Debug, Clone)]
-pub struct SaTlb {
-    array: EntryArray,
+pub struct SaTlbGen<P: StoreProfile = SoaProfile> {
+    array: EntryArray<P>,
     stats: TlbStats,
 }
 
-impl SaTlb {
+/// The SA TLB on the struct-of-arrays fast path (the default).
+pub type SaTlb = SaTlbGen<SoaProfile>;
+
+/// The SA TLB on the pre-overhaul reference storage (differential tests).
+pub type SaTlbRef = SaTlbGen<AosProfile>;
+
+impl<P: StoreProfile> SaTlbGen<P> {
     /// Creates an SA TLB with the given geometry.
-    pub fn new(config: TlbConfig) -> SaTlb {
-        SaTlb {
+    pub fn new(config: TlbConfig) -> SaTlbGen<P> {
+        SaTlbGen {
             array: EntryArray::new(config),
             stats: TlbStats::new(),
         }
@@ -36,9 +44,9 @@ impl SaTlb {
     }
 }
 
-impl sealed::Sealed for SaTlb {}
+impl<P: StoreProfile> sealed::Sealed for SaTlbGen<P> {}
 
-impl TlbCore for SaTlb {
+impl<P: StoreProfile> TlbCore for SaTlbGen<P> {
     fn access(&mut self, asid: Asid, vpn: Vpn, walker: &mut dyn Translator) -> AccessResult {
         self.stats.accesses += 1;
         if let Some((set, way)) = self.array.lookup(asid, vpn) {

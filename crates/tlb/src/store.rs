@@ -1,0 +1,303 @@
+//! Entry storage backends: struct-of-arrays fast path and the
+//! array-of-structs reference layout.
+//!
+//! The entry array of every TLB design (see `crate::array`) is generic
+//! over how entries are stored. Two backends exist:
+//!
+//! - [`SoaStore`] — struct-of-arrays: tags, PPNs, ASIDs, and the
+//!   valid/*Sec*/size bits live in parallel arrays (the flag bits packed
+//!   one-per-entry into `u64` words). The hot lookup scan touches only
+//!   the lanes it needs — a tag word, an ASID, and two bits — instead of
+//!   dragging whole [`TlbEntry`] structs through the cache.
+//! - [`AosStore`] — the original `Vec<TlbEntry>` layout, kept as the
+//!   reference implementation the differential equivalence suite runs
+//!   against.
+//!
+//! The two are bundled with a matching [`Replacement`](crate::lru::Replacement)
+//! implementation by a [`StoreProfile`]: [`SoaProfile`] (SoA entries +
+//! packed branchless LRU) is the default for every design alias;
+//! [`AosProfile`] (entry structs + timestamp LRU) is the pre-overhaul
+//! slow path, reachable through the `*Ref` design aliases.
+
+use std::fmt;
+
+use crate::lru::{PackedLru, Replacement, StampLru};
+use crate::types::{Asid, PageSize, Ppn, TlbEntry, Vpn};
+
+/// Backend storage for a TLB's `sets x ways` entry array.
+///
+/// Indices are flat (`set * ways + way`); geometry stays the caller's
+/// concern. Implementations must be value-faithful: `get` after `set`
+/// returns the exact entry written, and `matches_sized` must equal the
+/// field-by-field comparison documented on it — entry residency is
+/// observable behavior (it is what the paper's attacks measure), so the
+/// backends have to be bit-for-bit interchangeable.
+pub trait EntryStore: fmt::Debug + Clone {
+    /// Storage for `capacity` entries, all invalid.
+    fn new(capacity: usize) -> Self;
+
+    /// The entry at `idx`, by value.
+    fn get(&self, idx: usize) -> TlbEntry;
+
+    /// Overwrites the entry at `idx`.
+    fn set(&mut self, idx: usize, entry: TlbEntry);
+
+    /// Whether the entry at `idx` is valid.
+    fn valid(&self, idx: usize) -> bool;
+
+    /// Marks the entry at `idx` invalid.
+    fn invalidate(&mut self, idx: usize) {
+        self.set(idx, TlbEntry::invalid());
+    }
+
+    /// Invalidates every entry.
+    fn clear(&mut self);
+
+    /// The hot-path probe: whether the entry at `idx` is valid, has page
+    /// size `size`, and matches `(asid, aligned)`, where `aligned` is the
+    /// requested VPN already aligned to `size`. Equivalent to
+    /// `e.size == size && e.matches(asid, vpn)` on the stored entry.
+    fn matches_sized(&self, idx: usize, asid: Asid, aligned: Vpn, size: PageSize) -> bool;
+}
+
+/// The original array-of-structs layout: one [`TlbEntry`] per slot.
+#[derive(Debug, Clone)]
+pub struct AosStore {
+    entries: Vec<TlbEntry>,
+}
+
+impl EntryStore for AosStore {
+    fn new(capacity: usize) -> AosStore {
+        AosStore {
+            entries: vec![TlbEntry::invalid(); capacity],
+        }
+    }
+
+    fn get(&self, idx: usize) -> TlbEntry {
+        self.entries[idx]
+    }
+
+    fn set(&mut self, idx: usize, entry: TlbEntry) {
+        self.entries[idx] = entry;
+    }
+
+    fn valid(&self, idx: usize) -> bool {
+        self.entries[idx].valid
+    }
+
+    fn clear(&mut self) {
+        self.entries.fill(TlbEntry::invalid());
+    }
+
+    fn matches_sized(&self, idx: usize, asid: Asid, aligned: Vpn, size: PageSize) -> bool {
+        let e = &self.entries[idx];
+        e.valid && e.size == size && e.vpn == aligned && e.asid == asid
+    }
+}
+
+/// Struct-of-arrays storage: parallel tag/PPN/ASID arrays plus packed
+/// valid/*Sec*/size bits (one bit per entry in `u64` words).
+#[derive(Debug, Clone)]
+pub struct SoaStore {
+    vpns: Vec<u64>,
+    ppns: Vec<u64>,
+    asids: Vec<u16>,
+    /// Valid bits, entry `i` at bit `i % 64` of word `i / 64`.
+    valid: Vec<u64>,
+    /// *Sec* bits, same packing.
+    sec: Vec<u64>,
+    /// Page-size bits (set = megapage), same packing.
+    mega: Vec<u64>,
+}
+
+impl SoaStore {
+    #[inline]
+    fn bit(words: &[u64], idx: usize) -> bool {
+        (words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(words: &mut [u64], idx: usize, value: bool) {
+        let mask = 1u64 << (idx % 64);
+        if value {
+            words[idx / 64] |= mask;
+        } else {
+            words[idx / 64] &= !mask;
+        }
+    }
+}
+
+impl EntryStore for SoaStore {
+    fn new(capacity: usize) -> SoaStore {
+        let words = capacity.div_ceil(64);
+        SoaStore {
+            vpns: vec![0; capacity],
+            ppns: vec![0; capacity],
+            asids: vec![0; capacity],
+            valid: vec![0; words],
+            sec: vec![0; words],
+            mega: vec![0; words],
+        }
+    }
+
+    fn get(&self, idx: usize) -> TlbEntry {
+        TlbEntry {
+            valid: Self::bit(&self.valid, idx),
+            vpn: Vpn(self.vpns[idx]),
+            ppn: Ppn(self.ppns[idx]),
+            asid: Asid(self.asids[idx]),
+            sec: Self::bit(&self.sec, idx),
+            size: if Self::bit(&self.mega, idx) {
+                PageSize::Mega
+            } else {
+                PageSize::Base
+            },
+        }
+    }
+
+    fn set(&mut self, idx: usize, entry: TlbEntry) {
+        self.vpns[idx] = entry.vpn.0;
+        self.ppns[idx] = entry.ppn.0;
+        self.asids[idx] = entry.asid.0;
+        Self::set_bit(&mut self.valid, idx, entry.valid);
+        Self::set_bit(&mut self.sec, idx, entry.sec);
+        Self::set_bit(&mut self.mega, idx, entry.size == PageSize::Mega);
+    }
+
+    fn valid(&self, idx: usize) -> bool {
+        Self::bit(&self.valid, idx)
+    }
+
+    fn clear(&mut self) {
+        // Only the valid bits gate every probe; stale lanes behind a
+        // cleared valid bit are unobservable, so one memset suffices.
+        self.valid.fill(0);
+        self.sec.fill(0);
+        self.mega.fill(0);
+        self.vpns.fill(0);
+        self.ppns.fill(0);
+        self.asids.fill(0);
+    }
+
+    fn matches_sized(&self, idx: usize, asid: Asid, aligned: Vpn, size: PageSize) -> bool {
+        Self::bit(&self.valid, idx)
+            && Self::bit(&self.mega, idx) == (size == PageSize::Mega)
+            && self.vpns[idx] == aligned.0
+            && self.asids[idx] == asid.0
+    }
+}
+
+/// Bundles an [`EntryStore`] with the matching
+/// [`Replacement`](crate::lru::Replacement) implementation, selecting a
+/// whole storage strategy for a TLB design with one type parameter.
+pub trait StoreProfile: fmt::Debug + Clone + 'static {
+    /// The entry storage backend.
+    type Store: EntryStore;
+    /// The replacement-state representation.
+    type Lru: Replacement;
+}
+
+/// The fast path: struct-of-arrays entries + packed branchless LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoaProfile;
+
+impl StoreProfile for SoaProfile {
+    type Store = SoaStore;
+    type Lru = PackedLru;
+}
+
+/// The pre-overhaul reference path: entry structs + timestamp LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AosProfile;
+
+impl StoreProfile for AosProfile {
+    type Store = AosStore;
+    type Lru = StampLru;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(valid: bool, sec: bool, size: PageSize) -> TlbEntry {
+        TlbEntry {
+            valid,
+            vpn: Vpn(0x1234),
+            ppn: Ppn(0x77),
+            asid: Asid(9),
+            sec,
+            size,
+        }
+    }
+
+    fn roundtrip<S: EntryStore>() {
+        let mut s = S::new(70); // spans two flag words
+        for idx in [0, 1, 63, 64, 69] {
+            for entry in [
+                sample(true, false, PageSize::Base),
+                sample(true, true, PageSize::Mega),
+                sample(false, false, PageSize::Base),
+            ] {
+                s.set(idx, entry);
+                assert_eq!(s.get(idx), entry, "entry {idx} must roundtrip");
+                assert_eq!(s.valid(idx), entry.valid);
+            }
+            s.invalidate(idx);
+            assert!(!s.valid(idx));
+        }
+    }
+
+    #[test]
+    fn both_backends_roundtrip_entries() {
+        roundtrip::<AosStore>();
+        roundtrip::<SoaStore>();
+    }
+
+    fn probe_agreement<S: EntryStore>() {
+        let mut s = S::new(8);
+        let e = TlbEntry {
+            valid: true,
+            vpn: Vpn(0x200),
+            ppn: Ppn(1),
+            asid: Asid(3),
+            sec: false,
+            size: PageSize::Mega,
+        };
+        s.set(5, e);
+        for (asid, vpn, size) in [
+            (Asid(3), Vpn(0x2ff), PageSize::Mega),
+            (Asid(3), Vpn(0x200), PageSize::Base),
+            (Asid(4), Vpn(0x2ff), PageSize::Mega),
+            (Asid(3), Vpn(0x400), PageSize::Mega),
+        ] {
+            let aligned = size.align(vpn);
+            let stored = s.get(5);
+            let reference = stored.size == size && stored.matches(asid, vpn);
+            assert_eq!(
+                s.matches_sized(5, asid, aligned, size),
+                reference,
+                "probe ({asid}, {vpn}, {size:?}) must match the entry comparison"
+            );
+        }
+        assert!(!s.matches_sized(0, Asid(3), Vpn(0), PageSize::Base));
+    }
+
+    #[test]
+    fn probe_agrees_with_entry_matches() {
+        probe_agreement::<AosStore>();
+        probe_agreement::<SoaStore>();
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut s = SoaStore::new(100);
+        for i in 0..100 {
+            s.set(i, sample(true, i % 2 == 0, PageSize::Base));
+        }
+        s.clear();
+        for i in 0..100 {
+            assert!(!s.valid(i));
+            assert_eq!(s.get(i), TlbEntry::invalid());
+        }
+    }
+}

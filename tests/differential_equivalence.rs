@@ -1,0 +1,235 @@
+//! Differential equivalence of the SoA fast path and the reference path.
+//!
+//! The hot-path overhaul (struct-of-arrays entry storage, packed LRU
+//! rank words, enum dispatch) must be *behaviorally invisible*: for any
+//! operation sequence, a machine built on the new fast path and a
+//! machine built with `MachineBuilder::reference_path(true)` — the
+//! original array-of-structs entries, timestamp LRU, and `Box<dyn
+//! TlbCore>` dispatch — must produce bitwise-identical hit/miss
+//! traces, final counters, and TLB contents, with the lockstep shadow
+//! oracle clean on both.
+//!
+//! Proptest drives random sequences (loads, stores, whole-TLB flushes,
+//! per-ASID flushes, targeted invalidations, context switches) through
+//! both machines on all four designs: SA, FA (set-associative with one
+//! set), SP, and RF.
+
+use proptest::prelude::*;
+use secure_tlbs::sim::cpu::Instr;
+use secure_tlbs::sim::machine::{Machine, MachineBuilder, TlbDesign};
+use secure_tlbs::tlb::types::{Asid, SecureRegion, Vpn};
+use secure_tlbs::tlb::TlbConfig;
+
+/// One randomized operation; mirrors `differential_invariants.rs` so the
+/// two suites explore the same state space.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Load { asid_ix: u8, page: u8 },
+    Store { asid_ix: u8, page: u8 },
+    FlushAll { asid_ix: u8 },
+    FlushAsid { asid_ix: u8 },
+    FlushPage { asid_ix: u8, page: u8 },
+    Switch { asid_ix: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..2, 0u8..24).prop_map(|(asid_ix, page)| Op::Load { asid_ix, page }),
+        2 => (0u8..2, 0u8..24).prop_map(|(asid_ix, page)| Op::Store { asid_ix, page }),
+        1 => (0u8..2).prop_map(|asid_ix| Op::FlushAll { asid_ix }),
+        1 => (0u8..2).prop_map(|asid_ix| Op::FlushAsid { asid_ix }),
+        1 => (0u8..2, 0u8..24).prop_map(|(asid_ix, page)| Op::FlushPage { asid_ix, page }),
+        2 => (0u8..2).prop_map(|asid_ix| Op::Switch { asid_ix }),
+    ]
+}
+
+const BASE: u64 = 0x100;
+
+/// The four design points of the equivalence sweep: paper name, machine
+/// design, and geometry.
+fn variants() -> [(&'static str, TlbDesign, TlbConfig); 4] {
+    [
+        ("SA", TlbDesign::Sa, TlbConfig::sa(32, 8).expect("valid")),
+        ("FA", TlbDesign::Sa, TlbConfig::fa(32).expect("valid")),
+        ("SP", TlbDesign::Sp, TlbConfig::sa(32, 8).expect("valid")),
+        ("RF", TlbDesign::Rf, TlbConfig::sa(32, 8).expect("valid")),
+    ]
+}
+
+fn build(design: TlbDesign, config: TlbConfig, seed: u64, reference: bool) -> (Machine, [Asid; 2]) {
+    let mut machine = MachineBuilder::new()
+        .design(design)
+        .tlb_config(config)
+        .seed(seed)
+        .oracle(true)
+        .reference_path(reference)
+        .build();
+    let a = machine.os_mut().create_process();
+    let b = machine.os_mut().create_process();
+    for asid in [a, b] {
+        machine
+            .os_mut()
+            .map_region(asid, Vpn(BASE), 24)
+            .expect("fresh");
+    }
+    machine
+        .protect_victim(a, SecureRegion::new(Vpn(BASE), 3))
+        .expect("fresh");
+    (machine, [a, b])
+}
+
+fn to_instrs(op: Op, asids: &[Asid; 2]) -> Vec<Instr> {
+    let asid = asids[match op {
+        Op::Load { asid_ix, .. }
+        | Op::Store { asid_ix, .. }
+        | Op::FlushAll { asid_ix }
+        | Op::FlushAsid { asid_ix }
+        | Op::FlushPage { asid_ix, .. }
+        | Op::Switch { asid_ix } => asid_ix as usize,
+    }];
+    match op {
+        Op::Load { page, .. } => vec![
+            Instr::SetAsid(asid),
+            Instr::Load(Vpn(BASE + u64::from(page)).base_addr()),
+        ],
+        Op::Store { page, .. } => vec![
+            Instr::SetAsid(asid),
+            Instr::Store(Vpn(BASE + u64::from(page)).base_addr()),
+        ],
+        Op::FlushAll { .. } => vec![Instr::SetAsid(asid), Instr::FlushAll],
+        Op::FlushAsid { .. } => vec![Instr::FlushAsid(asid)],
+        Op::FlushPage { page, .. } => vec![
+            Instr::SetAsid(asid),
+            Instr::FlushPage(Vpn(BASE + u64::from(page)).base_addr()),
+        ],
+        Op::Switch { .. } => vec![Instr::SetAsid(asid)],
+    }
+}
+
+/// Drives both machines through `ops` in lockstep, comparing the TLB
+/// counter trace after every operation (a bitwise hit/miss trace: any
+/// divergent access flips `hits`/`misses` at the first divergent op)
+/// and the full machine state at the end.
+fn assert_equivalent(name: &str, design: TlbDesign, config: TlbConfig, seed: u64, ops: &[Op]) {
+    let (mut fast, asids) = build(design, config, seed, false);
+    let (mut reference, ref_asids) = build(design, config, seed, true);
+    assert_eq!(asids, ref_asids, "process creation must be deterministic");
+
+    for (i, &op) in ops.iter().enumerate() {
+        for instr in to_instrs(op, &asids) {
+            fast.exec(instr);
+            reference.exec(instr);
+        }
+        assert_eq!(
+            fast.tlb_stats(),
+            reference.tlb_stats(),
+            "[{name}] TLB counter trace diverged at op {i}: {op:?}"
+        );
+    }
+
+    assert_eq!(
+        fast.stats(),
+        reference.stats(),
+        "[{name}] executor counters diverged"
+    );
+    assert_eq!(
+        fast.tlb().snapshot(),
+        reference.tlb().snapshot(),
+        "[{name}] final TLB contents diverged"
+    );
+    for (label, m) in [("fast", &fast), ("reference", &reference)] {
+        assert!(
+            m.oracle_violations().is_empty(),
+            "[{name}] shadow oracle violated on the {label} path: {:?}",
+            m.oracle_violations()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The headline property: on every design, for any op sequence, the
+    /// fast path and the reference path are indistinguishable.
+    #[test]
+    fn fast_path_is_bitwise_equivalent_to_reference_path(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        seed in 0u64..1000,
+    ) {
+        for (name, design, config) in variants() {
+            assert_equivalent(name, design, config, seed, &ops);
+        }
+    }
+
+    /// The batched API must match instruction-at-a-time execution on the
+    /// reference path too: feed the whole flattened program through
+    /// `run_batch` on the fast machine and `exec` on the reference one.
+    #[test]
+    fn batched_fast_path_matches_stepped_reference_path(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        seed in 0u64..1000,
+    ) {
+        for (name, design, config) in variants() {
+            let (mut fast, asids) = build(design, config, seed, false);
+            let (mut reference, _) = build(design, config, seed, true);
+            let program: Vec<Instr> =
+                ops.iter().flat_map(|&op| to_instrs(op, &asids)).collect();
+            fast.run_batch(&program);
+            for &instr in &program {
+                reference.exec(instr);
+            }
+            prop_assert_eq!(
+                fast.tlb_stats(),
+                reference.tlb_stats(),
+                "[{}] batched TLB counters diverged", name
+            );
+            prop_assert_eq!(
+                fast.stats(),
+                reference.stats(),
+                "[{}] batched executor counters diverged", name
+            );
+            prop_assert_eq!(
+                fast.tlb().snapshot(),
+                reference.tlb().snapshot(),
+                "[{}] batched TLB contents diverged", name
+            );
+        }
+    }
+}
+
+/// A deterministic spot check that survives even with proptest filtered
+/// out (e.g. `cargo test --test differential_equivalence spot`).
+#[test]
+fn spot_check_interleaved_asids_and_flushes() {
+    let ops = [
+        Op::Load {
+            asid_ix: 0,
+            page: 1,
+        },
+        Op::Load {
+            asid_ix: 1,
+            page: 1,
+        },
+        Op::Store {
+            asid_ix: 0,
+            page: 9,
+        },
+        Op::FlushAsid { asid_ix: 0 },
+        Op::Load {
+            asid_ix: 0,
+            page: 1,
+        },
+        Op::FlushPage {
+            asid_ix: 1,
+            page: 1,
+        },
+        Op::FlushAll { asid_ix: 1 },
+        Op::Load {
+            asid_ix: 1,
+            page: 23,
+        },
+    ];
+    for (name, design, config) in variants() {
+        assert_equivalent(name, design, config, 1234, &ops);
+    }
+}
