@@ -1,0 +1,491 @@
+//! `campaignd` — the long-running campaign service.
+//!
+//! Listens on a unix domain socket for one-line requests (see
+//! `sectlb_secbench::service`), multiplexes accepted jobs over a shared
+//! worker budget, and keeps every promise crash-safe:
+//!
+//! - **Backpressure**: submissions beyond `--queue-capacity` are
+//!   rejected with `rejected queue-full`; the `submit` client exits 8.
+//! - **Load shedding**: once the backlog crosses `--shed-watermark`, the
+//!   lowest-priority queued jobs are shed (status `shed`, exit 9 for
+//!   their waiting clients) instead of starving silently.
+//! - **Graceful drain**: the first SIGTERM/SIGINT (or a `shutdown`
+//!   request) stops accepting connections, lets every in-flight job
+//!   drain through the engine's signal-safe claim boundary — flushing
+//!   its per-job checkpoint — and persists the job manifest. A restarted
+//!   server re-enqueues every non-terminal job, and the determinism
+//!   contract makes the resumed outputs bitwise identical to jobs that
+//!   were never interrupted.
+//!
+//! Per job, under `--state DIR/jobs/<id>/`: `ck.txt` (crash-safe
+//! checkpoint), `events.jsonl` (the job's own telemetry stream, including
+//! the scheduler's steal/stall/death events), `output.txt` (the rendered
+//! table) and `summary.txt` (pool counters plus any stall reports).
+//!
+//! Usage: `serve --socket PATH --state DIR [--queue-capacity N]
+//! [--shed-watermark N] [--max-active N] [--workers N|auto]
+//! [--events PATH]`
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::num::NonZeroUsize;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use sectlb_bench::cli;
+use sectlb_bench::exit::{EXIT_DEGRADED, EXIT_SETUP, EXIT_USAGE};
+use sectlb_secbench::report::build_table4_resilient_observed;
+use sectlb_secbench::resilience::RunPolicy;
+use sectlb_secbench::run::TrialSettings;
+use sectlb_secbench::service::{
+    decode_manifest, encode_manifest, JobQueue, JobSpec, JobState, ManifestEntry, QueuedJob,
+    Request, Response,
+};
+use sectlb_secbench::supervisor::{self, BudgetPolicy, StopReason, Supervisor};
+use sectlb_secbench::telemetry::{duration_ns, Event, Telemetry};
+use sectlb_secbench::CheckpointPolicy;
+
+/// Everything the accept loop, runners, and drain path share.
+struct ServerState {
+    queue: JobQueue,
+    jobs: HashMap<u64, JobRecord>,
+    next_id: u64,
+    draining: bool,
+}
+
+#[derive(Clone)]
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    exit: Option<i32>,
+}
+
+struct Server {
+    state: Mutex<ServerState>,
+    wake: Condvar,
+    state_dir: PathBuf,
+    job_workers: NonZeroUsize,
+    telemetry: Telemetry,
+}
+
+impl Server {
+    fn manifest_text(&self, state: &ServerState) -> String {
+        let mut ids: Vec<u64> = state.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        let entries: Vec<ManifestEntry> = ids
+            .into_iter()
+            .map(|id| {
+                let r = &state.jobs[&id];
+                ManifestEntry {
+                    id,
+                    state: r.state,
+                    spec: r.spec.clone(),
+                }
+            })
+            .collect();
+        encode_manifest(state.next_id, &entries)
+    }
+
+    /// Writes the manifest crash-safely (temp file + atomic rename, like
+    /// the checkpoint layer).
+    fn flush_manifest(&self, state: &ServerState) {
+        let path = self.state_dir.join("manifest.txt");
+        let tmp = self.state_dir.join("manifest.txt.tmp");
+        let text = self.manifest_text(state);
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    fn job_dir(&self, id: u64) -> PathBuf {
+        self.state_dir.join("jobs").join(id.to_string())
+    }
+
+    /// Runs one job to completion (or to a graceful-drain interruption)
+    /// and records the outcome. Returns `true` if the job finished.
+    fn run_job(&self, job: &QueuedJob) -> bool {
+        let dir = self.job_dir(job.id);
+        if std::fs::create_dir_all(&dir).is_err() {
+            self.finish_job(job.id, JobState::Failed, EXIT_SETUP);
+            return true;
+        }
+        let ck = dir.join("ck.txt");
+        let settings = TrialSettings {
+            trials: job.spec.trials,
+            base_seed: job.spec.seed,
+            workers: Some(self.job_workers),
+            ..TrialSettings::default()
+        };
+        let policy = RunPolicy {
+            checkpoint: Some(CheckpointPolicy {
+                path: ck.clone(),
+                every: 4,
+            }),
+            // A missing checkpoint is a fresh start, so resume is
+            // idempotent: first runs and restarts share one policy.
+            resume: Some(ck),
+            ..RunPolicy::default()
+        };
+        let job_events = Telemetry::to_path("campaignd", &dir.join("events.jsonl"))
+            .unwrap_or_else(|_| Telemetry::disabled());
+        self.telemetry.emit(Event::JobStarted { job: job.id });
+        let started = std::time::Instant::now();
+        let built =
+            build_table4_resilient_observed(&settings, self.job_workers, &policy, &job_events);
+        job_events.flush();
+        match built {
+            Err(e) => {
+                eprintln!("campaignd: job {} failed: {e}", job.id);
+                self.finish_job(job.id, JobState::Failed, e.exit_code());
+                self.telemetry.emit(Event::JobCompleted {
+                    job: job.id,
+                    status: "failed".to_owned(),
+                    wall_ns: duration_ns(started.elapsed()),
+                });
+                true
+            }
+            Ok(report) if report.stop == Some(StopReason::Interrupted) => {
+                // Drained mid-run: the checkpoint holds its progress and
+                // the manifest keeps it `running`, so a restarted server
+                // resumes it bitwise-identically. Not terminal.
+                false
+            }
+            Ok(report) => {
+                let _ = std::fs::write(dir.join("output.txt"), report.render());
+                let mut summary = format!(
+                    "job {} tag {}\n{}\n",
+                    job.id,
+                    job.spec.tag,
+                    report.stats.render()
+                );
+                summary.push_str(&format!("stalls: {}\n", report.stalls.len()));
+                for s in &report.stalls {
+                    summary.push_str(&format!(
+                        "stall: task {} worker {} waited {:?}\n",
+                        s.task, s.worker, s.waited
+                    ));
+                }
+                let _ = std::fs::write(dir.join("summary.txt"), summary);
+                self.finish_job(job.id, JobState::Done, report.exit_code());
+                self.telemetry.emit(Event::JobCompleted {
+                    job: job.id,
+                    status: "done".to_owned(),
+                    wall_ns: duration_ns(started.elapsed()),
+                });
+                true
+            }
+        }
+    }
+
+    fn finish_job(&self, id: u64, state: JobState, exit: i32) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(r) = s.jobs.get_mut(&id) {
+            r.state = state;
+            r.exit = Some(exit);
+        }
+        self.flush_manifest(&s);
+    }
+
+    /// One runner thread: pops jobs until the server drains.
+    fn runner(&self) {
+        loop {
+            let job = {
+                let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if s.draining {
+                        return;
+                    }
+                    if let Some(job) = s.queue.pop() {
+                        if let Some(r) = s.jobs.get_mut(&job.id) {
+                            r.state = JobState::Running;
+                        }
+                        self.flush_manifest(&s);
+                        break job;
+                    }
+                    s = self
+                        .wake
+                        .wait_timeout(s, Duration::from_millis(100))
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            };
+            self.run_job(&job);
+        }
+    }
+
+    fn handle_request(&self, line: &str) -> Response {
+        let request = match Request::decode(line.trim_end()) {
+            Ok(r) => r,
+            Err(e) => return Response::Error(e),
+        };
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                supervisor::trip_interrupt();
+                Response::Draining
+            }
+            Request::Status(id) => {
+                let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                match s.jobs.get(&id) {
+                    None => Response::UnknownJob { job: id },
+                    Some(r) => Response::Status {
+                        job: id,
+                        state: r.state,
+                        exit: r.exit,
+                    },
+                }
+            }
+            Request::Submit(spec) => {
+                let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if s.draining {
+                    return Response::Rejected {
+                        reason: "draining".to_owned(),
+                    };
+                }
+                let id = s.next_id;
+                match s.queue.submit(QueuedJob {
+                    id,
+                    spec: spec.clone(),
+                }) {
+                    Err(_) => {
+                        self.telemetry.emit(Event::JobRejected {
+                            job: id,
+                            reason: "queue-full".to_owned(),
+                        });
+                        Response::Rejected {
+                            reason: "queue-full".to_owned(),
+                        }
+                    }
+                    Ok(shed) => {
+                        s.next_id += 1;
+                        s.jobs.insert(
+                            id,
+                            JobRecord {
+                                spec: spec.clone(),
+                                state: JobState::Queued,
+                                exit: None,
+                            },
+                        );
+                        self.telemetry.emit(Event::JobAccepted {
+                            job: id,
+                            spec: spec.encode(),
+                        });
+                        for victim in shed {
+                            if let Some(r) = s.jobs.get_mut(&victim.id) {
+                                r.state = JobState::Shed;
+                                r.exit = Some(EXIT_DEGRADED);
+                            }
+                            self.telemetry.emit(Event::JobDegraded {
+                                job: victim.id,
+                                reason: "shed under overload".to_owned(),
+                            });
+                        }
+                        self.flush_manifest(&s);
+                        self.wake.notify_all();
+                        Response::Accepted { job: id }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(server: &Server, stream: UnixStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim_end().is_empty() {
+        return;
+    }
+    let response = server.handle_request(&line);
+    let mut stream = stream;
+    let _ = writeln!(stream, "{}", response.encode());
+}
+
+fn required_flag(args: &[String], flag: &str) -> String {
+    match args
+        .iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("campaignd: {flag} PATH is required");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+}
+
+fn num_flag(args: &[String], flag: &str, default: usize) -> usize {
+    match args
+        .iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+    {
+        None => default,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("campaignd: {flag} needs a number, got {v:?}");
+                std::process::exit(EXIT_USAGE);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let socket = PathBuf::from(required_flag(&args, "--socket"));
+    let state_dir = PathBuf::from(required_flag(&args, "--state"));
+    let capacity = num_flag(&args, "--queue-capacity", 8);
+    let watermark = num_flag(&args, "--shed-watermark", capacity);
+    let max_active = num_flag(&args, "--max-active", 2).max(1);
+    let pool = cli::workers_flag(&args).unwrap_or_else(cli::available_workers);
+    // A static partition of the worker budget: every runner gets the
+    // same share, so a job's shard schedule — and therefore its output —
+    // never depends on what else the service happens to be running.
+    let job_workers =
+        NonZeroUsize::new((pool.get() / max_active).max(1)).expect("max(1) is nonzero");
+    let telemetry = match cli::events_flag(&args) {
+        None => Telemetry::disabled(),
+        Some(path) => match Telemetry::to_path("campaignd", &path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("campaignd: cannot open {}: {e}", path.display());
+                std::process::exit(EXIT_SETUP);
+            }
+        },
+    };
+
+    if std::fs::create_dir_all(state_dir.join("jobs")).is_err() {
+        eprintln!("campaignd: cannot create state dir {}", state_dir.display());
+        std::process::exit(EXIT_SETUP);
+    }
+    let mut state = ServerState {
+        queue: JobQueue::new(capacity, watermark),
+        jobs: HashMap::new(),
+        next_id: 1,
+        draining: false,
+    };
+    // Restore the previous server's promises: terminal jobs keep their
+    // recorded status, non-terminal jobs re-enter the queue and resume
+    // from their checkpoints.
+    if let Ok(text) = std::fs::read_to_string(state_dir.join("manifest.txt")) {
+        match decode_manifest(&text) {
+            Err(e) => {
+                eprintln!("campaignd: corrupt manifest: {e}");
+                std::process::exit(EXIT_SETUP);
+            }
+            Ok((next_id, entries)) => {
+                state.next_id = next_id;
+                for e in entries {
+                    let exit = match e.state {
+                        JobState::Shed => Some(EXIT_DEGRADED),
+                        _ => None,
+                    };
+                    if !e.state.is_terminal() {
+                        state.queue.restore(QueuedJob {
+                            id: e.id,
+                            spec: e.spec.clone(),
+                        });
+                    }
+                    state.jobs.insert(
+                        e.id,
+                        JobRecord {
+                            spec: e.spec,
+                            state: if e.state.is_terminal() {
+                                e.state
+                            } else {
+                                JobState::Queued
+                            },
+                            exit,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    let _ = std::fs::remove_file(&socket);
+    let listener = match UnixListener::bind(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("campaignd: cannot bind {}: {e}", socket.display());
+            std::process::exit(EXIT_SETUP);
+        }
+    };
+    listener
+        .set_nonblocking(true)
+        .expect("unix sockets support nonblocking accept");
+    supervisor::install_signal_handlers();
+
+    let restored = state.queue.len();
+    let server = Server {
+        state: Mutex::new(state),
+        wake: Condvar::new(),
+        state_dir,
+        job_workers,
+        telemetry,
+    };
+    {
+        let s = server.state.lock().unwrap_or_else(|e| e.into_inner());
+        server.flush_manifest(&s);
+    }
+    eprintln!(
+        "campaignd: listening on {} ({} runners x {} workers, queue {} / shed {}, {} jobs restored)",
+        socket.display(),
+        max_active,
+        job_workers,
+        capacity,
+        watermark,
+        restored
+    );
+
+    // The drain latch is the supervisor's signal latch: SIGTERM, SIGINT,
+    // and the `shutdown` request all trip the same path the engines
+    // already drain on.
+    let latch = Supervisor::new(BudgetPolicy::default());
+    std::thread::scope(|scope| {
+        let mut runners = Vec::new();
+        for _ in 0..max_active {
+            runners.push(scope.spawn(|| server.runner()));
+        }
+        loop {
+            if latch.should_stop().is_some() {
+                let mut s = server.state.lock().unwrap_or_else(|e| e.into_inner());
+                s.draining = true;
+                server.wake.notify_all();
+                drop(s);
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => serve_connection(&server, stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("campaignd: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        eprintln!("campaignd: draining — in-flight jobs are checkpointing");
+        for r in runners {
+            let _ = r.join();
+        }
+    });
+
+    // Interrupted runners left their jobs `running` in the manifest; a
+    // restart resumes them. Flush once more so queued jobs survive too.
+    {
+        let s = server.state.lock().unwrap_or_else(|e| e.into_inner());
+        server.flush_manifest(&s);
+    }
+    server.telemetry.flush();
+    let _ = std::fs::remove_file(&socket);
+    eprintln!("campaignd: drained cleanly");
+}

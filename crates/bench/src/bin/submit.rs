@@ -1,0 +1,161 @@
+//! `submit` — the client for the `campaignd` service (`serve`).
+//!
+//! One request per connection, one line each way:
+//!
+//! - `submit --socket S submit [--trials N] [--seed N] [--priority P]
+//!   [--tag T] [--wait]` — submit a table4 job. Prints `accepted <id>`.
+//!   With `--wait`, polls the job until it is terminal (reconnecting
+//!   each poll, so a server restart mid-job is transparent) and exits
+//!   with the job's own recorded exit code.
+//! - `submit --socket S status <id>` — print the job's status line.
+//! - `submit --socket S ping` / `shutdown` — liveness probe / ask the
+//!   server to drain (the same graceful path as SIGTERM).
+//!
+//! Typed exit codes: 8 (`EXIT_QUEUE_FULL`) when the submission was
+//! rejected by backpressure, 9 (`EXIT_DEGRADED`) when the job was shed
+//! under overload, otherwise the job's recorded campaign exit code.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use sectlb_bench::exit::{usage, EXIT_DEGRADED, EXIT_QUEUE_FULL, EXIT_SETUP};
+use sectlb_secbench::service::{JobSpec, JobState, Request, Response};
+
+/// Sends one request and reads the one-line response.
+fn roundtrip(socket: &Path, request: &Request) -> std::io::Result<Response> {
+    let mut stream = UnixStream::connect(socket)?;
+    writeln!(stream, "{}", request.encode())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    Response::decode(line.trim_end())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Polls a submitted job until it reaches a terminal state, tolerating
+/// server restarts (every poll is a fresh connection, and connect
+/// failures are retried — the server may be mid-restart).
+fn wait_for(socket: &Path, job: u64) -> ! {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        match roundtrip(socket, &Request::Status(job)) {
+            Ok(Response::Status { state, exit, .. }) if state.is_terminal() => {
+                println!("job {job} {}", state.as_str());
+                let code = match state {
+                    JobState::Shed => EXIT_DEGRADED,
+                    _ => exit.unwrap_or(1),
+                };
+                std::process::exit(code);
+            }
+            Ok(Response::Status { .. }) => {}
+            Ok(Response::UnknownJob { .. }) => {
+                eprintln!("submit: job {job} vanished from the server");
+                std::process::exit(1);
+            }
+            Ok(other) => {
+                eprintln!("submit: unexpected reply {other:?}");
+                std::process::exit(1);
+            }
+            // Connect/read errors: the server may be draining or
+            // restarting; its manifest will carry the job across.
+            Err(_) => {}
+        }
+        if Instant::now() >= deadline {
+            eprintln!("submit: timed out waiting for job {job}");
+            std::process::exit(EXIT_SETUP);
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let socket = flag(&args, "--socket")
+        .map(Path::new)
+        .unwrap_or_else(|| usage("submit: --socket PATH is required"));
+    let command = args
+        .iter()
+        .skip(1)
+        .find(|a| ["submit", "status", "ping", "shutdown"].contains(&a.as_str()))
+        .unwrap_or_else(|| usage("submit: need a command: submit | status ID | ping | shutdown"));
+
+    let request = match command.as_str() {
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        "status" => {
+            let id = args
+                .iter()
+                .skip_while(|a| *a != "status")
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage("submit: status needs a job id"));
+            Request::Status(id)
+        }
+        _ => {
+            let defaults = JobSpec::default();
+            let spec = JobSpec {
+                trials: flag(&args, "--trials")
+                    .map(|v| {
+                        v.parse()
+                            .unwrap_or_else(|_| usage("--trials needs a number"))
+                    })
+                    .unwrap_or(defaults.trials),
+                seed: flag(&args, "--seed")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage("--seed needs a number")))
+                    .unwrap_or(defaults.seed),
+                priority: flag(&args, "--priority")
+                    .map(|v| {
+                        v.parse()
+                            .unwrap_or_else(|_| usage("--priority needs 0..=255"))
+                    })
+                    .unwrap_or(defaults.priority),
+                tag: flag(&args, "--tag").unwrap_or(&defaults.tag).to_owned(),
+                ..defaults
+            };
+            if let Err(e) = spec.validate() {
+                usage(format!("submit: {e}"));
+            }
+            Request::Submit(spec)
+        }
+    };
+
+    let response = roundtrip(socket, &request).unwrap_or_else(|e| {
+        eprintln!(
+            "submit: cannot reach campaignd at {}: {e}",
+            socket.display()
+        );
+        std::process::exit(EXIT_SETUP);
+    });
+    match response {
+        Response::Accepted { job } => {
+            println!("accepted {job}");
+            if args.iter().any(|a| a == "--wait") {
+                wait_for(socket, job);
+            }
+        }
+        Response::Rejected { reason } if reason == "queue-full" => {
+            eprintln!("submit: rejected: queue full (backpressure) — resubmit later");
+            std::process::exit(EXIT_QUEUE_FULL);
+        }
+        Response::Rejected { reason } => usage(format!("submit: rejected: {reason}")),
+        Response::Status { job, state, exit } => match exit {
+            Some(code) => println!("job {job} {} exit {code}", state.as_str()),
+            None => println!("job {job} {}", state.as_str()),
+        },
+        Response::UnknownJob { job } => {
+            eprintln!("submit: no such job {job}");
+            std::process::exit(1);
+        }
+        Response::Pong => println!("pong"),
+        Response::Draining => println!("draining"),
+        Response::Error(e) => usage(format!("submit: server error: {e}")),
+    }
+}

@@ -20,6 +20,9 @@
 //! - `--inject-corruption[=PM]` — deterministically corrupt one TLB
 //!   entry in PM‰ of trials (default: all), keyed by trial seed; only
 //!   the shadow oracle can catch it
+//! - `--inject-worker-death W:K` — kill worker W's claim loop after K
+//!   completed shards; the supervision layer must reclaim the abandoned
+//!   shard and finish bitwise identical to an undisturbed run
 //!
 //! The resource-budget flags fold into the same [`RunPolicy`]:
 //!
@@ -252,6 +255,31 @@ pub fn parse_campaign(args: &[String]) -> Result<RunPolicy, String> {
     if let Some(pm) = eq_per_mille(args, "--inject-corruption")? {
         faults.corrupt_per_mille = pm;
         any_fault = true;
+    }
+    if let Some(spec) = flag_value(args, "--inject-worker-death")? {
+        let parsed = spec
+            .split_once(':')
+            .and_then(|(w, k)| Some((w.parse::<u32>().ok()?, k.parse::<u32>().ok()?)));
+        match parsed {
+            Some(death) => {
+                if policy.stop_after.is_some() {
+                    return Err(
+                        "--inject-worker-death conflicts with --kill-after: under a shard cap \
+                         the survivors idle-wait for the reclaimed shard the cap forbids them \
+                         to claim (use them in separate runs)"
+                            .to_owned(),
+                    );
+                }
+                faults.worker_death = Some(death);
+                any_fault = true;
+            }
+            None => {
+                return Err(format!(
+                    "--inject-worker-death needs W:K (kill worker W after K completed \
+                     shards), got {spec:?}"
+                ))
+            }
+        }
     }
     if any_fault {
         policy.faults = Some(faults);
@@ -541,6 +569,30 @@ mod tests {
         let err = parse_campaign(&args(&["prog", "--checkpoint", "ck", "--kill-after", "0"]))
             .expect_err("rejected");
         assert!(err.contains("--kill-after must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn worker_death_parses_and_conflicts_with_kill_after() {
+        let policy =
+            parse_campaign(&args(&["prog", "--inject-worker-death", "1:2"])).expect("parses");
+        assert!(policy.wants_engine(), "death routes through the engine");
+        assert_eq!(policy.faults.expect("faults").worker_death, Some((1, 2)));
+        for bad in ["3", "1:", ":2", "a:b", "1:2:3"] {
+            let err = parse_campaign(&args(&["prog", "--inject-worker-death", bad]))
+                .expect_err("rejected");
+            assert!(err.contains("needs W:K"), "{bad}: {err}");
+        }
+        let err = parse_campaign(&args(&[
+            "prog",
+            "--checkpoint",
+            "ck",
+            "--kill-after",
+            "3",
+            "--inject-worker-death",
+            "0:1",
+        ]))
+        .expect_err("rejected");
+        assert!(err.contains("conflicts with --kill-after"), "{err}");
     }
 
     #[test]

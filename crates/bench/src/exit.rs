@@ -15,6 +15,8 @@
 //! | [`EXIT_SETUP`] | the harness could not set a campaign up |
 //! | [`EXIT_SUSPECT`] | the shadow oracle caught a model violation |
 //! | [`EXIT_BUDGET`] | deadline or signal stopped the campaign early |
+//! | [`EXIT_QUEUE_FULL`] | `campaignd` rejected the submission (backpressure) |
+//! | [`EXIT_DEGRADED`] | the job was shed under overload before completing |
 //!
 //! When several apply the most alarming wins: SUSPECT dominates
 //! everything (the model itself misbehaved), then QUARANTINED /
@@ -37,6 +39,15 @@ pub const EXIT_INTERRUPTED: i32 = 3;
 
 /// The harness failed to set a campaign up (I/O, missing inputs).
 pub const EXIT_SETUP: i32 = 5;
+
+/// The campaign service's bounded queue was full and the submission was
+/// rejected outright — backpressure, not failure: resubmit later.
+pub const EXIT_QUEUE_FULL: i32 = 8;
+
+/// The campaign service shed the job under overload before it completed
+/// (graceful degradation): lower-priority work is dropped with a typed
+/// status instead of waiting forever behind a saturated queue.
+pub const EXIT_DEGRADED: i32 = 9;
 
 /// Prints a usage error to stderr and exits [`EXIT_USAGE`].
 pub fn usage(message: impl std::fmt::Display) -> ! {

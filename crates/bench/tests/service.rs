@@ -1,0 +1,251 @@
+//! End-to-end tests of the campaign service (`serve` + `submit`).
+//!
+//! The acceptance contract of the service layer, driven through the real
+//! binaries over a real unix socket:
+//!
+//! - **Backpressure**: a submission beyond `--queue-capacity` is
+//!   rejected and the client exits 8 (`EXIT_QUEUE_FULL`).
+//! - **Graceful drain**: SIGTERM with jobs in flight checkpoints every
+//!   job; a restarted server resumes and finishes them, and the final
+//!   outputs are byte-identical to jobs run on a never-interrupted
+//!   server.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const SERVE: &str = env!("CARGO_BIN_EXE_serve");
+const SUBMIT: &str = env!("CARGO_BIN_EXE_submit");
+
+/// Kills the server on drop so a failing test never leaks a daemon.
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sectlb-service-{}-{name}", std::process::id()));
+    p
+}
+
+fn start_server(socket: &Path, state: &Path, extra: &[&str]) -> ServerGuard {
+    let child = Command::new(SERVE)
+        .arg("--socket")
+        .arg(socket)
+        .arg("--state")
+        .arg(state)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve binary spawns");
+    ServerGuard(child)
+}
+
+fn client(socket: &Path, args: &[&str]) -> Output {
+    Command::new(SUBMIT)
+        .arg("--socket")
+        .arg(socket)
+        .args(args)
+        .output()
+        .expect("submit binary runs")
+}
+
+fn wait_until_listening(socket: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if client(socket, &["ping"]).status.success() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "server never started listening");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Polls a job until its status line reports `done`; panics on `failed`
+/// or `shed` (this suite never sheds).
+fn wait_done(socket: &Path, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let out = client(socket, &["status", &id.to_string()]);
+        let line = String::from_utf8_lossy(&out.stdout).into_owned();
+        if line.contains(" done ") {
+            return;
+        }
+        assert!(
+            !line.contains(" failed") && !line.contains(" shed"),
+            "job {id} ended badly: {line}"
+        );
+        assert!(Instant::now() < deadline, "job {id} never finished: {line}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn shutdown_and_wait(socket: &Path, mut server: ServerGuard) {
+    let out = client(socket, &["shutdown"]);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("draining"),
+        "shutdown acknowledged"
+    );
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(status) = server.0.try_wait().expect("child pollable") {
+            assert!(status.success(), "server drained cleanly: {status}");
+            return;
+        }
+        assert!(Instant::now() < deadline, "server never drained");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn a_full_queue_rejects_submissions_with_the_typed_exit_code() {
+    let socket = tmp("full.sock");
+    let state = tmp("full-state");
+    let _ = std::fs::remove_dir_all(&state);
+    let server = start_server(
+        &socket,
+        &state,
+        &[
+            "--queue-capacity",
+            "1",
+            "--max-active",
+            "1",
+            "--workers",
+            "1",
+        ],
+    );
+    wait_until_listening(&socket);
+
+    // Job 1 occupies the single runner for several seconds.
+    let out = client(&socket, &["submit", "--trials", "150", "--tag", "long-a"]);
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "accepted 1");
+    // De-race: wait until the runner has popped it off the queue.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let line_out = client(&socket, &["status", "1"]);
+        let line = String::from_utf8_lossy(&line_out.stdout).into_owned();
+        if !line.contains(" queued") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job 1 never started: {line}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Job 2 fills the queue's single slot; job 3 hits backpressure.
+    let out = client(&socket, &["submit", "--trials", "5", "--tag", "fits"]);
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "accepted 2");
+    let out = client(&socket, &["submit", "--trials", "5", "--tag", "bounced"]);
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "queue-full rejections exit EXIT_QUEUE_FULL; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("queue full"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    shutdown_and_wait(&socket, server);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn sigterm_drains_in_flight_jobs_and_a_restart_finishes_them_byte_identically() {
+    let flags = [
+        "--queue-capacity",
+        "4",
+        "--max-active",
+        "2",
+        "--workers",
+        "2",
+    ];
+    let submissions: [&[&str]; 2] = [
+        &["submit", "--trials", "40", "--seed", "11", "--tag", "ref-a"],
+        &["submit", "--trials", "40", "--seed", "22", "--tag", "ref-b"],
+    ];
+
+    // Reference: the same two jobs on a server that is never disturbed.
+    let ref_socket = tmp("ref.sock");
+    let ref_state = tmp("ref-state");
+    let _ = std::fs::remove_dir_all(&ref_state);
+    let server = start_server(&ref_socket, &ref_state, &flags);
+    wait_until_listening(&ref_socket);
+    for (i, s) in submissions.iter().enumerate() {
+        let out = client(&ref_socket, s);
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            format!("accepted {}", i + 1)
+        );
+    }
+    wait_done(&ref_socket, 1);
+    wait_done(&ref_socket, 2);
+    shutdown_and_wait(&ref_socket, server);
+
+    // Disturbed: same submissions, SIGTERM mid-flight, restart, resume.
+    let socket = tmp("drain.sock");
+    let state = tmp("drain-state");
+    let _ = std::fs::remove_dir_all(&state);
+    let server = start_server(&socket, &state, &flags);
+    wait_until_listening(&socket);
+    for s in &submissions {
+        assert!(client(&socket, s).status.success());
+    }
+    // Let both jobs start, then drain while they are (very likely still)
+    // in flight. If the machine is fast enough that they already
+    // finished, the test still validates the restart path — the resumed
+    // server just finds nothing to do.
+    std::thread::sleep(Duration::from_millis(800));
+    let pid = server.0.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs")
+        .success());
+    {
+        let mut server = server;
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if let Some(status) = server.0.try_wait().expect("child pollable") {
+                assert!(status.success(), "SIGTERM drain exits cleanly: {status}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "server never drained on SIGTERM");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    let manifest =
+        std::fs::read_to_string(state.join("manifest.txt")).expect("drained manifest exists");
+    assert!(manifest.starts_with("secbench-campaignd v1"), "{manifest}");
+
+    let server = start_server(&socket, &state, &flags);
+    wait_until_listening(&socket);
+    wait_done(&socket, 1);
+    wait_done(&socket, 2);
+    shutdown_and_wait(&socket, server);
+
+    for id in [1, 2] {
+        let reference = std::fs::read(
+            ref_state
+                .join("jobs")
+                .join(id.to_string())
+                .join("output.txt"),
+        )
+        .expect("reference output exists");
+        let resumed = std::fs::read(state.join("jobs").join(id.to_string()).join("output.txt"))
+            .expect("resumed output exists");
+        assert_eq!(
+            reference, resumed,
+            "job {id}: resumed output differs from the undisturbed reference"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&ref_state);
+    let _ = std::fs::remove_dir_all(&state);
+}

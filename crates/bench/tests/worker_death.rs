@@ -1,0 +1,93 @@
+//! End-to-end pin of worker supervision: a worker killed mid-campaign
+//! (`--inject-worker-death W:K`) must not change a single output byte.
+//!
+//! The supervision monitor detects the dead worker, reclaims the shard
+//! it abandoned onto a survivor's deque, and the determinism contract
+//! (trial seeds are a pure function of shard coordinates) does the rest.
+
+use std::process::Command;
+
+const TABLE4: &str = env!("CARGO_BIN_EXE_table4");
+
+#[test]
+fn a_worker_killed_mid_campaign_changes_no_output_byte() {
+    let clean = Command::new(TABLE4)
+        .args(["--trials", "8", "--workers", "4"])
+        .output()
+        .expect("table4 runs");
+    assert!(clean.status.success(), "clean run exits 0");
+
+    let disturbed = Command::new(TABLE4)
+        .args([
+            "--trials",
+            "8",
+            "--workers",
+            "4",
+            "--inject-worker-death",
+            "1:2",
+        ])
+        .output()
+        .expect("table4 runs");
+    assert!(
+        disturbed.status.success(),
+        "a reclaimed death is not an error: {}",
+        String::from_utf8_lossy(&disturbed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&disturbed.stdout),
+        "stdout must be byte-identical with and without the killed worker"
+    );
+    let stderr = String::from_utf8_lossy(&disturbed.stderr);
+    assert!(
+        stderr.contains("1 workers died"),
+        "the pool summary reports the death: {stderr}"
+    );
+    assert!(
+        stderr.contains("shards reclaimed"),
+        "the pool summary reports the reclamation: {stderr}"
+    );
+}
+
+#[test]
+fn a_death_of_a_worker_that_never_runs_is_harmless() {
+    // Worker 7 of a 2-worker pool does not exist; the plan never fires
+    // and the campaign completes untouched.
+    let out = Command::new(TABLE4)
+        .args([
+            "--trials",
+            "6",
+            "--workers",
+            "2",
+            "--inject-worker-death",
+            "7:0",
+        ])
+        .output()
+        .expect("table4 runs");
+    assert!(out.status.success());
+}
+
+#[test]
+fn worker_death_conflicts_with_the_kill_switch() {
+    let out = Command::new(TABLE4)
+        .args([
+            "--trials",
+            "6",
+            "--workers",
+            "2",
+            "--checkpoint",
+            "/tmp/sectlb-death-conflict-ck",
+            "--kill-after",
+            "3",
+            "--inject-worker-death",
+            "0:1",
+        ])
+        .output()
+        .expect("table4 runs");
+    assert_eq!(out.status.code(), Some(2), "usage conflicts exit 2");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("conflicts with --kill-after"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -322,6 +322,8 @@ pub fn measure_cells_adaptive_observed(
         skipped: 0,
         preempted: 0,
         trials_saved: 0,
+        deaths: 0,
+        reclaimed: 0,
     };
     let mut stalls: Vec<StallEvent> = Vec::new();
     let started = Instant::now();
@@ -524,12 +526,15 @@ fn merge_round_stats(total: &mut PoolStats, round: &PoolStats) {
             slot.trials += stats.trials;
             slot.busy += stats.busy;
             slot.retried += stats.retried;
+            slot.stolen += stats.stolen;
         }
     }
     total.quarantined += round.quarantined;
     total.stalled += round.stalled;
     total.skipped += round.skipped;
     total.preempted += round.preempted;
+    total.deaths += round.deaths;
+    total.reclaimed += round.reclaimed;
 }
 
 /// Serial adaptive measurement of one cell — the early-stopping analogue

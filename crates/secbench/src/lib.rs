@@ -15,6 +15,9 @@
 //!   `(vulnerability, design, placement, trial-chunk)` space spread over
 //!   scoped worker threads with bitwise-deterministic seeding, so any
 //!   worker count (including the serial path) yields identical tables;
+//! - [`scheduler`] — the work-stealing shard scheduler beneath both
+//!   engines: per-worker deques (LIFO owner pop, FIFO steal) whose
+//!   claim order never changes *what* runs, only *who* runs it;
 //! - [`resilience`] — the fault-tolerant campaign engine: panic isolation
 //!   with deterministic retry, shard quarantine, a stall watchdog, and a
 //!   deterministic fault-injection harness for testing all of the above;
@@ -35,6 +38,10 @@
 //!   JSONL event stream (shard lifecycle, supervisor decisions,
 //!   checkpoint flushes, oracle violations) plus an aggregated metrics
 //!   snapshot, both off by default and byte-invisible when disabled;
+//! - [`service`] — the campaign service layer behind `campaignd`: job
+//!   specs, a bounded priority queue with backpressure and load
+//!   shedding, the unix-socket line protocol, and the crash-safe job
+//!   manifest that lets a drained server resume bitwise-identically;
 //! - [`theory`] — the theoretical `p1`, `p2`, `C` of Table 4, including
 //!   the six combined Random-Fill TLB patterns of Section 5.3.1;
 //! - [`extended`] — the Appendix B evaluation: targeted-invalidation
@@ -72,6 +79,8 @@ pub mod parallel;
 pub mod report;
 pub mod resilience;
 pub mod run;
+pub mod scheduler;
+pub mod service;
 pub mod spec;
 pub mod supervisor;
 pub mod telemetry;
@@ -91,6 +100,8 @@ pub use resilience::{
     ResilientRun, RunPolicy, ShardFailure, ShardOutcome, EXIT_QUARANTINED,
 };
 pub use run::{derive_trial_seed, run_vulnerability, Measurement, TrialSettings};
+pub use scheduler::{Claim, StealQueues};
+pub use service::{JobQueue, JobSpec, JobState, QueueFull, QueuedJob, Request, Response};
 pub use spec::BenchmarkSpec;
 pub use supervisor::{BudgetPolicy, StopReason, Supervisor, EXIT_BUDGET};
 pub use telemetry::{Envelope, Event, PhaseTimings, Telemetry, SCHEMA_VERSION};

@@ -19,21 +19,30 @@
 //!
 //! # Shape
 //!
-//! - [`run_sharded`] — the generic primitive: a fixed task list, an
-//!   atomic work queue, one result slot per task, per-worker timing.
-//! - [`measure_cells`] — campaign cells `(vulnerability, design)` split
-//!   into trial chunks, measured, and merged back per cell.
+//! - [`run_sharded`] / [`try_run_sharded`] — the generic primitive: a
+//!   fixed task list, per-worker work-stealing deques
+//!   ([`crate::scheduler::StealQueues`]), one result slot per task,
+//!   per-worker timing. The fallible variant surfaces a worker panic as
+//!   a typed [`CampaignError::WorkerPanic`] carrying the original
+//!   payload instead of a bare double panic.
+//! - [`measure_cells`] / [`try_measure_cells`] — campaign cells
+//!   `(vulnerability, design)` split into trial chunks, measured, and
+//!   merged back per cell.
 //! - [`PoolStats`] / [`WorkerStats`] — per-shard throughput counters so
-//!   the speedup is observable in reports.
+//!   the speedup (and steal traffic) is observable in reports.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sectlb_model::Vulnerability;
 use sectlb_sim::machine::{MachineBuilder, TlbDesign};
 
+use crate::resilience::{panic_message, CampaignError};
 use crate::run::{run_trial_range, Measurement, TrialSettings};
+use crate::scheduler::StealQueues;
 use crate::spec::BenchmarkSpec;
 
 /// Trials per shard. Small enough that 24×3 cells split into plenty of
@@ -53,6 +62,8 @@ pub struct WorkerStats {
     /// Shard attempts this worker retried after a caught panic (always 0
     /// on the non-resilient [`run_sharded`] path).
     pub retried: usize,
+    /// Shards this worker stole from another worker's deque.
+    pub stolen: usize,
 }
 
 /// Timing and throughput of one sharded run.
@@ -77,6 +88,12 @@ pub struct PoolStats {
     /// Trials the adaptive early-stopping rule avoided running (always 0
     /// on exhaustive campaigns).
     pub trials_saved: u64,
+    /// Workers the supervision layer declared dead mid-campaign (always 0
+    /// without injected worker death).
+    pub deaths: usize,
+    /// Shards abandoned by a dead worker and re-enqueued for a surviving
+    /// worker to re-execute deterministically.
+    pub reclaimed: usize,
 }
 
 impl PoolStats {
@@ -98,6 +115,11 @@ impl PoolStats {
     /// Total shard attempts retried after a caught panic.
     pub fn retried(&self) -> usize {
         self.workers.iter().map(|w| w.retried).sum()
+    }
+
+    /// Total shards claimed from another worker's deque.
+    pub fn stolen(&self) -> usize {
+        self.workers.iter().map(|w| w.stolen).sum()
     }
 
     /// Trial *pairs* completed per second of wall-clock time.
@@ -158,6 +180,16 @@ impl PoolStats {
                 self.trials_saved
             ));
         }
+        let stolen = self.stolen();
+        if stolen > 0 {
+            line.push_str(&format!("; work stealing: {stolen} shards stolen"));
+        }
+        if self.deaths > 0 || self.reclaimed > 0 {
+            line.push_str(&format!(
+                "; supervision: {} workers died, {} shards reclaimed",
+                self.deaths, self.reclaimed
+            ));
+        }
         line
     }
 }
@@ -165,10 +197,21 @@ impl PoolStats {
 /// Runs `f` over every task in `tasks` on a pool of `workers` scoped
 /// threads, returning the results in task order plus per-worker timing.
 ///
-/// Tasks are claimed from an atomic queue in index order; each result
+/// Tasks are claimed from per-worker work-stealing deques
+/// ([`StealQueues`]): each worker drains its own contiguous chunk in
+/// index order and steals from busier workers once idle. Each result
 /// lands in its task's slot, so the output order (and content, provided
 /// `f` is a pure function of the task) is independent of scheduling.
-pub fn run_sharded<T, R, F>(tasks: &[T], workers: NonZeroUsize, f: F) -> (Vec<R>, PoolStats)
+///
+/// If `f` panics, the panic is caught, the remaining workers drain at
+/// their next claim, and the original payload comes back as
+/// [`CampaignError::WorkerPanic`] — the fault-tolerant engine in
+/// [`crate::resilience`] is the place for retry/quarantine semantics.
+pub fn try_run_sharded<T, R, F>(
+    tasks: &[T],
+    workers: NonZeroUsize,
+    f: F,
+) -> Result<(Vec<R>, PoolStats), CampaignError>
 where
     T: Sync,
     R: Send,
@@ -176,35 +219,71 @@ where
 {
     let started = Instant::now();
     let worker_count = workers.get().min(tasks.len().max(1));
-    let next = AtomicUsize::new(0);
+    let order: Vec<usize> = (0..tasks.len()).collect();
+    let queues = StealQueues::seed(worker_count, &order);
+    let halt = AtomicBool::new(false);
+    let first_panic: Mutex<Option<CampaignError>> = Mutex::new(None);
     let mut harvest: Vec<(Vec<(usize, R)>, WorkerStats)> = Vec::with_capacity(worker_count);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..worker_count)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let queues = &queues;
+                let halt = &halt;
+                let first_panic = &first_panic;
+                let f = &f;
+                scope.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     let mut stats = WorkerStats {
                         shards: 0,
                         trials: 0,
                         busy: Duration::ZERO,
                         retried: 0,
+                        stolen: 0,
                     };
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(task) = tasks.get(i) else { break };
+                    while !halt.load(Ordering::Acquire) {
+                        let Some(claim) = queues.claim(w) else { break };
+                        if claim.stolen {
+                            stats.stolen += 1;
+                        }
                         let t0 = Instant::now();
-                        local.push((i, f(task)));
-                        stats.busy += t0.elapsed();
-                        stats.shards += 1;
+                        match catch_unwind(AssertUnwindSafe(|| f(&tasks[claim.task]))) {
+                            Ok(r) => {
+                                local.push((claim.task, r));
+                                stats.busy += t0.elapsed();
+                                stats.shards += 1;
+                            }
+                            Err(payload) => {
+                                halt.store(true, Ordering::Release);
+                                let mut slot = first_panic
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                if slot.is_none() {
+                                    *slot = Some(CampaignError::WorkerPanic {
+                                        worker: w,
+                                        task: claim.task,
+                                        payload: panic_message(payload.as_ref()),
+                                    });
+                                }
+                                break;
+                            }
+                        }
                     }
                     (local, stats)
                 })
             })
             .collect();
         for handle in handles {
-            harvest.push(handle.join().expect("worker panicked"));
+            if let Ok(done) = handle.join() {
+                harvest.push(done);
+            }
         }
     });
+    if let Some(error) = first_panic
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(error);
+    }
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(tasks.len()).collect();
     let mut worker_stats = Vec::with_capacity(worker_count);
     for (local, stats) in harvest {
@@ -218,7 +297,7 @@ where
         .into_iter()
         .map(|slot| slot.expect("every task claimed exactly once"))
         .collect();
-    (
+    Ok((
         results,
         PoolStats {
             wall: started.elapsed(),
@@ -228,8 +307,24 @@ where
             skipped: 0,
             preempted: 0,
             trials_saved: 0,
+            deaths: 0,
+            reclaimed: 0,
         },
-    )
+    ))
+}
+
+/// Infallible convenience wrapper over [`try_run_sharded`] for callers
+/// whose `f` never panics (the historical signature). A worker panic
+/// resurfaces as a single panic carrying the typed error's message —
+/// including the original payload — instead of the old
+/// `join().expect("worker panicked")` double panic that lost it.
+pub fn run_sharded<T, R, F>(tasks: &[T], workers: NonZeroUsize, f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_run_sharded(tasks, workers, f).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One chunk of trials for one campaign cell.
@@ -261,19 +356,20 @@ pub(crate) fn plan_shards(cells: usize, trials: u32) -> Vec<Shard> {
 ///
 /// Returns one [`Measurement`] per cell, in input order, plus the pool's
 /// timing counters. Bitwise identical to measuring each cell serially
-/// with [`run_trial_range`] over `0..settings.trials`.
-pub fn measure_cells(
+/// with [`run_trial_range`] over `0..settings.trials`. A panicking trial
+/// surfaces as [`CampaignError::WorkerPanic`].
+pub fn try_measure_cells(
     cells: &[(Vulnerability, TlbDesign)],
     settings: &TrialSettings,
     workers: NonZeroUsize,
     customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
-) -> (Vec<Measurement>, PoolStats) {
+) -> Result<(Vec<Measurement>, PoolStats), CampaignError> {
     let specs: Vec<BenchmarkSpec> = cells
         .iter()
         .map(|(v, d)| BenchmarkSpec::build_with_config(v, *d, settings.config))
         .collect();
     let shards = plan_shards(cells.len(), settings.trials);
-    let (partials, mut stats) = run_sharded(&shards, workers, |shard| {
+    let (partials, mut stats) = try_run_sharded(&shards, workers, |shard| {
         run_trial_range(
             &specs[shard.cell],
             cells[shard.cell].1,
@@ -281,13 +377,25 @@ pub fn measure_cells(
             shard.lo..shard.hi,
             customize,
         )
-    });
+    })?;
     distribute_trial_counts(&mut stats, &shards);
     let mut merged = vec![Measurement::ZERO; cells.len()];
     for (shard, partial) in shards.iter().zip(partials) {
         merged[shard.cell] = merged[shard.cell].merge(partial);
     }
-    (merged, stats)
+    Ok((merged, stats))
+}
+
+/// Infallible wrapper over [`try_measure_cells`] (the historical
+/// signature); panics once with the typed error message if a trial
+/// panics.
+pub fn measure_cells(
+    cells: &[(Vulnerability, TlbDesign)],
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    customize: &(dyn Fn(MachineBuilder) -> MachineBuilder + Sync),
+) -> (Vec<Measurement>, PoolStats) {
+    try_measure_cells(cells, settings, workers, customize).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Spreads the campaign's total trial count over the workers
@@ -387,12 +495,14 @@ mod tests {
                     trials: 100,
                     busy: Duration::from_secs(1),
                     retried: 0,
+                    stolen: 0,
                 },
                 WorkerStats {
                     shards: 2,
                     trials: 50,
                     busy: Duration::from_secs(1),
                     retried: 0,
+                    stolen: 0,
                 },
             ],
             quarantined: 0,
@@ -400,6 +510,8 @@ mod tests {
             skipped: 0,
             preempted: 0,
             trials_saved: 0,
+            deaths: 0,
+            reclaimed: 0,
         };
         // 150 trial pairs over 2 seconds: exactly 75 pairs/s, with no
         // doubling for the two placements each pair already contains.
@@ -419,5 +531,51 @@ mod tests {
         let text = stats.render();
         assert!(text.contains("workers"), "{text}");
         assert!(text.contains("speedup"), "{text}");
+        // Stealing is opportunistic, so the segment appears exactly when
+        // a steal happened; supervision never runs in the plain pool.
+        assert_eq!(text.contains("work stealing"), stats.stolen() > 0, "{text}");
+        assert!(!text.contains("supervision"), "{text}");
+    }
+
+    #[test]
+    fn an_uneven_load_makes_idle_workers_steal() {
+        // Worker 0 owns tasks 0..4 and parks on task 0; worker 1 drains
+        // its own chunk quickly and must steal the rest of worker 0's.
+        let tasks: Vec<u32> = (0..8).collect();
+        let (results, stats) = run_sharded(&tasks, two_workers(), |&t| {
+            if t == 0 {
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            t * 10
+        });
+        assert_eq!(results, tasks.iter().map(|t| t * 10).collect::<Vec<_>>());
+        assert!(stats.stolen() > 0, "expected steals, got {stats:?}");
+        assert!(
+            stats.render().contains("work stealing"),
+            "{}",
+            stats.render()
+        );
+    }
+
+    #[test]
+    fn a_worker_panic_surfaces_as_a_typed_error_with_its_payload() {
+        let tasks: Vec<u32> = (0..16).collect();
+        let err = try_run_sharded(&tasks, two_workers(), |&t| {
+            if t == 11 {
+                panic!("injected boom on task {t}");
+            }
+            t
+        })
+        .expect_err("task 11 panics");
+        match &err {
+            CampaignError::WorkerPanic { task, payload, .. } => {
+                assert_eq!(*task, 11);
+                assert!(payload.contains("injected boom on task 11"), "{payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), crate::resilience::EXIT_QUARANTINED);
+        let text = err.to_string();
+        assert!(text.contains("injected boom"), "{text}");
     }
 }

@@ -35,12 +35,12 @@
 //!   *partial* [`ResilientRun`] whose unexecuted shards are explicit
 //!   [`ShardOutcome::Skipped`]/[`ShardOutcome::TimedOut`] entries.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, OnceLock};
+use std::sync::{mpsc, Arc, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use sectlb_model::Vulnerability;
@@ -51,6 +51,7 @@ use crate::parallel::{distribute_trial_counts, plan_shards, PoolStats, WorkerSta
 use crate::run::{
     run_trial_range, splitmix64, vulnerability_code, Measurement, SetupError, TrialSettings,
 };
+use crate::scheduler::StealQueues;
 use crate::spec::BenchmarkSpec;
 use crate::supervisor::{self, BudgetPolicy, ShardPreempted, StopReason, Supervisor};
 use crate::telemetry::{duration_ns, stop_reason_str, Event, Telemetry};
@@ -116,6 +117,18 @@ pub enum CampaignError {
     },
     /// Machine setup failed on a serial (non-isolated) path.
     Setup(SetupError),
+    /// A task panicked on the *non-resilient* pool
+    /// ([`crate::parallel::try_run_sharded`]), which has no retry or
+    /// quarantine machinery. The original panic payload is preserved
+    /// instead of being lost in a `join().expect` double panic.
+    WorkerPanic {
+        /// The worker the panic unwound.
+        worker: usize,
+        /// The task it was executing.
+        task: usize,
+        /// The original panic payload.
+        payload: String,
+    },
 }
 
 impl CampaignError {
@@ -125,6 +138,7 @@ impl CampaignError {
             CampaignError::Checkpoint(_) => 2,
             CampaignError::Interrupted { .. } => 3,
             CampaignError::Setup(_) => 5,
+            CampaignError::WorkerPanic { .. } => EXIT_QUARANTINED,
         }
     }
 }
@@ -148,6 +162,16 @@ impl std::fmt::Display for CampaignError {
                 }
             }
             CampaignError::Setup(e) => write!(f, "{e}"),
+            CampaignError::WorkerPanic {
+                worker,
+                task,
+                payload,
+            } => write!(
+                f,
+                "worker {worker} panicked on task {task}: {payload} \
+                 (the non-resilient pool has no retry; use the campaign \
+                 engine's --retries to isolate and quarantine shard panics)"
+            ),
         }
     }
 }
@@ -157,7 +181,7 @@ impl std::error::Error for CampaignError {
         match self {
             CampaignError::Checkpoint(e) => Some(e),
             CampaignError::Setup(e) => Some(e),
-            CampaignError::Interrupted { .. } => None,
+            CampaignError::Interrupted { .. } | CampaignError::WorkerPanic { .. } => None,
         }
     }
 }
@@ -204,6 +228,12 @@ pub struct FaultPlan {
     /// inside the simulated machine where only the shadow oracle can
     /// catch it.
     pub corrupt_per_mille: u16,
+    /// Kill worker `W` (its claim loop exits without delivering the shard
+    /// it just claimed) once it has completed `K` shards — `(W, K)` from
+    /// `--inject-worker-death W:K`. The supervision layer must detect the
+    /// death, reclaim the abandoned shard, and finish the campaign with
+    /// output bitwise identical to an undisturbed run.
+    pub worker_death: Option<(u32, u32)>,
 }
 
 impl Default for FaultPlan {
@@ -216,6 +246,7 @@ impl Default for FaultPlan {
             stall_per_mille: 0,
             stall: Duration::from_millis(100),
             corrupt_per_mille: 0,
+            worker_death: None,
         }
     }
 }
@@ -227,6 +258,13 @@ impl FaultPlan {
             || self.fatal_per_mille > 0
             || self.stall_per_mille > 0
             || self.corrupt_per_mille > 0
+            || self.worker_death.is_some()
+    }
+
+    /// Whether the plan kills `worker` at its next claim once it has
+    /// completed `shards_done` shards.
+    pub fn kills_worker(&self, worker: usize, shards_done: usize) -> bool {
+        self.worker_death == Some((worker as u32, shards_done as u32))
     }
 
     fn roll(&self, index: usize, salt: u64) -> u16 {
@@ -391,7 +429,7 @@ impl<R> ResilientRun<R> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -406,6 +444,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 struct WatchSlot {
     started: AtomicU64,
     task: AtomicUsize,
+}
+
+/// What the monitor thread observed: watchdog stalls plus the worker
+/// deaths it detected and the abandoned shards it re-enqueued.
+struct MonitorReport {
+    stalls: Vec<StallEvent>,
+    deaths: usize,
+    reclaimed: usize,
 }
 
 /// Runs `f` over every task on a panic-isolated worker pool with
@@ -504,7 +550,28 @@ where
     // queue.
     let claim_cap = policy.stop_after.unwrap_or(usize::MAX);
     let worker_count = workers.get().min(pending.len().max(1));
-    let next = AtomicUsize::new(0);
+    // Work-stealing deques over the pending task indices: each worker
+    // drains its own contiguous chunk in index order and steals from
+    // busier workers once idle. Claims are still counted globally so the
+    // `stop_after` cap keeps its exact min(n, pending) semantics.
+    let queues = StealQueues::seed(worker_count, &pending);
+    let claims = AtomicUsize::new(0);
+    // Tasks not yet terminally resolved (completed, preempted, or
+    // quarantined). With worker death in play an idle worker cannot
+    // treat empty deques as "campaign over": a dead worker's shard may
+    // still be waiting for the monitor to reclaim it.
+    let outstanding = AtomicUsize::new(pending.len());
+    let death_enabled = policy
+        .faults
+        .as_ref()
+        .is_some_and(|plan| plan.worker_death.is_some());
+    let alive: Vec<AtomicBool> = (0..worker_count).map(|_| AtomicBool::new(true)).collect();
+    // Shards the monitor quarantined on behalf of a dead worker; merged
+    // into the result slots after the worker scope ends. A side channel
+    // (not the mpsc queue) so the monitor never holds a sender alive —
+    // the collector's `rx.iter()` ends exactly when the workers drop
+    // theirs.
+    let dead_failures: StdMutex<Vec<(usize, ShardFailure)>> = StdMutex::new(Vec::new());
     let halt = AtomicBool::new(false);
     let done = AtomicBool::new(false);
     // First supervisor stop observed at a claim boundary; set-once so the
@@ -527,6 +594,8 @@ where
 
     let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(worker_count);
     let mut stalls: Vec<StallEvent> = Vec::new();
+    let mut deaths = 0usize;
+    let mut reclaimed = 0usize;
     let mut live_done = 0usize;
 
     let f = &f;
@@ -536,8 +605,10 @@ where
                 let tx = tx.clone();
                 let watch_slot = &watch[w];
                 let preempt_flag = &preempt[w];
-                let pending = &pending;
-                let next = &next;
+                let alive_flag = &alive[w];
+                let queues = &queues;
+                let claims = &claims;
+                let outstanding = &outstanding;
                 let halt = &halt;
                 let supervisor = &supervisor;
                 let stop_slot = &stop_slot;
@@ -547,6 +618,7 @@ where
                         trials: 0,
                         busy: Duration::ZERO,
                         retried: 0,
+                        stolen: 0,
                     };
                     loop {
                         if halt.load(Ordering::Acquire) {
@@ -559,11 +631,27 @@ where
                             let _ = stop_slot.set(reason);
                             break;
                         }
-                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let k = claims.fetch_add(1, Ordering::Relaxed);
                         if k >= claim_cap {
                             break;
                         }
-                        let Some(&i) = pending.get(k) else { break };
+                        let Some(claim) = queues.claim(w) else {
+                            // Nothing was consumed: release the claim slot
+                            // so the `stop_after` cap stays exact.
+                            claims.fetch_sub(1, Ordering::Relaxed);
+                            if death_enabled && outstanding.load(Ordering::Acquire) > 0 {
+                                // A dead worker's shard may be in flight
+                                // between abandonment and reclamation —
+                                // stay available to pick it up.
+                                std::thread::sleep(Duration::from_micros(200));
+                                continue;
+                            }
+                            break;
+                        };
+                        let i = claim.task;
+                        if claim.stolen {
+                            stats.stolen += 1;
+                        }
                         let task = &tasks[i];
                         if telemetry.is_armed() {
                             telemetry.emit(Event::ShardClaim {
@@ -576,6 +664,19 @@ where
                         watch_slot
                             .started
                             .store(started.elapsed().as_nanos() as u64 + 1, Ordering::Release);
+                        if death_enabled {
+                            if let Some(plan) = &policy.faults {
+                                if plan.kills_worker(w, stats.shards) {
+                                    // Injected whole-worker loss: exit
+                                    // without delivering the claimed shard.
+                                    // The watch slot stays set so the
+                                    // monitor can detect the abandonment
+                                    // and reclaim the shard.
+                                    alive_flag.store(false, Ordering::Release);
+                                    return stats;
+                                }
+                            }
+                        }
                         if cell_deadline.is_some() {
                             // Re-arm after the watch slot is current, so a
                             // monitor reading the *previous* shard's start
@@ -654,6 +755,7 @@ where
                                 ShardOutcome::Skipped(_) => {}
                             }
                         }
+                        outstanding.fetch_sub(1, Ordering::AcqRel);
                         if tx.send((i, outcome)).is_err() {
                             break;
                         }
@@ -664,44 +766,128 @@ where
             .collect();
         drop(tx);
 
-        // One monitor thread serves both per-shard deadlines: the stall
-        // watchdog (report-only) and the budget's cell deadline
-        // (preempting). Polling granularity follows the tighter of the
-        // two.
+        // One monitor thread serves the supervision layer: the stall
+        // watchdog (report-only), the budget's cell deadline (preempting),
+        // and worker-death detection + shard reclamation. Polling
+        // granularity follows the tightest configured bound.
         let stall_deadline = policy.stall_deadline;
-        let monitor = (stall_deadline.is_some() || cell_deadline.is_some()).then(|| {
+        let max_retries = policy.max_retries;
+        let monitor_needed = stall_deadline.is_some() || cell_deadline.is_some() || death_enabled;
+        let monitor = monitor_needed.then(|| {
             let watch = &watch;
             let done = &done;
             let preempt = &preempt;
+            let alive = &alive;
+            let queues = &queues;
+            let outstanding = &outstanding;
+            let dead_failures = &dead_failures;
             scope.spawn(move || {
-                let tightest = match (stall_deadline, cell_deadline) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => unreachable!("monitor spawned without a deadline"),
-                };
+                let mut candidates: Vec<Duration> = Vec::new();
+                candidates.extend(stall_deadline);
+                candidates.extend(cell_deadline);
+                if death_enabled {
+                    // Death detection has no configured deadline of its
+                    // own; poll fast enough that reclamation latency is
+                    // negligible against shard runtimes.
+                    candidates.push(Duration::from_millis(8));
+                }
+                let tightest = candidates
+                    .iter()
+                    .min()
+                    .copied()
+                    .expect("monitor spawned without a bound");
                 let poll = (tightest / 8)
                     .max(Duration::from_millis(2))
                     .min(Duration::from_millis(200));
                 let mut flagged: HashSet<(usize, usize)> = HashSet::new();
-                let mut events = Vec::new();
-                while !done.load(Ordering::Acquire) {
-                    std::thread::sleep(poll);
-                    let now = started.elapsed().as_nanos() as u64;
+                let mut report = MonitorReport {
+                    stalls: Vec::new(),
+                    deaths: 0,
+                    reclaimed: 0,
+                };
+                // Reclamation bookkeeping: how often each task has been
+                // abandoned by a dying worker, and re-enqueues scheduled
+                // for after their exponential backoff.
+                let mut death_attempts: HashMap<usize, u32> = HashMap::new();
+                let mut backlog: Vec<(Duration, usize, u32)> = Vec::new();
+                let quarantine = |task: usize, attempts: u32| {
+                    let failure = ShardFailure {
+                        index: task,
+                        task: label(&tasks[task]),
+                        attempts,
+                        payload: "owning worker died before delivering the shard".to_owned(),
+                    };
+                    if telemetry.is_armed() {
+                        telemetry.emit(Event::ShardQuarantine {
+                            task: task as u64,
+                            worker: worker_count as u64,
+                            attempts: u64::from(attempts),
+                            error: failure.payload.clone(),
+                        });
+                    }
+                    dead_failures
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((task, failure));
+                    outstanding.fetch_sub(1, Ordering::AcqRel);
+                };
+                loop {
+                    // Read the exit flag *before* the sweep so one final
+                    // pass always runs after the workers have joined —
+                    // by then any undetected abandonment or undue backlog
+                    // entry can only be quarantined, never re-run.
+                    let finished = done.load(Ordering::Acquire);
+                    let now = started.elapsed();
+                    let now_ns = now.as_nanos() as u64;
                     for (w, slot) in watch.iter().enumerate() {
                         let s = slot.started.load(Ordering::Acquire);
                         if s == 0 {
                             continue;
                         }
-                        let elapsed = now.saturating_sub(s - 1);
+                        if death_enabled && !alive[w].load(Ordering::Acquire) {
+                            // The worker died after claiming this shard:
+                            // clear the slot and schedule a deterministic
+                            // re-execution on a surviving worker.
+                            let task = slot.task.load(Ordering::Acquire);
+                            slot.started.store(0, Ordering::Release);
+                            report.deaths += 1;
+                            if telemetry.is_armed() {
+                                telemetry.emit(Event::WorkerDead {
+                                    worker: w as u64,
+                                    task: task as u64,
+                                });
+                            }
+                            let attempt = {
+                                let a = death_attempts.entry(task).or_insert(0);
+                                *a += 1;
+                                *a
+                            };
+                            if attempt <= max_retries.max(1) && !finished {
+                                let backoff = Duration::from_millis(5 << (attempt - 1).min(6));
+                                backlog.push((now + backoff, task, attempt));
+                            } else {
+                                quarantine(task, attempt);
+                            }
+                            continue;
+                        }
+                        let elapsed = now_ns.saturating_sub(s - 1);
                         if let Some(deadline) = stall_deadline {
                             if elapsed > deadline.as_nanos() as u64 {
                                 let task = slot.task.load(Ordering::Acquire);
                                 if flagged.insert((w, task)) {
-                                    events.push(StallEvent {
+                                    let waited = Duration::from_nanos(elapsed);
+                                    if telemetry.is_armed() {
+                                        telemetry.emit(Event::WorkerStall {
+                                            task: task as u64,
+                                            worker: w as u64,
+                                            label: label(&tasks[task]),
+                                            wall_ns: duration_ns(waited),
+                                        });
+                                    }
+                                    report.stalls.push(StallEvent {
                                         worker: w,
                                         task,
-                                        waited: Duration::from_nanos(elapsed),
+                                        waited,
                                     });
                                 }
                             }
@@ -712,8 +898,39 @@ where
                             }
                         }
                     }
+                    // Re-enqueue reclaims whose backoff has elapsed onto a
+                    // surviving worker's deque (any idle worker can steal
+                    // the shard from there).
+                    let mut k = 0;
+                    while k < backlog.len() {
+                        let (due, task, attempt) = backlog[k];
+                        if due > now && !finished {
+                            k += 1;
+                            continue;
+                        }
+                        backlog.remove(k);
+                        let survivor =
+                            (0..worker_count).find(|&v| alive[v].load(Ordering::Acquire));
+                        match survivor {
+                            Some(v) if !finished => {
+                                queues.push(v, task);
+                                report.reclaimed += 1;
+                                if telemetry.is_armed() {
+                                    telemetry.emit(Event::WorkerReclaim {
+                                        task: task as u64,
+                                        attempt: u64::from(attempt),
+                                    });
+                                }
+                            }
+                            _ => quarantine(task, attempt),
+                        }
+                    }
+                    if finished {
+                        break;
+                    }
+                    std::thread::sleep(poll);
                 }
-                events
+                report
             })
         });
 
@@ -766,12 +983,38 @@ where
         }
         done.store(true, Ordering::Release);
         if let Some(handle) = monitor {
-            if let Ok(events) = handle.join() {
-                stalls = events;
+            if let Ok(observed) = handle.join() {
+                stalls = observed.stalls;
+                deaths = observed.deaths;
+                reclaimed = observed.reclaimed;
             }
         }
         collect
     })?;
+
+    // Shards the monitor quarantined on behalf of dead workers land in
+    // their slots now, after every live sender is gone.
+    for (i, failure) in dead_failures
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        if slots[i].is_none() {
+            slots[i] = Some(ShardOutcome::Quarantined(failure));
+        }
+    }
+
+    // Steal counters, summarized once per worker so event streams expose
+    // rebalancing without a per-claim firehose.
+    if telemetry.is_armed() {
+        for (w, stats) in worker_stats.iter().enumerate() {
+            if stats.stolen > 0 {
+                telemetry.emit(Event::StealSummary {
+                    worker: w as u64,
+                    stolen: stats.stolen as u64,
+                });
+            }
+        }
+    }
 
     // A final write so the file always reflects the run's end state —
     // complete on success, maximal on interruption or budget stop.
@@ -840,6 +1083,8 @@ where
         skipped,
         preempted,
         trials_saved: 0,
+        deaths,
+        reclaimed,
     };
     Ok(ResilientRun {
         results,

@@ -1,0 +1,646 @@
+//! The campaign service layer: job specs, a bounded priority queue with
+//! load shedding, the line protocol spoken over the `campaignd` unix
+//! socket, and the crash-safe job manifest.
+//!
+//! This module is deliberately socket-free: everything here is pure data
+//! and policy, unit-testable without spawning a server. The `serve` and
+//! `submit` binaries in the bench crate own the actual
+//! [`std::os::unix::net`] plumbing and compose these pieces:
+//!
+//! - [`JobSpec`] — one campaign request (driver, trials, seed, priority,
+//!   tag), with a canonical `key=value` line encoding used on the wire,
+//!   in the manifest, and in telemetry [`crate::telemetry::Event::JobAccepted`]
+//!   events.
+//! - [`JobQueue`] — a bounded queue with **backpressure** (submissions
+//!   beyond `capacity` are rejected outright — the client exits with the
+//!   queue-full code) and **load shedding** (once the backlog crosses the
+//!   shed watermark, the lowest-priority queued jobs are degraded rather
+//!   than silently delayed forever).
+//! - [`Request`] / [`Response`] — the one-line-per-message protocol.
+//!   Like the telemetry schema, the grammar is canonical and strict:
+//!   parse ⇄ encode round-trips exactly, and anything else is a typed
+//!   error, never a guess.
+//! - [`encode_manifest`] / [`decode_manifest`] — the server's durable
+//!   queue state. On SIGTERM the server drains (every in-flight job
+//!   checkpoints via the engine's graceful-stop path) and persists the
+//!   manifest; a restarted server re-enqueues every non-terminal job and
+//!   — by the determinism contract — finishes all of them bitwise
+//!   identically.
+
+use std::collections::VecDeque;
+
+/// Magic first line of the job manifest.
+pub const MANIFEST_HEADER: &str = "secbench-campaignd v1";
+
+/// One campaign job as submitted to the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Which campaign driver to run (currently only `"table4"`).
+    pub driver: String,
+    /// Trials per campaign cell.
+    pub trials: u32,
+    /// Base RFE seed of the campaign.
+    pub seed: u64,
+    /// Scheduling priority, 0–255; higher runs first and sheds last.
+    pub priority: u8,
+    /// Client-chosen token naming the job (alphanumeric plus `-_.`).
+    pub tag: String,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            driver: "table4".to_owned(),
+            trials: 50,
+            seed: 0x5ec_71b,
+            priority: 100,
+            tag: "job".to_owned(),
+        }
+    }
+}
+
+fn valid_tag(tag: &str) -> bool {
+    !tag.is_empty()
+        && tag.len() <= 64
+        && tag
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
+fn field<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let token = token.ok_or_else(|| format!("missing field {key}=..."))?;
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=..., found {token:?}"))
+}
+
+impl JobSpec {
+    /// The canonical one-line encoding:
+    /// `driver=<d> trials=<n> seed=<n> priority=<n> tag=<t>`.
+    pub fn encode(&self) -> String {
+        format!(
+            "driver={} trials={} seed={} priority={} tag={}",
+            self.driver, self.trials, self.seed, self.priority, self.tag
+        )
+    }
+
+    /// Parses the canonical encoding; fields must appear in order, and
+    /// the spec must satisfy [`JobSpec::validate`].
+    pub fn decode(line: &str) -> Result<JobSpec, String> {
+        let mut tokens = line.split(' ');
+        let spec = JobSpec {
+            driver: field(tokens.next(), "driver")?.to_owned(),
+            trials: field(tokens.next(), "trials")?
+                .parse()
+                .map_err(|_| "trials must be a positive integer".to_owned())?,
+            seed: field(tokens.next(), "seed")?
+                .parse()
+                .map_err(|_| "seed must be an unsigned integer".to_owned())?,
+            priority: field(tokens.next(), "priority")?
+                .parse()
+                .map_err(|_| "priority must be 0..=255".to_owned())?,
+            tag: field(tokens.next(), "tag")?.to_owned(),
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(format!("unexpected trailing token {extra:?}"));
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the spec's invariants (known driver, nonzero trials, a
+    /// well-formed tag).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.driver != "table4" {
+            return Err(format!(
+                "unknown driver {:?} (this service runs: table4)",
+                self.driver
+            ));
+        }
+        if self.trials == 0 {
+            return Err("trials must be at least 1".to_owned());
+        }
+        if !valid_tag(&self.tag) {
+            return Err(format!(
+                "tag {:?} must be 1-64 characters of [A-Za-z0-9._-]",
+                self.tag
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lifecycle of one job inside the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a pool slot.
+    Queued,
+    /// Executing (or interrupted mid-drain: a restarted server re-runs
+    /// it from its checkpoint).
+    Running,
+    /// Finished; its output and exit code are on disk.
+    Done,
+    /// Shed under overload before completing (degraded, exit 9 for the
+    /// waiting client).
+    Shed,
+    /// The engine returned an error (setup failure, bad checkpoint, ...).
+    Failed,
+}
+
+impl JobState {
+    /// The canonical status word.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Shed => "shed",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a canonical status word.
+    pub fn parse(word: &str) -> Result<JobState, String> {
+        match word {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "shed" => Ok(JobState::Shed),
+            "failed" => Ok(JobState::Failed),
+            other => Err(format!("unknown job state {other:?}")),
+        }
+    }
+
+    /// Whether the state is terminal (the job will never run again).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Shed | JobState::Failed)
+    }
+}
+
+/// One accepted job waiting in the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Server-assigned id (monotonic, persisted across restarts).
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+}
+
+/// The service rejected a submission because the queue was full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue-full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A bounded job queue with priority scheduling, backpressure, and load
+/// shedding.
+///
+/// - [`JobQueue::submit`] rejects outright at `capacity` (backpressure:
+///   the submitting client gets a typed queue-full exit), then sheds the
+///   lowest-priority queued jobs while the backlog exceeds the shed
+///   watermark (graceful degradation: the shed jobs' clients get a typed
+///   degraded exit instead of waiting forever).
+/// - [`JobQueue::pop`] hands out the highest-priority job, FIFO within a
+///   priority level.
+///
+/// Both tie-break deterministically on the job id, so a replayed
+/// submission sequence schedules identically.
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    watermark: usize,
+    items: VecDeque<QueuedJob>,
+}
+
+impl JobQueue {
+    /// An empty queue holding at most `capacity` jobs, shedding the
+    /// lowest-priority backlog beyond `watermark` (clamped to
+    /// `capacity`).
+    pub fn new(capacity: usize, watermark: usize) -> JobQueue {
+        JobQueue {
+            capacity: capacity.max(1),
+            watermark: watermark.min(capacity).max(1),
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Queued jobs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Accepts `job`, returning any jobs shed to make room under the
+    /// watermark; rejects with [`QueueFull`] when the queue is at
+    /// capacity (the job is *not* enqueued).
+    ///
+    /// Shedding picks the lowest priority first, youngest id within a
+    /// priority — so older equal-priority work survives, and the shed set
+    /// may include the job just submitted if it is itself the lowest.
+    pub fn submit(&mut self, job: QueuedJob) -> Result<Vec<QueuedJob>, QueueFull> {
+        if self.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        self.items.push_back(job);
+        let mut shed = Vec::new();
+        while self.items.len() > self.watermark {
+            let victim = self
+                .items
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.spec.priority, std::cmp::Reverse(j.id)))
+                .map(|(k, _)| k)
+                .expect("backlog over watermark is non-empty");
+            shed.push(self.items.remove(victim).expect("index in range"));
+        }
+        Ok(shed)
+    }
+
+    /// Removes and returns the next job to run: highest priority, oldest
+    /// id within a priority. `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<QueuedJob> {
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, j)| (j.spec.priority, std::cmp::Reverse(j.id)))
+            .map(|(k, _)| k)?;
+        self.items.remove(best)
+    }
+
+    /// The queued jobs in submission order (for manifests and tests).
+    pub fn snapshot(&self) -> Vec<QueuedJob> {
+        self.items.iter().cloned().collect()
+    }
+
+    /// Re-enqueues a job recorded by a previous server's manifest,
+    /// bypassing backpressure and shedding: the job was already accepted
+    /// once, and a restart must never degrade work the drained server
+    /// promised to finish.
+    pub fn restore(&mut self, job: QueuedJob) {
+        self.items.push_back(job);
+    }
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job.
+    Submit(JobSpec),
+    /// Query a job's state.
+    Status(u64),
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain and exit (same path as SIGTERM).
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as one canonical line.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit(spec) => format!("submit {}", spec.encode()),
+            Request::Status(id) => format!("status {id}"),
+            Request::Ping => "ping".to_owned(),
+            Request::Shutdown => "shutdown".to_owned(),
+        }
+    }
+
+    /// Parses one canonical request line.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        if let Some(rest) = line.strip_prefix("submit ") {
+            return Ok(Request::Submit(JobSpec::decode(rest)?));
+        }
+        if let Some(rest) = line.strip_prefix("status ") {
+            return rest
+                .parse()
+                .map(Request::Status)
+                .map_err(|_| format!("status takes a job id, found {rest:?}"));
+        }
+        match line {
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request {other:?}")),
+        }
+    }
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The job was accepted with this id.
+    Accepted {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// The submission was rejected (backpressure).
+    Rejected {
+        /// Why (`"queue-full"`).
+        reason: String,
+    },
+    /// A job's current state. `exit` is its recorded exit code once
+    /// terminal.
+    Status {
+        /// Job id.
+        job: u64,
+        /// Current lifecycle state.
+        state: JobState,
+        /// Exit code for terminal jobs.
+        exit: Option<i32>,
+    },
+    /// The queried job id does not exist.
+    UnknownJob {
+        /// The id queried.
+        job: u64,
+    },
+    /// Liveness reply.
+    Pong,
+    /// The server acknowledged a shutdown request and is draining.
+    Draining,
+    /// The request could not be served.
+    Error(
+        /// Why.
+        String,
+    ),
+}
+
+impl Response {
+    /// Encodes the response as one canonical line.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Accepted { job } => format!("accepted {job}"),
+            Response::Rejected { reason } => format!("rejected {reason}"),
+            Response::Status { job, state, exit } => match exit {
+                Some(code) => format!("status {job} {} {code}", state.as_str()),
+                None => format!("status {job} {} -", state.as_str()),
+            },
+            Response::UnknownJob { job } => format!("unknown-job {job}"),
+            Response::Pong => "pong".to_owned(),
+            Response::Draining => "draining".to_owned(),
+            Response::Error(msg) => format!("error {msg}"),
+        }
+    }
+
+    /// Parses one canonical response line.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        if let Some(rest) = line.strip_prefix("accepted ") {
+            return rest
+                .parse()
+                .map(|job| Response::Accepted { job })
+                .map_err(|_| format!("accepted takes a job id, found {rest:?}"));
+        }
+        if let Some(rest) = line.strip_prefix("rejected ") {
+            return Ok(Response::Rejected {
+                reason: rest.to_owned(),
+            });
+        }
+        if let Some(rest) = line.strip_prefix("status ") {
+            let mut tokens = rest.split(' ');
+            let job = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad status id in {rest:?}"))?;
+            let state = JobState::parse(tokens.next().ok_or("status is missing its state")?)?;
+            let exit = match tokens.next().ok_or("status is missing its exit code")? {
+                "-" => None,
+                code => Some(
+                    code.parse()
+                        .map_err(|_| format!("bad exit code in {rest:?}"))?,
+                ),
+            };
+            if let Some(extra) = tokens.next() {
+                return Err(format!("unexpected trailing token {extra:?}"));
+            }
+            return Ok(Response::Status { job, state, exit });
+        }
+        if let Some(rest) = line.strip_prefix("unknown-job ") {
+            return rest
+                .parse()
+                .map(|job| Response::UnknownJob { job })
+                .map_err(|_| format!("unknown-job takes a job id, found {rest:?}"));
+        }
+        if let Some(rest) = line.strip_prefix("error ") {
+            return Ok(Response::Error(rest.to_owned()));
+        }
+        match line {
+            "pong" => Ok(Response::Pong),
+            "draining" => Ok(Response::Draining),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}
+
+/// One manifest entry: a job the server knows about and its state at the
+/// last manifest write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Job id.
+    pub id: u64,
+    /// State at the time of the write. `Queued`/`Running` entries are
+    /// re-enqueued on restart; terminal entries are kept for status
+    /// queries.
+    pub state: JobState,
+    /// The job's spec.
+    pub spec: JobSpec,
+}
+
+/// Serializes the server's durable queue state (written atomically by
+/// the server: temp file + rename, like the checkpoint layer).
+pub fn encode_manifest(next_id: u64, entries: &[ManifestEntry]) -> String {
+    let mut out = format!("{MANIFEST_HEADER}\nnext {next_id}\n");
+    for e in entries {
+        out.push_str(&format!(
+            "job {} {} {}\n",
+            e.id,
+            e.state.as_str(),
+            e.spec.encode()
+        ));
+    }
+    out
+}
+
+/// Parses a manifest written by [`encode_manifest`].
+pub fn decode_manifest(text: &str) -> Result<(u64, Vec<ManifestEntry>), String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MANIFEST_HEADER) => {}
+        other => return Err(format!("bad manifest header {other:?}")),
+    }
+    let next_id = lines
+        .next()
+        .and_then(|l| l.strip_prefix("next "))
+        .and_then(|n| n.parse().ok())
+        .ok_or("manifest is missing its next-id line")?;
+    let mut entries = Vec::new();
+    for line in lines {
+        let rest = line
+            .strip_prefix("job ")
+            .ok_or_else(|| format!("unexpected manifest line {line:?}"))?;
+        let (id, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("truncated manifest entry {line:?}"))?;
+        let (state, spec) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("truncated manifest entry {line:?}"))?;
+        entries.push(ManifestEntry {
+            id: id.parse().map_err(|_| format!("bad job id in {line:?}"))?,
+            state: JobState::parse(state)?,
+            spec: JobSpec::decode(spec)?,
+        });
+    }
+    Ok((next_id, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, priority: u8) -> QueuedJob {
+        QueuedJob {
+            id,
+            spec: JobSpec {
+                priority,
+                tag: format!("j{id}"),
+                ..JobSpec::default()
+            },
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips_and_validates() {
+        let spec = JobSpec {
+            driver: "table4".to_owned(),
+            trials: 120,
+            seed: 42,
+            priority: 9,
+            tag: "nightly-2.1".to_owned(),
+        };
+        assert_eq!(JobSpec::decode(&spec.encode()), Ok(spec.clone()));
+        for bad in [
+            "driver=rowhammer trials=1 seed=0 priority=0 tag=x",
+            "driver=table4 trials=0 seed=0 priority=0 tag=x",
+            "driver=table4 trials=1 seed=0 priority=0 tag=",
+            "driver=table4 trials=1 seed=0 priority=0 tag=sp ace",
+            "driver=table4 seed=0 trials=1 priority=0 tag=x",
+            "driver=table4 trials=1 seed=0 priority=256 tag=x",
+        ] {
+            assert!(JobSpec::decode(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn queue_applies_backpressure_at_capacity() {
+        let mut q = JobQueue::new(2, 2);
+        assert_eq!(q.submit(job(1, 5)), Ok(vec![]));
+        assert_eq!(q.submit(job(2, 5)), Ok(vec![]));
+        assert_eq!(q.submit(job(3, 200)), Err(QueueFull));
+        assert_eq!(q.len(), 2, "a rejected job is never enqueued");
+    }
+
+    #[test]
+    fn queue_pops_by_priority_then_fifo() {
+        let mut q = JobQueue::new(8, 8);
+        for j in [job(1, 5), job(2, 9), job(3, 5), job(4, 9)] {
+            q.submit(j).expect("under capacity");
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn overload_sheds_the_lowest_priority_youngest_first() {
+        let mut q = JobQueue::new(8, 2);
+        assert_eq!(q.submit(job(1, 5)), Ok(vec![]));
+        assert_eq!(q.submit(job(2, 9)), Ok(vec![]));
+        // Backlog crosses the watermark: the lowest-priority job goes,
+        // and among equals the youngest.
+        let shed = q.submit(job(3, 5)).expect("capacity is 8");
+        assert_eq!(shed.iter().map(|j| j.id).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(q.len(), 2);
+        // A high-priority surge sheds the old low-priority job instead.
+        let shed = q.submit(job(4, 200)).expect("capacity is 8");
+        assert_eq!(shed.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            q.snapshot().iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+    }
+
+    #[test]
+    fn protocol_round_trips_exactly() {
+        let messages = [
+            Request::Submit(JobSpec::default()),
+            Request::Status(17),
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for m in messages {
+            assert_eq!(Request::decode(&m.encode()), Ok(m.clone()), "{m:?}");
+        }
+        let replies = [
+            Response::Accepted { job: 3 },
+            Response::Rejected {
+                reason: "queue-full".to_owned(),
+            },
+            Response::Status {
+                job: 3,
+                state: JobState::Running,
+                exit: None,
+            },
+            Response::Status {
+                job: 3,
+                state: JobState::Done,
+                exit: Some(0),
+            },
+            Response::UnknownJob { job: 9 },
+            Response::Pong,
+            Response::Draining,
+            Response::Error("no".to_owned()),
+        ];
+        for r in replies {
+            assert_eq!(Response::decode(&r.encode()), Ok(r.clone()), "{r:?}");
+        }
+        assert!(Request::decode("launch the missiles").is_err());
+        assert!(Response::decode("status 1 sideways -").is_err());
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let entries = vec![
+            ManifestEntry {
+                id: 1,
+                state: JobState::Done,
+                spec: JobSpec::default(),
+            },
+            ManifestEntry {
+                id: 2,
+                state: JobState::Running,
+                spec: JobSpec {
+                    trials: 75,
+                    tag: "resume-me".to_owned(),
+                    ..JobSpec::default()
+                },
+            },
+            ManifestEntry {
+                id: 3,
+                state: JobState::Queued,
+                spec: JobSpec::default(),
+            },
+        ];
+        let text = encode_manifest(4, &entries);
+        assert_eq!(decode_manifest(&text), Ok((4, entries)));
+        assert!(decode_manifest("not a manifest").is_err());
+        assert!(decode_manifest(MANIFEST_HEADER).is_err());
+    }
+}

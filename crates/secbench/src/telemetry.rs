@@ -182,6 +182,79 @@ pub enum Event {
         /// Operations in the replayed trace.
         ops: u64,
     },
+    /// The watchdog flagged a worker as exceeding the per-shard stall
+    /// deadline (report-only; the shard keeps running).
+    WorkerStall {
+        /// Task index.
+        task: u64,
+        /// The stalled worker's id.
+        worker: u64,
+        /// Human-readable shard coordinates.
+        label: String,
+        /// How long the shard had been running when flagged, in
+        /// nanoseconds.
+        wall_ns: u64,
+    },
+    /// The supervision layer detected a dead worker holding a claimed
+    /// shard.
+    WorkerDead {
+        /// The dead worker's id.
+        worker: u64,
+        /// The shard it abandoned.
+        task: u64,
+    },
+    /// An abandoned shard was re-enqueued for deterministic re-execution
+    /// on a surviving worker.
+    WorkerReclaim {
+        /// The reclaimed task index.
+        task: u64,
+        /// Which reclamation attempt this is (1 = first death).
+        attempt: u64,
+    },
+    /// End-of-run steal counter for one worker (emitted only when
+    /// nonzero).
+    StealSummary {
+        /// Worker id.
+        worker: u64,
+        /// Shards this worker stole from other workers' deques.
+        stolen: u64,
+    },
+    /// The campaign service accepted a submitted job into its queue.
+    JobAccepted {
+        /// Server-assigned job id.
+        job: u64,
+        /// The encoded job spec.
+        spec: String,
+    },
+    /// A queued job began executing on the shared worker pool.
+    JobStarted {
+        /// Job id.
+        job: u64,
+    },
+    /// The service rejected a submission outright (backpressure).
+    JobRejected {
+        /// Job id the submission would have received.
+        job: u64,
+        /// Why (`"queue-full"`).
+        reason: String,
+    },
+    /// The service degraded a job instead of running it to completion
+    /// (load shedding, or a drain interrupted it).
+    JobDegraded {
+        /// Job id.
+        job: u64,
+        /// Why (`"shed"` / `"drained"`).
+        reason: String,
+    },
+    /// A job reached a terminal state.
+    JobCompleted {
+        /// Job id.
+        job: u64,
+        /// Terminal status word (`"done"` / `"failed"` / `"shed"`).
+        status: String,
+        /// Job wall-clock nanoseconds in this server process.
+        wall_ns: u64,
+    },
 }
 
 /// The stop-reason string used in [`Event::ShardSkip`] and
@@ -582,6 +655,62 @@ impl Envelope {
                 b.str("verdict", verdict);
                 b.num("ops", *ops);
             }
+            Event::WorkerStall {
+                task,
+                worker,
+                label,
+                wall_ns,
+            } => {
+                b.str("event", "worker_stall");
+                b.num("task", *task);
+                b.num("worker", *worker);
+                b.str("label", label);
+                b.num("wall_ns", *wall_ns);
+            }
+            Event::WorkerDead { worker, task } => {
+                b.str("event", "worker_dead");
+                b.num("worker", *worker);
+                b.num("task", *task);
+            }
+            Event::WorkerReclaim { task, attempt } => {
+                b.str("event", "worker_reclaim");
+                b.num("task", *task);
+                b.num("attempt", *attempt);
+            }
+            Event::StealSummary { worker, stolen } => {
+                b.str("event", "steal_summary");
+                b.num("worker", *worker);
+                b.num("stolen", *stolen);
+            }
+            Event::JobAccepted { job, spec } => {
+                b.str("event", "job_accepted");
+                b.num("job", *job);
+                b.str("spec", spec);
+            }
+            Event::JobStarted { job } => {
+                b.str("event", "job_started");
+                b.num("job", *job);
+            }
+            Event::JobRejected { job, reason } => {
+                b.str("event", "job_rejected");
+                b.num("job", *job);
+                b.str("reason", reason);
+            }
+            Event::JobDegraded { job, reason } => {
+                b.str("event", "job_degraded");
+                b.num("job", *job);
+                b.str("reason", reason);
+            }
+            Event::JobCompleted {
+                job,
+                status,
+                wall_ns,
+            } => {
+                b.str("event", "job_completed");
+                b.num("job", *job);
+                b.str("status", status);
+                b.num("wall_ns", *wall_ns);
+            }
         }
         b.finish()
     }
@@ -726,6 +855,71 @@ impl Envelope {
                     file: str_field(&f, 3, "file")?,
                     verdict: str_field(&f, 4, "verdict")?,
                     ops: num(&f, 5, "ops")?,
+                }
+            }
+            "worker_stall" => {
+                expect_len(7)?;
+                Event::WorkerStall {
+                    task: num(&f, 3, "task")?,
+                    worker: num(&f, 4, "worker")?,
+                    label: str_field(&f, 5, "label")?,
+                    wall_ns: num(&f, 6, "wall_ns")?,
+                }
+            }
+            "worker_dead" => {
+                expect_len(5)?;
+                Event::WorkerDead {
+                    worker: num(&f, 3, "worker")?,
+                    task: num(&f, 4, "task")?,
+                }
+            }
+            "worker_reclaim" => {
+                expect_len(5)?;
+                Event::WorkerReclaim {
+                    task: num(&f, 3, "task")?,
+                    attempt: num(&f, 4, "attempt")?,
+                }
+            }
+            "steal_summary" => {
+                expect_len(5)?;
+                Event::StealSummary {
+                    worker: num(&f, 3, "worker")?,
+                    stolen: num(&f, 4, "stolen")?,
+                }
+            }
+            "job_accepted" => {
+                expect_len(5)?;
+                Event::JobAccepted {
+                    job: num(&f, 3, "job")?,
+                    spec: str_field(&f, 4, "spec")?,
+                }
+            }
+            "job_started" => {
+                expect_len(4)?;
+                Event::JobStarted {
+                    job: num(&f, 3, "job")?,
+                }
+            }
+            "job_rejected" => {
+                expect_len(5)?;
+                Event::JobRejected {
+                    job: num(&f, 3, "job")?,
+                    reason: str_field(&f, 4, "reason")?,
+                }
+            }
+            "job_degraded" => {
+                expect_len(5)?;
+                Event::JobDegraded {
+                    job: num(&f, 3, "job")?,
+                    reason: str_field(&f, 4, "reason")?,
+                }
+            }
+            "job_completed" => {
+                expect_len(6)?;
+                Event::JobCompleted {
+                    job: num(&f, 3, "job")?,
+                    status: str_field(&f, 4, "status")?,
+                    wall_ns: num(&f, 5, "wall_ns")?,
                 }
             }
             other => return Err(format!("unknown event type {other:?}")),
@@ -928,6 +1122,8 @@ pub fn render_metrics(
         skipped: 0,
         preempted: 0,
         trials_saved: 0,
+        deaths: 0,
+        reclaimed: 0,
     };
     let s = stats.unwrap_or(&zero);
     let workers = s.workers.len();
@@ -956,24 +1152,29 @@ pub fn render_metrics(
             out.push_str(", ");
         }
         out.push_str(&format!(
-            "{{\"shards\": {}, \"trial_pairs\": {}, \"busy_ns\": {}, \"retried\": {}}}",
+            "{{\"shards\": {}, \"trial_pairs\": {}, \"busy_ns\": {}, \"retried\": {}, \
+             \"stolen\": {}}}",
             w.shards,
             w.trials,
             w.busy.as_nanos() as u64,
-            w.retried
+            w.retried,
+            w.stolen
         ));
     }
     out.push_str("],\n");
     out.push_str(&format!(
-        "  \"shards\": {{\"done\": {}, \"retried\": {}, \"quarantined\": {}, \
-         \"stalled\": {}, \"skipped\": {}, \"preempted\": {}}},\n",
+        "  \"shards\": {{\"done\": {}, \"retried\": {}, \"stolen\": {}, \"quarantined\": {}, \
+         \"stalled\": {}, \"skipped\": {}, \"preempted\": {}, \"reclaimed\": {}}},\n",
         s.shards(),
         s.retried(),
+        s.stolen(),
         s.quarantined,
         s.stalled,
         s.skipped,
-        s.preempted
+        s.preempted,
+        s.reclaimed
     ));
+    out.push_str(&format!("  \"worker_deaths\": {},\n", s.deaths));
     out.push_str(&format!("  \"trial_pairs_saved\": {},\n", s.trials_saved));
     out.push_str(&format!(
         "  \"shard_latency_ns\": {{\"count\": {}, \"min\": {}, \"p50\": {}, \"p90\": {}, \
@@ -1097,6 +1298,42 @@ mod tests {
                 verdict: "reproduced".to_owned(),
                 ops: 42,
             },
+            Event::WorkerStall {
+                task: 9,
+                worker: 2,
+                label: "V2 on Rf TLB, trials 25..50".to_owned(),
+                wall_ns: 750_000_000,
+            },
+            Event::WorkerDead {
+                worker: 1,
+                task: 12,
+            },
+            Event::WorkerReclaim {
+                task: 12,
+                attempt: 1,
+            },
+            Event::StealSummary {
+                worker: 3,
+                stolen: 11,
+            },
+            Event::JobAccepted {
+                job: 2,
+                spec: "driver=table4 trials=50 seed=1 priority=5 tag=nightly".to_owned(),
+            },
+            Event::JobStarted { job: 2 },
+            Event::JobRejected {
+                job: 9,
+                reason: "queue-full".to_owned(),
+            },
+            Event::JobDegraded {
+                job: 3,
+                reason: "shed".to_owned(),
+            },
+            Event::JobCompleted {
+                job: 2,
+                status: "done".to_owned(),
+                wall_ns: 2_500_000_000,
+            },
         ];
         for (seq, event) in events.into_iter().enumerate() {
             let env = Envelope {
@@ -1170,12 +1407,14 @@ mod tests {
                     trials: 75,
                     busy: Duration::from_millis(60),
                     retried: 1,
+                    stolen: 2,
                 },
                 WorkerStats {
                     shards: 2,
                     trials: 50,
                     busy: Duration::from_millis(40),
                     retried: 0,
+                    stolen: 0,
                 },
             ],
             quarantined: 1,
@@ -1183,6 +1422,8 @@ mod tests {
             skipped: 2,
             preempted: 0,
             trials_saved: 25,
+            deaths: 1,
+            reclaimed: 1,
         };
         let json = render_metrics(
             "table4",
@@ -1208,6 +1449,9 @@ mod tests {
         );
         // utilization: 100ms busy over 2 workers x 100ms wall = 0.5.
         assert!(json.contains("\"worker_utilization\": 0.500"), "{json}");
+        assert!(json.contains("\"stolen\": 2"), "{json}");
+        assert!(json.contains("\"worker_deaths\": 1"), "{json}");
+        assert!(json.contains("\"reclaimed\": 1"), "{json}");
         assert!(json.contains("{\"le_ns\": 2048, \"count\": 1}"), "{json}");
         // Well-formed enough for a strict brace balance.
         assert_eq!(

@@ -254,6 +254,39 @@ fn permanent_faults_quarantine_cells_and_never_silently_drop_one() {
 }
 
 #[test]
+fn a_killed_worker_is_detected_and_its_shard_reclaimed_bitwise_identically() {
+    let cells = cells();
+    let settings = settings();
+    let reference =
+        measure_cells_resilient(&cells, &settings, workers(), &RunPolicy::default(), &|b| b)
+            .expect("undisturbed campaign");
+
+    // Worker 1's claim loop dies right after claiming its third shard
+    // (`--inject-worker-death 1:2`): the shard is claimed but never
+    // delivered. The supervision monitor must notice the death, reclaim
+    // the abandoned shard onto a survivor's deque, and finish with output
+    // bitwise identical to the undisturbed run.
+    let policy = RunPolicy {
+        faults: Some(FaultPlan {
+            worker_death: Some((1, 2)),
+            ..FaultPlan::default()
+        }),
+        ..RunPolicy::default()
+    };
+    let run = measure_cells_resilient(&cells, &settings, workers(), &policy, &|b| b)
+        .expect("campaign completes despite the dead worker");
+    assert_eq!(run.stats.deaths, 1, "exactly one worker died");
+    assert_eq!(run.stats.reclaimed, 1, "its abandoned shard was reclaimed");
+    assert_eq!(run.stats.quarantined, 0, "reclamation is not quarantine");
+    assert!(
+        run.stats.render().contains("supervision: 1 workers died"),
+        "{}",
+        run.stats.render()
+    );
+    assert_eq!(measurements(&run.cells), measurements(&reference.cells));
+}
+
+#[test]
 fn build_table4_resilient_matches_the_plain_table() {
     let settings = TrialSettings {
         trials: 6,

@@ -155,10 +155,28 @@ fn arb_event() -> impl Strategy<Value = Event> {
             }
         }),
         s.clone().prop_map(|file| Event::ReplayStart { file }),
-        (s.clone(), s, n).prop_map(|(file, verdict, ops)| Event::ReplayOutcome {
+        (s.clone(), s.clone(), n).prop_map(|(file, verdict, ops)| Event::ReplayOutcome {
             file,
             verdict,
             ops,
+        }),
+        (n, n, s.clone(), n).prop_map(|(task, worker, label, wall_ns)| Event::WorkerStall {
+            task,
+            worker,
+            label,
+            wall_ns,
+        }),
+        (n, n).prop_map(|(worker, task)| Event::WorkerDead { worker, task }),
+        (n, n).prop_map(|(task, attempt)| Event::WorkerReclaim { task, attempt }),
+        (n, n).prop_map(|(worker, stolen)| Event::StealSummary { worker, stolen }),
+        (n, s.clone()).prop_map(|(job, spec)| Event::JobAccepted { job, spec }),
+        n.prop_map(|job| Event::JobStarted { job }),
+        (n, s.clone()).prop_map(|(job, reason)| Event::JobRejected { job, reason }),
+        (n, s.clone()).prop_map(|(job, reason)| Event::JobDegraded { job, reason }),
+        (n, s, n).prop_map(|(job, status, wall_ns)| Event::JobCompleted {
+            job,
+            status,
+            wall_ns,
         }),
     ]
 }
