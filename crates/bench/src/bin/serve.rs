@@ -16,6 +16,17 @@
 //!   server re-enqueues every non-terminal job, and the determinism
 //!   contract makes the resumed outputs bitwise identical to jobs that
 //!   were never interrupted.
+//! - **Hardened transport**: every accepted connection runs on its own
+//!   thread with `--io-timeout-ms` read/write timeouts and a bounded
+//!   request line, so a wedged or malicious client stalls only its own
+//!   connection — never the accept loop, pings, or other jobs. A
+//!   `watch <id>` request streams `heartbeat` lines every
+//!   [`HEARTBEAT_INTERVAL`] until the job is terminal.
+//! - **Checksummed, recoverable manifest**: the manifest is sealed in
+//!   the CRC frame and written atomically with a previous-good
+//!   generation; a corrupt manifest on startup falls back to the
+//!   previous generation (or a fresh state dir) with a warning instead
+//!   of refusing to start.
 //!
 //! Per job, under `--state DIR/jobs/<id>/`: `ck.txt` (crash-safe
 //! checkpoint), `events.jsonl` (the job's own telemetry stream, including
@@ -24,10 +35,11 @@
 //!
 //! Usage: `serve --socket PATH --state DIR [--queue-capacity N]
 //! [--shed-watermark N] [--max-active N] [--workers N|auto]
-//! [--events PATH]`
+//! [--events PATH] [--io-timeout-ms N] [--inject-io KIND[:PM]]
+//! [--fault-seed S]`
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::num::NonZeroUsize;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -36,16 +48,21 @@ use std::time::Duration;
 
 use sectlb_bench::cli;
 use sectlb_bench::exit::{EXIT_DEGRADED, EXIT_SETUP, EXIT_USAGE};
+use sectlb_secbench::iofault::{self, IoInjector};
 use sectlb_secbench::report::build_table4_resilient_observed;
-use sectlb_secbench::resilience::RunPolicy;
+use sectlb_secbench::resilience::{FaultPlan, RunPolicy};
 use sectlb_secbench::run::TrialSettings;
 use sectlb_secbench::service::{
-    decode_manifest, encode_manifest, JobQueue, JobSpec, JobState, ManifestEntry, QueuedJob,
-    Request, Response,
+    decode_manifest_stored, encode_manifest, JobQueue, JobSpec, JobState, ManifestEntry, QueuedJob,
+    Request, Response, ServiceError, SubmitError, HEARTBEAT_INTERVAL,
 };
 use sectlb_secbench::supervisor::{self, BudgetPolicy, StopReason, Supervisor};
 use sectlb_secbench::telemetry::{duration_ns, Event, Telemetry};
 use sectlb_secbench::CheckpointPolicy;
+
+/// Longest request line the server will read; anything longer is a
+/// malformed frame rejected on that one connection.
+const MAX_REQUEST_LINE: u64 = 4096;
 
 /// Everything the accept loop, runners, and drain path share.
 struct ServerState {
@@ -68,6 +85,9 @@ struct Server {
     state_dir: PathBuf,
     job_workers: NonZeroUsize,
     telemetry: Telemetry,
+    io_timeout: Duration,
+    injector: IoInjector,
+    job_faults: Option<FaultPlan>,
 }
 
 impl Server {
@@ -88,14 +108,19 @@ impl Server {
         encode_manifest(state.next_id, &entries)
     }
 
-    /// Writes the manifest crash-safely (temp file + atomic rename, like
-    /// the checkpoint layer).
+    /// Writes the manifest crash-safely: sealed in the CRC frame, staged
+    /// through a temp file + atomic rename + directory fsync, rotating a
+    /// valid current manifest to `manifest.txt.prev` first — exactly the
+    /// checkpoint layer's discipline, and through the same `--inject-io`
+    /// seam. A failed flush costs recoverability, not the server.
     fn flush_manifest(&self, state: &ServerState) {
         let path = self.state_dir.join("manifest.txt");
-        let tmp = self.state_dir.join("manifest.txt.tmp");
-        let text = self.manifest_text(state);
-        if std::fs::write(&tmp, text).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        let sealed = iofault::seal(&self.manifest_text(state));
+        let wrote = iofault::write_generations(&path, sealed.as_bytes(), &self.injector, |text| {
+            decode_manifest_stored(text).is_ok()
+        });
+        if let Err(e) = wrote {
+            eprintln!("campaignd: warning: manifest flush failed: {e}");
         }
     }
 
@@ -126,6 +151,10 @@ impl Server {
             // A missing checkpoint is a fresh start, so resume is
             // idempotent: first runs and restarts share one policy.
             resume: Some(ck),
+            // `--inject-io` reaches the per-job checkpoints too: job
+            // saves tear/fail and job resumes recover through the
+            // generation chain, with output unchanged byte for byte.
+            faults: self.job_faults,
             ..RunPolicy::default()
         };
         let job_events = Telemetry::to_path("campaignd", &dir.join("events.jsonl"))
@@ -215,28 +244,29 @@ impl Server {
         }
     }
 
-    fn handle_request(&self, line: &str) -> Response {
-        let request = match Request::decode(line.trim_end()) {
-            Ok(r) => r,
-            Err(e) => return Response::Error(e),
-        };
+    fn job_status(&self, id: u64) -> Response {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match s.jobs.get(&id) {
+            None => Response::UnknownJob { job: id },
+            Some(r) => Response::Status {
+                job: id,
+                state: r.state,
+                exit: r.exit,
+            },
+        }
+    }
+
+    fn handle_request(&self, request: Request) -> Response {
         match request {
             Request::Ping => Response::Pong,
+            // Watch is a streaming request served by `serve_watch`; a
+            // one-shot snapshot is the safe answer if it lands here.
+            Request::Watch(id) => self.job_status(id),
             Request::Shutdown => {
                 supervisor::trip_interrupt();
                 Response::Draining
             }
-            Request::Status(id) => {
-                let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-                match s.jobs.get(&id) {
-                    None => Response::UnknownJob { job: id },
-                    Some(r) => Response::Status {
-                        job: id,
-                        state: r.state,
-                        exit: r.exit,
-                    },
-                }
-            }
+            Request::Status(id) => self.job_status(id),
             Request::Submit(spec) => {
                 let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
                 if s.draining {
@@ -249,7 +279,7 @@ impl Server {
                     id,
                     spec: spec.clone(),
                 }) {
-                    Err(_) => {
+                    Err(SubmitError::Full) => {
                         self.telemetry.emit(Event::JobRejected {
                             job: id,
                             reason: "queue-full".to_owned(),
@@ -257,6 +287,15 @@ impl Server {
                         Response::Rejected {
                             reason: "queue-full".to_owned(),
                         }
+                    }
+                    Err(SubmitError::Internal(e)) => {
+                        // A broken queue invariant is a server bug: no
+                        // further scheduling decision can be trusted, so
+                        // this is the one fault that takes the server
+                        // down — typed, with the setup exit code, never
+                        // a panic mid-request.
+                        eprintln!("campaignd: fatal: {e}");
+                        std::process::exit(e.exit_code());
                     }
                     Ok(shed) => {
                         s.next_id += 1;
@@ -292,18 +331,88 @@ impl Server {
     }
 }
 
+/// Serves one connection on its own thread. The stream carries the
+/// server's read/write timeouts, the request line is bounded, and every
+/// failure path — timeout, oversized line, malformed request, broken
+/// pipe — costs exactly this connection: the accept loop, pings, and
+/// running jobs never notice.
 fn serve_connection(server: &Server, stream: UnixStream) {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut line = String::new();
-    if reader.read_line(&mut line).is_err() || line.trim_end().is_empty() {
+    // The nonblocking accept loop may hand over a nonblocking stream;
+    // connection threads want blocking reads bounded by the timeouts.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(server.io_timeout)).is_err()
+        || stream.set_write_timeout(Some(server.io_timeout)).is_err()
+    {
         return;
     }
-    let response = server.handle_request(&line);
+    let reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader.take(MAX_REQUEST_LINE));
+    let mut line = String::new();
     let mut stream = stream;
+    match reader.read_line(&mut line) {
+        // A wedged client: no complete line within the read timeout.
+        // Shed the connection; the client can reconnect and behave.
+        Err(_) | Ok(0) => return,
+        Ok(_) if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_LINE => {
+            let reply = Response::Error("request line too long".to_owned());
+            let _ = writeln!(stream, "{}", reply.encode());
+            return;
+        }
+        Ok(_) => {}
+    }
+    if line.trim_end().is_empty() {
+        return;
+    }
+    let request = match Request::decode(line.trim_end()) {
+        Ok(r) => r,
+        Err(e) => {
+            // Malformed frame: error this one connection, keep serving.
+            let _ = writeln!(stream, "{}", Response::Error(e).encode());
+            return;
+        }
+    };
+    if let Request::Watch(id) = request {
+        serve_watch(server, stream, id);
+        return;
+    }
+    let response = server.handle_request(request);
     let _ = writeln!(stream, "{}", response.encode());
+}
+
+/// Streams a watched job: a `heartbeat` line every [`HEARTBEAT_INTERVAL`]
+/// while it runs, then the final `status` line once it is terminal. The
+/// heartbeats keep the waiting client's read timeout honest — silence
+/// longer than the interval means the server is actually gone, not that
+/// the job is merely long.
+fn serve_watch(server: &Server, mut stream: UnixStream, id: u64) {
+    loop {
+        let (reply, done) = {
+            let s = server.state.lock().unwrap_or_else(|e| e.into_inner());
+            match s.jobs.get(&id) {
+                None => (Response::UnknownJob { job: id }, true),
+                Some(r) if r.state.is_terminal() => (
+                    Response::Status {
+                        job: id,
+                        state: r.state,
+                        exit: r.exit,
+                    },
+                    true,
+                ),
+                // Draining: the job will outlive this server process, so
+                // close the watch honestly instead of heartbeating into
+                // a drain the client cannot see.
+                Some(_) if s.draining => (Response::Draining, true),
+                Some(_) => (Response::Heartbeat { job: id }, false),
+            }
+        };
+        if writeln!(stream, "{}", reply.encode()).is_err() || done {
+            return;
+        }
+        std::thread::sleep(HEARTBEAT_INTERVAL);
+    }
 }
 
 fn required_flag(args: &[String], flag: &str) -> String {
@@ -344,6 +453,19 @@ fn main() {
     let capacity = num_flag(&args, "--queue-capacity", 8);
     let watermark = num_flag(&args, "--shed-watermark", capacity);
     let max_active = num_flag(&args, "--max-active", 2).max(1);
+    let io_timeout = Duration::from_millis(num_flag(&args, "--io-timeout-ms", 2000).max(1) as u64);
+    let fault_seed = num_flag(&args, "--fault-seed", FaultPlan::default().seed as usize) as u64;
+    let (injector, job_faults) = match cli::inject_io_flag(&args) {
+        Some(fault) => (
+            IoInjector::new(fault_seed, fault),
+            Some(FaultPlan {
+                seed: fault_seed,
+                io: Some(fault),
+                ..FaultPlan::default()
+            }),
+        ),
+        None => (IoInjector::disabled(), None),
+    };
     let pool = cli::workers_flag(&args).unwrap_or_else(cli::available_workers);
     // A static partition of the worker budget: every runner gets the
     // same share, so a job's shard schedule — and therefore its output —
@@ -373,40 +495,60 @@ fn main() {
     };
     // Restore the previous server's promises: terminal jobs keep their
     // recorded status, non-terminal jobs re-enter the queue and resume
-    // from their checkpoints.
-    if let Ok(text) = std::fs::read_to_string(state_dir.join("manifest.txt")) {
-        match decode_manifest(&text) {
+    // from their checkpoints. A corrupt manifest falls back to its
+    // previous good generation — and failing that starts fresh with a
+    // warning (`verify` audits what was lost): refusing to start would
+    // turn one torn write into a dead service.
+    let manifest = state_dir.join("manifest.txt");
+    let loaded = match std::fs::read_to_string(&manifest) {
+        Err(_) => None,
+        Ok(text) => match decode_manifest_stored(&text) {
+            Ok(decoded) => Some(decoded),
             Err(e) => {
-                eprintln!("campaignd: corrupt manifest: {e}");
-                std::process::exit(EXIT_SETUP);
+                eprintln!("campaignd: warning: corrupt manifest ({e}); trying previous generation");
+                std::fs::read_to_string(iofault::prev_path(&manifest))
+                    .ok()
+                    .and_then(|prev| match decode_manifest_stored(&prev) {
+                        Ok(decoded) => {
+                            eprintln!("campaignd: recovered manifest from previous generation");
+                            Some(decoded)
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "campaignd: warning: previous manifest generation is also \
+                                 unreadable ({e}); starting with an empty job table"
+                            );
+                            None
+                        }
+                    })
             }
-            Ok((next_id, entries)) => {
-                state.next_id = next_id;
-                for e in entries {
-                    let exit = match e.state {
-                        JobState::Shed => Some(EXIT_DEGRADED),
-                        _ => None,
-                    };
-                    if !e.state.is_terminal() {
-                        state.queue.restore(QueuedJob {
-                            id: e.id,
-                            spec: e.spec.clone(),
-                        });
-                    }
-                    state.jobs.insert(
-                        e.id,
-                        JobRecord {
-                            spec: e.spec,
-                            state: if e.state.is_terminal() {
-                                e.state
-                            } else {
-                                JobState::Queued
-                            },
-                            exit,
-                        },
-                    );
-                }
+        },
+    };
+    if let Some((next_id, entries)) = loaded {
+        state.next_id = next_id;
+        for e in entries {
+            let exit = match e.state {
+                JobState::Shed => Some(EXIT_DEGRADED),
+                _ => None,
+            };
+            if !e.state.is_terminal() {
+                state.queue.restore(QueuedJob {
+                    id: e.id,
+                    spec: e.spec.clone(),
+                });
             }
+            state.jobs.insert(
+                e.id,
+                JobRecord {
+                    spec: e.spec,
+                    state: if e.state.is_terminal() {
+                        e.state
+                    } else {
+                        JobState::Queued
+                    },
+                    exit,
+                },
+            );
         }
     }
 
@@ -418,9 +560,14 @@ fn main() {
             std::process::exit(EXIT_SETUP);
         }
     };
-    listener
-        .set_nonblocking(true)
-        .expect("unix sockets support nonblocking accept");
+    if let Err(err) = listener.set_nonblocking(true) {
+        let e = ServiceError::Socket {
+            op: "set nonblocking accept",
+            err,
+        };
+        eprintln!("campaignd: fatal: {e}");
+        std::process::exit(e.exit_code());
+    }
     supervisor::install_signal_handlers();
 
     let restored = state.queue.len();
@@ -430,6 +577,9 @@ fn main() {
         state_dir,
         job_workers,
         telemetry,
+        io_timeout,
+        injector,
+        job_faults,
     };
     {
         let s = server.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -463,7 +613,12 @@ fn main() {
                 break;
             }
             match listener.accept() {
-                Ok((stream, _)) => serve_connection(&server, stream),
+                // One thread per connection: a wedged or slow client only
+                // ties up its own thread until the read timeout sheds it,
+                // never the accept loop or other jobs.
+                Ok((stream, _)) => {
+                    scope.spawn(|| serve_connection(&server, stream));
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
                 }

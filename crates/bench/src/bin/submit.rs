@@ -3,29 +3,51 @@
 //! One request per connection, one line each way:
 //!
 //! - `submit --socket S submit [--trials N] [--seed N] [--priority P]
-//!   [--tag T] [--wait]` — submit a table4 job. Prints `accepted <id>`.
-//!   With `--wait`, polls the job until it is terminal (reconnecting
-//!   each poll, so a server restart mid-job is transparent) and exits
-//!   with the job's own recorded exit code.
+//!   [--tag T] [--wait] [--wait-timeout SECS] [--retry-budget N]` —
+//!   submit a table4 job. Prints `accepted <id>`. With `--wait`, opens a
+//!   `watch` stream and follows the server's heartbeat frames until the
+//!   job is terminal, then exits with the job's own recorded exit code.
+//!   A dropped stream (server restart, read timeout) reconnects with
+//!   deterministic jittered exponential backoff; `--retry-budget N`
+//!   (default 32) bounds *consecutive* failed reconnects and
+//!   `--wait-timeout SECS` (default 300, `0` = forever) bounds the whole
+//!   wait. Either bound trips [`EXIT_WAIT_TIMEOUT`] (10).
 //! - `submit --socket S status <id>` — print the job's status line.
 //! - `submit --socket S ping` / `shutdown` — liveness probe / ask the
 //!   server to drain (the same graceful path as SIGTERM).
 //!
+//! Every socket carries read/write timeouts, so a wedged server can
+//! stall a request only briefly — never hang the client.
+//!
 //! Typed exit codes: 8 (`EXIT_QUEUE_FULL`) when the submission was
 //! rejected by backpressure, 9 (`EXIT_DEGRADED`) when the job was shed
-//! under overload, otherwise the job's recorded campaign exit code.
+//! under overload, 10 (`EXIT_WAIT_TIMEOUT`) when the client stopped
+//! waiting, otherwise the job's recorded campaign exit code.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use sectlb_bench::exit::{usage, EXIT_DEGRADED, EXIT_QUEUE_FULL, EXIT_SETUP};
+use sectlb_bench::exit::{usage, EXIT_DEGRADED, EXIT_QUEUE_FULL, EXIT_SETUP, EXIT_WAIT_TIMEOUT};
+use sectlb_secbench::run::splitmix64;
 use sectlb_secbench::service::{JobSpec, JobState, Request, Response};
+
+/// Per-socket read/write timeout. Generous next to the server's
+/// heartbeat cadence, so an idle-but-healthy watch stream never trips it.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Connects with both directions' timeouts armed.
+fn connect(socket: &Path) -> std::io::Result<UnixStream> {
+    let stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    Ok(stream)
+}
 
 /// Sends one request and reads the one-line response.
 fn roundtrip(socket: &Path, request: &Request) -> std::io::Result<Response> {
-    let mut stream = UnixStream::connect(socket)?;
+    let mut stream = connect(socket)?;
     writeln!(stream, "{}", request.encode())?;
     let mut line = String::new();
     BufReader::new(stream).read_line(&mut line)?;
@@ -33,13 +55,33 @@ fn roundtrip(socket: &Path, request: &Request) -> std::io::Result<Response> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
-/// Polls a submitted job until it reaches a terminal state, tolerating
-/// server restarts (every poll is a fresh connection, and connect
-/// failures are retried — the server may be mid-restart).
-fn wait_for(socket: &Path, job: u64) -> ! {
-    let deadline = Instant::now() + Duration::from_secs(300);
+/// Deterministic jittered exponential backoff: doubling from 50ms,
+/// capped at 2s, with up to a quarter-period of seed-derived jitter so
+/// reconnecting clients don't stampede in lockstep — yet a fixed
+/// `(job, attempt)` pair always sleeps the same amount (reproducible
+/// transcripts).
+fn backoff(job: u64, attempt: u32) -> Duration {
+    let base: u64 = (50u64 << attempt.min(5)).min(2000);
+    let jitter = splitmix64(job ^ u64::from(attempt)) % (base / 4 + 1);
+    Duration::from_millis(base + jitter)
+}
+
+/// Follows a submitted job to a terminal state via the server's `watch`
+/// stream, tolerating restarts and timeouts by reconnecting under a
+/// bounded retry budget.
+fn wait_for(socket: &Path, job: u64, wait_timeout: Duration, retry_budget: u32) -> ! {
+    let deadline = (wait_timeout > Duration::ZERO).then(|| Instant::now() + wait_timeout);
+    let mut failures: u32 = 0;
     loop {
-        match roundtrip(socket, &Request::Status(job)) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            eprintln!(
+                "submit: wait timeout: job {job} not terminal after {}s",
+                wait_timeout.as_secs()
+            );
+            std::process::exit(EXIT_WAIT_TIMEOUT);
+        }
+        match watch_once(socket, job, deadline) {
+            // Terminal status line: report and exit with the job's code.
             Ok(Response::Status { state, exit, .. }) if state.is_terminal() => {
                 println!("job {job} {}", state.as_str());
                 let code = match state {
@@ -48,24 +90,59 @@ fn wait_for(socket: &Path, job: u64) -> ! {
                 };
                 std::process::exit(code);
             }
-            Ok(Response::Status { .. }) => {}
             Ok(Response::UnknownJob { .. }) => {
                 eprintln!("submit: job {job} vanished from the server");
                 std::process::exit(1);
             }
-            Ok(other) => {
-                eprintln!("submit: unexpected reply {other:?}");
-                std::process::exit(1);
+            // Draining: the server is shutting down but its manifest
+            // carries the job across a restart — keep waiting.
+            Ok(Response::Draining) | Ok(_) => failures = 0,
+            // Connect/read errors: the server may be mid-restart. A
+            // deadline expiry mid-stream is not a failure — loop back to
+            // the top, which reports it and exits.
+            Err(_) if deadline.is_some_and(|d| Instant::now() >= d) => continue,
+            Err(_) => {
+                failures += 1;
+                if failures > retry_budget {
+                    eprintln!(
+                        "submit: retry budget exhausted: {failures} consecutive failures \
+                         reaching campaignd at {}",
+                        socket.display()
+                    );
+                    std::process::exit(EXIT_WAIT_TIMEOUT);
+                }
             }
-            // Connect/read errors: the server may be draining or
-            // restarting; its manifest will carry the job across.
-            Err(_) => {}
         }
-        if Instant::now() >= deadline {
-            eprintln!("submit: timed out waiting for job {job}");
-            std::process::exit(EXIT_SETUP);
+        std::thread::sleep(backoff(job, failures));
+    }
+}
+
+/// One `watch` stream: reads heartbeat frames until a final (non-
+/// heartbeat) line, an error, or the wait deadline. Heartbeats only
+/// prove liveness so the read timeout doesn't fire mid-wait — the
+/// deadline must be enforced here too, or a healthy stream would
+/// heartbeat straight past it.
+fn watch_once(socket: &Path, job: u64, deadline: Option<Instant>) -> std::io::Result<Response> {
+    let mut stream = connect(socket)?;
+    writeln!(stream, "{}", Request::Watch(job).encode())?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "wait deadline passed",
+            ));
         }
-        std::thread::sleep(Duration::from_millis(150));
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::other("watch stream closed"));
+        }
+        let response = Response::decode(line.trim_end())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        match response {
+            Response::Heartbeat { .. } => {}
+            other => return Ok(other),
+        }
     }
 }
 
@@ -86,6 +163,21 @@ fn main() {
         .skip(1)
         .find(|a| ["submit", "status", "ping", "shutdown"].contains(&a.as_str()))
         .unwrap_or_else(|| usage("submit: need a command: submit | status ID | ping | shutdown"));
+
+    let wait_timeout = Duration::from_secs(
+        flag(&args, "--wait-timeout")
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| usage("--wait-timeout needs a number of seconds"))
+            })
+            .unwrap_or(300),
+    );
+    let retry_budget: u32 = flag(&args, "--retry-budget")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| usage("--retry-budget needs a number"))
+        })
+        .unwrap_or(32);
 
     let request = match command.as_str() {
         "ping" => Request::Ping,
@@ -138,7 +230,7 @@ fn main() {
         Response::Accepted { job } => {
             println!("accepted {job}");
             if args.iter().any(|a| a == "--wait") {
-                wait_for(socket, job);
+                wait_for(socket, job, wait_timeout, retry_budget);
             }
         }
         Response::Rejected { reason } if reason == "queue-full" => {
@@ -156,6 +248,12 @@ fn main() {
         }
         Response::Pong => println!("pong"),
         Response::Draining => println!("draining"),
+        Response::Heartbeat { job } => {
+            // Only a `watch` stream emits heartbeats; seeing one as a
+            // one-shot reply means the protocol desynchronized.
+            eprintln!("submit: unexpected heartbeat for job {job}");
+            std::process::exit(1);
+        }
         Response::Error(e) => usage(format!("submit: server error: {e}")),
     }
 }

@@ -23,6 +23,11 @@
 //! - `--inject-worker-death W:K` — kill worker W's claim loop after K
 //!   completed shards; the supervision layer must reclaim the abandoned
 //!   shard and finish bitwise identical to an undisturbed run
+//! - `--inject-io KIND[:PM]` — deterministic storage faults on the
+//!   durable-write seam (checkpoints, the campaignd manifest): KIND is
+//!   `torn` (prefix-only flush), `short-read`, `enospc`, or
+//!   `rename-fail`; PM is the per-mille rate (default 1000, every
+//!   matching operation)
 //!
 //! The resource-budget flags fold into the same [`RunPolicy`]:
 //!
@@ -57,6 +62,7 @@ use std::time::Duration;
 
 use sectlb_secbench::adaptive::AdaptivePolicy;
 use sectlb_secbench::checkpoint::CheckpointPolicy;
+use sectlb_secbench::iofault::{IoFault, IoFaultKind};
 use sectlb_secbench::oracle::OracleConfig;
 use sectlb_secbench::resilience::{FaultPlan, RunPolicy};
 
@@ -74,7 +80,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, Str
 }
 
 /// Parses the numeric value following `flag`, if the flag is present.
-fn flag_num<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+pub(crate) fn flag_num<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
     match flag_value(args, flag)? {
         None => Ok(None),
         Some(v) => v
@@ -281,10 +287,47 @@ pub fn parse_campaign(args: &[String]) -> Result<RunPolicy, String> {
             }
         }
     }
+    if let Some(fault) = parse_inject_io(args)? {
+        faults.io = Some(fault);
+        any_fault = true;
+    }
     if any_fault {
         policy.faults = Some(faults);
     }
     Ok(policy)
+}
+
+/// Parses `--inject-io KIND[:PM]` into an [`IoFault`]; `Ok(None)` when
+/// absent. KIND is `torn`, `short-read`, `enospc`, or `rename-fail`;
+/// the rate defaults to 1000‰ (every matching operation faults).
+pub fn parse_inject_io(args: &[String]) -> Result<Option<IoFault>, String> {
+    let Some(spec) = flag_value(args, "--inject-io")? else {
+        return Ok(None);
+    };
+    let (word, per_mille) = match spec.split_once(':') {
+        None => (spec, 1000),
+        Some((word, pm)) => {
+            let pm = pm
+                .parse::<u16>()
+                .ok()
+                .filter(|pm| *pm <= 1000)
+                .ok_or_else(|| {
+                    format!("--inject-io PM must be a per-mille rate (0..=1000), got {spec:?}")
+                })?;
+            (word, pm)
+        }
+    };
+    let kind = IoFaultKind::parse(word).ok_or_else(|| {
+        format!(
+            "--inject-io needs torn|short-read|enospc|rename-fail (optionally :PM), got {spec:?}"
+        )
+    })?;
+    Ok(Some(IoFault { kind, per_mille }))
+}
+
+/// [`parse_inject_io`], exiting 2 with the error on a malformed value.
+pub fn inject_io_flag(args: &[String]) -> Option<IoFault> {
+    parse_inject_io(args).unwrap_or_else(|e| exit_usage(e))
 }
 
 /// Parses `--adaptive[=ALPHA]` into an [`AdaptivePolicy`]; `Ok(None)`
@@ -593,6 +636,46 @@ mod tests {
         ]))
         .expect_err("rejected");
         assert!(err.contains("conflicts with --kill-after"), "{err}");
+    }
+
+    #[test]
+    fn inject_io_parses_kinds_and_rates() {
+        assert_eq!(parse_inject_io(&args(&["prog"])), Ok(None));
+        let torn = parse_inject_io(&args(&["prog", "--inject-io", "torn"]))
+            .expect("parses")
+            .expect("armed");
+        assert_eq!(torn.kind, IoFaultKind::Torn);
+        assert_eq!(torn.per_mille, 1000, "bare KIND means every operation");
+        let sampled = parse_inject_io(&args(&["prog", "--inject-io", "enospc:250"]))
+            .expect("parses")
+            .expect("armed");
+        assert_eq!(sampled.kind, IoFaultKind::Enospc);
+        assert_eq!(sampled.per_mille, 250);
+        for bad in ["sparks", "torn:1001", "torn:x", ":5"] {
+            assert!(
+                parse_inject_io(&args(&["prog", "--inject-io", bad])).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+        // It folds into the fault plan and routes through the engine.
+        let policy = parse_campaign(&args(&[
+            "prog",
+            "--inject-io",
+            "torn:1000",
+            "--fault-seed",
+            "11",
+        ]))
+        .expect("parses");
+        assert!(policy.wants_engine());
+        let faults = policy.faults.expect("faults");
+        assert_eq!(
+            faults.io,
+            Some(IoFault {
+                kind: IoFaultKind::Torn,
+                per_mille: 1000
+            })
+        );
+        assert_eq!(faults.seed, 11, "--fault-seed drives the I/O rolls too");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`EXIT_BUDGET`] | deadline or signal stopped the campaign early |
 //! | [`EXIT_QUEUE_FULL`] | `campaignd` rejected the submission (backpressure) |
 //! | [`EXIT_DEGRADED`] | the job was shed under overload before completing |
+//! | [`EXIT_WAIT_TIMEOUT`] | `submit --wait` gave up: wait timeout or retry budget |
 //!
 //! When several apply the most alarming wins: SUSPECT dominates
 //! everything (the model itself misbehaved), then QUARANTINED /
@@ -48,6 +49,12 @@ pub const EXIT_QUEUE_FULL: i32 = 8;
 /// (graceful degradation): lower-priority work is dropped with a typed
 /// status instead of waiting forever behind a saturated queue.
 pub const EXIT_DEGRADED: i32 = 9;
+
+/// `submit --wait` stopped waiting: the `--wait-timeout` deadline passed
+/// or the reconnect retry budget ran out against an unreachable server.
+/// The job itself may still be queued or running — this is a *client*
+/// giving up, distinct from the job-outcome codes above.
+pub const EXIT_WAIT_TIMEOUT: i32 = 10;
 
 /// Prints a usage error to stderr and exits [`EXIT_USAGE`].
 pub fn usage(message: impl std::fmt::Display) -> ! {

@@ -16,11 +16,12 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use sectlb_secbench::iofault::{self, FaultyWriter, IoInjector};
 use sectlb_secbench::oracle::OracleSummary;
 use sectlb_secbench::parallel::PoolStats;
 use sectlb_secbench::telemetry::{duration_ns, render_metrics, Event, PhaseTimings, Telemetry};
 
-use crate::cli::{events_flag, metrics_flag};
+use crate::cli::{events_flag, flag_num, inject_io_flag, metrics_flag};
 use crate::exit::EXIT_SETUP;
 
 /// One driver invocation's observability state: the telemetry handle,
@@ -30,6 +31,7 @@ pub struct Observability {
     driver: String,
     telemetry: Telemetry,
     metrics: Option<PathBuf>,
+    injector: IoInjector,
     created: Instant,
     campaign_at: Option<Instant>,
     campaign_done: Option<Instant>,
@@ -46,11 +48,30 @@ impl Observability {
     pub fn from_args(driver: &str, args: &[String]) -> Observability {
         let events = events_flag(args);
         let metrics = metrics_flag(args);
+        // `--inject-io` threads the same injection seam under the event
+        // stream that checkpoints and the manifest get: an injected sink
+        // failure must degrade telemetry (the sink disarms itself), never
+        // the campaign.
+        let injector = match inject_io_flag(args) {
+            Some(fault) => {
+                let seed = flag_num::<u64>(args, "--fault-seed")
+                    .unwrap_or_else(|e| crate::exit::usage(e))
+                    .unwrap_or(sectlb_secbench::resilience::FaultPlan::default().seed);
+                IoInjector::new(seed, fault)
+            }
+            None => IoInjector::disabled(),
+        };
         let telemetry = match &events {
-            Some(path) => Telemetry::to_path(driver, path).unwrap_or_else(|e| {
-                eprintln!("error: cannot open events file {}: {e}", path.display());
-                std::process::exit(EXIT_SETUP);
-            }),
+            Some(path) => {
+                let opened = std::fs::File::create(path).map(|file| {
+                    let sink = FaultyWriter::new(std::io::BufWriter::new(file), injector.clone());
+                    Telemetry::armed(driver, Some(Box::new(sink)))
+                });
+                opened.unwrap_or_else(|e| {
+                    eprintln!("error: cannot open events file {}: {e}", path.display());
+                    std::process::exit(EXIT_SETUP);
+                })
+            }
             None if metrics.is_some() => Telemetry::armed(driver, None),
             None => Telemetry::disabled(),
         };
@@ -58,6 +79,7 @@ impl Observability {
             driver: driver.to_owned(),
             telemetry,
             metrics,
+            injector,
             created: Instant::now(),
             campaign_at: None,
             campaign_done: None,
@@ -120,7 +142,7 @@ impl Observability {
         };
         if let Some(path) = &self.metrics {
             let snapshot = render_metrics(&self.driver, stats, phases, &self.telemetry.latencies());
-            if let Err(e) = std::fs::write(path, snapshot) {
+            if let Err(e) = iofault::write_atomic(path, snapshot.as_bytes(), &self.injector) {
                 eprintln!("warning: cannot write metrics file {}: {e}", path.display());
             }
         }

@@ -1,0 +1,227 @@
+//! End-to-end pins of the crash-consistency contract.
+//!
+//! The acceptance scenario of the storage hardening: even with *every*
+//! checkpoint write torn (`--inject-io torn:1000`), an interrupted
+//! campaign resumes — via generation fallback or a declared fresh start
+//! — and produces byte-identical output to an uninterrupted run; and
+//! `verify` classifies the surviving state dir as clean, because torn
+//! generations are exactly what the recovery chain absorbs by design.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use sectlb_secbench::checkpoint::Checkpoint;
+use sectlb_secbench::iofault::{self, IoInjector};
+use sectlb_secbench::run::Measurement;
+use sectlb_secbench::service::{encode_manifest, JobState, ManifestEntry};
+
+const TABLE4: &str = env!("CARGO_BIN_EXE_table4");
+const VERIFY: &str = env!("CARGO_BIN_EXE_verify");
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sectlb-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("state dir");
+    dir
+}
+
+fn verify(state: &PathBuf, extra: &[&str]) -> Output {
+    Command::new(VERIFY)
+        .arg("--state")
+        .arg(state)
+        .args(extra)
+        .output()
+        .expect("verify runs")
+}
+
+#[test]
+fn torn_checkpoints_still_resume_byte_identically_and_verify_clean() {
+    let ref_state = tmp_dir("torn-ref");
+    let state = tmp_dir("torn");
+    let common = [
+        "--trials",
+        "10",
+        "--workers",
+        "2",
+        "--checkpoint-every",
+        "1",
+    ];
+
+    // Reference: checkpointed but never interrupted, no injection.
+    let ref_ck = ref_state.join("ck.txt");
+    let reference = Command::new(TABLE4)
+        .args(common)
+        .arg("--checkpoint")
+        .arg(&ref_ck)
+        .output()
+        .expect("table4 runs");
+    assert!(
+        reference.status.success(),
+        "reference run: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Interrupted: every checkpoint write torn, killed mid-campaign.
+    let ck = state.join("ck.txt");
+    let torn = [
+        "--inject-io",
+        "torn:1000",
+        "--fault-seed",
+        "9",
+        "--kill-after",
+        "4",
+    ];
+    let interrupted = Command::new(TABLE4)
+        .args(common)
+        .arg("--checkpoint")
+        .arg(&ck)
+        .args(torn)
+        .output()
+        .expect("table4 runs");
+    assert_eq!(
+        interrupted.status.code(),
+        Some(3),
+        "kill switch exits EXIT_INTERRUPTED: {}",
+        String::from_utf8_lossy(&interrupted.stderr)
+    );
+
+    // Resume under the same injection: every generation of the
+    // checkpoint is torn, so recovery declares a fresh start — which the
+    // determinism contract makes byte-identical anyway.
+    let resumed = Command::new(TABLE4)
+        .args(common)
+        .arg("--checkpoint")
+        .arg(&ck)
+        .arg("--resume")
+        .arg(&ck)
+        .args(["--inject-io", "torn:1000", "--fault-seed", "9"])
+        .output()
+        .expect("table4 runs");
+    assert!(
+        resumed.status.success(),
+        "resumed run: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed output must be byte-identical to the uninterrupted reference"
+    );
+
+    // The torn state dir audits clean: everything wrong with it is
+    // recoverable by construction.
+    let out = verify(&state, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "torn-but-recoverable state verifies clean: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("verify: clean"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // The undisturbed reference dir is clean with zero findings.
+    let out = verify(&ref_state, &["--strict"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "undisturbed state is strictly clean: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&ref_state);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn verify_reports_generation_fallback_as_recoverable_and_strict_upgrades_it() {
+    let state = tmp_dir("fallback");
+    let ck_path = state.join("ck.txt");
+    let injector = IoInjector::disabled();
+
+    let mut older = Checkpoint::new(0xc0ffee, 2);
+    older.record(
+        0,
+        &Measurement {
+            trials: 5,
+            n_mapped_miss: 1,
+            n_not_mapped_miss: 2,
+        },
+    );
+    let mut newer = older.clone();
+    newer.record(
+        1,
+        &Measurement {
+            trials: 5,
+            n_mapped_miss: 0,
+            n_not_mapped_miss: 3,
+        },
+    );
+    older.save_with(&ck_path, &injector).expect("generation A");
+    newer.save_with(&ck_path, &injector).expect("generation B");
+    // Tear the current generation; `.prev` still holds generation A.
+    let stored = std::fs::read_to_string(&ck_path).expect("read");
+    std::fs::write(&ck_path, &stored[..stored.len() / 2]).expect("tear");
+
+    let out = verify(&state, &[]);
+    assert_eq!(out.status.code(), Some(0), "fallback is recoverable");
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(report.contains("recoverable"), "{report}");
+
+    let strict = verify(&state, &["--strict"]);
+    assert_eq!(
+        strict.status.code(),
+        Some(1),
+        "--strict upgrades recoverable findings to failures"
+    );
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn verify_fails_on_manifest_job_dir_disagreement() {
+    let state = tmp_dir("disagree");
+    std::fs::create_dir_all(state.join("jobs").join("1")).expect("job dir");
+    std::fs::create_dir_all(state.join("jobs").join("7")).expect("orphan dir");
+    // The manifest claims job 1 is done (but it has no output.txt) and
+    // knows nothing about directory 7.
+    let entries = [ManifestEntry {
+        id: 1,
+        state: JobState::Done,
+        spec: Default::default(),
+    }];
+    let sealed = iofault::seal(&encode_manifest(2, &entries));
+    std::fs::write(state.join("manifest.txt"), sealed).expect("manifest");
+
+    let out = verify(&state, &[]);
+    assert_eq!(out.status.code(), Some(1), "inconsistencies exit 1");
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        report.contains("no output.txt"),
+        "missing output reported: {report}"
+    );
+    assert!(
+        report.contains("orphan job directory"),
+        "orphan dir reported: {report}"
+    );
+    assert!(report.contains("verify: FAILED"), "{report}");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn verify_fails_when_every_manifest_generation_is_lost() {
+    let state = tmp_dir("lost");
+    std::fs::create_dir_all(state.join("jobs")).expect("jobs dir");
+    std::fs::write(state.join("manifest.txt"), "garbage").expect("manifest");
+    std::fs::write(state.join("manifest.txt.prev"), "more garbage").expect("prev");
+
+    let out = verify(&state, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("job table is lost"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&state);
+}

@@ -9,7 +9,13 @@
 //!   job; a restarted server resumes and finishes them, and the final
 //!   outputs are byte-identical to jobs run on a never-interrupted
 //!   server.
+//! - **Transport hardening**: a wedged client is shed by the read
+//!   timeout without affecting other connections, a malformed request
+//!   errors only its own connection, `watch` streams heartbeats, and
+//!   `--wait-timeout` bounds the client with a typed exit code (10).
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
@@ -223,7 +229,14 @@ fn sigterm_drains_in_flight_jobs_and_a_restart_finishes_them_byte_identically() 
     }
     let manifest =
         std::fs::read_to_string(state.join("manifest.txt")).expect("drained manifest exists");
-    assert!(manifest.starts_with("secbench-campaignd v1"), "{manifest}");
+    assert!(
+        manifest.starts_with("secbench-frame v1"),
+        "manifests are sealed in the checksummed frame: {manifest}"
+    );
+    assert!(
+        manifest.contains("secbench-campaignd v1"),
+        "the frame wraps the manifest format: {manifest}"
+    );
 
     let server = start_server(&socket, &state, &flags);
     wait_until_listening(&socket);
@@ -247,5 +260,167 @@ fn sigterm_drains_in_flight_jobs_and_a_restart_finishes_them_byte_identically() 
         );
     }
     let _ = std::fs::remove_dir_all(&ref_state);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn a_wedged_client_is_shed_by_the_read_timeout_without_affecting_others() {
+    let socket = tmp("wedge.sock");
+    let state = tmp("wedge-state");
+    let _ = std::fs::remove_dir_all(&state);
+    let server = start_server(
+        &socket,
+        &state,
+        &["--io-timeout-ms", "300", "--workers", "1"],
+    );
+    wait_until_listening(&socket);
+
+    // Wedge: connect, send half a request, never finish the line.
+    let mut wedged = UnixStream::connect(&socket).expect("connects");
+    wedged
+        .write_all(b"submit half-a-req")
+        .expect("partial write");
+    wedged
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+
+    // The server keeps serving other clients while the wedge is pending.
+    assert!(client(&socket, &["ping"]).status.success());
+
+    // Within the read timeout the server sheds the wedged connection:
+    // our read sees EOF (or a reset), well before our own 10s guard.
+    let shed_by = Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 64];
+    match wedged.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!(
+            "wedged connection got a reply instead of being shed: {:?}",
+            String::from_utf8_lossy(&buf[..n])
+        ),
+    }
+    assert!(
+        Instant::now() < shed_by,
+        "connection not shed within the read timeout"
+    );
+    // And the server is still healthy afterwards.
+    assert!(client(&socket, &["ping"]).status.success());
+
+    shutdown_and_wait(&socket, server);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn a_malformed_request_errors_its_own_connection_only() {
+    let socket = tmp("mal.sock");
+    let state = tmp("mal-state");
+    let _ = std::fs::remove_dir_all(&state);
+    let server = start_server(&socket, &state, &["--workers", "1"]);
+    wait_until_listening(&socket);
+
+    let mut stream = UnixStream::connect(&socket).expect("connects");
+    stream.write_all(b"bogus nonsense\n").expect("writes");
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .expect("error reply readable");
+    assert!(
+        line.starts_with("error"),
+        "malformed requests get a typed error reply: {line:?}"
+    );
+    // The server survives the bad client.
+    assert!(client(&socket, &["ping"]).status.success());
+
+    shutdown_and_wait(&socket, server);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn watch_streams_heartbeats_while_a_job_runs_and_wait_timeout_exits_typed() {
+    let socket = tmp("watch.sock");
+    let state = tmp("watch-state");
+    let _ = std::fs::remove_dir_all(&state);
+    let server = start_server(
+        &socket,
+        &state,
+        &[
+            "--max-active",
+            "1",
+            "--workers",
+            "1",
+            "--queue-capacity",
+            "4",
+        ],
+    );
+    wait_until_listening(&socket);
+
+    // Job 1 occupies the single runner for several seconds.
+    let out = client(&socket, &["submit", "--trials", "150", "--tag", "slow"]);
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "accepted 1");
+
+    // A watch on the running job streams heartbeat frames during idle.
+    let mut stream = UnixStream::connect(&socket).expect("connects");
+    stream.write_all(b"watch 1\n").expect("writes");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("first watch frame");
+    assert!(
+        line.starts_with("heartbeat 1") || line.starts_with("status 1"),
+        "watch streams heartbeats (or an immediate terminal status): {line:?}"
+    );
+    drop(reader);
+
+    // Job 2 queues behind job 1; a 1-second wait deadline trips the
+    // typed client-gave-up exit code without touching the job itself.
+    let out = client(
+        &socket,
+        &[
+            "submit",
+            "--trials",
+            "5",
+            "--tag",
+            "queued",
+            "--wait",
+            "--wait-timeout",
+            "1",
+        ],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(10),
+        "wait timeout exits EXIT_WAIT_TIMEOUT; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("wait timeout"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The job outlives the impatient client.
+    let out = client(&socket, &["status", "2"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("job 2"));
+
+    // A patient wait on the same job sees it through and exits with the
+    // job's own code — proving the watch stream path end to end.
+    let out = client(
+        &socket,
+        &["submit", "--trials", "5", "--wait", "--tag", "patient"],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("done"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    shutdown_and_wait(&socket, server);
     let _ = std::fs::remove_dir_all(&state);
 }

@@ -11,11 +11,13 @@
 //!
 //! # File format
 //!
-//! A checkpoint is a short line-oriented text file, written with a
-//! temp-file + atomic-rename so a kill mid-write can never corrupt an
-//! existing checkpoint:
+//! A checkpoint is a short line-oriented text file wrapped in the
+//! checksummed [`crate::iofault`] frame and written with a temp-file +
+//! atomic-rename + parent-directory fsync, so a kill mid-write can never
+//! corrupt an existing checkpoint and the rename itself is durable:
 //!
 //! ```text
+//! secbench-frame v1 123 89abcdef 01234567
 //! secbench-checkpoint v1
 //! settings 00c0ffee00c0ffee
 //! tasks 72
@@ -23,6 +25,15 @@
 //! done 0 25 3 22
 //! done 5 25 24 1
 //! ```
+//!
+//! Saves keep a generation chain: before overwriting, a *valid* current
+//! file is rotated to `<path>.prev`, so even a write torn by a crash (or
+//! by `--inject-io torn`) leaves the last good generation recoverable.
+//! [`Checkpoint::load_recovering`] walks current → previous → fresh and
+//! never fails on corruption; because every trial seed is a pure function
+//! of its coordinates, resuming from *any* of those three points yields
+//! bitwise-identical output. Unframed v1 files from older releases still
+//! load.
 //!
 //! `settings` is the campaign fingerprint ([`settings_fingerprint`]
 //! chained with driver-specific coordinates); a mismatch on load is a
@@ -35,9 +46,9 @@
 //! [`Record`]-encoded result.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use crate::iofault::{self, IoInjector};
 use crate::run::{splitmix64, Measurement, TrialSettings};
 
 /// The version tag in the checkpoint header.
@@ -394,27 +405,98 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` crash-safely: the content goes to
-    /// a sibling temp file first and is atomically renamed over the
-    /// target, so a kill at any instant leaves either the old complete
-    /// checkpoint or the new complete one — never a torn file.
+    /// Writes the checkpoint to `path` crash-safely: the content is
+    /// sealed in the checksummed [`crate::iofault`] frame, staged through
+    /// a sibling temp file, atomically renamed over the target, and the
+    /// parent directory is fsynced so the rename survives a power loss. A
+    /// valid existing checkpoint is first rotated to `<path>.prev`, so a
+    /// torn write of the new generation never loses the last good one.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(".tmp.{}", std::process::id()));
-        let tmp = PathBuf::from(tmp);
-        {
-            let mut file = fs::File::create(&tmp)?;
-            file.write_all(self.render().as_bytes())?;
-            file.sync_all()?;
-        }
-        fs::rename(&tmp, path)?;
+        self.save_with(path, &IoInjector::disabled())
+    }
+
+    /// [`Checkpoint::save`] through an I/O fault-injection seam
+    /// (`--inject-io`).
+    pub fn save_with(&self, path: &Path, injector: &IoInjector) -> Result<(), CheckpointError> {
+        let sealed = iofault::seal(&self.render());
+        iofault::write_generations(path, sealed.as_bytes(), injector, |text| {
+            Checkpoint::parse_stored(text).is_ok()
+        })?;
         Ok(())
     }
 
-    /// Reads and parses a checkpoint file.
-    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
-        Checkpoint::parse(&fs::read_to_string(path)?)
+    /// Parses stored checkpoint bytes: a sealed frame is verified and
+    /// stripped first; an unframed file (pre-checksum releases) parses
+    /// directly.
+    pub fn parse_stored(text: &str) -> Result<Checkpoint, CheckpointError> {
+        if iofault::is_framed(text) {
+            let payload = iofault::unseal(text).map_err(|reason| CheckpointError::Malformed {
+                line: 1,
+                reason: format!("frame check failed: {reason}"),
+            })?;
+            Checkpoint::parse(payload)
+        } else {
+            Checkpoint::parse(text)
+        }
     }
+
+    /// Reads and parses a checkpoint file (strict: a corrupt file is an
+    /// error — see [`Checkpoint::load_recovering`] for the fallback
+    /// chain).
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::parse_stored(&fs::read_to_string(path)?)
+    }
+
+    /// Loads `path` with generation-based recovery: a corrupt or torn
+    /// current file falls back to the last good `<path>.prev` generation;
+    /// if both are unreadable the campaign starts fresh. Never fails —
+    /// corruption costs only re-computed shards, and every fallback point
+    /// resumes bitwise-identically because trial seeds are pure functions
+    /// of their coordinates. The returned variant says which generation
+    /// answered so callers can emit telemetry. Campaign *identity*
+    /// mismatches are not recovery's business: callers still
+    /// [`Checkpoint::validate`] whatever is returned.
+    pub fn load_recovering(path: &Path, injector: &IoInjector) -> RecoveredLoad {
+        let read = |p: &Path| -> Result<Checkpoint, CheckpointError> {
+            Checkpoint::parse_stored(&iofault::read_to_string(p, injector)?)
+        };
+        let current_err = match read(path) {
+            Ok(ck) => return RecoveredLoad::Current(ck),
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return RecoveredLoad::Missing
+            }
+            Err(e) => e.to_string(),
+        };
+        match read(&iofault::prev_path(path)) {
+            Ok(ck) => RecoveredLoad::Previous {
+                checkpoint: ck,
+                error: current_err,
+            },
+            Err(_) => RecoveredLoad::Fresh { error: current_err },
+        }
+    }
+}
+
+/// What [`Checkpoint::load_recovering`] found on disk.
+#[derive(Debug)]
+pub enum RecoveredLoad {
+    /// No checkpoint file exists: a first run, not a recovery.
+    Missing,
+    /// The current generation is intact.
+    Current(Checkpoint),
+    /// The current generation is corrupt; the previous good generation
+    /// answered.
+    Previous {
+        /// The recovered previous generation.
+        checkpoint: Checkpoint,
+        /// Why the current generation was rejected.
+        error: String,
+    },
+    /// Both generations are unreadable: the campaign starts fresh.
+    Fresh {
+        /// Why the current generation was rejected.
+        error: String,
+    },
 }
 
 /// Folds `parts` into `base` with [`splitmix64`] — the common fingerprint
@@ -521,9 +603,105 @@ mod tests {
         let mut ck = Checkpoint::new(42, 3);
         ck.record(1, &99u64);
         ck.save(&path).expect("saves");
+        let on_disk = std::fs::read_to_string(&path).expect("reads");
+        assert!(iofault::is_framed(&on_disk), "saves are checksummed");
         let loaded = Checkpoint::load(&path).expect("loads");
         assert_eq!(loaded, ck);
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(iofault::prev_path(&path)).ok();
+    }
+
+    #[test]
+    fn unframed_legacy_saves_still_load() {
+        let path = tmp_path("legacy-unframed");
+        let mut ck = Checkpoint::new(7, 4);
+        ck.record(2, &11u64);
+        std::fs::write(&path, ck.render()).expect("writes");
+        assert_eq!(Checkpoint::load(&path).expect("loads"), ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_recovering_walks_the_generation_chain() {
+        let path = tmp_path("recovering");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(iofault::prev_path(&path)).ok();
+        let inj = IoInjector::disabled();
+        assert!(matches!(
+            Checkpoint::load_recovering(&path, &inj),
+            RecoveredLoad::Missing
+        ));
+
+        let mut gen1 = Checkpoint::new(42, 3);
+        gen1.record(0, &1u64);
+        gen1.save(&path).expect("saves");
+        match Checkpoint::load_recovering(&path, &inj) {
+            RecoveredLoad::Current(ck) => assert_eq!(ck, gen1),
+            other => panic!("expected Current, got {other:?}"),
+        }
+
+        // A second save rotates gen1 to `.prev`; corrupting the current
+        // generation then recovers gen1 instead of erroring.
+        let mut gen2 = gen1.clone();
+        gen2.record(1, &2u64);
+        gen2.save(&path).expect("saves");
+        let sealed = std::fs::read_to_string(&path).expect("reads");
+        std::fs::write(&path, &sealed[..sealed.len() / 2]).expect("truncates");
+        match Checkpoint::load_recovering(&path, &inj) {
+            RecoveredLoad::Previous { checkpoint, error } => {
+                assert_eq!(checkpoint, gen1);
+                assert!(!error.is_empty());
+            }
+            other => panic!("expected Previous, got {other:?}"),
+        }
+
+        // Both generations gone bad: fresh start, never a panic.
+        std::fs::write(iofault::prev_path(&path), "junk").expect("corrupts");
+        assert!(matches!(
+            Checkpoint::load_recovering(&path, &inj),
+            RecoveredLoad::Fresh { .. }
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(iofault::prev_path(&path)).ok();
+    }
+
+    #[test]
+    fn torn_injected_saves_keep_the_previous_generation_loadable() {
+        let path = tmp_path("torn-gen");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(iofault::prev_path(&path)).ok();
+        let torn = IoInjector::new(
+            9,
+            crate::iofault::IoFault {
+                kind: crate::iofault::IoFaultKind::Torn,
+                per_mille: 1000,
+            },
+        );
+        // Every save is torn: no generation is ever valid, so recovery
+        // reports a fresh start — but never panics, never loads garbage.
+        let mut ck = Checkpoint::new(1, 2);
+        ck.record(0, &5u64);
+        ck.save_with(&path, &torn)
+            .expect("torn saves report success");
+        assert!(matches!(
+            Checkpoint::load_recovering(&path, &IoInjector::disabled()),
+            RecoveredLoad::Fresh { .. }
+        ));
+
+        // A good save, then a torn one: the good generation rotates to
+        // `.prev` and recovery falls back to it.
+        ck.save(&path).expect("saves");
+        let mut later = ck.clone();
+        later.record(1, &6u64);
+        later
+            .save_with(&path, &torn)
+            .expect("torn saves report success");
+        match Checkpoint::load_recovering(&path, &IoInjector::disabled()) {
+            RecoveredLoad::Previous { checkpoint, .. } => assert_eq!(checkpoint, ck),
+            other => panic!("expected Previous, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(iofault::prev_path(&path)).ok();
     }
 
     #[test]

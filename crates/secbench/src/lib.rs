@@ -29,8 +29,13 @@
 //!   confidence rectangle on `(p1*, p2*)` stops a cell's trials as soon
 //!   as its defended/vulnerable verdict is statistically settled, while
 //!   provably agreeing with the exhaustive run;
-//! - [`checkpoint`] — crash-safe campaign checkpoints (temp-file +
-//!   atomic-rename) so a killed campaign resumes bitwise-identically;
+//! - [`checkpoint`] — crash-safe campaign checkpoints (checksummed
+//!   frame, temp-file + atomic-rename + directory fsync, and a
+//!   previous-good-generation chain) so a killed campaign resumes
+//!   bitwise-identically even when the newest file is torn;
+//! - [`iofault`] — deterministic I/O fault injection (torn writes, short
+//!   reads, ENOSPC, failed renames) plus the durable-write and
+//!   CRC-framing seam every on-disk format goes through;
 //! - [`oracle`] — campaign-side shadow-oracle guardrails: sampled
 //!   lockstep checking, `--inject-corruption` fault injection, SUSPECT
 //!   cells, delta-debugged minimal repro files, and their replay;
@@ -73,6 +78,7 @@ pub mod channel;
 pub mod checkpoint;
 pub mod extended;
 pub mod generate;
+pub mod iofault;
 pub mod mitigations;
 pub mod oracle;
 pub mod parallel;
@@ -91,7 +97,8 @@ pub use adaptive::{
     SequentialTest,
 };
 pub use capacity::binary_channel_capacity;
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record, RecoveredLoad};
+pub use iofault::{IoFault, IoFaultKind, IoInjector};
 pub use oracle::{OracleConfig, OracleSummary, SuspectCell, EXIT_SUSPECT};
 pub use parallel::{measure_cells, run_sharded, PoolStats, WorkerStats};
 pub use resilience::{
@@ -101,7 +108,10 @@ pub use resilience::{
 };
 pub use run::{derive_trial_seed, run_vulnerability, Measurement, TrialSettings};
 pub use scheduler::{Claim, StealQueues};
-pub use service::{JobQueue, JobSpec, JobState, QueueFull, QueuedJob, Request, Response};
+pub use service::{
+    JobQueue, JobSpec, JobState, QueuedJob, Request, Response, ServiceError, SubmitError,
+    HEARTBEAT_INTERVAL,
+};
 pub use spec::BenchmarkSpec;
 pub use supervisor::{BudgetPolicy, StopReason, Supervisor, EXIT_BUDGET};
 pub use telemetry::{Envelope, Event, PhaseTimings, Telemetry, SCHEMA_VERSION};

@@ -28,7 +28,6 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use sectlb_sim::cpu::Instr;
@@ -513,8 +512,10 @@ pub fn parse_repro(text: &str) -> Result<TraceCapture, ReproError> {
     })
 }
 
-/// Writes `capture` to `dir/stem.ron` (creating `dir`), atomically via a
-/// temp file + rename so a half-written repro is never left behind.
+/// Writes `capture` to `dir/stem.ron` (creating `dir`), atomically via
+/// the [`crate::iofault`] durable-write path (temp file + rename +
+/// parent-directory fsync) so a half-written repro is never left behind
+/// and the rename survives a crash.
 ///
 /// # Errors
 ///
@@ -522,13 +523,11 @@ pub fn parse_repro(text: &str) -> Result<TraceCapture, ReproError> {
 pub fn write_repro(dir: &Path, stem: &str, capture: &TraceCapture) -> std::io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{stem}.ron"));
-    let tmp = dir.join(format!(".{stem}.ron.tmp"));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(render_repro(capture).as_bytes())?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, &path)?;
+    crate::iofault::write_atomic(
+        &path,
+        render_repro(capture).as_bytes(),
+        &crate::iofault::IoInjector::disabled(),
+    )?;
     Ok(path)
 }
 

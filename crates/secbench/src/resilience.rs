@@ -46,7 +46,8 @@ use std::time::{Duration, Instant};
 use sectlb_model::Vulnerability;
 use sectlb_sim::machine::{MachineBuilder, TlbDesign};
 
-use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record};
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, Record, RecoveredLoad};
+use crate::iofault::{IoFault, IoInjector};
 use crate::parallel::{distribute_trial_counts, plan_shards, PoolStats, WorkerStats};
 use crate::run::{
     run_trial_range, splitmix64, vulnerability_code, Measurement, SetupError, TrialSettings,
@@ -234,6 +235,13 @@ pub struct FaultPlan {
     /// death, reclaim the abandoned shard, and finish the campaign with
     /// output bitwise identical to an undisturbed run.
     pub worker_death: Option<(u32, u32)>,
+    /// Storage fault injection (`--inject-io KIND:PM`): torn writes,
+    /// short reads, ENOSPC, or failed renames on the durable-write seam
+    /// under checkpoints and the job manifest. Rolls are keyed by
+    /// [`FaultPlan::seed`] and a per-operation counter (see
+    /// [`crate::iofault::IoInjector`]), so an injected run replays
+    /// exactly.
+    pub io: Option<IoFault>,
 }
 
 impl Default for FaultPlan {
@@ -247,6 +255,7 @@ impl Default for FaultPlan {
             stall: Duration::from_millis(100),
             corrupt_per_mille: 0,
             worker_death: None,
+            io: None,
         }
     }
 }
@@ -259,6 +268,16 @@ impl FaultPlan {
             || self.stall_per_mille > 0
             || self.corrupt_per_mille > 0
             || self.worker_death.is_some()
+            || self.io.is_some()
+    }
+
+    /// The I/O fault injector this plan configures (disabled when
+    /// `--inject-io` was not given).
+    pub fn io_injector(&self) -> IoInjector {
+        match self.io {
+            Some(fault) => IoInjector::new(self.seed, fault),
+            None => IoInjector::disabled(),
+        }
     }
 
     /// Whether the plan kills `worker` at its next claim once it has
@@ -511,14 +530,56 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let started = Instant::now();
+    let injector = policy
+        .faults
+        .as_ref()
+        .map(FaultPlan::io_injector)
+        .unwrap_or_default();
     let mut slots: Vec<Option<ShardOutcome<R>>> =
         std::iter::repeat_with(|| None).take(tasks.len()).collect();
     let mut ck = Checkpoint::new(fingerprint, tasks.len());
     let mut resumed = 0usize;
     let mut prior = Duration::ZERO;
     if let Some(path) = &policy.resume {
-        if path.exists() {
-            let loaded = Checkpoint::load(path)?;
+        // Corruption recovers (previous good generation, else a fresh
+        // start — both resume bitwise-identically); a checkpoint that
+        // belongs to a *different campaign* stays a hard error below,
+        // because silently discarding it would mask an operator mistake.
+        let loaded = match Checkpoint::load_recovering(path, &injector) {
+            RecoveredLoad::Missing => None,
+            RecoveredLoad::Current(ck) => Some(ck),
+            RecoveredLoad::Previous { checkpoint, error } => {
+                eprintln!(
+                    "warning: checkpoint {} is corrupt ({error}); \
+                     recovered from previous generation",
+                    path.display()
+                );
+                if telemetry.is_armed() {
+                    telemetry.emit(Event::CheckpointRecovered {
+                        path: path.display().to_string(),
+                        source: "previous".to_owned(),
+                        error,
+                    });
+                }
+                Some(checkpoint)
+            }
+            RecoveredLoad::Fresh { error } => {
+                eprintln!(
+                    "warning: checkpoint {} and its previous generation are \
+                     both unreadable ({error}); starting fresh",
+                    path.display()
+                );
+                if telemetry.is_armed() {
+                    telemetry.emit(Event::CheckpointRecovered {
+                        path: path.display().to_string(),
+                        source: "fresh".to_owned(),
+                        error,
+                    });
+                }
+                None
+            }
+        };
+        if let Some(loaded) = loaded {
             loaded.validate(fingerprint, tasks.len())?;
             prior = loaded.consumed;
             for (i, r) in loaded.decoded::<R>()? {
@@ -599,7 +660,7 @@ where
     let mut live_done = 0usize;
 
     let f = &f;
-    std::thread::scope(|scope| -> Result<(), CampaignError> {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..worker_count)
             .map(|w| {
                 let tx = tx.clone();
@@ -934,43 +995,58 @@ where
             })
         });
 
-        let collect = (|| -> Result<(), CampaignError> {
-            let mut since_checkpoint = 0usize;
-            for (i, outcome) in rx.iter() {
-                if let ShardOutcome::Done(r) = &outcome {
-                    // Only completed shards are checkpointed — a preempted
-                    // shard re-runs in full on resume, keeping the final
-                    // output bitwise identical.
-                    ck.record(i, r);
-                    since_checkpoint += 1;
-                }
-                debug_assert!(slots[i].is_none(), "task {i} produced twice");
-                slots[i] = Some(outcome);
-                live_done += 1;
-                if let Some(cp) = &policy.checkpoint {
-                    if since_checkpoint >= cp.every {
-                        ck.consumed = supervisor.elapsed();
-                        ck.save(&cp.path)?;
-                        if telemetry.is_armed() {
-                            telemetry.emit(Event::CheckpointFlush {
-                                path: cp.path.display().to_string(),
-                                done: ck.done.len() as u64,
-                                tasks: tasks.len() as u64,
-                            });
+        // Collecting cannot fail: a failed checkpoint flush degrades to
+        // a warning + telemetry event rather than an error, because the
+        // results live in memory and the next flush retries.
+        let mut since_checkpoint = 0usize;
+        for (i, outcome) in rx.iter() {
+            if let ShardOutcome::Done(r) = &outcome {
+                // Only completed shards are checkpointed — a preempted
+                // shard re-runs in full on resume, keeping the final
+                // output bitwise identical.
+                ck.record(i, r);
+                since_checkpoint += 1;
+            }
+            debug_assert!(slots[i].is_none(), "task {i} produced twice");
+            slots[i] = Some(outcome);
+            live_done += 1;
+            if let Some(cp) = &policy.checkpoint {
+                if since_checkpoint >= cp.every {
+                    ck.consumed = supervisor.elapsed();
+                    // A failed flush (disk full, injected fault) costs
+                    // recoverability, not the campaign: results so far
+                    // live in memory and the next flush retries.
+                    match ck.save_with(&cp.path, &injector) {
+                        Ok(()) => {
+                            if telemetry.is_armed() {
+                                telemetry.emit(Event::CheckpointFlush {
+                                    path: cp.path.display().to_string(),
+                                    done: ck.done.len() as u64,
+                                    tasks: tasks.len() as u64,
+                                });
+                            }
                         }
-                        since_checkpoint = 0;
+                        Err(e) => {
+                            eprintln!(
+                                "warning: checkpoint flush to {} failed: {e}",
+                                cp.path.display()
+                            );
+                            if telemetry.is_armed() {
+                                telemetry.emit(Event::CheckpointWriteFailed {
+                                    path: cp.path.display().to_string(),
+                                    error: e.to_string(),
+                                });
+                            }
+                        }
                     }
-                }
-                if let Some(stop) = policy.stop_after {
-                    if live_done >= stop {
-                        halt.store(true, Ordering::Release);
-                    }
+                    since_checkpoint = 0;
                 }
             }
-            Ok(())
-        })();
-        if collect.is_err() {
-            halt.store(true, Ordering::Release);
+            if let Some(stop) = policy.stop_after {
+                if live_done >= stop {
+                    halt.store(true, Ordering::Release);
+                }
+            }
         }
 
         for handle in handles {
@@ -989,8 +1065,7 @@ where
                 reclaimed = observed.reclaimed;
             }
         }
-        collect
-    })?;
+    });
 
     // Shards the monitor quarantined on behalf of dead workers land in
     // their slots now, after every live sender is gone.
@@ -1017,16 +1092,33 @@ where
     }
 
     // A final write so the file always reflects the run's end state —
-    // complete on success, maximal on interruption or budget stop.
+    // complete on success, maximal on interruption or budget stop. Like
+    // the periodic flush, a failure degrades (the run's results are still
+    // returned and rendered) rather than erroring a finished campaign.
     if let Some(cp) = &policy.checkpoint {
         ck.consumed = supervisor.elapsed();
-        ck.save(&cp.path)?;
-        if telemetry.is_armed() {
-            telemetry.emit(Event::CheckpointFlush {
-                path: cp.path.display().to_string(),
-                done: ck.done.len() as u64,
-                tasks: tasks.len() as u64,
-            });
+        match ck.save_with(&cp.path, &injector) {
+            Ok(()) => {
+                if telemetry.is_armed() {
+                    telemetry.emit(Event::CheckpointFlush {
+                        path: cp.path.display().to_string(),
+                        done: ck.done.len() as u64,
+                        tasks: tasks.len() as u64,
+                    });
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: final checkpoint flush to {} failed: {e}",
+                    cp.path.display()
+                );
+                if telemetry.is_armed() {
+                    telemetry.emit(Event::CheckpointWriteFailed {
+                        path: cp.path.display().to_string(),
+                        error: e.to_string(),
+                    });
+                }
+            }
         }
     }
 

@@ -28,9 +28,60 @@
 //!   identically.
 
 use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::iofault;
 
 /// Magic first line of the job manifest.
 pub const MANIFEST_HEADER: &str = "secbench-campaignd v1";
+
+/// How often the server sends a [`Response::Heartbeat`] line while a
+/// watched job is still running, and therefore the cadence a waiting
+/// client can size its read timeout against.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// A service-layer failure that is a *server* defect or environment
+/// problem, not a client mistake — the server (or the drain path) exits
+/// with the setup code rather than limping on with broken invariants.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A socket operation the server cannot run without failed.
+    Socket {
+        /// What was being attempted (e.g. `"set nonblocking accept"`).
+        op: &'static str,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// A queue bookkeeping invariant broke (an engine bug).
+    QueueInvariant(&'static str),
+}
+
+impl ServiceError {
+    /// The process exit code for this failure (the setup code, 5).
+    pub fn exit_code(&self) -> i32 {
+        5
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Socket { op, err } => write!(f, "socket setup failed: {op}: {err}"),
+            ServiceError::QueueInvariant(what) => {
+                write!(f, "job-queue invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Socket { err, .. } => Some(err),
+            ServiceError::QueueInvariant(_) => None,
+        }
+    }
+}
 
 /// One campaign job as submitted to the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,17 +238,33 @@ pub struct QueuedJob {
     pub spec: JobSpec,
 }
 
-/// The service rejected a submission because the queue was full.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueueFull;
+/// Why a submission was not enqueued.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Backpressure: the queue is at capacity (the client gets a typed
+    /// queue-full rejection).
+    Full,
+    /// Queue bookkeeping broke mid-shed — a server bug, exit 5.
+    Internal(ServiceError),
+}
 
-impl std::fmt::Display for QueueFull {
+impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "queue-full")
+        match self {
+            SubmitError::Full => write!(f, "queue-full"),
+            SubmitError::Internal(e) => write!(f, "{e}"),
+        }
     }
 }
 
-impl std::error::Error for QueueFull {}
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Full => None,
+            SubmitError::Internal(e) => Some(e),
+        }
+    }
+}
 
 /// A bounded job queue with priority scheduling, backpressure, and load
 /// shedding.
@@ -242,15 +309,17 @@ impl JobQueue {
     }
 
     /// Accepts `job`, returning any jobs shed to make room under the
-    /// watermark; rejects with [`QueueFull`] when the queue is at
+    /// watermark; rejects with [`SubmitError::Full`] when the queue is at
     /// capacity (the job is *not* enqueued).
     ///
     /// Shedding picks the lowest priority first, youngest id within a
     /// priority — so older equal-priority work survives, and the shed set
-    /// may include the job just submitted if it is itself the lowest.
-    pub fn submit(&mut self, job: QueuedJob) -> Result<Vec<QueuedJob>, QueueFull> {
+    /// may include the job just submitted if it is itself the lowest. A
+    /// broken shed invariant surfaces as [`SubmitError::Internal`]
+    /// instead of panicking the server.
+    pub fn submit(&mut self, job: QueuedJob) -> Result<Vec<QueuedJob>, SubmitError> {
         if self.items.len() >= self.capacity {
-            return Err(QueueFull);
+            return Err(SubmitError::Full);
         }
         self.items.push_back(job);
         let mut shed = Vec::new();
@@ -261,8 +330,13 @@ impl JobQueue {
                 .enumerate()
                 .min_by_key(|(_, j)| (j.spec.priority, std::cmp::Reverse(j.id)))
                 .map(|(k, _)| k)
-                .expect("backlog over watermark is non-empty");
-            shed.push(self.items.remove(victim).expect("index in range"));
+                .ok_or(SubmitError::Internal(ServiceError::QueueInvariant(
+                    "backlog over watermark is empty",
+                )))?;
+            let victim = self.items.remove(victim).ok_or(SubmitError::Internal(
+                ServiceError::QueueInvariant("shed victim index out of range"),
+            ))?;
+            shed.push(victim);
         }
         Ok(shed)
     }
@@ -300,6 +374,10 @@ pub enum Request {
     Submit(JobSpec),
     /// Query a job's state.
     Status(u64),
+    /// Hold the connection open until the job is terminal, receiving a
+    /// [`Response::Heartbeat`] every [`HEARTBEAT_INTERVAL`] while it is
+    /// not — the idle-poll half of `submit --wait`.
+    Watch(u64),
     /// Liveness probe.
     Ping,
     /// Ask the server to drain and exit (same path as SIGTERM).
@@ -312,6 +390,7 @@ impl Request {
         match self {
             Request::Submit(spec) => format!("submit {}", spec.encode()),
             Request::Status(id) => format!("status {id}"),
+            Request::Watch(id) => format!("watch {id}"),
             Request::Ping => "ping".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
         }
@@ -327,6 +406,12 @@ impl Request {
                 .parse()
                 .map(Request::Status)
                 .map_err(|_| format!("status takes a job id, found {rest:?}"));
+        }
+        if let Some(rest) = line.strip_prefix("watch ") {
+            return rest
+                .parse()
+                .map(Request::Watch)
+                .map_err(|_| format!("watch takes a job id, found {rest:?}"));
         }
         match line {
             "ping" => Ok(Request::Ping),
@@ -366,6 +451,13 @@ pub enum Response {
     },
     /// Liveness reply.
     Pong,
+    /// A watched job is still alive; the final status line follows once
+    /// it is terminal. Sent every [`HEARTBEAT_INTERVAL`] so the client's
+    /// read timeout distinguishes "job is long" from "server is gone".
+    Heartbeat {
+        /// The watched job id.
+        job: u64,
+    },
     /// The server acknowledged a shutdown request and is draining.
     Draining,
     /// The request could not be served.
@@ -387,6 +479,7 @@ impl Response {
             },
             Response::UnknownJob { job } => format!("unknown-job {job}"),
             Response::Pong => "pong".to_owned(),
+            Response::Heartbeat { job } => format!("heartbeat {job}"),
             Response::Draining => "draining".to_owned(),
             Response::Error(msg) => format!("error {msg}"),
         }
@@ -430,6 +523,12 @@ impl Response {
                 .map(|job| Response::UnknownJob { job })
                 .map_err(|_| format!("unknown-job takes a job id, found {rest:?}"));
         }
+        if let Some(rest) = line.strip_prefix("heartbeat ") {
+            return rest
+                .parse()
+                .map(|job| Response::Heartbeat { job })
+                .map_err(|_| format!("heartbeat takes a job id, found {rest:?}"));
+        }
         if let Some(rest) = line.strip_prefix("error ") {
             return Ok(Response::Error(rest.to_owned()));
         }
@@ -455,8 +554,20 @@ pub struct ManifestEntry {
     pub spec: JobSpec,
 }
 
-/// Serializes the server's durable queue state (written atomically by
-/// the server: temp file + rename, like the checkpoint layer).
+/// Parses stored manifest bytes: a checksummed [`crate::iofault`] frame
+/// is verified and stripped first; an unframed manifest from an older
+/// release decodes directly.
+pub fn decode_manifest_stored(text: &str) -> Result<(u64, Vec<ManifestEntry>), String> {
+    if iofault::is_framed(text) {
+        decode_manifest(iofault::unseal(text).map_err(|e| format!("frame check failed: {e}"))?)
+    } else {
+        decode_manifest(text)
+    }
+}
+
+/// Serializes the server's durable queue state (the server seals this in
+/// the checksummed frame and writes it atomically with a generation
+/// chain, like the checkpoint layer).
 pub fn encode_manifest(next_id: u64, entries: &[ManifestEntry]) -> String {
     let mut out = format!("{MANIFEST_HEADER}\nnext {next_id}\n");
     for e in entries {
@@ -542,9 +653,9 @@ mod tests {
     #[test]
     fn queue_applies_backpressure_at_capacity() {
         let mut q = JobQueue::new(2, 2);
-        assert_eq!(q.submit(job(1, 5)), Ok(vec![]));
-        assert_eq!(q.submit(job(2, 5)), Ok(vec![]));
-        assert_eq!(q.submit(job(3, 200)), Err(QueueFull));
+        assert_eq!(q.submit(job(1, 5)).expect("under capacity"), vec![]);
+        assert_eq!(q.submit(job(2, 5)).expect("under capacity"), vec![]);
+        assert!(matches!(q.submit(job(3, 200)), Err(SubmitError::Full)));
         assert_eq!(q.len(), 2, "a rejected job is never enqueued");
     }
 
@@ -561,8 +672,8 @@ mod tests {
     #[test]
     fn overload_sheds_the_lowest_priority_youngest_first() {
         let mut q = JobQueue::new(8, 2);
-        assert_eq!(q.submit(job(1, 5)), Ok(vec![]));
-        assert_eq!(q.submit(job(2, 9)), Ok(vec![]));
+        assert_eq!(q.submit(job(1, 5)).expect("under capacity"), vec![]);
+        assert_eq!(q.submit(job(2, 9)).expect("under capacity"), vec![]);
         // Backlog crosses the watermark: the lowest-priority job goes,
         // and among equals the youngest.
         let shed = q.submit(job(3, 5)).expect("capacity is 8");
@@ -582,6 +693,7 @@ mod tests {
         let messages = [
             Request::Submit(JobSpec::default()),
             Request::Status(17),
+            Request::Watch(17),
             Request::Ping,
             Request::Shutdown,
         ];
@@ -605,6 +717,7 @@ mod tests {
             },
             Response::UnknownJob { job: 9 },
             Response::Pong,
+            Response::Heartbeat { job: 3 },
             Response::Draining,
             Response::Error("no".to_owned()),
         ];
@@ -639,8 +752,14 @@ mod tests {
             },
         ];
         let text = encode_manifest(4, &entries);
-        assert_eq!(decode_manifest(&text), Ok((4, entries)));
+        assert_eq!(decode_manifest(&text), Ok((4, entries.clone())));
         assert!(decode_manifest("not a manifest").is_err());
         assert!(decode_manifest(MANIFEST_HEADER).is_err());
+        // The stored form accepts both sealed and legacy unframed bytes,
+        // and rejects a corrupted seal instead of parsing its payload.
+        let sealed = iofault::seal(&text);
+        assert_eq!(decode_manifest_stored(&sealed), Ok((4, entries.clone())));
+        assert_eq!(decode_manifest_stored(&text), Ok((4, entries)));
+        assert!(decode_manifest_stored(&sealed[..sealed.len() - 3]).is_err());
     }
 }

@@ -140,6 +140,23 @@ pub enum Event {
         /// Total shards in the campaign.
         tasks: u64,
     },
+    /// A resume found the current checkpoint generation corrupt and
+    /// recovered — from the previous good generation or a fresh start.
+    CheckpointRecovered {
+        /// Checkpoint file path.
+        path: String,
+        /// Which fallback answered: `"previous"` or `"fresh"`.
+        source: String,
+        /// Why the current generation was rejected.
+        error: String,
+    },
+    /// A checkpoint flush failed; the campaign continued without it.
+    CheckpointWriteFailed {
+        /// Checkpoint file path.
+        path: String,
+        /// The write error.
+        error: String,
+    },
     /// The adaptive sequential test settled a cell early (or the cell
     /// exhausted its full budget).
     AdaptiveStop {
@@ -618,6 +635,21 @@ impl Envelope {
                 b.num("done", *done);
                 b.num("tasks", *tasks);
             }
+            Event::CheckpointRecovered {
+                path,
+                source,
+                error,
+            } => {
+                b.str("event", "checkpoint_recovered");
+                b.str("path", path);
+                b.str("source", source);
+                b.str("error", error);
+            }
+            Event::CheckpointWriteFailed { path, error } => {
+                b.str("event", "checkpoint_write_failed");
+                b.str("path", path);
+                b.str("error", error);
+            }
             Event::AdaptiveStop {
                 cell,
                 trials,
@@ -817,6 +849,21 @@ impl Envelope {
                     path: str_field(&f, 3, "path")?,
                     done: num(&f, 4, "done")?,
                     tasks: num(&f, 5, "tasks")?,
+                }
+            }
+            "checkpoint_recovered" => {
+                expect_len(6)?;
+                Event::CheckpointRecovered {
+                    path: str_field(&f, 3, "path")?,
+                    source: str_field(&f, 4, "source")?,
+                    error: str_field(&f, 5, "error")?,
+                }
+            }
+            "checkpoint_write_failed" => {
+                expect_len(5)?;
+                Event::CheckpointWriteFailed {
+                    path: str_field(&f, 3, "path")?,
+                    error: str_field(&f, 4, "error")?,
                 }
             }
             "adaptive_stop" => {
@@ -1274,6 +1321,15 @@ mod tests {
                 path: "ck.txt".to_owned(),
                 done: 10,
                 tasks: 72,
+            },
+            Event::CheckpointRecovered {
+                path: "ck.txt".to_owned(),
+                source: "previous".to_owned(),
+                error: "payload CRC mismatch".to_owned(),
+            },
+            Event::CheckpointWriteFailed {
+                path: "ck.txt".to_owned(),
+                error: "injected ENOSPC (--inject-io)".to_owned(),
             },
             Event::AdaptiveStop {
                 cell: "V3 on Sp TLB".to_owned(),

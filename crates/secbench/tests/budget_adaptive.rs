@@ -256,7 +256,7 @@ fn interrupted_runs_checkpoint_their_consumed_wall_clock() {
     .expect("budget stop is not an error");
     assert_eq!(run.stop, Some(StopReason::DeadlineExpired));
     let text = std::fs::read_to_string(&path).expect("checkpoint flushed");
-    let ck = Checkpoint::parse(&text).expect("checkpoint parses");
+    let ck = Checkpoint::parse_stored(&text).expect("checkpoint parses");
     assert!(
         ck.consumed > Duration::ZERO,
         "the stop path must persist the elapsed wall clock, got {:?}",
