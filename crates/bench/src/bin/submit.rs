@@ -3,16 +3,27 @@
 //! One request per connection, one line each way:
 //!
 //! - `submit --socket S submit [--trials N] [--seed N] [--priority P]
-//!   [--tag T] [--wait] [--wait-timeout SECS] [--retry-budget N]` —
-//!   submit a table4 job. Prints `accepted <id>`. With `--wait`, opens a
-//!   `watch` stream and follows the server's heartbeat frames until the
-//!   job is terminal, then exits with the job's own recorded exit code.
-//!   A dropped stream (server restart, read timeout) reconnects with
-//!   deterministic jittered exponential backoff; `--retry-budget N`
-//!   (default 32) bounds *consecutive* failed reconnects and
-//!   `--wait-timeout SECS` (default 300, `0` = forever) bounds the whole
-//!   wait. Either bound trips [`EXIT_WAIT_TIMEOUT`] (10).
+//!   [--tag T] [--idempotency-key K] [--wait] [--wait-timeout SECS]
+//!   [--retry-budget N]` — submit a table4 job. Prints `accepted <id>`.
+//!   With `--idempotency-key K` the submit is safe to retry verbatim: a
+//!   key the server has already seen answers with the existing job's id
+//!   instead of enqueueing a duplicate, so a retry after a wait timeout
+//!   (exit 10) never double-runs work. With `--wait`, opens a `watch`
+//!   stream and follows the server's sequence-numbered `event` frames
+//!   (and liveness heartbeats) until the job is terminal, then exits
+//!   with the job's own recorded exit code. A dropped stream (server
+//!   restart, read timeout) reconnects with deterministic jittered
+//!   exponential backoff *from the last-seen sequence number*, so no
+//!   transition is re-delivered; `--retry-budget N` (default 32) bounds
+//!   *consecutive* failed reconnects and `--wait-timeout SECS` (default
+//!   300, `0` = forever) bounds the whole wait. Either bound trips
+//!   [`EXIT_WAIT_TIMEOUT`] (10).
 //! - `submit --socket S status <id>` — print the job's status line.
+//! - `submit --socket S cancel <id> [--wait]` (or `--cancel <id>`) —
+//!   cancel a job: dequeued immediately if still queued, preempted at
+//!   the engine's next claim boundary if running. With `--wait`, follow
+//!   the job to its terminal state (normally `cancelled`, exit 11 —
+//!   unless it finished first).
 //! - `submit --socket S ping` / `shutdown` — liveness probe / ask the
 //!   server to drain (the same graceful path as SIGTERM).
 //!
@@ -22,14 +33,17 @@
 //! Typed exit codes: 8 (`EXIT_QUEUE_FULL`) when the submission was
 //! rejected by backpressure, 9 (`EXIT_DEGRADED`) when the job was shed
 //! under overload, 10 (`EXIT_WAIT_TIMEOUT`) when the client stopped
-//! waiting, otherwise the job's recorded campaign exit code.
+//! waiting, 11 (`EXIT_CANCELLED`) when the job was cancelled, otherwise
+//! the job's recorded campaign exit code.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use sectlb_bench::exit::{usage, EXIT_DEGRADED, EXIT_QUEUE_FULL, EXIT_SETUP, EXIT_WAIT_TIMEOUT};
+use sectlb_bench::exit::{
+    usage, EXIT_CANCELLED, EXIT_DEGRADED, EXIT_QUEUE_FULL, EXIT_SETUP, EXIT_WAIT_TIMEOUT,
+};
 use sectlb_secbench::run::splitmix64;
 use sectlb_secbench::service::{JobSpec, JobState, Request, Response};
 
@@ -66,12 +80,24 @@ fn backoff(job: u64, attempt: u32) -> Duration {
     Duration::from_millis(base + jitter)
 }
 
+/// The fallback exit code for a terminal state whose event carried none.
+fn state_exit_code(state: JobState, exit: Option<i32>) -> i32 {
+    exit.unwrap_or(match state {
+        JobState::Shed => EXIT_DEGRADED,
+        JobState::Cancelled => EXIT_CANCELLED,
+        _ => 1,
+    })
+}
+
 /// Follows a submitted job to a terminal state via the server's `watch`
 /// stream, tolerating restarts and timeouts by reconnecting under a
-/// bounded retry budget.
+/// bounded retry budget. Each reconnect resumes from the last-seen
+/// sequence number, so a transition the client already printed is never
+/// delivered twice.
 fn wait_for(socket: &Path, job: u64, wait_timeout: Duration, retry_budget: u32) -> ! {
     let deadline = (wait_timeout > Duration::ZERO).then(|| Instant::now() + wait_timeout);
     let mut failures: u32 = 0;
+    let mut last_seen: u64 = 0;
     loop {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             eprintln!(
@@ -80,15 +106,17 @@ fn wait_for(socket: &Path, job: u64, wait_timeout: Duration, retry_budget: u32) 
             );
             std::process::exit(EXIT_WAIT_TIMEOUT);
         }
-        match watch_once(socket, job, deadline) {
-            // Terminal status line: report and exit with the job's code.
+        match watch_once(socket, job, deadline, &mut last_seen) {
+            // Terminal transition: report and exit with the job's code.
+            Ok(Response::Event { state, exit, .. }) if state.is_terminal() => {
+                println!("job {job} {}", state.as_str());
+                std::process::exit(state_exit_code(state, exit));
+            }
+            // A pre-event server answering the watch with a one-shot
+            // terminal status line gets the same treatment.
             Ok(Response::Status { state, exit, .. }) if state.is_terminal() => {
                 println!("job {job} {}", state.as_str());
-                let code = match state {
-                    JobState::Shed => EXIT_DEGRADED,
-                    _ => exit.unwrap_or(1),
-                };
-                std::process::exit(code);
+                std::process::exit(state_exit_code(state, exit));
             }
             Ok(Response::UnknownJob { .. }) => {
                 eprintln!("submit: job {job} vanished from the server");
@@ -117,14 +145,24 @@ fn wait_for(socket: &Path, job: u64, wait_timeout: Duration, retry_budget: u32) 
     }
 }
 
-/// One `watch` stream: reads heartbeat frames until a final (non-
-/// heartbeat) line, an error, or the wait deadline. Heartbeats only
-/// prove liveness so the read timeout doesn't fire mid-wait — the
-/// deadline must be enforced here too, or a healthy stream would
-/// heartbeat straight past it.
-fn watch_once(socket: &Path, job: u64, deadline: Option<Instant>) -> std::io::Result<Response> {
+/// One `watch` stream, resuming from `*last_seen`: reads heartbeat and
+/// `event` frames, advancing the cursor past every delivered transition,
+/// until a terminal event, another final line, an error, or the wait
+/// deadline. Heartbeats only prove liveness so the read timeout doesn't
+/// fire mid-wait — the deadline must be enforced here too, or a healthy
+/// stream would heartbeat straight past it.
+fn watch_once(
+    socket: &Path,
+    job: u64,
+    deadline: Option<Instant>,
+    last_seen: &mut u64,
+) -> std::io::Result<Response> {
     let mut stream = connect(socket)?;
-    writeln!(stream, "{}", Request::Watch(job).encode())?;
+    let watch = Request::Watch {
+        job,
+        from: *last_seen,
+    };
+    writeln!(stream, "{}", watch.encode())?;
     let mut reader = BufReader::new(stream);
     loop {
         if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -141,6 +179,12 @@ fn watch_once(socket: &Path, job: u64, deadline: Option<Instant>) -> std::io::Re
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         match response {
             Response::Heartbeat { .. } => {}
+            Response::Event { seq, state, .. } => {
+                *last_seen = (*last_seen).max(seq);
+                if state.is_terminal() {
+                    return Ok(response);
+                }
+            }
             other => return Ok(other),
         }
     }
@@ -161,8 +205,13 @@ fn main() {
     let command = args
         .iter()
         .skip(1)
-        .find(|a| ["submit", "status", "ping", "shutdown"].contains(&a.as_str()))
-        .unwrap_or_else(|| usage("submit: need a command: submit | status ID | ping | shutdown"));
+        .find(|a| ["submit", "status", "cancel", "ping", "shutdown"].contains(&a.as_str()))
+        .map(String::as_str)
+        // `--cancel ID` is sugar for the `cancel ID` command.
+        .or_else(|| flag(&args, "--cancel").map(|_| "cancel"))
+        .unwrap_or_else(|| {
+            usage("submit: need a command: submit | status ID | cancel ID | ping | shutdown")
+        });
 
     let wait_timeout = Duration::from_secs(
         flag(&args, "--wait-timeout")
@@ -179,7 +228,7 @@ fn main() {
         })
         .unwrap_or(32);
 
-    let request = match command.as_str() {
+    let request = match command {
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         "status" => {
@@ -190,6 +239,15 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| usage("submit: status needs a job id"));
             Request::Status(id)
+        }
+        "cancel" => {
+            let id = args
+                .iter()
+                .skip_while(|a| *a != "cancel" && *a != "--cancel")
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage("submit: cancel needs a job id"));
+            Request::Cancel(id)
         }
         _ => {
             let defaults = JobSpec::default();
@@ -210,6 +268,7 @@ fn main() {
                     })
                     .unwrap_or(defaults.priority),
                 tag: flag(&args, "--tag").unwrap_or(&defaults.tag).to_owned(),
+                key: flag(&args, "--idempotency-key").map(str::to_owned),
                 ..defaults
             };
             if let Err(e) = spec.validate() {
@@ -238,20 +297,28 @@ fn main() {
             std::process::exit(EXIT_QUEUE_FULL);
         }
         Response::Rejected { reason } => usage(format!("submit: rejected: {reason}")),
-        Response::Status { job, state, exit } => match exit {
-            Some(code) => println!("job {job} {} exit {code}", state.as_str()),
-            None => println!("job {job} {}", state.as_str()),
-        },
+        Response::Status { job, state, exit } => {
+            match exit {
+                Some(code) => println!("job {job} {} exit {code}", state.as_str()),
+                None => println!("job {job} {}", state.as_str()),
+            }
+            // A cancel of a running job is asynchronous — the engine
+            // preempts at its next claim boundary. `--wait` follows it
+            // to the terminal state (normally `cancelled`, exit 11).
+            if command == "cancel" && !state.is_terminal() && args.iter().any(|a| a == "--wait") {
+                wait_for(socket, job, wait_timeout, retry_budget);
+            }
+        }
         Response::UnknownJob { job } => {
             eprintln!("submit: no such job {job}");
             std::process::exit(1);
         }
         Response::Pong => println!("pong"),
         Response::Draining => println!("draining"),
-        Response::Heartbeat { job } => {
-            // Only a `watch` stream emits heartbeats; seeing one as a
-            // one-shot reply means the protocol desynchronized.
-            eprintln!("submit: unexpected heartbeat for job {job}");
+        Response::Heartbeat { job } | Response::Event { job, .. } => {
+            // Only a `watch` stream emits heartbeats and events; seeing
+            // one as a one-shot reply means the protocol desynchronized.
+            eprintln!("submit: unexpected stream frame for job {job}");
             std::process::exit(1);
         }
         Response::Error(e) => usage(format!("submit: server error: {e}")),

@@ -18,6 +18,7 @@
 //! | [`EXIT_QUEUE_FULL`] | `campaignd` rejected the submission (backpressure) |
 //! | [`EXIT_DEGRADED`] | the job was shed under overload before completing |
 //! | [`EXIT_WAIT_TIMEOUT`] | `submit --wait` gave up: wait timeout or retry budget |
+//! | [`EXIT_CANCELLED`] | the job was cancelled by a client `cancel` request |
 //!
 //! When several apply the most alarming wins: SUSPECT dominates
 //! everything (the model itself misbehaved), then QUARANTINED /
@@ -55,6 +56,12 @@ pub const EXIT_DEGRADED: i32 = 9;
 /// The job itself may still be queued or running — this is a *client*
 /// giving up, distinct from the job-outcome codes above.
 pub const EXIT_WAIT_TIMEOUT: i32 = 10;
+
+/// The job was cancelled by a client `cancel` request (`submit --cancel`)
+/// before it completed: dequeued while still waiting, or preempted at the
+/// engine's graceful-stop boundary while running. Terminal — a cancelled
+/// job never runs again, and a restarted server keeps it cancelled.
+pub const EXIT_CANCELLED: i32 = 11;
 
 /// Prints a usage error to stderr and exits [`EXIT_USAGE`].
 pub fn usage(message: impl std::fmt::Display) -> ! {

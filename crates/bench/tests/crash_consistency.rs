@@ -189,6 +189,8 @@ fn verify_fails_on_manifest_job_dir_disagreement() {
     let entries = [ManifestEntry {
         id: 1,
         state: JobState::Done,
+        seq: 3,
+        exit: Some(0),
         spec: Default::default(),
     }];
     let sealed = iofault::seal(&encode_manifest(2, &entries));

@@ -13,6 +13,15 @@
 //!   timeout without affecting other connections, a malformed request
 //!   errors only its own connection, `watch` streams heartbeats, and
 //!   `--wait-timeout` bounds the client with a typed exit code (10).
+//! - **Hard-crash recovery**: `kill -9` mid-job, restart, and the
+//!   resumed outputs are byte-identical to an undisturbed reference —
+//!   orphaned tmp staging files are reaped on the way up.
+//! - **Idempotent submission**: retrying a keyed submit verbatim (the
+//!   exit-10 wait-timeout retry) returns the original job id and never
+//!   double-enqueues.
+//! - **Cancellation**: a queued job cancels immediately, a running job
+//!   is preempted at the engine's claim boundary; both end `cancelled`
+//!   with exit 11, and the state survives a restart.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
@@ -263,6 +272,276 @@ fn sigterm_drains_in_flight_jobs_and_a_restart_finishes_them_byte_identically() 
     let _ = std::fs::remove_dir_all(&state);
 }
 
+/// Polls a job until its status line reports `cancelled`.
+fn wait_cancelled(socket: &Path, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let out = client(socket, &["status", &id.to_string()]);
+        let line = String::from_utf8_lossy(&out.stdout).into_owned();
+        if line.contains(" cancelled") {
+            return line;
+        }
+        assert!(
+            !line.contains(" done") && !line.contains(" failed"),
+            "job {id} finished instead of cancelling: {line}"
+        );
+        assert!(Instant::now() < deadline, "job {id} never cancelled: {line}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn kill_dash_nine_mid_job_recovers_on_restart_byte_identically() {
+    let flags = [
+        "--queue-capacity",
+        "4",
+        "--max-active",
+        "2",
+        "--workers",
+        "2",
+    ];
+    let submissions: [&[&str]; 2] = [
+        &["submit", "--trials", "40", "--seed", "33", "--tag", "crash-a"],
+        &["submit", "--trials", "40", "--seed", "44", "--tag", "crash-b"],
+    ];
+
+    // Reference: the same two jobs on a server that is never disturbed.
+    let ref_socket = tmp("k9ref.sock");
+    let ref_state = tmp("k9ref-state");
+    let _ = std::fs::remove_dir_all(&ref_state);
+    let server = start_server(&ref_socket, &ref_state, &flags);
+    wait_until_listening(&ref_socket);
+    for s in &submissions {
+        assert!(client(&ref_socket, s).status.success());
+    }
+    wait_done(&ref_socket, 1);
+    wait_done(&ref_socket, 2);
+    shutdown_and_wait(&ref_socket, server);
+
+    // Disturbed: same submissions, SIGKILL mid-flight — no drain, no
+    // manifest flush, no goodbye of any kind — then restart and recover.
+    let socket = tmp("k9.sock");
+    let state = tmp("k9-state");
+    let _ = std::fs::remove_dir_all(&state);
+    let mut server = start_server(&socket, &state, &flags);
+    wait_until_listening(&socket);
+    for s in &submissions {
+        assert!(client(&socket, s).status.success());
+    }
+    // Let the jobs start (and checkpoint), then kill without mercy.
+    std::thread::sleep(Duration::from_millis(800));
+    let pid = server.0.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-KILL", &pid])
+        .status()
+        .expect("kill runs")
+        .success());
+    let status = server.0.wait().expect("killed server reaped");
+    assert!(!status.success(), "SIGKILL is not a clean exit: {status}");
+
+    let server = start_server(&socket, &state, &flags);
+    wait_until_listening(&socket);
+    wait_done(&socket, 1);
+    wait_done(&socket, 2);
+    shutdown_and_wait(&socket, server);
+
+    for id in [1, 2] {
+        let reference = std::fs::read(
+            ref_state
+                .join("jobs")
+                .join(id.to_string())
+                .join("output.txt"),
+        )
+        .expect("reference output exists");
+        let recovered = std::fs::read(state.join("jobs").join(id.to_string()).join("output.txt"))
+            .expect("recovered output exists");
+        assert_eq!(
+            reference, recovered,
+            "job {id}: output recovered after kill -9 differs from the undisturbed reference"
+        );
+    }
+    // The restart reaped any orphaned atomic-write staging files the
+    // kill left behind — nothing `.tmp.` survives at the state root.
+    for entry in std::fs::read_dir(&state).expect("state dir readable") {
+        let name = entry.expect("entry").file_name();
+        assert!(
+            !name.to_string_lossy().contains(".tmp."),
+            "orphan staging file survived recovery: {name:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&ref_state);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn a_retried_keyed_submit_returns_the_original_job_and_never_double_enqueues() {
+    let socket = tmp("idem.sock");
+    let state = tmp("idem-state");
+    let _ = std::fs::remove_dir_all(&state);
+    // Deterministic per-shard stalls pin job wall-clock (~3.5s) so the
+    // 1-second wait deadline below trips regardless of build profile.
+    let server = start_server(
+        &socket,
+        &state,
+        &[
+            "--max-active",
+            "1",
+            "--workers",
+            "1",
+            "--queue-capacity",
+            "4",
+            "--inject-stall",
+            "1000",
+            "--inject-stall-ms",
+            "8",
+        ],
+    );
+    wait_until_listening(&socket);
+
+    // Job 1 occupies the single runner so job 2 sits queued long enough
+    // for its waiting client to time out.
+    let out = client(&socket, &["submit", "--trials", "150", "--tag", "long"]);
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "accepted 1");
+
+    let keyed: [&str; 9] = [
+        "submit",
+        "--trials",
+        "5",
+        "--tag",
+        "keyed",
+        "--idempotency-key",
+        "retry-me",
+        "--wait",
+        "--wait-timeout",
+    ];
+    let mut with_timeout: Vec<&str> = keyed.to_vec();
+    with_timeout.push("1");
+    let out = client(&socket, &with_timeout);
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "accepted 2",
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(10),
+        "the first wait gave up with the typed wait-timeout code"
+    );
+
+    // The client retries the submit verbatim — the regression this test
+    // pins is the server enqueueing job 3 instead of answering 2.
+    let out = client(&socket, &with_timeout);
+    assert!(
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .next()
+            .is_some_and(|l| l.trim() == "accepted 2"),
+        "a retried keyed submit returns the original id: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // And nothing was double-enqueued: there is no job 3.
+    let out = client(&socket, &["status", "3"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "job 3 must not exist: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no such job"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    shutdown_and_wait(&socket, server);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn cancel_dequeues_queued_jobs_and_preempts_running_ones_with_exit_eleven() {
+    let socket = tmp("cancel.sock");
+    let state = tmp("cancel-state");
+    let _ = std::fs::remove_dir_all(&state);
+    // Deterministic per-shard stalls keep job 1 on the runner long
+    // enough to cancel it mid-flight regardless of build profile.
+    let server = start_server(
+        &socket,
+        &state,
+        &[
+            "--max-active",
+            "1",
+            "--workers",
+            "1",
+            "--queue-capacity",
+            "4",
+            "--inject-stall",
+            "1000",
+            "--inject-stall-ms",
+            "8",
+        ],
+    );
+    wait_until_listening(&socket);
+
+    // Job 1 occupies the single runner; job 2 sits queued behind it.
+    let out = client(&socket, &["submit", "--trials", "150", "--tag", "running"]);
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "accepted 1");
+    let out = client(&socket, &["submit", "--trials", "5", "--tag", "queued"]);
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "accepted 2");
+
+    // A queued job cancels immediately: dequeued, terminal, exit 11.
+    let out = client(&socket, &["cancel", "2"]);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("job 2 cancelled exit 11"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // Cancelling it again is idempotent — same terminal answer.
+    let out = client(&socket, &["cancel", "2"]);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("job 2 cancelled exit 11"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // De-race: wait until job 1 is actually running.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = client(&socket, &["status", "1"]);
+        if String::from_utf8_lossy(&out.stdout).contains(" running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job 1 never started");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Cancelling the running job preempts it at the engine's next claim
+    // boundary; `--wait` follows it to the terminal state and exits with
+    // the job's cancelled code.
+    let out = client(&socket, &["cancel", "1", "--wait"]);
+    assert_eq!(
+        out.status.code(),
+        Some(11),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    wait_cancelled(&socket, 1);
+
+    // Cancelled is terminal and survives a restart.
+    shutdown_and_wait(&socket, server);
+    let server = start_server(&socket, &state, &["--workers", "1"]);
+    wait_until_listening(&socket);
+    for id in [1, 2] {
+        let line = wait_cancelled(&socket, id);
+        assert!(
+            line.contains("exit 11"),
+            "job {id} keeps its cancelled exit across restarts: {line}"
+        );
+    }
+    shutdown_and_wait(&socket, server);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
 #[test]
 fn a_wedged_client_is_shed_by_the_read_timeout_without_affecting_others() {
     let socket = tmp("wedge.sock");
@@ -339,6 +618,9 @@ fn watch_streams_heartbeats_while_a_job_runs_and_wait_timeout_exits_typed() {
     let socket = tmp("watch.sock");
     let state = tmp("watch-state");
     let _ = std::fs::remove_dir_all(&state);
+    // Deterministic per-shard stalls pin job wall-clock (~3.5s) so the
+    // heartbeat window and the 1-second wait deadline below hold
+    // regardless of build profile.
     let server = start_server(
         &socket,
         &state,
@@ -349,6 +631,10 @@ fn watch_streams_heartbeats_while_a_job_runs_and_wait_timeout_exits_typed() {
             "1",
             "--queue-capacity",
             "4",
+            "--inject-stall",
+            "1000",
+            "--inject-stall-ms",
+            "8",
         ],
     );
     wait_until_listening(&socket);
@@ -366,9 +652,13 @@ fn watch_streams_heartbeats_while_a_job_runs_and_wait_timeout_exits_typed() {
     let mut reader = BufReader::new(&stream);
     let mut line = String::new();
     reader.read_line(&mut line).expect("first watch frame");
+    // The legacy `watch 1` form still works; the stream now opens with
+    // the sequence-numbered transition replay before any heartbeat.
     assert!(
-        line.starts_with("heartbeat 1") || line.starts_with("status 1"),
-        "watch streams heartbeats (or an immediate terminal status): {line:?}"
+        line.starts_with("event 1 1 queued")
+            || line.starts_with("heartbeat 1")
+            || line.starts_with("status 1"),
+        "watch replays transitions then heartbeats: {line:?}"
     );
     drop(reader);
 

@@ -75,6 +75,7 @@
 pub mod adaptive;
 pub mod capacity;
 pub mod channel;
+pub mod chaos;
 pub mod checkpoint;
 pub mod extended;
 pub mod generate;

@@ -332,6 +332,12 @@ pub struct RunPolicy {
     /// The resource budget (`--deadline` / `--cell-deadline-ms`) enforced
     /// by the [`crate::supervisor`]. Inactive by default.
     pub budget: BudgetPolicy,
+    /// A per-run cancellation latch. When the owner trips it, this run —
+    /// and only this run — stops at its next claim boundary with
+    /// [`StopReason::Cancelled`], draining in-flight shards and flushing
+    /// the checkpoint exactly like a graceful signal. `campaignd` arms
+    /// one per job so `cancel <id>` preempts a single job.
+    pub cancel: Option<crate::supervisor::CancelFlag>,
 }
 
 impl Default for RunPolicy {
@@ -344,6 +350,7 @@ impl Default for RunPolicy {
             checkpoint: None,
             resume: None,
             budget: BudgetPolicy::default(),
+            cancel: None,
         }
     }
 }
@@ -358,6 +365,7 @@ impl RunPolicy {
             || self.stop_after.is_some()
             || self.stall_deadline.is_some()
             || self.budget.is_active()
+            || self.cancel.is_some()
     }
 }
 
@@ -601,7 +609,7 @@ where
     // Wall-clock consumed by earlier runs in the resume chain counts
     // against `--deadline`: a resumed campaign gets the remainder of its
     // budget, never a fresh one.
-    let supervisor = Supervisor::with_consumed(policy.budget, prior);
+    let supervisor = Supervisor::with_cancel(policy.budget, prior, policy.cancel.clone());
 
     let pending: Vec<usize> = (0..tasks.len()).filter(|&i| slots[i].is_none()).collect();
     // The kill switch is enforced at claim time: with `stop_after: Some(n)`

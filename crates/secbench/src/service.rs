@@ -19,13 +19,18 @@
 //! - [`Request`] / [`Response`] — the one-line-per-message protocol.
 //!   Like the telemetry schema, the grammar is canonical and strict:
 //!   parse ⇄ encode round-trips exactly, and anything else is a typed
-//!   error, never a guess.
+//!   error, never a guess. Submissions can carry an idempotency key
+//!   ([`JobSpec::key`]), watches resume from a per-job sequence number
+//!   ([`Request::Watch`] / [`Response::Event`]), and [`Request::Cancel`]
+//!   preempts one job through the engine's graceful-stop path.
 //! - [`encode_manifest`] / [`decode_manifest`] — the server's durable
 //!   queue state. On SIGTERM the server drains (every in-flight job
 //!   checkpoints via the engine's graceful-stop path) and persists the
 //!   manifest; a restarted server re-enqueues every non-terminal job and
 //!   — by the determinism contract — finishes all of them bitwise
-//!   identically.
+//!   identically. A `kill -9` is survived the same way, with the
+//!   per-job terminal marker ([`encode_terminal_marker`]) closing the
+//!   completed-but-not-yet-flushed window so no finished job re-runs.
 
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -96,6 +101,13 @@ pub struct JobSpec {
     pub priority: u8,
     /// Client-chosen token naming the job (alphanumeric plus `-_.`).
     pub tag: String,
+    /// Client-supplied idempotency key (`--idempotency-key`). The server
+    /// remembers the key for the job's whole lifetime (it is persisted in
+    /// the manifest), and a later submission carrying the same key is
+    /// answered with the original job id instead of enqueueing a second
+    /// job — so a client that times out waiting and retries its submit
+    /// verbatim never double-runs work.
+    pub key: Option<String>,
 }
 
 impl Default for JobSpec {
@@ -106,6 +118,7 @@ impl Default for JobSpec {
             seed: 0x5ec_71b,
             priority: 100,
             tag: "job".to_owned(),
+            key: None,
         }
     }
 }
@@ -128,19 +141,25 @@ fn field<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, String> {
 
 impl JobSpec {
     /// The canonical one-line encoding:
-    /// `driver=<d> trials=<n> seed=<n> priority=<n> tag=<t>`.
+    /// `driver=<d> trials=<n> seed=<n> priority=<n> tag=<t>[ key=<k>]`
+    /// (the `key=` field appears only when an idempotency key was
+    /// supplied, so key-less specs encode exactly as they always have).
     pub fn encode(&self) -> String {
-        format!(
+        let mut line = format!(
             "driver={} trials={} seed={} priority={} tag={}",
             self.driver, self.trials, self.seed, self.priority, self.tag
-        )
+        );
+        if let Some(key) = &self.key {
+            line.push_str(&format!(" key={key}"));
+        }
+        line
     }
 
     /// Parses the canonical encoding; fields must appear in order, and
     /// the spec must satisfy [`JobSpec::validate`].
     pub fn decode(line: &str) -> Result<JobSpec, String> {
         let mut tokens = line.split(' ');
-        let spec = JobSpec {
+        let mut spec = JobSpec {
             driver: field(tokens.next(), "driver")?.to_owned(),
             trials: field(tokens.next(), "trials")?
                 .parse()
@@ -152,7 +171,11 @@ impl JobSpec {
                 .parse()
                 .map_err(|_| "priority must be 0..=255".to_owned())?,
             tag: field(tokens.next(), "tag")?.to_owned(),
+            key: None,
         };
+        if let Some(token) = tokens.next() {
+            spec.key = Some(field(Some(token), "key")?.to_owned());
+        }
         if let Some(extra) = tokens.next() {
             return Err(format!("unexpected trailing token {extra:?}"));
         }
@@ -161,7 +184,7 @@ impl JobSpec {
     }
 
     /// Checks the spec's invariants (known driver, nonzero trials, a
-    /// well-formed tag).
+    /// well-formed tag and — when present — idempotency key).
     pub fn validate(&self) -> Result<(), String> {
         if self.driver != "table4" {
             return Err(format!(
@@ -177,6 +200,13 @@ impl JobSpec {
                 "tag {:?} must be 1-64 characters of [A-Za-z0-9._-]",
                 self.tag
             ));
+        }
+        if let Some(key) = &self.key {
+            if !valid_tag(key) {
+                return Err(format!(
+                    "idempotency key {key:?} must be 1-64 characters of [A-Za-z0-9._-]"
+                ));
+            }
         }
         Ok(())
     }
@@ -197,6 +227,10 @@ pub enum JobState {
     Shed,
     /// The engine returned an error (setup failure, bad checkpoint, ...).
     Failed,
+    /// Cancelled by a client `cancel` request — dequeued while waiting,
+    /// or preempted at the engine's graceful-stop boundary while running
+    /// (exit 11 for the waiting client).
+    Cancelled,
 }
 
 impl JobState {
@@ -208,6 +242,7 @@ impl JobState {
             JobState::Done => "done",
             JobState::Shed => "shed",
             JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
         }
     }
 
@@ -219,13 +254,17 @@ impl JobState {
             "done" => Ok(JobState::Done),
             "shed" => Ok(JobState::Shed),
             "failed" => Ok(JobState::Failed),
+            "cancelled" => Ok(JobState::Cancelled),
             other => Err(format!("unknown job state {other:?}")),
         }
     }
 
     /// Whether the state is terminal (the job will never run again).
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Shed | JobState::Failed)
+        matches!(
+            self,
+            JobState::Done | JobState::Shed | JobState::Failed | JobState::Cancelled
+        )
     }
 }
 
@@ -365,6 +404,14 @@ impl JobQueue {
     pub fn restore(&mut self, job: QueuedJob) {
         self.items.push_back(job);
     }
+
+    /// Removes a still-queued job by id (a `cancel` request landing
+    /// before the job reached a runner). `None` when the id is not
+    /// queued — already running, terminal, or unknown.
+    pub fn remove(&mut self, id: u64) -> Option<QueuedJob> {
+        let at = self.items.iter().position(|j| j.id == id)?;
+        self.items.remove(at)
+    }
 }
 
 /// One client request line.
@@ -374,10 +421,24 @@ pub enum Request {
     Submit(JobSpec),
     /// Query a job's state.
     Status(u64),
-    /// Hold the connection open until the job is terminal, receiving a
-    /// [`Response::Heartbeat`] every [`HEARTBEAT_INTERVAL`] while it is
-    /// not — the idle-poll half of `submit --wait`.
-    Watch(u64),
+    /// Hold the connection open until the job is terminal: the server
+    /// first replays every recorded [`Response::Event`] transition with a
+    /// sequence number greater than `from` (so a reconnecting client
+    /// resumes exactly where its last stream dropped), then streams a
+    /// [`Response::Heartbeat`] every [`HEARTBEAT_INTERVAL`] between
+    /// transitions — the idle-poll half of `submit --wait`. A fresh watch
+    /// starts `from` 0 and sees the job's whole recorded history.
+    Watch {
+        /// Job id.
+        job: u64,
+        /// Replay only transitions with a sequence number above this.
+        from: u64,
+    },
+    /// Cancel a job: dequeue it if still queued, or trip its per-job
+    /// cancel latch so the engine preempts it at the next graceful-stop
+    /// boundary if running. Terminal jobs are left untouched (the reply
+    /// reports their state — cancel is idempotent).
+    Cancel(u64),
     /// Liveness probe.
     Ping,
     /// Ask the server to drain and exit (same path as SIGTERM).
@@ -390,13 +451,15 @@ impl Request {
         match self {
             Request::Submit(spec) => format!("submit {}", spec.encode()),
             Request::Status(id) => format!("status {id}"),
-            Request::Watch(id) => format!("watch {id}"),
+            Request::Watch { job, from } => format!("watch {job} {from}"),
+            Request::Cancel(id) => format!("cancel {id}"),
             Request::Ping => "ping".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
         }
     }
 
-    /// Parses one canonical request line.
+    /// Parses one canonical request line. `watch <id>` without a
+    /// sequence number (the pre-resume grammar) is accepted as `from` 0.
     pub fn decode(line: &str) -> Result<Request, String> {
         if let Some(rest) = line.strip_prefix("submit ") {
             return Ok(Request::Submit(JobSpec::decode(rest)?));
@@ -408,10 +471,23 @@ impl Request {
                 .map_err(|_| format!("status takes a job id, found {rest:?}"));
         }
         if let Some(rest) = line.strip_prefix("watch ") {
+            let (id, from) = match rest.split_once(' ') {
+                None => (rest, "0"),
+                Some((id, from)) => (id, from),
+            };
+            let job = id
+                .parse()
+                .map_err(|_| format!("watch takes a job id, found {rest:?}"))?;
+            let from = from
+                .parse()
+                .map_err(|_| format!("watch takes an optional sequence number, found {rest:?}"))?;
+            return Ok(Request::Watch { job, from });
+        }
+        if let Some(rest) = line.strip_prefix("cancel ") {
             return rest
                 .parse()
-                .map(Request::Watch)
-                .map_err(|_| format!("watch takes a job id, found {rest:?}"));
+                .map(Request::Cancel)
+                .map_err(|_| format!("cancel takes a job id, found {rest:?}"));
         }
         match line {
             "ping" => Ok(Request::Ping),
@@ -458,6 +534,21 @@ pub enum Response {
         /// The watched job id.
         job: u64,
     },
+    /// One sequence-numbered state transition on a watch stream. The
+    /// sequence number is per-job, strictly increasing, and persisted in
+    /// the manifest, so a client that reconnects with `watch <id> <seq>`
+    /// resumes after its last-seen transition — across server restarts
+    /// too — and can discard duplicates by sequence number.
+    Event {
+        /// Job id.
+        job: u64,
+        /// Per-job transition sequence number (1 = accepted).
+        seq: u64,
+        /// The state entered by this transition.
+        state: JobState,
+        /// Exit code, for terminal transitions.
+        exit: Option<i32>,
+    },
     /// The server acknowledged a shutdown request and is draining.
     Draining,
     /// The request could not be served.
@@ -480,6 +571,15 @@ impl Response {
             Response::UnknownJob { job } => format!("unknown-job {job}"),
             Response::Pong => "pong".to_owned(),
             Response::Heartbeat { job } => format!("heartbeat {job}"),
+            Response::Event {
+                job,
+                seq,
+                state,
+                exit,
+            } => match exit {
+                Some(code) => format!("event {job} {seq} {} {code}", state.as_str()),
+                None => format!("event {job} {seq} {} -", state.as_str()),
+            },
             Response::Draining => "draining".to_owned(),
             Response::Error(msg) => format!("error {msg}"),
         }
@@ -529,6 +629,34 @@ impl Response {
                 .map(|job| Response::Heartbeat { job })
                 .map_err(|_| format!("heartbeat takes a job id, found {rest:?}"));
         }
+        if let Some(rest) = line.strip_prefix("event ") {
+            let mut tokens = rest.split(' ');
+            let job = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad event job id in {rest:?}"))?;
+            let seq = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad event sequence number in {rest:?}"))?;
+            let state = JobState::parse(tokens.next().ok_or("event is missing its state")?)?;
+            let exit = match tokens.next().ok_or("event is missing its exit code")? {
+                "-" => None,
+                code => Some(
+                    code.parse()
+                        .map_err(|_| format!("bad exit code in {rest:?}"))?,
+                ),
+            };
+            if let Some(extra) = tokens.next() {
+                return Err(format!("unexpected trailing token {extra:?}"));
+            }
+            return Ok(Response::Event {
+                job,
+                seq,
+                state,
+                exit,
+            });
+        }
         if let Some(rest) = line.strip_prefix("error ") {
             return Ok(Response::Error(rest.to_owned()));
         }
@@ -547,9 +675,18 @@ pub struct ManifestEntry {
     /// Job id.
     pub id: u64,
     /// State at the time of the write. `Queued`/`Running` entries are
-    /// re-enqueued on restart; terminal entries are kept for status
-    /// queries.
+    /// re-enqueued on restart (unless the job's terminal marker proves it
+    /// actually finished — see the serve recovery path); terminal entries
+    /// are kept for status queries.
     pub state: JobState,
+    /// The job's transition sequence number at the time of the write
+    /// (1 = accepted). Persisting it keeps watch-stream sequence numbers
+    /// strictly increasing across server restarts, so a reconnecting
+    /// `--wait` client can keep deduplicating by sequence number.
+    pub seq: u64,
+    /// Exit code for terminal entries, so a restarted server answers
+    /// `status` for finished jobs exactly as the server that ran them.
+    pub exit: Option<i32>,
     /// The job's spec.
     pub spec: JobSpec,
 }
@@ -571,17 +708,26 @@ pub fn decode_manifest_stored(text: &str) -> Result<(u64, Vec<ManifestEntry>), S
 pub fn encode_manifest(next_id: u64, entries: &[ManifestEntry]) -> String {
     let mut out = format!("{MANIFEST_HEADER}\nnext {next_id}\n");
     for e in entries {
+        let exit = match e.exit {
+            Some(code) => code.to_string(),
+            None => "-".to_owned(),
+        };
         out.push_str(&format!(
-            "job {} {} {}\n",
+            "job {} {} {} {} {}\n",
             e.id,
             e.state.as_str(),
+            e.seq,
+            exit,
             e.spec.encode()
         ));
     }
     out
 }
 
-/// Parses a manifest written by [`encode_manifest`].
+/// Parses a manifest written by [`encode_manifest`]. Entries written by
+/// an older server (`job <id> <state> <spec>`, before sequence numbers
+/// and persisted exit codes) still decode: the spec always starts with
+/// `driver=`, which can never be mistaken for a sequence number.
 pub fn decode_manifest(text: &str) -> Result<(u64, Vec<ManifestEntry>), String> {
     let mut lines = text.lines();
     match lines.next() {
@@ -601,16 +747,68 @@ pub fn decode_manifest(text: &str) -> Result<(u64, Vec<ManifestEntry>), String> 
         let (id, rest) = rest
             .split_once(' ')
             .ok_or_else(|| format!("truncated manifest entry {line:?}"))?;
-        let (state, spec) = rest
+        let (state, rest) = rest
             .split_once(' ')
             .ok_or_else(|| format!("truncated manifest entry {line:?}"))?;
+        let state = JobState::parse(state)?;
+        let (seq, exit, spec) = if rest.starts_with("driver=") {
+            // Legacy entry: no recorded sequence number or exit code.
+            (1, None, rest)
+        } else {
+            let (seq, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("truncated manifest entry {line:?}"))?;
+            let (exit, spec) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("truncated manifest entry {line:?}"))?;
+            let seq = seq
+                .parse()
+                .map_err(|_| format!("bad sequence number in {line:?}"))?;
+            let exit = match exit {
+                "-" => None,
+                code => Some(
+                    code.parse()
+                        .map_err(|_| format!("bad exit code in {line:?}"))?,
+                ),
+            };
+            (seq, exit, spec)
+        };
         entries.push(ManifestEntry {
             id: id.parse().map_err(|_| format!("bad job id in {line:?}"))?,
-            state: JobState::parse(state)?,
+            state,
+            seq,
+            exit,
             spec: JobSpec::decode(spec)?,
         });
     }
     Ok((next_id, entries))
+}
+
+/// The canonical contents of a job's terminal marker (`done.txt` inside
+/// the job directory): `<state> <exit>`. The marker is written atomically
+/// *before* the manifest records the terminal state, so a `kill -9`
+/// landing between the two cannot re-run a finished job — the restarted
+/// server reads the marker and restores the terminal state instead.
+pub fn encode_terminal_marker(state: JobState, exit: i32) -> String {
+    format!("{} {exit}\n", state.as_str())
+}
+
+/// Parses a terminal marker written by [`encode_terminal_marker`].
+/// Rejects non-terminal states: a marker claiming `queued` is corruption,
+/// not a recovery instruction.
+pub fn decode_terminal_marker(text: &str) -> Result<(JobState, i32), String> {
+    let (state, exit) = text
+        .trim_end()
+        .split_once(' ')
+        .ok_or_else(|| format!("truncated terminal marker {text:?}"))?;
+    let state = JobState::parse(state)?;
+    if !state.is_terminal() {
+        return Err(format!("marker state {state:?} is not terminal"));
+    }
+    let exit = exit
+        .parse()
+        .map_err(|_| format!("bad exit code in marker {text:?}"))?;
+    Ok((state, exit))
 }
 
 #[cfg(test)]
@@ -628,6 +826,15 @@ mod tests {
         }
     }
 
+    /// Submits and asserts acceptance without panicking machinery in the
+    /// service path itself — returns the shed ids.
+    fn accepted(q: &mut JobQueue, j: QueuedJob) -> Vec<u64> {
+        match q.submit(j) {
+            Ok(shed) => shed.iter().map(|s| s.id).collect(),
+            Err(e) => panic!("submission rejected: {e}"),
+        }
+    }
+
     #[test]
     fn job_spec_round_trips_and_validates() {
         let spec = JobSpec {
@@ -636,8 +843,17 @@ mod tests {
             seed: 42,
             priority: 9,
             tag: "nightly-2.1".to_owned(),
+            key: None,
         };
         assert_eq!(JobSpec::decode(&spec.encode()), Ok(spec.clone()));
+        // The idempotency key is an optional trailing field: keyed specs
+        // round-trip, and the key-less encoding is unchanged.
+        let keyed = JobSpec {
+            key: Some("retry-7f.2".to_owned()),
+            ..spec.clone()
+        };
+        assert_eq!(JobSpec::decode(&keyed.encode()), Ok(keyed.clone()));
+        assert_eq!(keyed.encode(), format!("{} key=retry-7f.2", spec.encode()));
         for bad in [
             "driver=rowhammer trials=1 seed=0 priority=0 tag=x",
             "driver=table4 trials=0 seed=0 priority=0 tag=x",
@@ -645,6 +861,9 @@ mod tests {
             "driver=table4 trials=1 seed=0 priority=0 tag=sp ace",
             "driver=table4 seed=0 trials=1 priority=0 tag=x",
             "driver=table4 trials=1 seed=0 priority=256 tag=x",
+            "driver=table4 trials=1 seed=0 priority=0 tag=x key=",
+            "driver=table4 trials=1 seed=0 priority=0 tag=x key=a key=b",
+            "driver=table4 trials=1 seed=0 priority=0 tag=x extra=1",
         ] {
             assert!(JobSpec::decode(bad).is_err(), "accepted: {bad}");
         }
@@ -653,8 +872,8 @@ mod tests {
     #[test]
     fn queue_applies_backpressure_at_capacity() {
         let mut q = JobQueue::new(2, 2);
-        assert_eq!(q.submit(job(1, 5)).expect("under capacity"), vec![]);
-        assert_eq!(q.submit(job(2, 5)).expect("under capacity"), vec![]);
+        assert_eq!(accepted(&mut q, job(1, 5)), Vec::<u64>::new());
+        assert_eq!(accepted(&mut q, job(2, 5)), Vec::<u64>::new());
         assert!(matches!(q.submit(job(3, 200)), Err(SubmitError::Full)));
         assert_eq!(q.len(), 2, "a rejected job is never enqueued");
     }
@@ -663,25 +882,36 @@ mod tests {
     fn queue_pops_by_priority_then_fifo() {
         let mut q = JobQueue::new(8, 8);
         for j in [job(1, 5), job(2, 9), job(3, 5), job(4, 9)] {
-            q.submit(j).expect("under capacity");
+            accepted(&mut q, j);
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
         assert_eq!(order, vec![2, 4, 1, 3]);
     }
 
     #[test]
+    fn queue_removes_by_id_for_cancellation() {
+        let mut q = JobQueue::new(8, 8);
+        for j in [job(1, 5), job(2, 9), job(3, 5)] {
+            accepted(&mut q, j);
+        }
+        assert_eq!(q.remove(2).map(|j| j.id), Some(2));
+        assert_eq!(q.remove(2), None, "already removed");
+        assert_eq!(q.remove(99), None, "never queued");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
+        assert_eq!(order, vec![1, 3], "the rest still pop in order");
+    }
+
+    #[test]
     fn overload_sheds_the_lowest_priority_youngest_first() {
         let mut q = JobQueue::new(8, 2);
-        assert_eq!(q.submit(job(1, 5)).expect("under capacity"), vec![]);
-        assert_eq!(q.submit(job(2, 9)).expect("under capacity"), vec![]);
+        assert_eq!(accepted(&mut q, job(1, 5)), Vec::<u64>::new());
+        assert_eq!(accepted(&mut q, job(2, 9)), Vec::<u64>::new());
         // Backlog crosses the watermark: the lowest-priority job goes,
         // and among equals the youngest.
-        let shed = q.submit(job(3, 5)).expect("capacity is 8");
-        assert_eq!(shed.iter().map(|j| j.id).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(accepted(&mut q, job(3, 5)), vec![3]);
         assert_eq!(q.len(), 2);
         // A high-priority surge sheds the old low-priority job instead.
-        let shed = q.submit(job(4, 200)).expect("capacity is 8");
-        assert_eq!(shed.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(accepted(&mut q, job(4, 200)), vec![1]);
         assert_eq!(
             q.snapshot().iter().map(|j| j.id).collect::<Vec<_>>(),
             vec![2, 4]
@@ -692,14 +922,25 @@ mod tests {
     fn protocol_round_trips_exactly() {
         let messages = [
             Request::Submit(JobSpec::default()),
+            Request::Submit(JobSpec {
+                key: Some("retry-1".to_owned()),
+                ..JobSpec::default()
+            }),
             Request::Status(17),
-            Request::Watch(17),
+            Request::Watch { job: 17, from: 0 },
+            Request::Watch { job: 17, from: 4 },
+            Request::Cancel(17),
             Request::Ping,
             Request::Shutdown,
         ];
         for m in messages {
             assert_eq!(Request::decode(&m.encode()), Ok(m.clone()), "{m:?}");
         }
+        // The pre-resume watch grammar still parses (as "from the start").
+        assert_eq!(
+            Request::decode("watch 17"),
+            Ok(Request::Watch { job: 17, from: 0 })
+        );
         let replies = [
             Response::Accepted { job: 3 },
             Response::Rejected {
@@ -715,9 +956,26 @@ mod tests {
                 state: JobState::Done,
                 exit: Some(0),
             },
+            Response::Status {
+                job: 3,
+                state: JobState::Cancelled,
+                exit: Some(11),
+            },
             Response::UnknownJob { job: 9 },
             Response::Pong,
             Response::Heartbeat { job: 3 },
+            Response::Event {
+                job: 3,
+                seq: 2,
+                state: JobState::Running,
+                exit: None,
+            },
+            Response::Event {
+                job: 3,
+                seq: 3,
+                state: JobState::Done,
+                exit: Some(0),
+            },
             Response::Draining,
             Response::Error("no".to_owned()),
         ];
@@ -725,7 +983,10 @@ mod tests {
             assert_eq!(Response::decode(&r.encode()), Ok(r.clone()), "{r:?}");
         }
         assert!(Request::decode("launch the missiles").is_err());
+        assert!(Request::decode("cancel now").is_err());
+        assert!(Request::decode("watch 1 two").is_err());
         assert!(Response::decode("status 1 sideways -").is_err());
+        assert!(Response::decode("event 1 2 done 0 extra").is_err());
     }
 
     #[test]
@@ -734,32 +995,85 @@ mod tests {
             ManifestEntry {
                 id: 1,
                 state: JobState::Done,
+                seq: 3,
+                exit: Some(0),
                 spec: JobSpec::default(),
             },
             ManifestEntry {
                 id: 2,
                 state: JobState::Running,
+                seq: 2,
+                exit: None,
                 spec: JobSpec {
                     trials: 75,
                     tag: "resume-me".to_owned(),
+                    key: Some("retry-2".to_owned()),
                     ..JobSpec::default()
                 },
             },
             ManifestEntry {
                 id: 3,
+                state: JobState::Cancelled,
+                seq: 2,
+                exit: Some(11),
+                spec: JobSpec::default(),
+            },
+            ManifestEntry {
+                id: 4,
                 state: JobState::Queued,
+                seq: 1,
+                exit: None,
                 spec: JobSpec::default(),
             },
         ];
-        let text = encode_manifest(4, &entries);
-        assert_eq!(decode_manifest(&text), Ok((4, entries.clone())));
+        let text = encode_manifest(5, &entries);
+        assert_eq!(decode_manifest(&text), Ok((5, entries.clone())));
         assert!(decode_manifest("not a manifest").is_err());
         assert!(decode_manifest(MANIFEST_HEADER).is_err());
         // The stored form accepts both sealed and legacy unframed bytes,
         // and rejects a corrupted seal instead of parsing its payload.
         let sealed = iofault::seal(&text);
-        assert_eq!(decode_manifest_stored(&sealed), Ok((4, entries.clone())));
-        assert_eq!(decode_manifest_stored(&text), Ok((4, entries)));
+        assert_eq!(decode_manifest_stored(&sealed), Ok((5, entries.clone())));
+        assert_eq!(decode_manifest_stored(&text), Ok((5, entries)));
         assert!(decode_manifest_stored(&sealed[..sealed.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn legacy_manifest_entries_still_decode() {
+        // A manifest written before sequence numbers and persisted exit
+        // codes: `job <id> <state> <spec>`. It must decode with seq 1 and
+        // no exit — a restart on upgraded code keeps the old promises.
+        let text = format!(
+            "{MANIFEST_HEADER}\nnext 3\njob 1 done {}\njob 2 queued {}\n",
+            JobSpec::default().encode(),
+            JobSpec::default().encode()
+        );
+        let decoded = match decode_manifest(&text) {
+            Ok(d) => d,
+            Err(e) => panic!("legacy manifest rejected: {e}"),
+        };
+        assert_eq!(decoded.0, 3);
+        assert_eq!(decoded.1.len(), 2);
+        assert_eq!(decoded.1[0].state, JobState::Done);
+        assert_eq!(decoded.1[0].seq, 1);
+        assert_eq!(decoded.1[0].exit, None);
+        assert_eq!(decoded.1[1].state, JobState::Queued);
+    }
+
+    #[test]
+    fn terminal_marker_round_trips_and_rejects_nonterminal() {
+        for (state, exit) in [
+            (JobState::Done, 0),
+            (JobState::Failed, 5),
+            (JobState::Shed, 9),
+            (JobState::Cancelled, 11),
+        ] {
+            let text = encode_terminal_marker(state, exit);
+            assert_eq!(decode_terminal_marker(&text), Ok((state, exit)));
+        }
+        assert!(decode_terminal_marker("queued 0\n").is_err());
+        assert!(decode_terminal_marker("running 0").is_err());
+        assert!(decode_terminal_marker("done\n").is_err());
+        assert!(decode_terminal_marker("done zero\n").is_err());
     }
 }

@@ -267,10 +267,53 @@ pub enum Event {
     JobCompleted {
         /// Job id.
         job: u64,
-        /// Terminal status word (`"done"` / `"failed"` / `"shed"`).
+        /// Terminal status word (`"done"` / `"failed"` / `"shed"` /
+        /// `"cancelled"`).
         status: String,
         /// Job wall-clock nanoseconds in this server process.
         wall_ns: u64,
+    },
+    /// A client asked the service to cancel a job.
+    JobCancelled {
+        /// Job id.
+        job: u64,
+        /// Where the cancel landed: `"queued"` (dequeued before running)
+        /// or `"running"` (preempted at the engine's graceful-stop
+        /// boundary).
+        phase: String,
+    },
+    /// A restarted server made a recovery decision for one manifest
+    /// entry (the crash-recovery state machine, DESIGN.md §12).
+    JobRecovered {
+        /// Job id.
+        job: u64,
+        /// The startup action: `"requeued"` (non-terminal, will re-run
+        /// from its checkpoint) or the terminal state word restored from
+        /// the job's terminal marker (`"done"` / `"failed"` /
+        /// `"cancelled"` — finished before the crash, never re-run).
+        action: String,
+    },
+    /// A restarted server reaped orphaned temp files (`*.tmp.<pid>`
+    /// staging files abandoned by a `kill -9` mid-write).
+    TmpReaped {
+        /// How many orphans were removed.
+        count: u64,
+    },
+    /// A watch stream opened. `from` above zero means a reconnecting
+    /// client resuming after its last-seen transition — so wedged-stream
+    /// debugging can see every (re)connect in the event stream.
+    WatchConnect {
+        /// The watched job id.
+        job: u64,
+        /// The client's resume sequence number (0 = fresh watch).
+        from: u64,
+    },
+    /// One heartbeat frame was written to a watch stream. Emitted to the
+    /// events stream so a wedged or silent watch is visible in telemetry
+    /// rather than only on the socket.
+    HeartbeatSent {
+        /// The watched job id.
+        job: u64,
     },
 }
 
@@ -280,6 +323,7 @@ pub fn stop_reason_str(reason: crate::supervisor::StopReason) -> &'static str {
     match reason {
         crate::supervisor::StopReason::DeadlineExpired => "deadline",
         crate::supervisor::StopReason::Interrupted => "signal",
+        crate::supervisor::StopReason::Cancelled => "cancel",
     }
 }
 
@@ -743,6 +787,29 @@ impl Envelope {
                 b.str("status", status);
                 b.num("wall_ns", *wall_ns);
             }
+            Event::JobCancelled { job, phase } => {
+                b.str("event", "job_cancelled");
+                b.num("job", *job);
+                b.str("phase", phase);
+            }
+            Event::JobRecovered { job, action } => {
+                b.str("event", "job_recovered");
+                b.num("job", *job);
+                b.str("action", action);
+            }
+            Event::TmpReaped { count } => {
+                b.str("event", "tmp_reaped");
+                b.num("count", *count);
+            }
+            Event::WatchConnect { job, from } => {
+                b.str("event", "watch_connect");
+                b.num("job", *job);
+                b.num("from", *from);
+            }
+            Event::HeartbeatSent { job } => {
+                b.str("event", "heartbeat_sent");
+                b.num("job", *job);
+            }
         }
         b.finish()
     }
@@ -967,6 +1034,39 @@ impl Envelope {
                     job: num(&f, 3, "job")?,
                     status: str_field(&f, 4, "status")?,
                     wall_ns: num(&f, 5, "wall_ns")?,
+                }
+            }
+            "job_cancelled" => {
+                expect_len(5)?;
+                Event::JobCancelled {
+                    job: num(&f, 3, "job")?,
+                    phase: str_field(&f, 4, "phase")?,
+                }
+            }
+            "job_recovered" => {
+                expect_len(5)?;
+                Event::JobRecovered {
+                    job: num(&f, 3, "job")?,
+                    action: str_field(&f, 4, "action")?,
+                }
+            }
+            "tmp_reaped" => {
+                expect_len(4)?;
+                Event::TmpReaped {
+                    count: num(&f, 3, "count")?,
+                }
+            }
+            "watch_connect" => {
+                expect_len(5)?;
+                Event::WatchConnect {
+                    job: num(&f, 3, "job")?,
+                    from: num(&f, 4, "from")?,
+                }
+            }
+            "heartbeat_sent" => {
+                expect_len(4)?;
+                Event::HeartbeatSent {
+                    job: num(&f, 3, "job")?,
                 }
             }
             other => return Err(format!("unknown event type {other:?}")),
@@ -1390,6 +1490,17 @@ mod tests {
                 status: "done".to_owned(),
                 wall_ns: 2_500_000_000,
             },
+            Event::JobCancelled {
+                job: 4,
+                phase: "running".to_owned(),
+            },
+            Event::JobRecovered {
+                job: 2,
+                action: "requeued".to_owned(),
+            },
+            Event::TmpReaped { count: 3 },
+            Event::WatchConnect { job: 2, from: 4 },
+            Event::HeartbeatSent { job: 2 },
         ];
         for (seq, event) in events.into_iter().enumerate() {
             let env = Envelope {

@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn corrupted_manifests_never_decode_to_garbage(
         next_id in 1u64..=1000,
-        states in proptest::collection::vec(0u8..=4, 0..8),
+        states in proptest::collection::vec(0u8..=5, 0..8),
         offset in any::<usize>(),
         bit in any::<u8>(),
         truncate in any::<bool>(),
@@ -99,16 +99,22 @@ proptest! {
         let entries: Vec<ManifestEntry> = states
             .iter()
             .enumerate()
-            .map(|(i, s)| ManifestEntry {
-                id: i as u64,
-                state: match s {
+            .map(|(i, s)| {
+                let state = match s {
                     0 => JobState::Queued,
                     1 => JobState::Running,
                     2 => JobState::Done,
                     3 => JobState::Shed,
+                    4 => JobState::Cancelled,
                     _ => JobState::Failed,
-                },
-                spec: Default::default(),
+                };
+                ManifestEntry {
+                    id: i as u64,
+                    state,
+                    seq: i as u64 + 1,
+                    exit: state.is_terminal().then_some(i as i32 % 3),
+                    spec: Default::default(),
+                }
             })
             .collect();
         let stored = iofault::seal(&encode_manifest(next_id, &entries));

@@ -173,11 +173,16 @@ fn arb_event() -> impl Strategy<Value = Event> {
         n.prop_map(|job| Event::JobStarted { job }),
         (n, s.clone()).prop_map(|(job, reason)| Event::JobRejected { job, reason }),
         (n, s.clone()).prop_map(|(job, reason)| Event::JobDegraded { job, reason }),
-        (n, s, n).prop_map(|(job, status, wall_ns)| Event::JobCompleted {
+        (n, s.clone(), n).prop_map(|(job, status, wall_ns)| Event::JobCompleted {
             job,
             status,
             wall_ns,
         }),
+        (n, s.clone()).prop_map(|(job, phase)| Event::JobCancelled { job, phase }),
+        (n, s).prop_map(|(job, action)| Event::JobRecovered { job, action }),
+        n.prop_map(|count| Event::TmpReaped { count }),
+        (n, n).prop_map(|(job, from)| Event::WatchConnect { job, from }),
+        n.prop_map(|job| Event::HeartbeatSent { job }),
     ]
 }
 
