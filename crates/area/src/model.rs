@@ -1,7 +1,7 @@
 //! The structural area estimator.
 
 use sectlb_sim::machine::TlbDesign;
-use sectlb_tlb::config::TlbConfig;
+use sectlb_tlb::config::{MultiConfig, TlbConfig};
 
 /// Estimated FPGA resources for a whole processor with one TLB variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +80,30 @@ pub fn estimate(design: TlbDesign, config: TlbConfig) -> AreaEstimate {
             luts += entries * 8 + comparator_luts(config) + 1_400;
             regs += entries * 16 + 300;
         }
+        TlbDesign::Fs => {
+            // ASID-change detector plus a gang clear of the valid bits
+            // (one reset fan-out, no per-entry logic).
+            luts += 40;
+            regs += ASID_BITS + 1;
+        }
+        TlbDesign::Ft => {
+            // The FS clear plus the fan-out that wipes the replacement
+            // state (`fence.t` clears LRU stamps too).
+            luts += 40 + lru_luts(config) / 4;
+            regs += ASID_BITS + 1;
+        }
+        TlbDesign::Ms => {
+            // The 2MB and 1GB entry classes: their arrays, comparators,
+            // and LRU bookkeeping, plus class-hit arbitration on the
+            // shared lookup port.
+            let mc = MultiConfig::from_base(config);
+            for cls in [mc.mega, mc.giga] {
+                let e = cls.entries() as u64;
+                luts += e * LUTS_PER_ENTRY + comparator_luts(cls) + lru_luts(cls);
+                regs += e * ENTRY_REG_BITS + lru_regs(cls);
+            }
+            luts += 120;
+        }
     }
     AreaEstimate {
         luts,
@@ -139,6 +163,23 @@ mod tests {
             (0.02..0.10).contains(&overhead),
             "RF LUT overhead {overhead}"
         );
+    }
+
+    #[test]
+    fn temporal_designs_cost_about_sa_and_ms_pays_for_its_classes() {
+        for config in all_configs() {
+            let sa = estimate(TlbDesign::Sa, config);
+            let fs = estimate(TlbDesign::Fs, config);
+            let ft = estimate(TlbDesign::Ft, config);
+            let ms = estimate(TlbDesign::Ms, config);
+            // Clearing on switch is a reset line, not a datapath: under
+            // a percent, like SP.
+            let fs_overhead = (fs.luts - sa.luts) as f64 / sa.luts as f64;
+            assert!(fs_overhead < 0.01, "{config}: FS overhead {fs_overhead}");
+            assert!(ft.luts >= fs.luts, "{config}: fence.t adds the LRU wipe");
+            // The extra 2M/1G classes are real storage.
+            assert!(ms.luts > sa.luts && ms.registers > sa.registers, "{config}");
+        }
     }
 
     #[test]

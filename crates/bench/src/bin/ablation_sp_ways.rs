@@ -35,7 +35,10 @@ fn main() {
     let pp = *enumerate_vulnerabilities()
         .iter()
         .find(|v| v.strategy == Strategy::PrimeProbe)
-        .expect("row exists");
+        .unwrap_or_else(|| {
+            eprintln!("error: vulnerability enumeration has no Prime + Probe row");
+            std::process::exit(sectlb_bench::exit::EXIT_SETUP);
+        });
     let settings = TrialSettings {
         trials,
         workers: None, // sharding happens at sweep-point granularity
@@ -149,5 +152,9 @@ fn perf_mpki(victim_ways: usize, co: Option<SpecBenchmark>) -> f64 {
         3,
         |b| b.sp_victim_ways(victim_ways),
     )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(sectlb_bench::exit::EXIT_SETUP);
+    })
     .mpki
 }

@@ -147,7 +147,9 @@ impl Harness {
     fn kill_and_restart(&mut self, signal: &str) {
         if let Some(mut child) = self.server.take() {
             let pid = child.id().to_string();
-            let _ = Command::new("kill").args([&format!("-{signal}"), &pid]).status();
+            let _ = Command::new("kill")
+                .args([&format!("-{signal}"), &pid])
+                .status();
             let deadline = Instant::now() + Duration::from_secs(60);
             while child.try_wait().ok().flatten().is_none() {
                 if Instant::now() >= deadline {
@@ -212,8 +214,7 @@ impl Harness {
             (Some("exit"), Some(code)) => code.parse().ok(),
             _ => None,
         };
-        matches!(state, "done" | "failed" | "shed" | "cancelled")
-            .then(|| (state.to_owned(), exit))
+        matches!(state, "done" | "failed" | "shed" | "cancelled").then(|| (state.to_owned(), exit))
     }
 
     fn graceful_shutdown(&mut self) {
@@ -505,9 +506,7 @@ fn main() {
                 (Some(now), Some(before)) if now != *before => {
                     let key = job.key.clone();
                     let before = before.clone();
-                    harness.violation(format!(
-                        "job {key} settled twice: {before:?} then {now:?}"
-                    ));
+                    harness.violation(format!("job {key} settled twice: {before:?} then {now:?}"));
                 }
                 (Some(now), None) => job.terminal = Some(now),
                 (Some(_), Some(_)) => {}

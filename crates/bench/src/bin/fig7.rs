@@ -39,13 +39,13 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
     {
-        Some("sa") => vec![TlbDesign::Sa],
-        Some("sp") => vec![TlbDesign::Sp],
-        Some("rf") => vec![TlbDesign::Rf],
-        Some(other) => {
-            eprintln!("unknown design {other}; use sa, sp, or rf");
-            std::process::exit(2);
-        }
+        Some(name) => match TlbDesign::from_name(&name.to_ascii_uppercase()) {
+            Some(d) => vec![d],
+            None => {
+                eprintln!("unknown design {name}; use sa, sp, rf, fs, ft, or ms");
+                std::process::exit(2);
+            }
+        },
         None => TlbDesign::ALL.to_vec(),
     };
     let all_configs = TlbConfig::paper_performance_configs();
@@ -103,8 +103,13 @@ fn main() {
                         format!("{d} TLB {} {} x{r}", c.label(), w.label())
                     },
                     |&(d, c, w, r)| {
-                        let cell = run_cell_oracle(d, c, w, r, oracle_cfg, |b| b);
-                        (cell.ipc, cell.mpki)
+                        // A setup error panics the shard: the engine
+                        // retries it deterministically and renders the
+                        // cell QUAR if it keeps failing.
+                        match run_cell_oracle(d, c, w, r, oracle_cfg, |b| b) {
+                            Ok(cell) => (cell.ipc, cell.mpki),
+                            Err(e) => panic!("{e}"),
+                        }
                     },
                 );
                 (
@@ -124,7 +129,11 @@ fn main() {
                 tasks
                     .iter()
                     .map(|&(d, c, w, r)| {
-                        let cell = run_cell_oracle(d, c, w, r, oracle_cfg, |b| b);
+                        let cell =
+                            run_cell_oracle(d, c, w, r, oracle_cfg, |b| b).unwrap_or_else(|e| {
+                                eprintln!("error: {e}");
+                                std::process::exit(EXIT_SETUP);
+                            });
                         Ok((cell.ipc, cell.mpki))
                     })
                     .collect(),
@@ -142,7 +151,10 @@ fn main() {
                 (TlbDesign::Rf, "IPC") => "7c",
                 (TlbDesign::Sa, "MPKI") => "7d",
                 (TlbDesign::Sp, "MPKI") => "7e",
-                _ => "7f",
+                (TlbDesign::Rf, "MPKI") => "7f",
+                // The temporal and multi-page-size designs sit outside
+                // the paper's six panels.
+                _ => "7+",
             };
             println!("\nFigure {panel}: {metric} of the {design} TLB");
             print!("{:<22} {:>5}", "workload", "runs");
@@ -179,7 +191,7 @@ fn main() {
 
     if designs.len() == 3 {
         let h = headline(if quick { 10 } else { 50 }).unwrap_or_else(|e| {
-            eprintln!("error: headline baseline geometry rejected: {e}");
+            eprintln!("error: headline computation failed: {e}");
             std::process::exit(EXIT_SETUP);
         });
         println!("\nHeadline comparisons (Sections 6.3-6.5, SecRSA workloads, 4W 32):");

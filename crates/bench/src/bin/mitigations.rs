@@ -2,9 +2,13 @@
 //! types each pre-existing mitigation (and each of the paper's designs)
 //! defends.
 //!
-//! Usage: `mitigations [--trials N] [--adaptive[=ALPHA]] [--workers
-//! N|auto] [--checkpoint PATH] [--resume PATH] [--retries N]
+//! Usage: `mitigations [--trials N] [--extended] [--adaptive[=ALPHA]]
+//! [--workers N|auto] [--checkpoint PATH] [--resume PATH] [--retries N]
 //! [--kill-after N] [--inject-* ...] [--events PATH] [--metrics PATH]`
+//!
+//! `--extended` appends the temporal-partitioning designs (FS hardware
+//! flush-on-switch, FT `fence.t` full clear) and the multi-page-size
+//! TLB to the survey; the classic five rows keep their exact output.
 //!
 //! With `--workers` or any fault-tolerance flag the survey runs on the
 //! resilient engine, one shard per mitigation: a panicking survey row is
@@ -30,6 +34,11 @@ fn main() {
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
     let adaptive = cli::adaptive_flags(&args);
+    let survey: &[Mitigation] = if args.iter().any(|a| a == "--extended") {
+        &Mitigation::EXTENDED
+    } else {
+        &Mitigation::ALL
+    };
     let settings = TrialSettings {
         trials: cli::trials_flag(&args, 300),
         workers: None, // sharding happens at mitigation granularity below
@@ -51,7 +60,7 @@ fn main() {
     };
     match campaign::engine_workers(workers, &policy) {
         Some(engine_workers) => {
-            let tasks: Vec<Mitigation> = Mitigation::ALL.to_vec();
+            let tasks: Vec<Mitigation> = survey.to_vec();
             // The adaptive alpha joins the fingerprint (and the record
             // shape changes), so adaptive and exhaustive checkpoints can
             // never cross-resume.
@@ -121,7 +130,7 @@ fn main() {
         None => {
             obs.campaign_begin();
             let mut saved_total = 0;
-            for m in Mitigation::ALL {
+            for &m in survey {
                 let measured = match &test {
                     Some(test) => {
                         let (count, saved) = row(&m, test);

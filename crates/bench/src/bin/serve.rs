@@ -376,17 +376,16 @@ impl Server {
             Request::Status(id) => self.job_status(id),
             Request::Cancel(id) => {
                 let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-                let snapshot = s
-                    .jobs
-                    .get(&id)
-                    .map(|r| (r.state, r.exit, r.cancel.clone()));
+                let snapshot = s.jobs.get(&id).map(|r| (r.state, r.exit, r.cancel.clone()));
                 match snapshot {
                     None => Response::UnknownJob { job: id },
                     // Cancelling a finished job is idempotent: report
                     // the outcome it already reached.
-                    Some((state, exit, _)) if state.is_terminal() => {
-                        Response::Status { job: id, state, exit }
-                    }
+                    Some((state, exit, _)) if state.is_terminal() => Response::Status {
+                        job: id,
+                        state,
+                        exit,
+                    },
                     Some((JobState::Queued, _, _)) => {
                         s.queue.remove(id);
                         self.write_terminal_marker(id, JobState::Cancelled, EXIT_CANCELLED);
@@ -413,7 +412,11 @@ impl Server {
                             job: id,
                             phase: "running".to_owned(),
                         });
-                        Response::Status { job: id, state, exit }
+                        Response::Status {
+                            job: id,
+                            state,
+                            exit,
+                        }
                     }
                 }
             }
@@ -691,8 +694,8 @@ fn main() {
     // A static partition of the worker budget: every runner gets the
     // same share, so a job's shard schedule — and therefore its output —
     // never depends on what else the service happens to be running.
-    let job_workers = NonZeroUsize::new((pool.get() / max_active).max(1))
-        .unwrap_or(NonZeroUsize::MIN);
+    let job_workers =
+        NonZeroUsize::new((pool.get() / max_active).max(1)).unwrap_or(NonZeroUsize::MIN);
     let telemetry = match cli::events_flag(&args) {
         None => Telemetry::disabled(),
         Some(path) => match Telemetry::to_path("campaignd", &path) {

@@ -2,10 +2,16 @@
 //! TLBs — measured p1*, p2*, C* (500 trials per placement by default)
 //! against the theoretical p1, p2, C.
 //!
-//! Usage: `table4 [--trials N] [--workers N|auto] [--checkpoint PATH]
+//! Usage: `table4 [--trials N] [--designs sa,sp,rf,fs,ft,ms]
+//! [--workers N|auto] [--checkpoint PATH]
 //! [--resume PATH] [--retries N] [--kill-after N] [--inject-* ...]
 //! [--oracle[=RATE]] [--inject-corruption[=PM]]
 //! [--events PATH] [--metrics PATH]`
+//!
+//! `--designs` picks the table's design columns; the default is the
+//! paper's SA/SP/RF. `fs` (flush on switch) and `ft` (`fence.t` full
+//! clear) are the temporal-partitioning designs, `ms` the
+//! multi-page-size TLB.
 //!
 //! `--oracle` runs the shadow oracle in lockstep with the sampled trials;
 //! a violated invariant renders the cell SUSPECT (like QUARANTINED),
@@ -28,7 +34,8 @@ use sectlb_bench::observe::Observability;
 use sectlb_bench::{campaign, cli};
 use sectlb_secbench::oracle;
 use sectlb_secbench::report::{
-    build_table4_adaptive_observed, build_table4_resilient_observed, build_table4_with_stats,
+    build_table4_adaptive_observed_for, build_table4_resilient_observed_for,
+    build_table4_with_stats_for,
 };
 use sectlb_secbench::run::TrialSettings;
 use sectlb_secbench::supervisor;
@@ -39,6 +46,7 @@ fn main() {
     let workers = cli::workers_flag(&args);
     let policy = cli::campaign_flags(&args);
     let adaptive = cli::adaptive_flags(&args);
+    let designs = cli::designs_flag(&args).unwrap_or_else(|| TlbDesign::ALL.to_vec());
     let settings = TrialSettings {
         trials: cli::trials_flag(&args, TrialSettings::default().trials),
         workers,
@@ -49,8 +57,9 @@ fn main() {
     // there), defaulting to one worker like the fault-tolerance flags.
     let engine = campaign::engine_workers(workers, &policy).or(adaptive.map(|_| NonZeroUsize::MIN));
     eprintln!(
-        "running {} trials x 2 placements x 24 vulnerabilities x 3 designs ({}) ...",
+        "running {} trials x 2 placements x 24 vulnerabilities x {} designs ({}) ...",
         settings.trials,
+        designs.len(),
         match engine {
             Some(w) if adaptive.is_some() =>
                 format!("{w} workers, resilient engine, adaptive early stopping"),
@@ -63,16 +72,21 @@ fn main() {
         supervisor::install_signal_handlers();
         obs.campaign_begin();
         let built = match adaptive {
-            Some(a) => build_table4_adaptive_observed(
+            Some(a) => build_table4_adaptive_observed_for(
+                &designs,
                 &settings,
                 engine_workers,
                 &policy,
                 &a,
                 obs.telemetry(),
             ),
-            None => {
-                build_table4_resilient_observed(&settings, engine_workers, &policy, obs.telemetry())
-            }
+            None => build_table4_resilient_observed_for(
+                &designs,
+                &settings,
+                engine_workers,
+                &policy,
+                obs.telemetry(),
+            ),
         };
         obs.campaign_end();
         let report = match built {
@@ -112,7 +126,7 @@ fn main() {
         std::process::exit(summary.exit_code(report.exit_code()));
     }
     obs.campaign_begin();
-    let (table, stats) = build_table4_with_stats(&settings);
+    let (table, stats) = build_table4_with_stats_for(&designs, &settings);
     obs.campaign_end();
     let summary = oracle::conclude("table4", Path::new("repro"));
     let suspect: Vec<(usize, usize)> = table
@@ -121,7 +135,7 @@ fn main() {
         .enumerate()
         .flat_map(|(r, row)| {
             let v = row.vulnerability.to_string();
-            TlbDesign::ALL
+            designs
                 .iter()
                 .enumerate()
                 .filter(|(_, d)| summary.affects(&[&v, d.name()]))

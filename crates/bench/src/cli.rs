@@ -65,6 +65,7 @@ use sectlb_secbench::checkpoint::CheckpointPolicy;
 use sectlb_secbench::iofault::{IoFault, IoFaultKind};
 use sectlb_secbench::oracle::OracleConfig;
 use sectlb_secbench::resilience::{FaultPlan, RunPolicy};
+use sectlb_sim::machine::TlbDesign;
 
 use crate::exit::usage as exit_usage;
 
@@ -362,6 +363,37 @@ pub fn parse_adaptive(args: &[String]) -> Result<Option<AdaptivePolicy>, String>
     Ok(Some(AdaptivePolicy { alpha }))
 }
 
+/// Parses `--designs sa,sp,rf,fs,ft,ms` into a design-column list;
+/// `Ok(None)` when absent (drivers keep the classic SA/SP/RF columns).
+///
+/// Names are case-insensitive and deduplicated; an unknown or repeated
+/// name is rejected so a typo can never silently shrink the campaign.
+pub fn parse_designs(args: &[String]) -> Result<Option<Vec<TlbDesign>>, String> {
+    let Some(spec) = flag_value(args, "--designs")? else {
+        return Ok(None);
+    };
+    let mut designs = Vec::new();
+    for word in spec.split(',') {
+        match TlbDesign::from_name(&word.trim().to_ascii_uppercase()) {
+            Some(d) if designs.contains(&d) => {
+                return Err(format!("--designs lists {d} more than once"))
+            }
+            Some(d) => designs.push(d),
+            None => {
+                let known: Vec<String> = TlbDesign::EXTENDED
+                    .iter()
+                    .map(|d| d.name().to_ascii_lowercase())
+                    .collect();
+                return Err(format!(
+                    "--designs: unknown design {word:?} (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(Some(designs))
+}
+
 /// Parses `--events PATH` (JSONL event-stream sink); `Ok(None)` when
 /// absent.
 pub fn parse_events(args: &[String]) -> Result<Option<PathBuf>, String> {
@@ -403,6 +435,11 @@ pub fn campaign_flags(args: &[String]) -> RunPolicy {
 /// [`parse_adaptive`], exiting 2 with the error on a malformed value.
 pub fn adaptive_flags(args: &[String]) -> Option<AdaptivePolicy> {
     parse_adaptive(args).unwrap_or_else(|e| exit_usage(e))
+}
+
+/// [`parse_designs`], exiting 2 with the error on a malformed value.
+pub fn designs_flag(args: &[String]) -> Option<Vec<TlbDesign>> {
+    parse_designs(args).unwrap_or_else(|e| exit_usage(e))
 }
 
 /// [`parse_events`], exiting 2 with the error on a malformed value.
@@ -697,6 +734,30 @@ mod tests {
         let err = parse_adaptive(&args(&["prog", "--adaptive", "--kill-after", "2"]))
             .expect_err("rejected");
         assert!(err.contains("conflicts with --kill-after"), "{err}");
+    }
+
+    #[test]
+    fn designs_flag_parses_extended_lists_and_rejects_typos() {
+        assert_eq!(parse_designs(&args(&["prog"])), Ok(None));
+        assert_eq!(
+            parse_designs(&args(&["prog", "--designs", "sa,sp,rf"])),
+            Ok(Some(TlbDesign::ALL.to_vec()))
+        );
+        assert_eq!(
+            parse_designs(&args(&["prog", "--designs", "SA,fs,Ft,ms"])),
+            Ok(Some(vec![
+                TlbDesign::Sa,
+                TlbDesign::Fs,
+                TlbDesign::Ft,
+                TlbDesign::Ms
+            ]))
+        );
+        let err = parse_designs(&args(&["prog", "--designs", "sa,xx"])).expect_err("rejected");
+        assert!(err.contains("unknown design \"xx\""), "{err}");
+        assert!(err.contains("fs, ft, ms"), "{err}");
+        let err = parse_designs(&args(&["prog", "--designs", "rf,rf"])).expect_err("rejected");
+        assert!(err.contains("more than once"), "{err}");
+        assert!(parse_designs(&args(&["prog", "--designs"])).is_err());
     }
 
     #[test]

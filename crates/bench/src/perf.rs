@@ -55,6 +55,39 @@ impl Workload {
     }
 }
 
+/// Why a Figure 7 cell could not be measured.
+///
+/// The perf layer never panics on bad input: a rejected address-space
+/// setup or an empty run surfaces here, and the drivers exit
+/// [`crate::exit::EXIT_SETUP`] with the message instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// The OS rejected the workload's address-space setup (mapping the
+    /// RSA layout, the co-runner's region, or the victim protection).
+    Setup(String),
+    /// The run retired no instructions, so IPC and MPKI are undefined.
+    NoInstructions,
+}
+
+impl std::fmt::Display for PerfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfError::Setup(msg) => write!(f, "workload setup rejected: {msg}"),
+            PerfError::NoInstructions => {
+                write!(f, "run retired no instructions; IPC/MPKI undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+impl From<ConfigError> for PerfError {
+    fn from(e: ConfigError) -> PerfError {
+        PerfError::Setup(e.to_string())
+    }
+}
+
 /// One measured cell of Figure 7.
 #[derive(Debug, Clone, Copy)]
 pub struct PerfCell {
@@ -73,7 +106,12 @@ pub struct PerfCell {
 }
 
 /// Runs one Figure 7 cell.
-pub fn run_cell(design: TlbDesign, config: TlbConfig, workload: Workload, runs: usize) -> PerfCell {
+pub fn run_cell(
+    design: TlbDesign,
+    config: TlbConfig,
+    workload: Workload,
+    runs: usize,
+) -> Result<PerfCell, PerfError> {
     run_cell_with(design, config, workload, runs, |b| b)
 }
 
@@ -84,7 +122,7 @@ pub fn run_cell_with(
     workload: Workload,
     runs: usize,
     customize: impl FnOnce(MachineBuilder) -> MachineBuilder,
-) -> PerfCell {
+) -> Result<PerfCell, PerfError> {
     run_cell_oracle(design, config, workload, runs, None, customize)
 }
 
@@ -103,7 +141,7 @@ pub fn run_cell_oracle(
     runs: usize,
     oracle: Option<OracleConfig>,
     customize: impl FnOnce(MachineBuilder) -> MachineBuilder,
-) -> PerfCell {
+) -> Result<PerfCell, PerfError> {
     let key = RsaKey::demo_128();
     let layout = RsaLayout::new();
     let seed = 0xf167 ^ runs as u64;
@@ -129,11 +167,13 @@ pub fn run_cell_oracle(
     }
     let rsa_asid = m.os_mut().create_process();
     for page in layout.all_pages() {
-        m.os_mut().map_page(rsa_asid, page).expect("fresh machine");
+        m.os_mut()
+            .map_page(rsa_asid, page)
+            .map_err(|e| PerfError::Setup(format!("mapping RSA page {page:?}: {e}")))?;
     }
     if workload.secure {
         m.protect_victim(rsa_asid, layout.secure_region())
-            .expect("fresh machine");
+            .map_err(|e| PerfError::Setup(format!("protecting the RSA secure region: {e}")))?;
     }
     let ciphertext = encrypt(&key, &[0xfeedu64]);
     let rsa_prog = decryption_program(&key, &ciphertext, layout, runs);
@@ -148,7 +188,12 @@ pub fn run_cell_oracle(
             let spec_base = Vpn(0x10_000);
             m.os_mut()
                 .map_region(spec_asid, spec_base, bench.footprint_pages())
-                .expect("fresh machine");
+                .map_err(|e| {
+                    PerfError::Setup(format!(
+                        "mapping the {} co-runner region: {e}",
+                        bench.name()
+                    ))
+                })?;
             // The SPEC benchmark runs "in background" while RSA decrypts
             // continuously: give it a comparable instruction volume.
             let spec_accesses = rsa_prog.len() / 3;
@@ -163,14 +208,14 @@ pub fn run_cell_oracle(
             );
         }
     }
-    PerfCell {
+    Ok(PerfCell {
         design,
         config,
         workload,
         runs,
-        ipc: m.ipc().expect("instructions retired"),
-        mpki: m.mpki().expect("instructions retired"),
-    }
+        ipc: m.ipc().ok_or(PerfError::NoInstructions)?,
+        mpki: m.mpki().ok_or(PerfError::NoInstructions)?,
+    })
 }
 
 /// Runs a sweep over configurations and workloads for one design — one
@@ -180,16 +225,16 @@ pub fn sweep(
     configs: &[TlbConfig],
     workloads: &[Workload],
     runs: &[usize],
-) -> Vec<PerfCell> {
+) -> Result<Vec<PerfCell>, PerfError> {
     let mut out = Vec::new();
     for &w in workloads {
         for &r in runs {
             for &c in configs {
-                out.push(run_cell(design, c, w, r));
+                out.push(run_cell(design, c, w, r)?);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Aggregate comparisons reported in Sections 6.3–6.5.
@@ -208,23 +253,23 @@ pub struct Headline {
 /// Computes the headline ratios on the protected (SecRSA) workloads with
 /// the paper's baseline geometry.
 ///
-/// Returns the geometry's typed [`ConfigError`] instead of panicking if
-/// the baseline configuration is ever rejected — callers surface it and
-/// exit [`crate::exit::EXIT_SETUP`].
-pub fn headline(runs: usize) -> Result<Headline, ConfigError> {
+/// Returns a typed [`PerfError`] instead of panicking if the baseline
+/// configuration or any cell's setup is ever rejected — callers surface
+/// it and exit [`crate::exit::EXIT_SETUP`].
+pub fn headline(runs: usize) -> Result<Headline, PerfError> {
     let base = TlbConfig::sa(32, 4)?;
     let workloads: Vec<Workload> = Workload::all().into_iter().filter(|w| w.secure).collect();
     // Per-workload MPKI ratios, then the mean across workloads — so the
     // low-MPKI workloads (where the partition hurts most, relatively)
     // count as much as the TLB-saturating ones.
-    let mpki = |design, w| run_cell(design, base, w, runs).mpki.max(1e-6);
+    let mpki = |design, w| run_cell(design, base, w, runs).map(|c| c.mpki.max(1e-6));
     let mut sp_ratios = Vec::new();
     let mut rf_ratios = Vec::new();
     let mut rf_sp_ratios = Vec::new();
     for &w in &workloads {
-        let sa = mpki(TlbDesign::Sa, w);
-        let sp = mpki(TlbDesign::Sp, w);
-        let rf = mpki(TlbDesign::Rf, w);
+        let sa = mpki(TlbDesign::Sa, w)?;
+        let sp = mpki(TlbDesign::Sp, w)?;
+        let rf = mpki(TlbDesign::Rf, w)?;
         sp_ratios.push(sp / sa);
         rf_ratios.push(rf / sa);
         rf_sp_ratios.push(rf / sp);
@@ -237,8 +282,8 @@ pub fn headline(runs: usize) -> Result<Headline, ConfigError> {
         secure: false,
         co_runner: None,
     };
-    let ipc_1e = run_cell(TlbDesign::Sa, TlbConfig::single_entry(), rsa_only, runs).ipc;
-    let ipc_4w = run_cell(TlbDesign::Sa, base, rsa_only, runs).ipc;
+    let ipc_1e = run_cell(TlbDesign::Sa, TlbConfig::single_entry(), rsa_only, runs)?.ipc;
+    let ipc_4w = run_cell(TlbDesign::Sa, base, rsa_only, runs)?.ipc;
     Ok(Headline {
         sp_over_sa_mpki: sp,
         rf_over_sa_mpki: rf,
@@ -261,6 +306,7 @@ mod tests {
             },
             2,
         )
+        .expect("quick workload sets up cleanly")
     }
 
     #[test]
@@ -307,6 +353,7 @@ mod tests {
             },
             2,
         )
+        .expect("co-run workload sets up cleanly")
     }
 
     #[test]
@@ -344,7 +391,8 @@ mod tests {
                 co_runner: Some(SpecBenchmark::Omnetpp),
             },
             2,
-        );
+        )
+        .expect("co-run workload sets up cleanly");
         assert!(with_spec.mpki > alone.mpki);
     }
 }

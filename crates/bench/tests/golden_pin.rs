@@ -62,7 +62,8 @@ fn fig7_rf_cells_are_pinned() {
         ),
     ];
     for (workload, ipc, mpki) in cases {
-        let cell = run_cell(TlbDesign::Rf, TlbConfig::security_eval(), workload, 10);
+        let cell = run_cell(TlbDesign::Rf, TlbConfig::security_eval(), workload, 10)
+            .expect("pinned workload sets up cleanly");
         let label = workload.label();
         assert_eq!(
             format!("{:.6}", cell.ipc),

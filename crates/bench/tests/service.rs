@@ -285,7 +285,10 @@ fn wait_cancelled(socket: &Path, id: u64) -> String {
             !line.contains(" done") && !line.contains(" failed"),
             "job {id} finished instead of cancelling: {line}"
         );
-        assert!(Instant::now() < deadline, "job {id} never cancelled: {line}");
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never cancelled: {line}"
+        );
         std::thread::sleep(Duration::from_millis(50));
     }
 }
@@ -301,8 +304,12 @@ fn kill_dash_nine_mid_job_recovers_on_restart_byte_identically() {
         "2",
     ];
     let submissions: [&[&str]; 2] = [
-        &["submit", "--trials", "40", "--seed", "33", "--tag", "crash-a"],
-        &["submit", "--trials", "40", "--seed", "44", "--tag", "crash-b"],
+        &[
+            "submit", "--trials", "40", "--seed", "33", "--tag", "crash-a",
+        ],
+        &[
+            "submit", "--trials", "40", "--seed", "44", "--tag", "crash-b",
+        ],
     ];
 
     // Reference: the same two jobs on a server that is never disturbed.

@@ -133,7 +133,9 @@ impl ChaosPlan {
             ChaosAction::StatusProbe,
         ];
         let actions = (0..len as u64)
-            .map(|i| BUCKETS[(splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 16) as usize])
+            .map(|i| {
+                BUCKETS[(splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 16) as usize]
+            })
             .collect();
         ChaosPlan { seed, actions }
     }

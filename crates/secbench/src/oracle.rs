@@ -220,6 +220,7 @@ fn size_name(s: PageSize) -> &'static str {
     match s {
         PageSize::Base => "base",
         PageSize::Mega => "mega",
+        PageSize::Giga => "giga",
     }
 }
 

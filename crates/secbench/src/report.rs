@@ -41,8 +41,9 @@ impl Cell {
 pub struct Row {
     /// The vulnerability.
     pub vulnerability: Vulnerability,
-    /// SA, SP, RF cells.
-    pub cells: [Cell; 3],
+    /// One cell per design column, in [`Table4::designs`] order
+    /// (classically SA, SP, RF).
+    pub cells: Vec<Cell>,
 }
 
 /// The assembled table.
@@ -52,6 +53,21 @@ pub struct Table4 {
     pub rows: Vec<Row>,
     /// Trials per placement used for the measurements.
     pub trials: u32,
+    /// The design columns, left to right. The classic table is
+    /// [`TlbDesign::ALL`]; `--designs` extends it with the temporal and
+    /// multi-page-size designs.
+    pub designs: Vec<TlbDesign>,
+}
+
+/// The number of the 24 vulnerability types the paper's closed-form
+/// model says `design` defends — the `(paper: ...)` footer numbers,
+/// derived from the theory rather than hardcoded per design.
+pub fn paper_defended_count(design: TlbDesign) -> usize {
+    let params = TheoryParams::default();
+    enumerate_vulnerabilities()
+        .iter()
+        .filter(|v| paper_theory(v, design, &params).defends())
+        .count()
 }
 
 /// Capacity threshold for calling a measured channel "about 0"
@@ -76,14 +92,21 @@ pub fn build_table4(settings: &TrialSettings) -> Table4 {
 /// the assembled table is bitwise identical in all cases because every
 /// trial's seed depends only on its coordinates.
 pub fn build_table4_with_stats(settings: &TrialSettings) -> (Table4, Option<PoolStats>) {
+    build_table4_with_stats_for(&TlbDesign::ALL, settings)
+}
+
+/// [`build_table4_with_stats`] over an explicit design-column list —
+/// the `--designs` path. With [`TlbDesign::ALL`] the table (and its
+/// rendering) is byte-identical to the classic three-column one.
+pub fn build_table4_with_stats_for(
+    designs: &[TlbDesign],
+    settings: &TrialSettings,
+) -> (Table4, Option<PoolStats>) {
     let params = TheoryParams::default();
     let vulns = enumerate_vulnerabilities();
     let (measurements, stats): (Vec<Measurement>, Option<PoolStats>) = match settings.workers {
         Some(workers) => {
-            let cells: Vec<(Vulnerability, TlbDesign)> = vulns
-                .iter()
-                .flat_map(|&v| TlbDesign::ALL.map(|d| (v, d)))
-                .collect();
+            let cells = table4_cells_for(designs);
             let (measurements, stats) = measure_cells(&cells, settings, workers, &|b| b);
             (measurements, Some(stats))
         }
@@ -94,26 +117,31 @@ pub fn build_table4_with_stats(settings: &TrialSettings) -> (Table4, Option<Pool
             };
             let measurements = vulns
                 .iter()
-                .flat_map(|v| TlbDesign::ALL.map(|d| run_vulnerability(v, d, &serial)))
+                .flat_map(|v| designs.iter().map(|&d| run_vulnerability(v, d, &serial)))
                 .collect();
             (measurements, None)
         }
     };
     let rows = vulns
         .into_iter()
-        .zip(measurements.chunks_exact(3))
+        .zip(measurements.chunks_exact(designs.len()))
         .map(|(v, cells)| Row {
             vulnerability: v,
-            cells: core::array::from_fn(|i| Cell {
-                measured: cells[i],
-                theory: paper_theory(&v, TlbDesign::ALL[i], &params),
-            }),
+            cells: cells
+                .iter()
+                .zip(designs)
+                .map(|(&measured, &d)| Cell {
+                    measured,
+                    theory: paper_theory(&v, d, &params),
+                })
+                .collect(),
         })
         .collect();
     (
         Table4 {
             rows,
             trials: settings.trials,
+            designs: designs.to_vec(),
         },
         stats,
     )
@@ -121,8 +149,8 @@ pub fn build_table4_with_stats(settings: &TrialSettings) -> (Table4, Option<Pool
 
 impl Table4 {
     /// Number of rows each design defends, per the measured capacity.
-    pub fn defended_counts(&self) -> [usize; 3] {
-        let mut counts = [0usize; 3];
+    pub fn defended_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.designs.len()];
         for row in &self.rows {
             for (i, cell) in row.cells.iter().enumerate() {
                 if cell.measured.defends(DEFENDED_THRESHOLD) {
@@ -185,22 +213,24 @@ impl Table4 {
         partial: &[(usize, usize, CellGap)],
     ) -> String {
         let mut out = String::new();
+        let names: Vec<&str> = self.designs.iter().map(|d| d.name()).collect();
         let _ = writeln!(
             out,
-            "Table 4: SA / SP / RF TLB — simulated (p1*, p2*, C*) vs. theoretical (p1, p2, C)"
+            "Table 4: {} TLB — simulated (p1*, p2*, C*) vs. theoretical (p1, p2, C)",
+            names.join(" / ")
         );
         let _ = writeln!(out, "({} trials per placement per cell)", self.trials);
-        let header = format!(
-            "{:<34} {:<30} | {:^24} | {:^24} | {:^24}",
-            "Attack Strategy", "Vulnerability", "SA TLB", "SP TLB", "RF TLB"
-        );
+        let mut header = format!("{:<34} {:<30}", "Attack Strategy", "Vulnerability");
+        for name in &names {
+            let _ = write!(header, " | {:^24}", format!("{name} TLB"));
+        }
         let _ = writeln!(out, "{}", "-".repeat(header.len()));
         let _ = writeln!(out, "{header}");
-        let _ = writeln!(
-            out,
-            "{:<34} {:<30} | {:>7} {:>7} {:>4} {:>3} | {:>7} {:>7} {:>4} {:>3} | {:>7} {:>7} {:>4} {:>3}",
-            "", "", "p1*", "p2*", "C*", "C", "p1*", "p2*", "C*", "C", "p1*", "p2*", "C*", "C"
-        );
+        let mut sub = format!("{:<34} {:<30}", "", "");
+        for _ in &names {
+            let _ = write!(sub, " | {:>7} {:>7} {:>4} {:>3}", "p1*", "p2*", "C*", "C");
+        }
+        let _ = writeln!(out, "{sub}");
         let _ = writeln!(out, "{}", "-".repeat(header.len()));
         let mut last_strategy = String::new();
         for (r, row) in self.rows.iter().enumerate() {
@@ -236,7 +266,7 @@ impl Table4 {
             let _ = writeln!(out, "{line}");
         }
         let _ = writeln!(out, "{}", "-".repeat(header.len()));
-        let mut counts = [0usize; 3];
+        let mut counts = vec![0usize; self.designs.len()];
         for (r, row) in self.rows.iter().enumerate() {
             for (c, cell) in row.cells.iter().enumerate() {
                 if !masked.contains(&(r, c))
@@ -248,11 +278,21 @@ impl Table4 {
                 }
             }
         }
-        let [sa, sp, rf] = counts;
+        let measured: Vec<String> = names
+            .iter()
+            .zip(&counts)
+            .map(|(name, n)| format!("{name} {n}/24"))
+            .collect();
+        let paper: Vec<String> = self
+            .designs
+            .iter()
+            .map(|&d| paper_defended_count(d).to_string())
+            .collect();
         let _ = writeln!(
             out,
-            "defended (measured C* <= {DEFENDED_THRESHOLD}): SA {sa}/24, SP {sp}/24, RF {rf}/24 \
-             (paper: 10, 14, 24)"
+            "defended (measured C* <= {DEFENDED_THRESHOLD}): {} (paper: {})",
+            measured.join(", "),
+            paper.join(", ")
         );
         if !masked.is_empty() {
             let _ = writeln!(
@@ -290,7 +330,7 @@ pub struct QuarantinedCell {
     pub design: TlbDesign,
     /// Row index in [`Table4::rows`].
     pub row: usize,
-    /// Column index (0 = SA, 1 = SP, 2 = RF).
+    /// Column index into [`Table4::designs`] (classically 0 = SA, 1 = SP, 2 = RF).
     pub col: usize,
     /// Merged measurement of the shards that did complete.
     pub partial: Measurement,
@@ -308,7 +348,7 @@ pub struct PartialCell {
     pub design: TlbDesign,
     /// Row index in [`Table4::rows`].
     pub row: usize,
-    /// Column index (0 = SA, 1 = SP, 2 = RF).
+    /// Column index into [`Table4::designs`] (classically 0 = SA, 1 = SP, 2 = RF).
     pub col: usize,
     /// Merged measurement of the trials that did complete.
     pub partial: Measurement,
@@ -431,7 +471,7 @@ impl CampaignReport {
                  trials x 2 placements",
                 adaptive.alpha,
                 adaptive.stopped.len(),
-                self.table.rows.len() * 3,
+                self.table.rows.len() * self.table.designs.len(),
                 adaptive.saved()
             );
             for &(r, c, used) in &adaptive.stopped {
@@ -439,7 +479,7 @@ impl CampaignReport {
                     out,
                     "adaptive stop [{} on {} TLB]: settled after {} of {} trials (saved {})",
                     self.table.rows[r].vulnerability,
-                    TlbDesign::ALL[c],
+                    self.table.designs[c],
                     used,
                     adaptive.full_trials,
                     adaptive.full_trials.saturating_sub(used)
@@ -455,7 +495,7 @@ impl CampaignReport {
         let mut out = Vec::new();
         for (r, row) in self.table.rows.iter().enumerate() {
             let v = row.vulnerability.to_string();
-            for (c, d) in TlbDesign::ALL.iter().enumerate() {
+            for (c, d) in self.table.designs.iter().enumerate() {
                 if summary.affects(&[&v, d.name()]) {
                     out.push((r, c));
                 }
@@ -502,9 +542,14 @@ impl CampaignReport {
 /// The full Table 4 cell list, in row-major `(vulnerability, design)`
 /// order — the task space shared by every Table 4 campaign path.
 pub fn table4_cells() -> Vec<(Vulnerability, TlbDesign)> {
+    table4_cells_for(&TlbDesign::ALL)
+}
+
+/// [`table4_cells`] over an explicit design-column list.
+pub fn table4_cells_for(designs: &[TlbDesign]) -> Vec<(Vulnerability, TlbDesign)> {
     enumerate_vulnerabilities()
         .iter()
-        .flat_map(|&v| TlbDesign::ALL.map(|d| (v, d)))
+        .flat_map(|&v| designs.iter().map(move |&d| (v, d)))
         .collect()
 }
 
@@ -535,7 +580,19 @@ pub fn build_table4_resilient_observed(
     policy: &RunPolicy,
     telemetry: &crate::telemetry::Telemetry,
 ) -> Result<CampaignReport, CampaignError> {
-    let cells = table4_cells();
+    build_table4_resilient_observed_for(&TlbDesign::ALL, settings, workers, policy, telemetry)
+}
+
+/// [`build_table4_resilient_observed`] over an explicit design-column
+/// list — the `--designs` path through the fault-tolerant engine.
+pub fn build_table4_resilient_observed_for(
+    designs: &[TlbDesign],
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    telemetry: &crate::telemetry::Telemetry,
+) -> Result<CampaignReport, CampaignError> {
+    let cells = table4_cells_for(designs);
     let outcome = crate::resilience::measure_cells_resilient_observed(
         &cells,
         settings,
@@ -545,6 +602,7 @@ pub fn build_table4_resilient_observed(
         &|b| b,
     )?;
     Ok(assemble_campaign_report(
+        designs,
         &cells,
         settings,
         outcome.cells,
@@ -585,7 +643,27 @@ pub fn build_table4_adaptive_observed(
     adaptive: &AdaptivePolicy,
     telemetry: &crate::telemetry::Telemetry,
 ) -> Result<CampaignReport, CampaignError> {
-    let cells = table4_cells();
+    build_table4_adaptive_observed_for(
+        &TlbDesign::ALL,
+        settings,
+        workers,
+        policy,
+        adaptive,
+        telemetry,
+    )
+}
+
+/// [`build_table4_adaptive_observed`] over an explicit design-column
+/// list — the `--designs --adaptive` path.
+pub fn build_table4_adaptive_observed_for(
+    designs: &[TlbDesign],
+    settings: &TrialSettings,
+    workers: NonZeroUsize,
+    policy: &RunPolicy,
+    adaptive: &AdaptivePolicy,
+    telemetry: &crate::telemetry::Telemetry,
+) -> Result<CampaignReport, CampaignError> {
+    let cells = table4_cells_for(designs);
     let outcome = crate::adaptive::measure_cells_adaptive_observed(
         &cells,
         settings,
@@ -595,13 +673,14 @@ pub fn build_table4_adaptive_observed(
         telemetry,
         &|b| b,
     )?;
+    let ncols = designs.len();
     let stopped: Vec<(usize, usize, u32)> = outcome
         .cells
         .iter()
         .enumerate()
         .filter_map(|(i, cell)| match cell {
             CellOutcome::Measured(m) if m.trials < outcome.full_trials => {
-                Some((i / 3, i % 3, m.trials))
+                Some((i / ncols, i % ncols, m.trials))
             }
             _ => None,
         })
@@ -612,6 +691,7 @@ pub fn build_table4_adaptive_observed(
         stopped,
     };
     Ok(assemble_campaign_report(
+        designs,
         &cells,
         settings,
         outcome.cells,
@@ -627,6 +707,7 @@ pub fn build_table4_adaptive_observed(
 /// the exhaustive and adaptive engines.
 #[allow(clippy::too_many_arguments)]
 fn assemble_campaign_report(
+    designs: &[TlbDesign],
     cells: &[(Vulnerability, TlbDesign)],
     settings: &TrialSettings,
     outcomes: Vec<CellOutcome>,
@@ -637,6 +718,7 @@ fn assemble_campaign_report(
     adaptive: Option<AdaptiveSummary>,
 ) -> CampaignReport {
     let params = TheoryParams::default();
+    let ncols = designs.len();
     let mut quarantined = Vec::new();
     let mut partial_cells = Vec::new();
     let measurements: Vec<Measurement> = outcomes
@@ -648,8 +730,8 @@ fn assemble_campaign_report(
                 quarantined.push(QuarantinedCell {
                     vulnerability: cells[i].0,
                     design: cells[i].1,
-                    row: i / 3,
-                    col: i % 3,
+                    row: i / ncols,
+                    col: i % ncols,
                     partial: *partial,
                     failure: failure.clone(),
                 });
@@ -659,8 +741,8 @@ fn assemble_campaign_report(
                 partial_cells.push(PartialCell {
                     vulnerability: cells[i].0,
                     design: cells[i].1,
-                    row: i / 3,
-                    col: i % 3,
+                    row: i / ncols,
+                    col: i % ncols,
                     partial: *partial,
                     gap: *gap,
                 });
@@ -671,19 +753,24 @@ fn assemble_campaign_report(
     let vulns = enumerate_vulnerabilities();
     let rows = vulns
         .into_iter()
-        .zip(measurements.chunks_exact(3))
+        .zip(measurements.chunks_exact(ncols))
         .map(|(v, cells)| Row {
             vulnerability: v,
-            cells: core::array::from_fn(|i| Cell {
-                measured: cells[i],
-                theory: paper_theory(&v, TlbDesign::ALL[i], &params),
-            }),
+            cells: cells
+                .iter()
+                .zip(designs)
+                .map(|(&measured, &d)| Cell {
+                    measured,
+                    theory: paper_theory(&v, d, &params),
+                })
+                .collect(),
         })
         .collect();
     CampaignReport {
         table: Table4 {
             rows,
             trials: settings.trials,
+            designs: designs.to_vec(),
         },
         quarantined,
         partial: partial_cells,
@@ -713,11 +800,55 @@ mod tests {
         };
         let table = build_table4(&settings);
         assert_eq!(table.rows.len(), 24);
-        let [sa, sp, rf] = table.defended_counts();
+        let [sa, sp, rf] = table.defended_counts()[..] else {
+            panic!("classic table has three columns");
+        };
         assert_eq!(sa, 10, "SA TLB defends 10 of 24");
         assert_eq!(sp, 14, "SP TLB defends 14 of 24");
         assert_eq!(rf, 24, "RF TLB defends all 24");
         assert!(table.all_verdicts_match(), "measured verdicts match theory");
+    }
+
+    /// The `--designs` path: the extended six-column table reproduces
+    /// the closed-form defended counts for the temporal and
+    /// multi-page-size designs, and its renderer derives the paper
+    /// footer from theory.
+    #[test]
+    fn extended_table_reproduces_closed_form_counts() {
+        let settings = TrialSettings {
+            trials: 50,
+            ..TrialSettings::default()
+        };
+        let (table, _) = build_table4_with_stats_for(&TlbDesign::EXTENDED, &settings);
+        assert_eq!(table.defended_counts(), vec![10, 14, 24, 14, 14, 10]);
+        assert!(table.all_verdicts_match(), "measured verdicts match theory");
+        let text = table.render();
+        assert!(text.contains("Table 4: SA / SP / RF / FS / FT / MS TLB"));
+        assert!(text.contains("FT TLB"));
+        assert!(
+            text.contains("SA 10/24, SP 14/24, RF 24/24, FS 14/24, FT 14/24, MS 10/24"),
+            "footer counts:\n{text}"
+        );
+        assert!(text.contains("(paper: 10, 14, 24, 14, 14, 10)"));
+    }
+
+    /// The classic three-column rendering must not move: the golden
+    /// table pins depend on the generalized renderer producing exactly
+    /// the historical header and footer for [`TlbDesign::ALL`].
+    #[test]
+    fn classic_render_keeps_the_historical_header_and_footer() {
+        let settings = TrialSettings {
+            trials: 10,
+            ..TrialSettings::default()
+        };
+        let table = build_table4(&settings);
+        let text = table.render();
+        assert!(text.contains(
+            "Table 4: SA / SP / RF TLB — simulated (p1*, p2*, C*) vs. theoretical (p1, p2, C)"
+        ));
+        assert!(text
+            .contains("|          SA TLB          |          SP TLB          |          RF TLB"));
+        assert!(text.contains(" (paper: 10, 14, 24)\n"));
     }
 
     #[test]

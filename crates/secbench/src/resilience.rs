@@ -1278,7 +1278,13 @@ pub fn cells_fingerprint(cells: &[(Vulnerability, TlbDesign)], settings: &TrialS
         cells.iter().flat_map(|(v, d)| {
             [
                 vulnerability_code(v),
-                TlbDesign::ALL.iter().position(|&x| x == *d).unwrap_or(0) as u64,
+                // EXTENDED so the temporal/multi-size columns fingerprint
+                // distinctly; codes 0..=2 match the classic list, keeping
+                // old checkpoints resumable.
+                TlbDesign::EXTENDED
+                    .iter()
+                    .position(|&x| x == *d)
+                    .unwrap_or(0) as u64,
             ]
         }),
     )

@@ -178,7 +178,12 @@ impl PlanBuilder {
     /// Ways of the tested set the actor can occupy on this design.
     fn actor_ways(&self, actor: Actor) -> usize {
         match self.design {
-            TlbDesign::Sa | TlbDesign::Rf => self.config.ways(),
+            // FS/FT are the SA array plus a switch-time clear, and MS's
+            // base class carries the full evaluation geometry: an actor
+            // can occupy every way on all of them.
+            TlbDesign::Sa | TlbDesign::Rf | TlbDesign::Fs | TlbDesign::Ft | TlbDesign::Ms => {
+                self.config.ways()
+            }
             TlbDesign::Sp => {
                 let victim_ways = self.config.ways() / 2;
                 match actor {

@@ -200,6 +200,25 @@ impl Os {
         Ok(())
     }
 
+    /// Maps a 1 GiB gigapage at `base` (512²-page aligned) in `asid`'s
+    /// address space — the largest translation granularity the Sv39-style
+    /// walker supports, exercised by the multi-page-size TLB designs.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the process does not exist or mapping fails.
+    pub fn map_giga_page(&mut self, asid: Asid, base: Vpn) -> Result<(), OsError> {
+        let process = self
+            .processes
+            .get_mut(&asid)
+            .ok_or(OsError::NoSuchProcess(asid))?;
+        let frame = self.frames.alloc().map_err(MapError::from)?;
+        process
+            .page_table
+            .map_giga(base, frame, PteFlags::rw_user())?;
+        Ok(())
+    }
+
     /// Unmaps one page (e.g. to force later faults in tests).
     ///
     /// # Errors

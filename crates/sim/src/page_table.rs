@@ -56,8 +56,8 @@ pub struct Pte {
     pub ppn: Ppn,
     /// Permissions.
     pub flags: PteFlags,
-    /// The mapping's granularity (Sv39 allows leaves at level 1:
-    /// 2 MiB megapages).
+    /// The mapping's granularity (Sv39 allows leaves above the last
+    /// level: 2 MiB megapages at level 1, 1 GiB gigapages at the root).
     pub size: PageSize,
 }
 
@@ -127,7 +127,8 @@ impl<T> SlotMap<T> {
 }
 
 /// One radix node: a frame plus its (sparse) entries. `leaves` at the
-/// middle level hold megapage mappings.
+/// middle level hold megapage mappings; `leaves` at the root hold
+/// gigapage mappings.
 #[derive(Debug, Clone, Default)]
 struct Node {
     frame: Ppn,
@@ -305,6 +306,33 @@ impl PageTable {
         Ok(())
     }
 
+    /// Maps a 1 GiB gigapage (a root-level leaf covering 512² base pages)
+    /// at `vpn`, which must be 512²-page aligned.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `vpn` is out of range or unaligned, or the root slot
+    /// already holds a mapping or a subtree.
+    pub fn map_giga(&mut self, vpn: Vpn, ppn: Ppn, flags: PteFlags) -> Result<(), MapError> {
+        if vpn.0 > MAX_VPN || vpn != PageSize::Giga.align(vpn) {
+            return Err(MapError::VpnOutOfRange(vpn));
+        }
+        let idx0 = index_at(vpn, 0);
+        if self.root.leaves.contains(idx0) || self.root.children.contains(idx0) {
+            return Err(MapError::AlreadyMapped(vpn));
+        }
+        self.root.leaves.try_insert(
+            idx0,
+            Pte {
+                ppn,
+                flags,
+                size: PageSize::Giga,
+            },
+        );
+        self.mapped_pages += PageSize::Giga.span_pages();
+        Ok(())
+    }
+
     /// Removes the mapping for `vpn`; returns the removed PTE if present.
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
         let mut node = &mut self.root;
@@ -357,9 +385,9 @@ impl PageTable {
     }
 
     /// Walks the table for `vpn`, counting the per-level memory accesses a
-    /// hardware walker would perform. Megapage leaves terminate the walk
-    /// one level early (superpages make walks cheaper, one of their
-    /// benefits).
+    /// hardware walker would perform. Superpage leaves terminate the walk
+    /// early — megapages after two levels, gigapages after one (cheaper
+    /// walks, one of their benefits).
     pub fn walk(&self, vpn: Vpn) -> Walk {
         if vpn.0 > MAX_VPN {
             return Walk {
@@ -369,14 +397,13 @@ impl PageTable {
         }
         let mut node = &self.root;
         for level in 0..LEVELS - 1 {
-            // A leaf above the last level is a megapage mapping.
-            if level > 0 {
-                if let Some(pte) = node.leaves.get(index_at(vpn, level)) {
-                    return Walk {
-                        pte: Some(*pte),
-                        levels_accessed: level + 1,
-                    };
-                }
+            // A leaf above the last level is a superpage mapping: a
+            // gigapage at the root, a megapage at the middle level.
+            if let Some(pte) = node.leaves.get(index_at(vpn, level)) {
+                return Walk {
+                    pte: Some(*pte),
+                    levels_accessed: level + 1,
+                };
             }
             match node.children.get(index_at(vpn, level)) {
                 Some(child) => node = child,
@@ -502,6 +529,61 @@ mod tests {
         }
         assert_eq!(pt.walk(Vpn(0x400)).pte, None, "outside the span");
         assert_eq!(pt.mapped_pages(), 512);
+    }
+
+    #[test]
+    fn gigapage_mapping_walks_in_one_level() {
+        let (mut pt, mut frames) = setup();
+        let frame = frames.alloc().unwrap();
+        let base = PageSize::Giga.span_pages(); // second gigapage slot
+        pt.map_giga(Vpn(base), frame, PteFlags::rw_user()).unwrap();
+        // Any base page within the 512²-page span resolves via the giga PTE.
+        for off in [0u64, 1, 511, 512, PageSize::Giga.span_pages() - 1] {
+            let w = pt.walk(Vpn(base + off));
+            assert_eq!(w.pte.map(|p| p.size), Some(PageSize::Giga), "off {off}");
+            assert_eq!(w.levels_accessed, 1, "giga walks stop at the root");
+        }
+        assert_eq!(pt.walk(Vpn(base - 1)).pte, None, "below the span");
+        assert_eq!(
+            pt.walk(Vpn(base + PageSize::Giga.span_pages())).pte,
+            None,
+            "above the span"
+        );
+        assert_eq!(pt.mapped_pages(), PageSize::Giga.span_pages());
+        // The oracle's replay image lists the giga leaf once, at its base.
+        let listed = pt.mappings();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].0, Vpn(base));
+        assert_eq!(listed[0].1.size, PageSize::Giga);
+    }
+
+    #[test]
+    fn unaligned_gigapage_is_rejected() {
+        let (mut pt, mut frames) = setup();
+        let frame = frames.alloc().unwrap();
+        assert!(matches!(
+            pt.map_giga(Vpn(0x200), frame, PteFlags::rw_user()),
+            Err(MapError::VpnOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn gigapage_conflicts_with_existing_subtrees() {
+        let (mut pt, mut frames) = setup();
+        let f1 = frames.alloc().unwrap();
+        pt.map(Vpn(5), f1, PteFlags::rw_user(), &mut frames)
+            .unwrap();
+        let f2 = frames.alloc().unwrap();
+        // Vpn(5) lives in the first gigapage span: its subtree occupies
+        // the root slot the gigapage would need.
+        assert_eq!(
+            pt.map_giga(Vpn(0), f2, PteFlags::rw_user()),
+            Err(MapError::AlreadyMapped(Vpn(0)))
+        );
+        // And the reverse: a gigapage blocks base mappings in its span.
+        pt.map_giga(Vpn(PageSize::Giga.span_pages()), f2, PteFlags::rw_user())
+            .unwrap();
+        assert!(pt.walk(Vpn(PageSize::Giga.span_pages() + 77)).pte.is_some());
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //! - **FlushCompleteness** — flush instructions remove everything they
 //!   promise to remove;
 //! - **Provenance** — operations that must not touch the TLB leave its
-//!   contents bit-identical.
+//!   contents bit-identical;
+//! - **ClassIsolation** — the MS design keeps every entry in the entry
+//!   class matching its page size;
+//! - **ClearCompleteness** — the temporal designs (`FS`, `FT`) leave no
+//!   entry behind after a context switch, and `FT` additionally leaves
+//!   no replacement residue.
 //!
 //! A violation never panics. It is recorded as a structured
 //! [`OracleViolation`], and — when the machine was given a reporting
@@ -81,11 +86,16 @@ pub enum Invariant {
     FlushCompleteness,
     /// Operations that must not touch the TLB leave it bit-identical.
     Provenance,
+    /// MS entries live in the entry class matching their page size.
+    ClassIsolation,
+    /// Temporal-partitioning designs leave no entries behind after a
+    /// context switch (`FT` additionally no replacement residue).
+    ClearCompleteness,
 }
 
 impl Invariant {
     /// All checked invariants, in documentation order.
-    pub const ALL: [Invariant; 8] = [
+    pub const ALL: [Invariant; 10] = [
         Invariant::Translation,
         Invariant::HitSoundness,
         Invariant::Capacity,
@@ -94,6 +104,8 @@ impl Invariant {
         Invariant::NoFill,
         Invariant::FlushCompleteness,
         Invariant::Provenance,
+        Invariant::ClassIsolation,
+        Invariant::ClearCompleteness,
     ];
 
     /// Stable machine-readable name (used in repro files).
@@ -107,6 +119,8 @@ impl Invariant {
             Invariant::NoFill => "no-fill",
             Invariant::FlushCompleteness => "flush-completeness",
             Invariant::Provenance => "provenance",
+            Invariant::ClassIsolation => "class-isolation",
+            Invariant::ClearCompleteness => "clear-completeness",
         }
     }
 
@@ -343,6 +357,7 @@ pub fn replay(capture: &TraceCapture) -> Option<OracleViolation> {
         match size {
             PageSize::Base => m.os_mut().map_page(asid, vpn).ok()?,
             PageSize::Mega => m.os_mut().map_mega_page(asid, vpn).ok()?,
+            PageSize::Giga => m.os_mut().map_giga_page(asid, vpn).ok()?,
         }
     }
     for &(asid, region, is_code) in &capture.protects {
@@ -402,7 +417,7 @@ mod tests {
 
     #[test]
     fn clean_runs_raise_no_violations_on_any_design() {
-        for design in TlbDesign::ALL {
+        for design in TlbDesign::EXTENDED {
             let mut m = driven_machine(design);
             let program = mixed_program(Asid(1), Asid(2));
             m.run(&program);
@@ -410,6 +425,56 @@ mod tests {
                 m.oracle_violations(),
                 &[],
                 "{design} flagged a legitimate run"
+            );
+        }
+    }
+
+    #[test]
+    fn ms_corruption_replays_across_page_size_classes() {
+        // Exercises the multi-size machine under the oracle with all
+        // three page sizes mapped, and the capture/replay path's mega and
+        // giga arms.
+        let giga_base = sectlb_tlb::types::PageSize::Giga.span_pages();
+        for selector in [0u64, 3, 11] {
+            let mut m = MachineBuilder::new()
+                .design(TlbDesign::Ms)
+                .oracle(true)
+                .build();
+            let p = m.os_mut().create_process();
+            m.os_mut().map_region(p, Vpn(0x10), 4).expect("mappable");
+            m.os_mut().map_mega_page(p, Vpn(0x1000)).expect("mappable");
+            m.os_mut()
+                .map_giga_page(p, Vpn(giga_base))
+                .expect("mappable");
+            m.set_oracle_context(format!("shadow-ms-{selector}|cell"));
+            m.run(&[
+                Instr::SetAsid(p),
+                Instr::Load(0x10_000),
+                Instr::Load(0x1000 << 12),
+                Instr::Load(giga_base << 12),
+            ]);
+            assert_eq!(m.oracle_violations(), &[], "clean multi-size run");
+            assert!(m.inject_corruption_now(selector, CorruptionKind::Ppn));
+            let reports = drain_suspects_with_prefix(&format!("shadow-ms-{selector}"));
+            assert_eq!(reports.len(), 1, "selector {selector}");
+            let capture = &reports[0].capture;
+            assert_eq!(replay(capture), Some(capture.violation.clone()));
+        }
+    }
+
+    #[test]
+    fn temporal_designs_clear_on_switch_under_oracle() {
+        // A real switch on FS/FT empties the TLB and satisfies the
+        // ClearCompleteness check.
+        for design in [TlbDesign::Fs, TlbDesign::Ft] {
+            let mut m = driven_machine(design);
+            m.run(&[Instr::SetAsid(Asid(1)), Instr::Load(0x10_000)]);
+            assert!(m.tlb().probe(Asid(1), Vpn(0x10)));
+            m.exec(Instr::SetAsid(Asid(2)));
+            assert_eq!(m.oracle_violations(), &[], "{design}: clean switch");
+            assert!(
+                !m.tlb().probe(Asid(1), Vpn(0x10)),
+                "{design}: the switch cleared the entry"
             );
         }
     }

@@ -26,6 +26,8 @@ pub(crate) struct EntryArray<P: StoreProfile = SoaProfile> {
     /// Resident megapage entries; lets [`EntryArray::lookup`] skip the
     /// second (megapage) probe on the hot path when there are none.
     mega_entries: usize,
+    /// Resident gigapage entries, gating the third probe the same way.
+    giga_entries: usize,
 }
 
 impl<P: StoreProfile> EntryArray<P> {
@@ -35,6 +37,7 @@ impl<P: StoreProfile> EntryArray<P> {
             store: P::Store::new(config.entries()),
             lru: P::Lru::new(config.sets(), config.ways()),
             mega_entries: 0,
+            giga_entries: 0,
         }
     }
 
@@ -50,19 +53,52 @@ impl<P: StoreProfile> EntryArray<P> {
         self.store.get(self.index(set, way))
     }
 
-    /// The set an entry of the given page size indexes into. Megapage
-    /// entries index with the set bits *above* the megapage offset, as
+    /// The set an entry of the given page size indexes into. Large-page
+    /// entries index with the set bits *above* their page offset, as
     /// multi-size hardware TLBs do.
     pub(crate) fn set_of_sized(&self, vpn: Vpn, size: PageSize) -> usize {
+        self.config.set_of(Vpn(vpn.0 >> size.span_shift()))
+    }
+
+    /// Resident entries of a large-page class (gates that class's probe).
+    fn resident_of(&self, size: PageSize) -> usize {
         match size {
-            PageSize::Base => self.config.set_of(vpn),
-            PageSize::Mega => self.config.set_of(Vpn(vpn.0 >> 9)),
+            PageSize::Base => usize::MAX,
+            PageSize::Mega => self.mega_entries,
+            PageSize::Giga => self.giga_entries,
         }
     }
 
+    /// Adjusts the per-class residency counters for a valid entry
+    /// arriving (`+1`) or departing (`-1`).
+    fn count_entry(&mut self, entry: &TlbEntry, arriving: bool) {
+        let counter = match entry.size {
+            PageSize::Base => return,
+            PageSize::Mega => &mut self.mega_entries,
+            PageSize::Giga => &mut self.giga_entries,
+        };
+        if arriving {
+            *counter += 1;
+        } else {
+            *counter -= 1;
+        }
+    }
+
+    /// Probes one page-size class for `(asid, vpn)`.
+    fn probe_sized(&self, asid: Asid, vpn: Vpn, size: PageSize) -> Option<(usize, usize)> {
+        let ways = self.config.ways();
+        let aligned = size.align(vpn);
+        let set = self.set_of_sized(vpn, size);
+        let base = set * ways;
+        (0..ways)
+            .find(|&w| self.store.matches_sized(base + w, asid, aligned, size))
+            .map(|w| (set, w))
+    }
+
     /// Finds the way holding `(asid, vpn)`, if resident: a base-page probe
-    /// in the page's set, then — only when megapage entries exist at all —
-    /// a megapage probe in the superpage's set.
+    /// in the page's set, then — only when entries of the class exist at
+    /// all — a megapage probe in the superpage's set, then a gigapage
+    /// probe.
     pub(crate) fn lookup(&self, asid: Asid, vpn: Vpn) -> Option<(usize, usize)> {
         let ways = self.config.ways();
         // Base-page probe: the common case, a straight scan over the
@@ -77,16 +113,10 @@ impl<P: StoreProfile> EntryArray<P> {
                 return Some((set, w));
             }
         }
-        if self.mega_entries > 0 {
-            let aligned = PageSize::Mega.align(vpn);
-            let set = self.set_of_sized(vpn, PageSize::Mega);
-            let base = set * ways;
-            for w in 0..ways {
-                if self
-                    .store
-                    .matches_sized(base + w, asid, aligned, PageSize::Mega)
-                {
-                    return Some((set, w));
+        for size in [PageSize::Mega, PageSize::Giga] {
+            if self.resident_of(size) > 0 {
+                if let Some(hit) = self.probe_sized(asid, vpn, size) {
+                    return Some(hit);
                 }
             }
         }
@@ -134,11 +164,11 @@ impl<P: StoreProfile> EntryArray<P> {
     pub(crate) fn fill_at(&mut self, set: usize, way: usize, entry: TlbEntry) -> Option<TlbEntry> {
         let idx = self.index(set, way);
         let old = self.store.get(idx);
-        if old.valid && old.size == PageSize::Mega {
-            self.mega_entries -= 1;
+        if old.valid {
+            self.count_entry(&old, false);
         }
-        if entry.valid && entry.size == PageSize::Mega {
-            self.mega_entries += 1;
+        if entry.valid {
+            self.count_entry(&entry, true);
         }
         self.store.set(idx, entry);
         self.lru.touch(set, way);
@@ -149,8 +179,9 @@ impl<P: StoreProfile> EntryArray<P> {
     pub(crate) fn invalidate_at(&mut self, set: usize, way: usize) -> bool {
         let idx = self.index(set, way);
         let was_valid = self.store.valid(idx);
-        if was_valid && self.store.get(idx).size == PageSize::Mega {
-            self.mega_entries -= 1;
+        if was_valid {
+            let old = self.store.get(idx);
+            self.count_entry(&old, false);
         }
         self.store.invalidate(idx);
         self.lru.reset(set, way);
@@ -162,6 +193,28 @@ impl<P: StoreProfile> EntryArray<P> {
         self.store.clear();
         self.lru.reset_all();
         self.mega_entries = 0;
+        self.giga_entries = 0;
+    }
+
+    /// Invalidates every entry but leaves the replacement ranks as they
+    /// are — the flush-on-switch design's clear, which models a hardware
+    /// flush that drops translations without resetting LRU metadata.
+    pub(crate) fn clear_entries_keep_ranks(&mut self) {
+        self.store.clear();
+        self.mega_entries = 0;
+        self.giga_entries = 0;
+    }
+
+    /// Whether the replacement state carries no residue: every rank as
+    /// fresh as after construction. The `fence.t` clear-completeness
+    /// invariant checks this.
+    pub(crate) fn replacement_pristine(&self) -> bool {
+        (0..self.config.sets()).all(|set| {
+            // In a pristine set every way ranks equal-lowest, so the LRU
+            // choice over any suffix is its first element.
+            (0..self.config.ways())
+                .all(|w| self.lru.lru_among(set, w..self.config.ways()) == Some(w))
+        })
     }
 
     /// Invalidates all entries matching `pred`; returns how many were
@@ -218,13 +271,16 @@ impl<P: StoreProfile> EntryArray<P> {
                 if !e.valid {
                     continue;
                 }
-                if e.size == PageSize::Mega && e.vpn != PageSize::Mega.align(e.vpn) {
+                if e.vpn != e.size.align(e.vpn) {
                     return Err(IntegrityError {
                         kind: IntegrityKind::Capacity,
                         detail: format!(
-                            "megapage entry ({}, {}) at set {set} way {way} is not \
-                             512-page aligned",
-                            e.asid, e.vpn
+                            "{} entry ({}, {}) at set {set} way {way} is not \
+                             {}-page aligned",
+                            e.size.label(),
+                            e.asid,
+                            e.vpn,
+                            e.size.span_pages()
                         ),
                     });
                 }
@@ -254,11 +310,22 @@ impl<P: StoreProfile> EntryArray<P> {
     }
 
     /// Deterministically corrupts the `selector`-th eligible valid entry
-    /// (modulo the eligible count): flips the tag's or PPN's lowest bit,
-    /// or inverts the *Sec* bit. *Sec* corruption is confined to base-page
-    /// entries, whose *Sec* bit has exact reference semantics. Returns the
-    /// coordinates plus before/after images, or `None` when no entry is
-    /// eligible.
+    /// (modulo the eligible count): flips the lowest bit of the entry's
+    /// *sized* tag or of its PPN, or inverts the *Sec* bit. *Sec*
+    /// corruption is confined to base-page entries, whose *Sec* bit has
+    /// exact reference semantics. Returns the coordinates plus
+    /// before/after images, or `None` when no entry is eligible.
+    ///
+    /// The tag flip is taken above the entry's page-size span
+    /// (`vpn ^ (1 << span_shift)`): flipping raw bit 0 of a megapage or
+    /// gigapage tag would only break its alignment — the entry could
+    /// never match any aligned probe again, so the corruption degenerated
+    /// to an invalidation instead of a wrong-translation fault. Flipping
+    /// the sized tag's lowest bit moves the entry to a neighboring large
+    /// page (and, with more than one set, out of its home set) exactly
+    /// like the base-page flip does. For base pages `span_shift` is 0, so
+    /// the historical behavior — and every 4 KiB-only golden output — is
+    /// unchanged.
     pub(crate) fn corrupt_nth(
         &mut self,
         selector: u64,
@@ -279,7 +346,9 @@ impl<P: StoreProfile> EntryArray<P> {
         let before = self.store.get(idx);
         let mut after = before;
         match kind {
-            CorruptionKind::Tag => after.vpn = Vpn(before.vpn.0 ^ 1),
+            CorruptionKind::Tag => {
+                after.vpn = Vpn(before.vpn.0 ^ (1 << before.size.span_shift()));
+            }
             CorruptionKind::Ppn => after.ppn.0 ^= 1,
             CorruptionKind::Sec => after.sec = !before.sec,
         }
@@ -368,6 +437,120 @@ mod tests {
         assert!(a.lookup(Asid(1), Vpn(0x201)).is_some());
         a.invalidate_at(set, 1);
         assert_eq!(a.lookup(Asid(1), Vpn(0x201)), None);
+    }
+
+    fn sized(asid: u16, vpn: u64, size: PageSize) -> TlbEntry {
+        TlbEntry {
+            valid: true,
+            vpn: size.align(Vpn(vpn)),
+            ppn: Ppn(vpn % 97 + 7),
+            asid: Asid(asid),
+            sec: false,
+            size,
+        }
+    }
+
+    #[test]
+    fn giga_counter_gates_the_third_probe() {
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 2).unwrap());
+        let giga = sized(1, 0x4_0000, PageSize::Giga);
+        let set = a.set_of_sized(Vpn(0x4_0000), PageSize::Giga);
+        a.fill_at(set, 0, giga);
+        // Any page inside the gigapage hits it.
+        assert_eq!(a.lookup(Asid(1), Vpn(0x4_1234)), Some((set, 0)));
+        assert_eq!(a.lookup(Asid(2), Vpn(0x4_1234)), None);
+        a.invalidate_at(set, 0);
+        assert_eq!(a.lookup(Asid(1), Vpn(0x4_1234)), None);
+        // Overwriting a giga entry with a base entry re-disables the probe.
+        a.fill_at(set, 0, giga);
+        a.fill_at(set, 0, entry(1, set as u64));
+        assert_eq!(a.lookup(Asid(1), Vpn(0x4_1234)), None);
+    }
+
+    #[test]
+    fn all_three_classes_coexist() {
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 4).unwrap());
+        for (vpn, size) in [
+            (5, PageSize::Base),
+            (0x200, PageSize::Mega),
+            (0x4_0000, PageSize::Giga),
+        ] {
+            let set = a.set_of_sized(Vpn(vpn), size);
+            let way = a.choose_victim(set);
+            a.fill_at(set, way, sized(1, vpn, size));
+        }
+        assert!(a.lookup(Asid(1), Vpn(5)).is_some());
+        assert!(a.lookup(Asid(1), Vpn(0x2aa)).is_some());
+        assert!(a.lookup(Asid(1), Vpn(0x4_ffff)).is_some());
+        a.check_geometry().unwrap();
+    }
+
+    #[test]
+    fn entries_only_clear_keeps_replacement_ranks() {
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(4, 2).unwrap());
+        a.fill_at(0, 0, entry(1, 0));
+        a.fill_at(0, 1, entry(1, 4));
+        a.touch(0, 0); // way 1 is now LRU
+        assert!(!a.replacement_pristine());
+        a.clear_entries_keep_ranks();
+        assert_eq!(a.valid_entries().count(), 0);
+        assert_eq!(a.lookup(Asid(1), Vpn(0)), None);
+        assert!(
+            !a.replacement_pristine(),
+            "the entries-only clear must leave rank residue behind"
+        );
+        // A full clear erases the residue too.
+        a.clear();
+        assert!(a.replacement_pristine());
+    }
+
+    #[test]
+    fn sized_tag_corruption_moves_large_tags_not_their_alignment() {
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 2).unwrap());
+        let set = a.set_of_sized(Vpn(0x400), PageSize::Mega);
+        a.fill_at(set, 0, sized(1, 0x400, PageSize::Mega));
+        let (_, _, before, after) = a.corrupt_nth(0, CorruptionKind::Tag).expect("eligible");
+        // Regression: the flip used to hit raw bit 0, leaving a megapage
+        // tag misaligned (a silent invalidation). It must move the tag by
+        // one whole megapage and keep it aligned.
+        assert_eq!(after.vpn, Vpn(before.vpn.0 ^ 0x200));
+        assert_eq!(after.vpn, after.size.align(after.vpn));
+        // The corrupted entry now sits outside its home set — the
+        // geometry check catches exactly that.
+        assert!(a.check_geometry().is_err());
+    }
+
+    #[test]
+    fn base_tag_corruption_still_flips_bit_zero() {
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 2).unwrap());
+        a.fill_at(a.config().set_of(Vpn(6)), 0, entry(1, 6));
+        let (_, _, before, after) = a.corrupt_nth(3, CorruptionKind::Tag).expect("eligible");
+        assert_eq!(after.vpn, Vpn(before.vpn.0 ^ 1));
+    }
+
+    #[test]
+    fn corruption_selector_enumerates_mixed_classes() {
+        let mut a = EntryArray::<SoaProfile>::new(TlbConfig::sa(8, 2).unwrap());
+        let mut filled = 0;
+        for (vpn, size) in [
+            (3, PageSize::Base),
+            (0x600, PageSize::Mega),
+            (0x8_0000, PageSize::Giga),
+        ] {
+            let set = a.set_of_sized(Vpn(vpn), size);
+            a.fill_at(set, a.choose_victim(set), sized(2, vpn, size));
+            filled += 1;
+        }
+        assert_eq!(a.valid_entries().count(), filled);
+        // Every selector must land on some eligible entry and flip its
+        // sized tag, whatever the class mix.
+        for selector in 0..6u64 {
+            let mut probe = a.clone();
+            let (_, _, before, after) = probe
+                .corrupt_nth(selector, CorruptionKind::Tag)
+                .expect("eligible");
+            assert_eq!(after.vpn.0, before.vpn.0 ^ (1 << before.size.span_shift()));
+        }
     }
 
     #[test]

@@ -101,6 +101,9 @@ pub enum IntegrityKind {
     /// *Sec*-bit correctness: the bit disagrees with the programmed secure
     /// region (RF) or is set at all (SA/SP).
     SecBit,
+    /// Multi-size class isolation: an entry resides in a per-page-size
+    /// class array whose granularity differs from the entry's own size.
+    ClassIsolation,
 }
 
 impl fmt::Display for IntegrityKind {
@@ -109,6 +112,7 @@ impl fmt::Display for IntegrityKind {
             IntegrityKind::Capacity => "capacity",
             IntegrityKind::Partition => "partition",
             IntegrityKind::SecBit => "sec-bit",
+            IntegrityKind::ClassIsolation => "class-isolation",
         })
     }
 }

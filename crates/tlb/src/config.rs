@@ -155,6 +155,70 @@ impl TlbConfig {
     }
 }
 
+/// Per-page-size-class geometry for the multi-size split TLB: one
+/// independent `sets × ways` array per translation granularity, the way
+/// commercial cores provision separate 4 KiB / 2 MiB / 1 GiB structures
+/// (e.g. Skylake's 64-entry 4K, 32-entry 2M, 4-entry 1G L1 D-TLBs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiConfig {
+    /// Geometry of the 4 KiB class.
+    pub base: TlbConfig,
+    /// Geometry of the 2 MiB class.
+    pub mega: TlbConfig,
+    /// Geometry of the 1 GiB class.
+    pub giga: TlbConfig,
+}
+
+impl MultiConfig {
+    /// A realistic desktop-class split: 64×4-way 4K, 32×4-way 2M, and a
+    /// fully-associative 4-entry 1G class.
+    pub fn realistic() -> MultiConfig {
+        MultiConfig {
+            base: TlbConfig::sa(256, 4).expect("valid"),
+            mega: TlbConfig::sa(32, 4).expect("valid"),
+            giga: TlbConfig::fa(4).expect("valid"),
+        }
+    }
+
+    /// A split whose 4 KiB class uses `base` verbatim, with small fixed
+    /// large-page classes behind it. With the security-evaluation base
+    /// geometry, 4 KiB-only workloads exercise exactly the base class —
+    /// the property the campaign's closed-form theory relies on.
+    pub fn from_base(base: TlbConfig) -> MultiConfig {
+        MultiConfig {
+            base,
+            mega: TlbConfig::sa(16, 4).expect("valid"),
+            giga: TlbConfig::fa(4).expect("valid"),
+        }
+    }
+
+    /// The geometry of one page-size class.
+    pub fn class(&self, size: crate::types::PageSize) -> TlbConfig {
+        match size {
+            crate::types::PageSize::Base => self.base,
+            crate::types::PageSize::Mega => self.mega,
+            crate::types::PageSize::Giga => self.giga,
+        }
+    }
+
+    /// Total entries across the three classes.
+    pub fn total_entries(&self) -> usize {
+        self.base.entries() + self.mega.entries() + self.giga.entries()
+    }
+}
+
+impl fmt::Display for MultiConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "4K {} / 2M {} / 1G {}",
+            self.base.label(),
+            self.mega.label(),
+            self.giga.label()
+        )
+    }
+}
+
 impl fmt::Display for TlbConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -219,6 +283,20 @@ mod tests {
             labels,
             ["1E", "FA 32", "2W 32", "4W 32", "FA 128", "2W 128", "4W 128"]
         );
+    }
+
+    #[test]
+    fn multi_config_classes_are_addressable() {
+        use crate::types::PageSize;
+        let m = MultiConfig::realistic();
+        assert_eq!(m.class(PageSize::Base).entries(), 256);
+        assert_eq!(m.class(PageSize::Mega).entries(), 32);
+        assert_eq!(m.class(PageSize::Giga).entries(), 4);
+        assert_eq!(m.total_entries(), 292);
+        assert_eq!(m.to_string(), "4K 4W 256 / 2M 4W 32 / 1G FA 4");
+        // The security-eval derivation keeps the base class verbatim.
+        let s = MultiConfig::from_base(TlbConfig::security_eval());
+        assert_eq!(s.base, TlbConfig::security_eval());
     }
 
     #[test]

@@ -13,10 +13,12 @@
 use crate::check::{CorruptionKind, CorruptionReport, IntegrityError, SnapshotEntry};
 use crate::config::TlbConfig;
 use crate::hierarchy::TlbHierarchy;
+use crate::multi::MsTlb;
 use crate::partition::SpTlb;
 use crate::random_fill::RfTlb;
 use crate::set_assoc::SaTlb;
 use crate::stats::TlbStats;
+use crate::temporal::TpTlb;
 use crate::tlb_trait::{sealed, AccessResult, TlbCore, Translator};
 use crate::types::{Asid, SecureRegion, Vpn};
 
@@ -28,6 +30,13 @@ pub enum TlbUnit {
     Sp(SpTlb),
     /// The Random-Fill design.
     Rf(RfTlb),
+    /// A temporal-partitioning design (`FS` or `FT`).
+    Tp(TpTlb),
+    /// The multi-size split design. Boxed: its three class arrays would
+    /// otherwise quadruple the enum's inline size for every design.
+    /// Dispatch stays a direct (inlinable) call; only the state is
+    /// behind the pointer.
+    Ms(Box<MsTlb>),
     /// A two-level hierarchy.
     Hier(TlbHierarchy),
     /// Escape hatch: any other [`TlbCore`] at dyn-dispatch cost.
@@ -58,6 +67,18 @@ impl From<RfTlb> for TlbUnit {
     }
 }
 
+impl From<TpTlb> for TlbUnit {
+    fn from(t: TpTlb) -> TlbUnit {
+        TlbUnit::Tp(t)
+    }
+}
+
+impl From<MsTlb> for TlbUnit {
+    fn from(t: MsTlb) -> TlbUnit {
+        TlbUnit::Ms(Box::new(t))
+    }
+}
+
 impl From<TlbHierarchy> for TlbUnit {
     fn from(t: TlbHierarchy) -> TlbUnit {
         TlbUnit::Hier(t)
@@ -79,6 +100,8 @@ macro_rules! dispatch {
             TlbUnit::Sa($t) => $body,
             TlbUnit::Sp($t) => $body,
             TlbUnit::Rf($t) => $body,
+            TlbUnit::Tp($t) => $body,
+            TlbUnit::Ms($t) => $body,
             TlbUnit::Hier($t) => $body,
             TlbUnit::Dyn($t) => $body,
         }
@@ -106,6 +129,8 @@ impl TlbUnit {
             TlbUnit::Sa(t) => t,
             TlbUnit::Sp(t) => t,
             TlbUnit::Rf(t) => t,
+            TlbUnit::Tp(t) => t,
+            TlbUnit::Ms(t) => &**t,
             TlbUnit::Hier(t) => t,
             TlbUnit::Dyn(t) => &**t,
         }
@@ -117,6 +142,8 @@ impl TlbUnit {
             TlbUnit::Sa(t) => t,
             TlbUnit::Sp(t) => t,
             TlbUnit::Rf(t) => t,
+            TlbUnit::Tp(t) => t,
+            TlbUnit::Ms(t) => &mut **t,
             TlbUnit::Hier(t) => t,
             TlbUnit::Dyn(t) => &mut **t,
         }
@@ -168,6 +195,14 @@ impl TlbCore for TlbUnit {
 
     fn probe_level(&self, level: usize, asid: Asid, vpn: Vpn) -> Option<bool> {
         dispatch!(self, t => t.probe_level(level, asid, vpn))
+    }
+
+    fn on_context_switch(&mut self) {
+        dispatch!(self, t => t.on_context_switch())
+    }
+
+    fn replacement_pristine(&self) -> Option<bool> {
+        dispatch!(self, t => t.replacement_pristine())
     }
 
     fn set_victim_asid(&mut self, victim: Option<Asid>) {

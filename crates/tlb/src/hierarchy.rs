@@ -143,6 +143,23 @@ impl TlbCore for TlbHierarchy {
         }
     }
 
+    fn on_context_switch(&mut self) {
+        self.l1.on_context_switch();
+        self.l2.on_context_switch();
+    }
+
+    fn replacement_pristine(&self) -> Option<bool> {
+        // The hierarchy claims pristineness only where a level claims it;
+        // a claiming level must hold (non-temporal levels stay `None`).
+        match (
+            self.l1.replacement_pristine(),
+            self.l2.replacement_pristine(),
+        ) {
+            (None, None) => None,
+            (a, b) => Some(a != Some(false) && b != Some(false)),
+        }
+    }
+
     fn set_victim_asid(&mut self, victim: Option<Asid>) {
         self.l1.set_victim_asid(victim);
         self.l2.set_victim_asid(victim);

@@ -47,25 +47,29 @@ pub mod config;
 pub mod dispatch;
 pub mod hierarchy;
 pub mod lru;
+pub mod multi;
 pub mod partition;
 pub mod random_fill;
 pub mod rfe;
 pub mod set_assoc;
 pub mod stats;
 pub mod store;
+pub mod temporal;
 pub mod tlb_trait;
 pub mod types;
 
 pub use check::{CorruptionKind, CorruptionReport, IntegrityError, IntegrityKind, SnapshotEntry};
-pub use config::{TlbConfig, TlbOrg};
+pub use config::{MultiConfig, TlbConfig, TlbOrg};
 pub use dispatch::TlbUnit;
 pub use hierarchy::TlbHierarchy;
 pub use lru::{PackedLru, Replacement, StampLru};
+pub use multi::{MsTlb, MsTlbGen, MsTlbRef};
 pub use partition::{PartitionError, SpTlb, SpTlbGen, SpTlbRef};
 pub use random_fill::{InvalidationPolicy, RandomFillEviction, RfTlb, RfTlbGen, RfTlbRef};
 pub use rfe::RandomFillEngine;
 pub use set_assoc::{SaTlb, SaTlbGen, SaTlbRef};
 pub use stats::TlbStats;
 pub use store::{AosProfile, AosStore, EntryStore, SoaProfile, SoaStore, StoreProfile};
+pub use temporal::{ClearScope, TpTlb, TpTlbGen, TpTlbRef};
 pub use tlb_trait::{AccessResult, TlbCore, Translator, WalkResult};
 pub use types::{RegionError, SecureRegion};

@@ -446,6 +446,19 @@ mod tests {
     }
 
     #[test]
+    fn packed_matches_stamps_on_multi_class_geometries() {
+        // The MS split runs one independent replacement instance per
+        // page-size class: 64x4 (realistic 4K), 8x4 / 4x4 (2M), and FA-4
+        // (1G). Renormalization is per-set and must stay
+        // order-preserving in every class geometry, not just the single
+        // uniform security-eval array the campaigns historically used.
+        lockstep(64, 4, 0x51ab, 3000);
+        lockstep(8, 4, 0x51ac, 4000);
+        lockstep(4, 4, 0x51ad, 4000);
+        lockstep(1, 4, 0x51ae, 4000);
+    }
+
+    #[test]
     fn packed_rank_probe_reports_reset_and_mru() {
         let mut p: PackedLru = Replacement::new(2, 4);
         assert_eq!(p.rank(1, 2), 0);

@@ -42,6 +42,21 @@ impl<P: StoreProfile> SaTlbGen<P> {
     pub fn resident_count(&self) -> usize {
         self.array.valid_entries().count()
     }
+
+    /// The underlying entry array (for designs composed on top of SA).
+    pub(crate) fn array(&self) -> &EntryArray<P> {
+        &self.array
+    }
+
+    /// Mutable entry-array view (for designs composed on top of SA).
+    pub(crate) fn array_mut(&mut self) -> &mut EntryArray<P> {
+        &mut self.array
+    }
+
+    /// Mutable counter view (for designs composed on top of SA).
+    pub(crate) fn stats_mut(&mut self) -> &mut TlbStats {
+        &mut self.stats
+    }
 }
 
 impl<P: StoreProfile> sealed::Sealed for SaTlbGen<P> {}

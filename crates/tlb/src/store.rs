@@ -108,6 +108,9 @@ pub struct SoaStore {
     sec: Vec<u64>,
     /// Page-size bits (set = megapage), same packing.
     mega: Vec<u64>,
+    /// Page-size bits (set = gigapage), same packing. At most one of
+    /// `mega`/`giga` is set per entry; both clear means a base page.
+    giga: Vec<u64>,
 }
 
 impl SoaStore {
@@ -137,6 +140,7 @@ impl EntryStore for SoaStore {
             valid: vec![0; words],
             sec: vec![0; words],
             mega: vec![0; words],
+            giga: vec![0; words],
         }
     }
 
@@ -147,7 +151,9 @@ impl EntryStore for SoaStore {
             ppn: Ppn(self.ppns[idx]),
             asid: Asid(self.asids[idx]),
             sec: Self::bit(&self.sec, idx),
-            size: if Self::bit(&self.mega, idx) {
+            size: if Self::bit(&self.giga, idx) {
+                PageSize::Giga
+            } else if Self::bit(&self.mega, idx) {
                 PageSize::Mega
             } else {
                 PageSize::Base
@@ -162,6 +168,7 @@ impl EntryStore for SoaStore {
         Self::set_bit(&mut self.valid, idx, entry.valid);
         Self::set_bit(&mut self.sec, idx, entry.sec);
         Self::set_bit(&mut self.mega, idx, entry.size == PageSize::Mega);
+        Self::set_bit(&mut self.giga, idx, entry.size == PageSize::Giga);
     }
 
     fn valid(&self, idx: usize) -> bool {
@@ -174,6 +181,7 @@ impl EntryStore for SoaStore {
         self.valid.fill(0);
         self.sec.fill(0);
         self.mega.fill(0);
+        self.giga.fill(0);
         self.vpns.fill(0);
         self.ppns.fill(0);
         self.asids.fill(0);
@@ -182,6 +190,7 @@ impl EntryStore for SoaStore {
     fn matches_sized(&self, idx: usize, asid: Asid, aligned: Vpn, size: PageSize) -> bool {
         Self::bit(&self.valid, idx)
             && Self::bit(&self.mega, idx) == (size == PageSize::Mega)
+            && Self::bit(&self.giga, idx) == (size == PageSize::Giga)
             && self.vpns[idx] == aligned.0
             && self.asids[idx] == asid.0
     }
@@ -236,6 +245,7 @@ mod tests {
             for entry in [
                 sample(true, false, PageSize::Base),
                 sample(true, true, PageSize::Mega),
+                sample(true, false, PageSize::Giga),
                 sample(false, false, PageSize::Base),
             ] {
                 s.set(idx, entry);
@@ -267,6 +277,7 @@ mod tests {
         for (asid, vpn, size) in [
             (Asid(3), Vpn(0x2ff), PageSize::Mega),
             (Asid(3), Vpn(0x200), PageSize::Base),
+            (Asid(3), Vpn(0x2ff), PageSize::Giga),
             (Asid(4), Vpn(0x2ff), PageSize::Mega),
             (Asid(3), Vpn(0x400), PageSize::Mega),
         ] {

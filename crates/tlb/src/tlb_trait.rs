@@ -34,6 +34,15 @@ impl WalkResult {
         }
     }
 
+    /// A successful gigapage translation.
+    pub fn giga(ppn: Ppn, cycles: u64) -> WalkResult {
+        WalkResult {
+            ppn: Some(ppn),
+            cycles,
+            size: crate::types::PageSize::Giga,
+        }
+    }
+
     /// A faulting walk.
     pub fn fault(cycles: u64) -> WalkResult {
         WalkResult {
@@ -147,6 +156,22 @@ pub trait TlbCore: sealed::Sealed {
     /// Single-level designs answer only level 0.
     fn probe_level(&self, level: usize, asid: Asid, vpn: Vpn) -> Option<bool> {
         (level == 0).then(|| self.probe(asid, vpn))
+    }
+
+    /// Hardware hook invoked when the OS switches address spaces. The
+    /// temporal-partitioning designs (`FS`, `FT`) clear state here; every
+    /// other design does nothing (their defenses are spatial, not
+    /// temporal).
+    fn on_context_switch(&mut self) {}
+
+    /// Whether the replacement state carries no observable residue — i.e.
+    /// it is indistinguishable from the reset state for every possible
+    /// victim-choice query. `None` means the design makes no
+    /// temporal-partitioning claim about replacement state (all designs
+    /// except `FT`). The oracle checks this after a context switch on
+    /// designs that return `Some`.
+    fn replacement_pristine(&self) -> Option<bool> {
+        None
     }
 
     /// Programs the victim process ID register. The SA TLB has no such

@@ -76,11 +76,13 @@ impl fmt::Display for Asid {
     }
 }
 
-/// Translation granularity: base 4 KiB pages or 2 MiB superpages
-/// (Sv39's level-1 megapages). Commercial TLBs support multiple page
-/// sizes; the paper notes large pages for crypto libraries as a possible
-/// software defense (Section 2.3) — superpage support lets the
-/// reproduction evaluate that.
+/// Translation granularity: base 4 KiB pages, 2 MiB superpages (Sv39's
+/// level-1 megapages), or 1 GiB gigapages (level-2). Commercial TLBs
+/// support multiple page sizes with distinct per-class geometry; the
+/// paper notes large pages for crypto libraries as a possible software
+/// defense (Section 2.3) — superpage support lets the reproduction
+/// evaluate that, and the page-size classes form the entry-class axis of
+/// the multi-size split TLB design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PageSize {
     /// A 4 KiB base page.
@@ -88,20 +90,45 @@ pub enum PageSize {
     Base,
     /// A 2 MiB megapage (512 base pages).
     Mega,
+    /// A 1 GiB gigapage (512 × 512 base pages).
+    Giga,
 }
 
 impl PageSize {
+    /// Every page-size class, smallest first (the lookup probe order).
+    pub const ALL: [PageSize; 3] = [PageSize::Base, PageSize::Mega, PageSize::Giga];
+
     /// Base pages covered by one translation of this size.
     pub fn span_pages(self) -> u64 {
         match self {
             PageSize::Base => 1,
             PageSize::Mega => 512,
+            PageSize::Giga => 512 * 512,
+        }
+    }
+
+    /// Bits of the base-page VPN below this size's frame number (0, 9,
+    /// or 18): the shift the set index of a sized entry is taken above.
+    pub fn span_shift(self) -> u32 {
+        match self {
+            PageSize::Base => 0,
+            PageSize::Mega => 9,
+            PageSize::Giga => 18,
         }
     }
 
     /// Aligns a VPN down to this size's boundary.
     pub fn align(self, vpn: Vpn) -> Vpn {
         Vpn(vpn.0 & !(self.span_pages() - 1))
+    }
+
+    /// Stable lowercase label ("4k" / "2m" / "1g").
+    pub fn label(self) -> &'static str {
+        match self {
+            PageSize::Base => "4k",
+            PageSize::Mega => "2m",
+            PageSize::Giga => "1g",
+        }
     }
 }
 
@@ -284,5 +311,35 @@ mod tests {
     #[test]
     fn page_constants_are_consistent() {
         assert_eq!(1u64 << PAGE_SHIFT, PAGE_SIZE);
+    }
+
+    #[test]
+    fn page_size_classes_are_consistent() {
+        for size in PageSize::ALL {
+            assert_eq!(size.span_pages(), 1 << size.span_shift());
+            // Alignment clears exactly the span bits.
+            let vpn = Vpn(0x7_3141_5926);
+            assert_eq!(
+                size.align(vpn).0,
+                vpn.0 >> size.span_shift() << size.span_shift()
+            );
+            assert_eq!(size.align(size.align(vpn)), size.align(vpn));
+        }
+        assert_eq!(PageSize::Giga.span_pages(), 262_144);
+    }
+
+    #[test]
+    fn giga_entries_match_at_gigapage_granularity() {
+        let e = TlbEntry {
+            valid: true,
+            vpn: PageSize::Giga.align(Vpn(0x4_0000)),
+            ppn: Ppn(0x9),
+            asid: Asid(1),
+            sec: false,
+            size: PageSize::Giga,
+        };
+        assert!(e.matches(Asid(1), Vpn(0x4_0000)));
+        assert!(e.matches(Asid(1), Vpn(0x7_ffff)), "whole gigapage matches");
+        assert!(!e.matches(Asid(1), Vpn(0x8_0000)), "next gigapage misses");
     }
 }

@@ -11,8 +11,11 @@
 //!
 //! Proptest drives random sequences (loads, stores, whole-TLB flushes,
 //! per-ASID flushes, targeted invalidations, context switches) through
-//! both machines on all four designs: SA, FA (set-associative with one
-//! set), SP, and RF.
+//! both machines on all seven design points: SA, FA (set-associative
+//! with one set), SP, RF, the temporal-partitioning FS and FT designs,
+//! and the multi-page-size MS design. A dedicated MS sweep additionally
+//! maps megapages and gigapages so every entry class fills, evicts, and
+//! invalidates on both paths.
 
 use proptest::prelude::*;
 use secure_tlbs::sim::cpu::Instr;
@@ -45,14 +48,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 const BASE: u64 = 0x100;
 
-/// The four design points of the equivalence sweep: paper name, machine
+/// The seven design points of the equivalence sweep: paper name, machine
 /// design, and geometry.
-fn variants() -> [(&'static str, TlbDesign, TlbConfig); 4] {
+fn variants() -> [(&'static str, TlbDesign, TlbConfig); 7] {
     [
         ("SA", TlbDesign::Sa, TlbConfig::sa(32, 8).expect("valid")),
         ("FA", TlbDesign::Sa, TlbConfig::fa(32).expect("valid")),
         ("SP", TlbDesign::Sp, TlbConfig::sa(32, 8).expect("valid")),
         ("RF", TlbDesign::Rf, TlbConfig::sa(32, 8).expect("valid")),
+        ("FS", TlbDesign::Fs, TlbConfig::sa(32, 8).expect("valid")),
+        ("FT", TlbDesign::Ft, TlbConfig::sa(32, 8).expect("valid")),
+        ("MS", TlbDesign::Ms, TlbConfig::sa(32, 8).expect("valid")),
     ]
 }
 
@@ -195,6 +201,198 @@ proptest! {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Multi-page-size (MS) large-page equivalence.
+//
+// The main sweep above only touches 4 KiB pages, which exercises the MS
+// base class alone. This section maps megapages and gigapages too, so
+// the mega and giga entry classes fill past capacity (forcing per-class
+// eviction), take targeted invalidations, and clear on FlushAll — on
+// both the fast path and the reference path in lockstep.
+
+use secure_tlbs::tlb::types::PageSize;
+
+/// Megapage slots mapped per ASID (> 16 total entries across two ASIDs,
+/// so the 16-entry mega class must evict).
+const MEGA_SLOTS: u64 = 10;
+/// Gigapage slots mapped per ASID (> 4 total entries, so the 4-entry
+/// fully associative giga class must evict).
+const GIGA_SLOTS: u64 = 3;
+
+/// One randomized operation over the three page-size classes.
+#[derive(Debug, Clone, Copy)]
+enum MsOp {
+    LoadBase { asid_ix: u8, page: u8 },
+    LoadMega { asid_ix: u8, slot: u8, off: u8 },
+    LoadGiga { asid_ix: u8, slot: u8, off: u16 },
+    FlushAll { asid_ix: u8 },
+    FlushMega { asid_ix: u8, slot: u8, off: u8 },
+    Switch { asid_ix: u8 },
+}
+
+fn ms_op_strategy() -> impl Strategy<Value = MsOp> {
+    prop_oneof![
+        3 => (0u8..2, 0u8..24).prop_map(|(asid_ix, page)| MsOp::LoadBase { asid_ix, page }),
+        4 => (0u8..2, 0u8..MEGA_SLOTS as u8, any::<u8>())
+            .prop_map(|(asid_ix, slot, off)| MsOp::LoadMega { asid_ix, slot, off }),
+        3 => (0u8..2, 0u8..GIGA_SLOTS as u8, any::<u16>())
+            .prop_map(|(asid_ix, slot, off)| MsOp::LoadGiga { asid_ix, slot, off }),
+        1 => (0u8..2).prop_map(|asid_ix| MsOp::FlushAll { asid_ix }),
+        1 => (0u8..2, 0u8..MEGA_SLOTS as u8, any::<u8>())
+            .prop_map(|(asid_ix, slot, off)| MsOp::FlushMega { asid_ix, slot, off }),
+        1 => (0u8..2).prop_map(|asid_ix| MsOp::Switch { asid_ix }),
+    ]
+}
+
+/// Megapage slot `k` lives at megapage index `k + 2`, clear of the base
+/// 4 KiB region at [`BASE`]; gigapage slot `k` lives at gigapage index
+/// `k + 1`, clear of gigapage 0 which holds everything else.
+fn ms_vpn(op: MsOp) -> Option<Vpn> {
+    let mega = PageSize::Mega.span_pages();
+    let giga = PageSize::Giga.span_pages();
+    match op {
+        MsOp::LoadBase { page, .. } => Some(Vpn(BASE + u64::from(page))),
+        MsOp::LoadMega { slot, off, .. } | MsOp::FlushMega { slot, off, .. } => {
+            Some(Vpn((u64::from(slot) + 2) * mega + u64::from(off) % mega))
+        }
+        MsOp::LoadGiga { slot, off, .. } => {
+            Some(Vpn((u64::from(slot) + 1) * giga + u64::from(off) % giga))
+        }
+        MsOp::FlushAll { .. } | MsOp::Switch { .. } => None,
+    }
+}
+
+fn ms_build(seed: u64, reference: bool) -> (Machine, [Asid; 2]) {
+    let config = TlbConfig::sa(32, 8).expect("valid");
+    let (mut machine, asids) = build(TlbDesign::Ms, config, seed, reference);
+    let mega = PageSize::Mega.span_pages();
+    let giga = PageSize::Giga.span_pages();
+    for asid in asids {
+        for slot in 0..MEGA_SLOTS {
+            machine
+                .os_mut()
+                .map_mega_page(asid, Vpn((slot + 2) * mega))
+                .expect("fresh megapage");
+        }
+        for slot in 0..GIGA_SLOTS {
+            machine
+                .os_mut()
+                .map_giga_page(asid, Vpn((slot + 1) * giga))
+                .expect("fresh gigapage");
+        }
+    }
+    (machine, asids)
+}
+
+fn ms_to_instrs(op: MsOp, asids: &[Asid; 2]) -> Vec<Instr> {
+    let asid = asids[match op {
+        MsOp::LoadBase { asid_ix, .. }
+        | MsOp::LoadMega { asid_ix, .. }
+        | MsOp::LoadGiga { asid_ix, .. }
+        | MsOp::FlushAll { asid_ix }
+        | MsOp::FlushMega { asid_ix, .. }
+        | MsOp::Switch { asid_ix } => asid_ix as usize,
+    }];
+    match (op, ms_vpn(op)) {
+        (MsOp::FlushAll { .. }, _) => vec![Instr::SetAsid(asid), Instr::FlushAll],
+        (MsOp::Switch { .. }, _) => vec![Instr::SetAsid(asid)],
+        (MsOp::FlushMega { .. }, Some(vpn)) => {
+            vec![Instr::SetAsid(asid), Instr::FlushPage(vpn.base_addr())]
+        }
+        (_, Some(vpn)) => vec![Instr::SetAsid(asid), Instr::Load(vpn.base_addr())],
+        (_, None) => unreachable!("every remaining op addresses a page"),
+    }
+}
+
+fn assert_ms_equivalent(seed: u64, ops: &[MsOp]) {
+    let (mut fast, asids) = ms_build(seed, false);
+    let (mut reference, ref_asids) = ms_build(seed, true);
+    assert_eq!(asids, ref_asids, "process creation must be deterministic");
+    for (i, &op) in ops.iter().enumerate() {
+        for instr in ms_to_instrs(op, &asids) {
+            fast.exec(instr);
+            reference.exec(instr);
+        }
+        assert_eq!(
+            fast.tlb_stats(),
+            reference.tlb_stats(),
+            "[MS] TLB counter trace diverged at op {i}: {op:?}"
+        );
+    }
+    assert_eq!(fast.stats(), reference.stats(), "[MS] counters diverged");
+    assert_eq!(
+        fast.tlb().snapshot(),
+        reference.tlb().snapshot(),
+        "[MS] final TLB contents diverged"
+    );
+    for (label, m) in [("fast", &fast), ("reference", &reference)] {
+        assert!(
+            m.oracle_violations().is_empty(),
+            "[MS] shadow oracle violated on the {label} path: {:?}",
+            m.oracle_violations()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// The MS fast path and reference path agree bitwise while all three
+    /// page-size classes fill, evict, invalidate, and flush.
+    #[test]
+    fn multi_size_large_pages_match_reference_path(
+        ops in proptest::collection::vec(ms_op_strategy(), 1..100),
+        seed in 0u64..1000,
+    ) {
+        assert_ms_equivalent(seed, &ops);
+    }
+}
+
+/// Deterministic MS spot check: hit each class, invalidate a megapage,
+/// flush everything, and refill.
+#[test]
+fn spot_check_multi_size_classes() {
+    let ops = [
+        MsOp::LoadBase {
+            asid_ix: 0,
+            page: 3,
+        },
+        MsOp::LoadMega {
+            asid_ix: 0,
+            slot: 1,
+            off: 7,
+        },
+        MsOp::LoadGiga {
+            asid_ix: 0,
+            slot: 0,
+            off: 4096,
+        },
+        MsOp::Switch { asid_ix: 1 },
+        MsOp::LoadMega {
+            asid_ix: 1,
+            slot: 1,
+            off: 200,
+        },
+        MsOp::FlushMega {
+            asid_ix: 0,
+            slot: 1,
+            off: 99,
+        },
+        MsOp::LoadMega {
+            asid_ix: 0,
+            slot: 1,
+            off: 7,
+        },
+        MsOp::FlushAll { asid_ix: 0 },
+        MsOp::LoadGiga {
+            asid_ix: 1,
+            slot: 2,
+            off: 1,
+        },
+    ];
+    assert_ms_equivalent(77, &ops);
 }
 
 /// A deterministic spot check that survives even with proptest filtered
